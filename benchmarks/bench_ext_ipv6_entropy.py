@@ -1,0 +1,67 @@
+"""Extension — Entropy/IP structure discovery accuracy (future work).
+
+Not a paper figure: the paper restricts itself to IPv4 and names
+Entropy/IP as the route to IPv6 reuse detection. This bench measures
+how reliably the implementation separates rotating (privacy-addressed)
+/64s from stable ones across many randomized corpora — the judgement a
+future IPv6 reuse study would rest on.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.ipv6.addr6 import Prefix6
+from repro.ipv6.entropyip import (
+    REUSE_ROTATING,
+    REUSE_STABLE,
+    analyze,
+    classify_reuse_risk,
+)
+from repro.ipv6.generator import Strategy, SubnetPlan, generate_corpus
+
+_SITE = 0x20010DB8 << 96
+
+
+def one_trial(seed: int):
+    rng = random.Random(seed)
+    plans = []
+    truth = {}
+    for index in range(12):
+        strategy = rng.choice(Strategy.ALL)
+        subnet = Prefix6(_SITE | (index + 1) << 64, 64)
+        plans.append(SubnetPlan(subnet, strategy, hosts=rng.randint(30, 90)))
+        truth[str(subnet)] = (
+            REUSE_ROTATING if strategy == Strategy.PRIVACY else REUSE_STABLE
+        )
+    corpus = generate_corpus(plans, rng)
+    verdicts = classify_reuse_risk(corpus)
+    correct = sum(
+        1 for subnet, kind in truth.items() if verdicts.get(subnet) == kind
+    )
+    structure = analyze(corpus)
+    return correct, len(truth), len(structure.segments)
+
+
+def compute():
+    trials = [one_trial(seed) for seed in range(20)]
+    correct = sum(t[0] for t in trials)
+    total = sum(t[1] for t in trials)
+    mean_segments = sum(t[2] for t in trials) / len(trials)
+    return correct, total, mean_segments
+
+
+def test_ext_ipv6_entropy(benchmark, record_result):
+    correct, total, mean_segments = benchmark(compute)
+    accuracy = correct / total
+    text = render_table(
+        ["quantity", "value"],
+        [
+            ("randomized corpora", 20),
+            ("/64 subnets judged", total),
+            ("rotating-vs-stable accuracy", f"{accuracy:.1%}"),
+            ("mean segments per corpus", round(mean_segments, 1)),
+        ],
+        title="Extension: Entropy/IP reuse-risk classification",
+    )
+    record_result("ext_ipv6_entropy", text)
+    assert accuracy >= 0.95

@@ -1,0 +1,71 @@
+"""Figure 7 — how long addresses stay listed.
+
+Paper: blocklisted addresses are removed within 9 days on average,
+NATed within 10, dynamic within 3; within two days 42% / 60% / 77.5%
+are removed; reused addresses persist up to the full 44-day window in
+the worst case. Key shape: dynamic addresses fall off lists *faster*
+than NATed ones (the abuser moves to a new address and the feed's
+removal TTL expires), while both are removed faster than the general
+listed population.
+"""
+
+from repro.analysis.figures import ascii_cdf
+from repro.analysis.tables import render_comparison, render_series
+from repro.core.impact import duration_stats
+
+
+def test_fig7_duration_cdf(benchmark, full_run, record_result):
+    stats = benchmark(duration_stats, full_run.analysis)
+    medians = stats.medians()
+    removed2 = stats.removed_within(2)
+    max_days = stats.max_days()
+    assert stats.all_cdf is not None
+    series = stats.all_cdf.points()
+    text = "\n".join(
+        [
+            ascii_cdf(
+                [(float(x), y) for x, y in series],
+                title="Figure 7: CDF of days in blocklists (all listed "
+                "addresses)",
+                x_label="days listed",
+            ),
+            "",
+            render_series(
+                [(float(x), y) for x, y in series],
+                title="Figure 7 series",
+                x_label="days listed",
+                y_label="CDF",
+            ),
+            "",
+            render_comparison(
+                [
+                    ("median days, all", 9, medians.get("all")),
+                    ("median days, NATed", 10, medians.get("nated")),
+                    ("median days, dynamic", 3, medians.get("dynamic")),
+                    (
+                        "% removed ≤2 days, all",
+                        42.0,
+                        round(100.0 * removed2.get("all", 0.0), 1),
+                    ),
+                    (
+                        "% removed ≤2 days, NATed",
+                        60.0,
+                        round(100.0 * removed2.get("nated", 0.0), 1),
+                    ),
+                    (
+                        "% removed ≤2 days, dynamic",
+                        77.5,
+                        round(100.0 * removed2.get("dynamic", 0.0), 1),
+                    ),
+                    ("max days listed", 44, max(max_days.values())),
+                ],
+                title="Figure 7 summary",
+            ),
+        ]
+    )
+    record_result("fig7_duration_cdf", text)
+    # Shape assertions: dynamic leaves lists faster than NATed.
+    if "dynamic" in medians and "nated" in medians:
+        assert medians["dynamic"] <= medians["nated"]
+        assert removed2["dynamic"] >= removed2["nated"]
+    assert max(max_days.values()) <= 44

@@ -1,0 +1,31 @@
+"""Table 2 — the 151-blocklist catalog by maintainer.
+
+Regenerates the maintainer/list-count table and checks it against the
+published row counts (with the two reconstructed rows documented in
+the catalog module).
+"""
+
+from repro.analysis.tables import render_table
+from repro.blocklists.catalog import MAINTAINERS, build_catalog, catalog_by_maintainer
+
+
+def test_table2_catalog(benchmark, full_run, record_result):
+    grouped = benchmark(catalog_by_maintainer)
+    rows = sorted(
+        ((name, len(lists)) for name, lists in grouped.items()),
+        key=lambda kv: (-kv[1], kv[0]),
+    )
+    total = sum(count for _, count in rows)
+    text = render_table(
+        ["maintainer", "# of blocklists"],
+        rows + [("Total", total)],
+        title="Table 2: blocklists per maintainer",
+    )
+    record_result("table2_catalog", text)
+    assert total == 151
+    expected = {name: count for name, count, *_ in MAINTAINERS}
+    for name, count in rows:
+        assert expected[name] == count
+    # Catalog consumed by the run matches the static catalog.
+    assert len(full_run.scenario.catalog) == 151
+    assert len(build_catalog()) == 151

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A CGN operator's view: how often do my egress IPs get blocklisted,
+and how many customers does each listing punish?
+
+The paper's motivating anecdote is a user stuck behind a blocklisted
+shared address. This example takes the *operator's* perspective: for
+every carrier-grade NAT in the synthetic world, it reports whether its
+public address was listed during the measurement windows, for how
+long, how many customers sat behind it, and the resulting unjust
+customer-days — then shows what the paper's greylist would have saved.
+
+Run:  python examples/cgn_operator_study.py
+"""
+
+from repro.core.userimpact import compute_user_days
+from repro.experiments.runner import RunConfig, run_full
+from repro.internet.groundtruth import NAT_CGN
+from repro.net.ipv4 import int_to_ip
+
+
+def main() -> None:
+    run = run_full(RunConfig.small(seed=21))
+    truth = run.scenario.truth
+    analysis = run.analysis
+    observed = analysis.observed
+    windows = analysis.windows
+
+    cgn_lines = [l for l in truth.lines.values() if l.nat == NAT_CGN]
+    print(f"the operator runs {len(cgn_lines)} CGN egress addresses\n")
+
+    print(f"{'egress IP':15s} {'customers':>9s} {'listed':>6s} "
+          f"{'days':>4s} {'lists':>5s} {'detected?':>9s}")
+    listed_count = 0
+    for line in sorted(cgn_lines, key=lambda l: l.static_ip or 0):
+        ip = line.static_ip
+        assert ip is not None
+        listings = [
+            l
+            for l in observed.listings_of_ip(ip)
+            if l.observed_days(windows) > 0
+        ]
+        days = max(
+            (l.max_observed_run(windows) for l in listings), default=0
+        )
+        lists = len({l.list_id for l in listings})
+        detected = "yes" if ip in analysis.nated_ips else "no"
+        flag = "LISTED" if listings else "-"
+        if listings:
+            listed_count += 1
+        print(f"{int_to_ip(ip):15s} {len(line.user_keys):>9d} {flag:>6s} "
+              f"{days:>4d} {lists:>5d} {detected:>9s}")
+
+    print(f"\n{listed_count}/{len(cgn_lines)} CGN addresses were "
+          "blocklisted during the windows")
+
+    report = compute_user_days(truth, analysis)
+    cgn_ips = {l.static_ip for l in cgn_lines}
+    cgn_damage = sum(
+        i.unjust_user_days for i in report.impacts if i.ip in cgn_ips
+    )
+    print(f"unjust customer-days behind this operator's CGNs: {cgn_damage}")
+    print("\nwith the paper's greylist in place, services would challenge")
+    print("rather than drop these customers — see "
+          "examples/blocklist_audit.py for the policy side.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The crawler over *real* UDP sockets (loopback only).
+
+Everything else in this repository runs on the simulated fabric; this
+example proves the crawler is transport-independent. It starts a small
+DHT of real UDP responders on 127.0.0.1 — including two "users"
+sharing the loopback address on different ports, exactly a NAT's
+signature — and runs the unmodified crawler against them on wall-clock
+time.
+
+No packet leaves the machine.
+
+Run:  python examples/live_loopback_crawl.py
+"""
+
+from repro.bittorrent.crawler import CrawlerConfig, DhtCrawler
+from repro.bittorrent.krpc import (
+    GetNodesQuery,
+    GetNodesResponse,
+    KrpcError,
+    NodeInfo,
+    PingQuery,
+    PingResponse,
+    decode_message,
+    encode_message,
+)
+from repro.natdetect import detect_nated
+from repro.net.ipv4 import int_to_ip
+from repro.sim.realtime import LiveLoop
+from repro.sim.rng import RngHub
+
+
+def start_responder(loop, node_id, directory):
+    """One live DHT node: answers ping and find_node over its socket."""
+    sock = loop.open_udp_socket()
+
+    def answer(datagram):
+        try:
+            message = decode_message(datagram.payload)
+        except KrpcError:
+            return
+        if isinstance(message, PingQuery):
+            sock.send(
+                datagram.src,
+                encode_message(PingResponse(message.txn, node_id)),
+            )
+        elif isinstance(message, GetNodesQuery):
+            contacts = tuple(
+                NodeInfo(nid, s.endpoint.ip, s.endpoint.port)
+                for nid, s in directory
+            )[:8]
+            sock.send(
+                datagram.src,
+                encode_message(
+                    GetNodesResponse(message.txn, node_id, contacts)
+                ),
+            )
+
+    sock.on_receive(answer)
+    directory.append((node_id, sock))
+    return sock
+
+
+def main() -> None:
+    loop = LiveLoop()
+    directory = []
+    # Five live nodes; they all share 127.0.0.1 in this demo, so the
+    # crawler should prove multiple simultaneous users behind that IP.
+    for index in range(5):
+        start_responder(loop, bytes([index + 1]) * 20, directory)
+    print("live responders:")
+    for node_id, sock in directory:
+        print(f"  {node_id[:2].hex()}... at {sock.endpoint}")
+
+    crawler_sock = loop.open_udp_socket()
+    crawler = DhtCrawler(
+        loop,
+        crawler_sock,
+        RngHub(7).stream("live"),
+        CrawlerConfig(
+            duration=2.0,
+            tick_interval=0.05,
+            reping_interval=0.5,
+            retry_interval=0.2,
+            contact_cooldown=0.3,
+            rewalk_interval=0.0,
+        ),
+    )
+    crawler.start([directory[0][1].endpoint])
+    print("\ncrawling for ~2 wall-clock seconds over real UDP sockets...")
+    loop.run_for(2.5)
+
+    stats = crawler.stats
+    print(f"sent {stats.get_nodes_sent} get_nodes / {stats.pings_sent} "
+          f"bt_pings; ping response rate {stats.ping_response_rate():.0%}")
+    result = detect_nated(crawler.log, round_window=0.2)
+    for ip in sorted(result.nated_ips()):
+        print(f"NAT signature at {int_to_ip(ip)}: "
+              f">= {result.users_behind(ip)} simultaneous users")
+    print("\nsame crawler class, same KRPC bytes — only the transport "
+          "differs from the simulation.")
+
+
+if __name__ == "__main__":
+    main()

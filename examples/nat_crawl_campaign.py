@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""A BitTorrent DHT crawl campaign, step by step (paper Section 3.1).
+
+Shows the pieces the orchestrator normally hides:
+
+1. build an overlay of DHT peers — public hosts, a home NAT household,
+   and a carrier-grade NAT — on the simulated UDP fabric;
+2. run the crawler with the paper's operational rules (20-minute
+   per-IP cooldown, hourly bt_ping rounds for multi-port IPs);
+3. persist the crawl log to JSONL and re-load it;
+4. run NAT detection offline over the log, next to the two naive rules
+   the paper rejects.
+
+Run:  python examples/nat_crawl_campaign.py
+"""
+
+from repro.bittorrent.crawler import CrawlerConfig, DhtCrawler
+from repro.bittorrent.crawllog import read_jsonl, write_jsonl
+from repro.bittorrent.swarm import PeerSpec, build_overlay
+from repro.natdetect import detect_by_node_ids, detect_by_ports, detect_nated
+from repro.net.ipv4 import int_to_ip, ip_to_int
+from repro.sim.clock import HOUR
+from repro.sim.events import Scheduler
+from repro.sim.nat import HostStack, NatBehaviour, NatGateway
+from repro.sim.rng import RngHub
+from repro.sim.udp import UdpFabric
+
+
+def main() -> None:
+    hub = RngHub(1234)
+    scheduler = Scheduler()
+    fabric = UdpFabric(scheduler, hub, loss_rate=0.25)
+    rng = hub.stream("example")
+
+    # --- population: 30 public peers -------------------------------
+    specs = []
+    for index in range(30):
+        ip = ip_to_int(f"11.0.{index}.1")
+        stack = HostStack(fabric, ip, rng)
+        specs.append(PeerSpec(f"public-{index}", ip, stack.open_socket))
+
+    # --- a home NAT with three BitTorrent users --------------------
+    home = NatGateway(fabric, ip_to_int("21.0.0.1"), rng)
+    for index in range(3):
+        specs.append(
+            PeerSpec(
+                f"home-{index}",
+                ip_to_int(f"192.168.1.{index + 2}"),
+                lambda gw=home: gw.open_socket(
+                    behaviour=NatBehaviour.FULL_CONE
+                ),
+            )
+        )
+
+    # --- a CGN with 20 users, some unreachable ---------------------
+    cgn = NatGateway(fabric, ip_to_int("22.0.0.1"), rng)
+    for index in range(20):
+        behaviour = (
+            NatBehaviour.FULL_CONE
+            if index % 2 == 0
+            else NatBehaviour.ADDRESS_RESTRICTED
+        )
+        specs.append(
+            PeerSpec(
+                f"cgn-{index}",
+                ip_to_int(f"100.64.0.{index + 2}"),
+                lambda gw=cgn, b=behaviour: gw.open_socket(behaviour=b),
+            )
+        )
+
+    bootstrap_stack = HostStack(fabric, ip_to_int("31.0.0.1"), rng)
+    overlay = build_overlay(fabric, specs, bootstrap_stack, rng)
+    # Client churn: restarts create the stale-port confounder.
+    overlay.schedule_churn(scheduler, duration=4 * HOUR, restart_fraction=0.2)
+
+    # --- the crawl ---------------------------------------------------
+    crawler_stack = HostStack(fabric, ip_to_int("31.0.0.2"), rng)
+    crawler = DhtCrawler(
+        scheduler,
+        crawler_stack.open_socket(),
+        hub.stream("crawler"),
+        CrawlerConfig(duration=10 * HOUR),
+    )
+    crawler.start([overlay.bootstrap_endpoint])
+    scheduler.run_until(11 * HOUR)
+
+    stats = crawler.stats
+    print(f"crawl done: {stats.get_nodes_sent} get_nodes, "
+          f"{stats.pings_sent} bt_pings "
+          f"({stats.ping_response_rate():.1%} answered)")
+    print(f"discovered {crawler.discovered_ips} IPs, "
+          f"{len(crawler.multiport_ips)} with multiple ports")
+
+    # --- persist and re-analyse offline ------------------------------
+    write_jsonl(crawler.log, "crawl_log.jsonl")
+    log = read_jsonl("crawl_log.jsonl")
+    print(f"crawl log: {len(log)} records -> crawl_log.jsonl")
+
+    verified = detect_nated(log)
+    print("\nNATed addresses (bt_ping verified, the paper's rule):")
+    for ip in sorted(verified.nated_ips()):
+        print(f"  {int_to_ip(ip)}: >= {verified.users_behind(ip)} users")
+
+    ports_only = detect_by_ports(log).nated_ips()
+    ids_only = detect_by_node_ids(log).nated_ips()
+    print(f"\nnaive multi-port rule flags {len(ports_only)} IPs; "
+          f"node_id counting flags {len(ids_only)} "
+          "(both include stale-port false positives)")
+
+
+if __name__ == "__main__":
+    main()

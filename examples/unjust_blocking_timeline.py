@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Trace one unjust-blocking incident end to end.
+
+Reconstructs the Cloudflare-ticket story from the paper's
+introduction, but for dynamic addressing: a compromised host on a
+dynamic line gets its current address blocklisted; the DHCP pool then
+hands that address to an innocent subscriber who inherits the
+tainted reputation for however long the listing persists.
+
+Run:  python examples/unjust_blocking_timeline.py
+"""
+
+from repro.experiments.runner import RunConfig, run_full
+from repro.net.ipv4 import int_to_ip
+
+
+def main() -> None:
+    run = run_full(RunConfig.small(seed=3))
+    truth = run.scenario.truth
+    observed = run.analysis.observed
+    windows = run.analysis.windows
+
+    incidents = []
+    for ip in sorted(run.analysis.dynamic_blocklisted):
+        listings = [
+            l for l in observed.listings_of_ip(ip)
+            if l.observed_days(windows) > 0
+        ]
+        if not listings:
+            continue
+        listing = max(listings, key=lambda l: l.duration_days())
+        # Who held the address over the listing interval?
+        pool = next(
+            (
+                p
+                for p in truth.pools.values()
+                if any(ip in t.addresses() for t in p.timelines.values())
+            ),
+            None,
+        )
+        if pool is None:
+            continue
+        holders = []
+        for day in range(listing.first_day, listing.last_day + 1):
+            line_key = pool.line_holding(ip, day + 0.5)
+            if line_key and (not holders or holders[-1][1] != line_key):
+                holders.append((day, line_key))
+        if len(holders) >= 2:
+            incidents.append((ip, listing, holders))
+
+    if not incidents:
+        print("no multi-victim incidents in this small scenario; "
+              "try another seed")
+        return
+
+    ip, listing, holders = max(
+        incidents, key=lambda item: len(item[2])
+    )
+    print(f"address {int_to_ip(ip)} was listed on {listing.list_id!r} "
+          f"from day {listing.first_day} to day {listing.last_day} "
+          f"({listing.duration_days()} days)\n")
+    print("who actually held the address while it was blocklisted:")
+    for day, line_key in holders:
+        users = truth.users_of_line(line_key)
+        blame = (
+            "<- the actual abuser"
+            if any(u.compromised for u in users)
+            else "<- UNJUSTLY BLOCKED"
+        )
+        print(f"  day {day:3d}: line {line_key} {blame}")
+
+    innocents = sum(
+        1
+        for _, line_key in holders
+        if not any(u.compromised for u in truth.users_of_line(line_key))
+    )
+    print(f"\n{innocents} innocent subscriber(s) inherited this tainted "
+          "address while it was still listed")
+    print("this is the mechanism behind the paper's central claim: "
+          "blocklisting reused addresses punishes the wrong people.")
+
+
+if __name__ == "__main__":
+    main()

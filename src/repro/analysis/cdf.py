@@ -1,0 +1,78 @@
+"""Empirical distribution utilities used by every figure."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["Ecdf", "fraction_at_most", "percentile"]
+
+
+class Ecdf:
+    """Empirical CDF over a sample.
+
+    ``F(x)`` is the fraction of samples ≤ x; ``quantile(q)`` its
+    inverse. Immutable once built.
+    """
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        if not samples:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        self._sorted: List[float] = sorted(samples)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return self._sorted[-1]
+
+    def at(self, x: float) -> float:
+        """F(x): fraction of samples ≤ x."""
+        return bisect.bisect_right(self._sorted, x) / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value v with F(v) ≥ q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if q == 0.0:
+            return self._sorted[0]
+        index = math.ceil(q * len(self._sorted)) - 1
+        index = min(len(self._sorted) - 1, max(0, index))
+        return self._sorted[index]
+
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(x, F(x)) step points at each distinct sample value —
+        directly plottable / printable as a figure series."""
+        out: List[Tuple[float, float]] = []
+        previous = None
+        for index, value in enumerate(self._sorted):
+            if value != previous:
+                out.append((value, (index + 1) / len(self._sorted)))
+                previous = value
+            else:
+                out[-1] = (value, (index + 1) / len(self._sorted))
+        return out
+
+
+def fraction_at_most(samples: Sequence[float], x: float) -> float:
+    """One-off F(x) without building an Ecdf."""
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s <= x) / len(samples)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """One-off quantile."""
+    return Ecdf(samples).quantile(q)

@@ -1,0 +1,93 @@
+"""ASCII figure rendering.
+
+The paper's figures are log-scale scatter/CDF plots. The benchmark
+artefacts embed a text rendering so the *shape* of each figure is
+visible in ``results/`` without a plotting stack: a step plot for
+CDFs, and a (optionally log-scale) column chart for sorted count
+series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_cdf", "ascii_columns"]
+
+_BAR = "#"
+
+
+def ascii_cdf(
+    points: Sequence[Tuple[float, float]],
+    *,
+    title: str,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+) -> str:
+    """Render (x, F(x)) step points as a text CDF plot.
+
+    The y axis is always [0, 1]; the x axis spans the data.
+    """
+    if not points:
+        return f"{title}\n  (empty)"
+    xs = [p[0] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    previous_col = 0
+    previous_row = height - 1
+    for x, y in points:
+        col = min(width - 1, int((x - x_lo) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - y) * (height - 1)))
+        # Draw the horizontal run of the step.
+        for c in range(previous_col, col + 1):
+            grid[previous_row][c] = "_" if grid[previous_row][c] == " " else grid[previous_row][c]
+        grid[row][col] = "*"
+        previous_col, previous_row = col, row
+    lines = [title]
+    for index, row in enumerate(grid):
+        y_value = 1.0 - index / (height - 1)
+        prefix = f"{y_value:4.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_lo:<12.4g}{x_label:^{max(0, width - 24)}}{x_hi:>12.4g}")
+    return "\n".join(lines)
+
+
+def ascii_columns(
+    values: Sequence[float],
+    *,
+    title: str,
+    height: int = 12,
+    max_columns: int = 60,
+    log_scale: bool = False,
+) -> str:
+    """Render a sorted count series as columns (the Figure 5/6 look).
+
+    ``log_scale`` plots log10(1 + value), matching the paper's
+    log-scale y axes where counts span decades.
+    """
+    if not values:
+        return f"{title}\n  (empty)"
+    series: List[float] = list(values)
+    if len(series) > max_columns:
+        step = (len(series) - 1) / (max_columns - 1)
+        series = [series[round(i * step)] for i in range(max_columns)]
+    plotted = [
+        math.log10(1 + v) if log_scale else float(v) for v in series
+    ]
+    top = max(plotted) or 1.0
+    columns = [
+        min(height, round(v / top * height)) for v in plotted
+    ]
+    lines = [title]
+    for level in range(height, 0, -1):
+        row = "".join(_BAR if c >= level else " " for c in columns)
+        lines.append(f"{'|':>6}{row}")
+    lines.append("     +" + "-" * len(columns))
+    scale = "log10(1+y)" if log_scale else "y"
+    lines.append(
+        f"      {len(values)} values, max={max(values):g} ({scale} scale)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and figure series.
+
+Every benchmark prints its table/figure through these helpers so the
+output of ``pytest benchmarks/`` reads like the paper's evaluation
+section: same rows, paper value next to measured value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_comparison"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[Tuple[float, float]],
+    *,
+    title: str,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 24,
+) -> str:
+    """A figure's data series as text, downsampled evenly so the shape
+    is readable without a plotting stack."""
+    if not points:
+        return f"{title}\n  (empty series)"
+    if len(points) > max_points:
+        step = (len(points) - 1) / (max_points - 1)
+        sampled = [points[round(i * step)] for i in range(max_points)]
+    else:
+        sampled = list(points)
+    lines = [title, f"  {x_label:>14}  {y_label}"]
+    for x, y in sampled:
+        lines.append(f"  {x:>14.4g}  {y:.4g}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[Tuple[str, object, object]],
+    *,
+    title: str,
+) -> str:
+    """Paper-vs-measured comparison block (the EXPERIMENTS.md shape)."""
+    table = render_table(
+        ["quantity", "paper", "measured"],
+        [(name, paper, measured) for name, paper, measured in rows],
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,5 @@
+"""Baseline techniques the paper compares against."""
+
+from .icmp_census import BlockMetrics, CensusConfig, CensusResult, run_census
+
+__all__ = ["BlockMetrics", "CensusConfig", "CensusResult", "run_census"]

@@ -1,0 +1,180 @@
+"""Bencoding (BEP 3) encoder/decoder.
+
+The DHT's KRPC messages are bencoded dictionaries. This is a strict,
+allocation-light implementation: the decoder rejects non-canonical
+integers (``i-0e``, leading zeros), unsorted dictionary keys are
+tolerated on decode (real clients emit them) but the encoder always
+emits canonical sorted keys, and trailing bytes after the root object
+are an error — a truncated or concatenated datagram must not silently
+half-parse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+__all__ = ["BencodeError", "bencode", "bdecode"]
+
+Bencodable = Union[int, bytes, str, list, dict]
+
+
+class BencodeError(ValueError):
+    """Raised for any malformed bencode input or un-encodable value."""
+
+
+def bencode(value: Bencodable) -> bytes:
+    """Encode ``value`` into canonical bencode bytes.
+
+    ``str`` values are encoded as UTF-8 byte strings for convenience;
+    dictionary keys may be ``str`` or ``bytes`` and are emitted in
+    sorted byte order as the spec requires.
+    """
+    parts: List[bytes] = []
+    _encode(value, parts)
+    return b"".join(parts)
+
+
+def _encode(value: Bencodable, parts: List[bytes]) -> None:
+    if isinstance(value, bool):
+        # bool is an int subclass; encoding True as i1e would be a silent
+        # schema bug in message construction, so refuse it.
+        raise BencodeError("refusing to bencode bool")
+    if isinstance(value, int):
+        parts.append(b"i%de" % value)
+    elif isinstance(value, bytes):
+        parts.append(b"%d:" % len(value))
+        parts.append(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        parts.append(b"%d:" % len(raw))
+        parts.append(raw)
+    elif isinstance(value, list):
+        parts.append(b"l")
+        for item in value:
+            _encode(item, parts)
+        parts.append(b"e")
+    elif isinstance(value, dict):
+        parts.append(b"d")
+        normalised: List[Tuple[bytes, Any]] = []
+        for key, item in value.items():
+            if isinstance(key, str):
+                key = key.encode("utf-8")
+            if not isinstance(key, bytes):
+                raise BencodeError(
+                    f"dict keys must be bytes/str, got {type(key).__name__}"
+                )
+            normalised.append((key, item))
+        normalised.sort(key=lambda pair: pair[0])
+        previous = None
+        for key, item in normalised:
+            if key == previous:
+                raise BencodeError(f"duplicate dict key {key!r}")
+            previous = key
+            _encode(key, parts)
+            _encode(item, parts)
+        parts.append(b"e")
+    else:
+        raise BencodeError(
+            f"cannot bencode values of type {type(value).__name__}"
+        )
+
+
+def bdecode(data: bytes) -> Bencodable:
+    """Decode one bencoded object from ``data``.
+
+    Raises :class:`BencodeError` on malformed input, including trailing
+    bytes after the root object.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise BencodeError(
+            f"bdecode needs bytes, got {type(data).__name__}"
+        )
+    data = bytes(data)
+    if not data:
+        raise BencodeError("empty input")
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise BencodeError(
+            f"{len(data) - offset} trailing bytes after root object"
+        )
+    return value
+
+
+def _decode(data: bytes, offset: int) -> Tuple[Bencodable, int]:
+    if offset >= len(data):
+        raise BencodeError("truncated input")
+    lead = data[offset : offset + 1]
+    if lead == b"i":
+        return _decode_int(data, offset)
+    if lead == b"l":
+        return _decode_list(data, offset)
+    if lead == b"d":
+        return _decode_dict(data, offset)
+    if lead.isdigit():
+        return _decode_bytes(data, offset)
+    raise BencodeError(f"unexpected byte {lead!r} at offset {offset}")
+
+
+def _decode_int(data: bytes, offset: int) -> Tuple[int, int]:
+    end = data.find(b"e", offset + 1)
+    if end == -1:
+        raise BencodeError("unterminated integer")
+    body = data[offset + 1 : end]
+    if not body:
+        raise BencodeError("empty integer")
+    digits = body[1:] if body[:1] == b"-" else body
+    if not digits.isdigit():
+        raise BencodeError(f"malformed integer {body!r}")
+    if digits != b"0" and digits.startswith(b"0"):
+        raise BencodeError(f"leading zero in integer {body!r}")
+    if body == b"-0":
+        raise BencodeError("negative zero integer")
+    return int(body), end + 1
+
+
+def _decode_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    colon = data.find(b":", offset)
+    if colon == -1:
+        raise BencodeError("unterminated string length")
+    length_text = data[offset:colon]
+    if not length_text.isdigit():
+        raise BencodeError(f"malformed string length {length_text!r}")
+    if length_text != b"0" and length_text.startswith(b"0"):
+        raise BencodeError(f"leading zero in string length {length_text!r}")
+    length = int(length_text)
+    start = colon + 1
+    end = start + length
+    if end > len(data):
+        raise BencodeError("string runs past end of input")
+    return data[start:end], end
+
+
+def _decode_list(data: bytes, offset: int) -> Tuple[list, int]:
+    items: List[Bencodable] = []
+    offset += 1
+    while True:
+        if offset >= len(data):
+            raise BencodeError("unterminated list")
+        if data[offset : offset + 1] == b"e":
+            return items, offset + 1
+        item, offset = _decode(data, offset)
+        items.append(item)
+
+
+def _decode_dict(data: bytes, offset: int) -> Tuple[Dict[bytes, Any], int]:
+    result: Dict[bytes, Any] = {}
+    offset += 1
+    while True:
+        if offset >= len(data):
+            raise BencodeError("unterminated dict")
+        if data[offset : offset + 1] == b"e":
+            return result, offset + 1
+        key, offset = _decode(data, offset)
+        if not isinstance(key, bytes):
+            raise BencodeError(
+                f"dict key must be a byte string, got {type(key).__name__}"
+            )
+        if key in result:
+            raise BencodeError(f"duplicate dict key {key!r}")
+        value, offset = _decode(data, offset)
+        result[key] = value

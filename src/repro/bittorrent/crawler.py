@@ -1,0 +1,360 @@
+"""The BitTorrent DHT crawler (paper Section 3.1).
+
+Walks the DHT with ``get_nodes``, collects every (IP, port) sighting,
+and verifies multi-port IPs with ``bt_ping`` rounds. Operational
+behaviour follows the paper exactly:
+
+* queries are paced (the unrestricted crawler "generated tremendous
+  amount of incoming traffic");
+* the crawl can be **restricted to the blocklisted address space**
+  (a :class:`~repro.net.prefixtrie.PrefixSet` of /24s);
+* after contacting *all discovered ports* of an IP, that IP is left
+  alone for a 20-minute cooldown;
+* bt_ping is over UDP and lossy, so ping rounds for multi-port IPs
+  repeat every hour;
+* everything sent and received is logged with timestamps; NAT
+  detection happens offline over the log (:mod:`repro.natdetect`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..net.ipv4 import slash24_int
+from ..net.prefixtrie import PrefixSet
+from ..sim.clock import HOUR, MINUTE
+from ..sim.events import Scheduler
+from ..sim.udp import Datagram, Endpoint
+from ..sim.nat import Socket
+from .crawllog import (
+    QUERY_GET_NODES,
+    QUERY_PING,
+    CrawlLog,
+    ReceivedRecord,
+    SentRecord,
+)
+from .krpc import (
+    GetNodesQuery,
+    GetNodesResponse,
+    KrpcError,
+    PingQuery,
+    PingResponse,
+    TransactionCounter,
+    decode_message,
+    encode_message,
+)
+from .nodeid import NODE_ID_BYTES
+
+__all__ = ["CrawlerConfig", "CrawlerStats", "DhtCrawler"]
+
+
+@dataclass
+class CrawlerConfig:
+    """Operational knobs; defaults mirror the paper."""
+
+    #: Leave an IP alone for this long after contacting all its ports.
+    contact_cooldown: float = 20 * MINUTE
+    #: Re-ping multi-port IPs this often (UDP-loss compensation).
+    reping_interval: float = 1 * HOUR
+    #: Pacing tick — how often the crawler drains its work queue.
+    tick_interval: float = 1.0
+    #: Maximum get_nodes contacts initiated per tick (rate limit).
+    queries_per_tick: int = 200
+    #: Restrict discovery to this address space (None = unrestricted).
+    allowed_space: Optional[PrefixSet] = None
+    #: Stop issuing new queries after this much crawl time (seconds).
+    duration: float = 12 * HOUR
+    #: Minimum ports an IP needs before it enters ping verification.
+    multiport_threshold: int = 2
+    #: get_nodes attempts per IP before giving up (UDP loss recovery).
+    max_get_nodes_attempts: int = 4
+    #: Retry pacing for endpoints that have never answered. The 20-min
+    #: cooldown is a politeness rule towards *users we probe*; an
+    #: endpoint that has never responded gets ordinary timeout-driven
+    #: retries instead (the paper does not specify this detail).
+    retry_interval: float = 60.0
+    #: The paper's crawler runs continuously, so it keeps re-learning
+    #: routing tables and notices port changes. We model that by
+    #: re-queueing every responsive IP for get_nodes at this interval
+    #: (0 disables re-walking).
+    rewalk_interval: float = 2 * HOUR
+
+
+@dataclass
+class CrawlerStats:
+    """Aggregate counters (the paper's Section 4 accounting)."""
+
+    get_nodes_sent: int = 0
+    get_nodes_received: int = 0
+    pings_sent: int = 0
+    ping_responses: int = 0
+    unique_ips: int = 0
+    unique_node_ids: int = 0
+    malformed: int = 0
+
+    def ping_response_rate(self) -> float:
+        """Fraction of bt_pings answered (paper: 48.6%)."""
+        return self.ping_responses / self.pings_sent if self.pings_sent else 0.0
+
+
+class DhtCrawler:
+    """Event-driven crawler bound to one public socket."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        socket: Socket,
+        rng: random.Random,
+        config: Optional[CrawlerConfig] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._socket = socket
+        self._rng = rng
+        self.config = config or CrawlerConfig()
+        self.log = CrawlLog()
+        self.stats = CrawlerStats()
+        self._txns = TransactionCounter()
+        # ip -> every port ever seen for it
+        self._ports: Dict[int, Set[int]] = {}
+        # IPs awaiting their first get_nodes contact, in discovery order
+        self._queue: Deque[int] = deque()
+        self._queued: Set[int] = set()
+        self._contacted: Set[int] = set()
+        self._attempts: Dict[int, int] = {}
+        self._responded: Set[int] = set()
+        self._awaiting: Set[int] = set()
+        self._last_contact: Dict[int, float] = {}
+        self._multiport: Set[int] = set()
+        self._node_ids: Set[str] = set()
+        self._outstanding: Dict[bytes, str] = {}
+        self._started = False
+        self._deadline = 0.0
+        self._socket.on_receive(self._handle)
+
+    # -- public surface ----------------------------------------------
+
+    def start(self, bootstrap: List[Endpoint]) -> None:
+        """Begin crawling from the given bootstrap endpoints."""
+        if self._started:
+            raise RuntimeError("crawler already started")
+        if not bootstrap:
+            raise ValueError("need at least one bootstrap endpoint")
+        self._started = True
+        self._deadline = self._scheduler.now + self.config.duration
+        for endpoint in bootstrap:
+            self._note_sighting(endpoint.ip, endpoint.port, force=True)
+        self._scheduler.every(
+            self.config.tick_interval, self._tick, until=self._deadline
+        )
+        self._scheduler.every(
+            self.config.reping_interval,
+            self._ping_round,
+            start_after=self.config.reping_interval,
+            until=self._deadline,
+        )
+        if self.config.rewalk_interval > 0:
+            self._scheduler.every(
+                self.config.rewalk_interval,
+                self._rewalk,
+                start_after=self.config.rewalk_interval,
+                until=self._deadline,
+            )
+
+    @property
+    def discovered_ips(self) -> int:
+        """Unique IP addresses seen so far."""
+        return len(self._ports)
+
+    def discovered_addresses(self) -> Set[int]:
+        """The unique addresses sighted (the paper's "48.7M unique IP
+        addresses that use BitTorrent")."""
+        return set(self._ports)
+
+    @property
+    def multiport_ips(self) -> Set[int]:
+        """IPs observed with ≥ ``multiport_threshold`` distinct ports."""
+        return set(self._multiport)
+
+    def ports_of(self, ip: int) -> Set[int]:
+        """Every port ever sighted for ``ip``."""
+        return set(self._ports.get(ip, ()))
+
+    # -- discovery bookkeeping -----------------------------------------
+
+    def _allowed(self, ip: int) -> bool:
+        space = self.config.allowed_space
+        return space is None or space.contains_ip(ip)
+
+    def _note_sighting(self, ip: int, port: int, *, force: bool = False) -> None:
+        """Record an (ip, port) sighting from get_nodes payloads."""
+        if not force and not self._allowed(ip):
+            return
+        ports = self._ports.get(ip)
+        if ports is None:
+            ports = set()
+            self._ports[ip] = ports
+            self.stats.unique_ips += 1
+        before = len(ports)
+        ports.add(port)
+        if len(ports) > before and ip not in self._queued:
+            # New IP, or a fresh port on a known IP: (re-)queue it for
+            # get_nodes in discovery order, and reset the attempt budget
+            # (the new port deserves its own loss-recovery retries).
+            self._queue.append(ip)
+            self._queued.add(ip)
+            self._attempts[ip] = 0
+        if (
+            len(ports) >= self.config.multiport_threshold
+            and before < self.config.multiport_threshold
+        ):
+            self._multiport.add(ip)
+
+    # -- sending -------------------------------------------------------
+
+    def _send_get_nodes(self, ip: int) -> None:
+        """Contact every known port of ``ip`` with get_nodes."""
+        now = self._scheduler.now
+        target = bytes(
+            self._rng.getrandbits(8) for _ in range(NODE_ID_BYTES)
+        )
+        sender_id = bytes(16) + b"crwl"  # stable, recognisable crawler id
+        for port in sorted(self._ports.get(ip, ())):
+            txn = self._txns.next()
+            self._outstanding[txn] = QUERY_GET_NODES
+            query = GetNodesQuery(txn, sender_id, target)
+            self._socket.send(Endpoint(ip, port), encode_message(query))
+            self.log.append(
+                SentRecord(now, QUERY_GET_NODES, ip, port, txn.hex())
+            )
+            self.stats.get_nodes_sent += 1
+        self._last_contact[ip] = now
+
+    def _send_pings(self, ip: int) -> None:
+        """bt_ping every known port of ``ip`` (one verification round)."""
+        now = self._scheduler.now
+        sender_id = bytes(16) + b"crwl"
+        for port in sorted(self._ports.get(ip, ())):
+            txn = self._txns.next()
+            self._outstanding[txn] = QUERY_PING
+            query = PingQuery(txn, sender_id)
+            self._socket.send(Endpoint(ip, port), encode_message(query))
+            self.log.append(SentRecord(now, QUERY_PING, ip, port, txn.hex()))
+            self.stats.pings_sent += 1
+        self._last_contact[ip] = now
+
+    def _cooled_down(self, ip: int) -> bool:
+        last = self._last_contact.get(ip)
+        if last is None:
+            return True
+        wait = (
+            self.config.contact_cooldown
+            if ip in self._responded
+            else self.config.retry_interval
+        )
+        return self._scheduler.now - last >= wait
+
+    def _tick(self) -> None:
+        """Pacing tick: contact up to ``queries_per_tick`` queued IPs."""
+        budget = self.config.queries_per_tick
+        deferred: List[int] = []
+        while budget > 0 and self._queue:
+            ip = self._queue.popleft()
+            if not self._cooled_down(ip):
+                deferred.append(ip)
+                continue
+            self._queued.discard(ip)
+            self._contacted.add(ip)
+            self._attempts[ip] = self._attempts.get(ip, 0) + 1
+            self._awaiting.add(ip)
+            self._send_get_nodes(ip)
+            budget -= 1
+        # IPs still cooling down go to the back of the queue.
+        self._queue.extend(deferred)
+        # Loss recovery: unanswered IPs get re-queued once their
+        # cooldown expires, up to the attempt budget.
+        for ip in list(self._awaiting):
+            if ip in self._responded:
+                self._awaiting.discard(ip)
+                continue
+            if not self._cooled_down(ip):
+                continue
+            self._awaiting.discard(ip)
+            if (
+                self._attempts.get(ip, 0) < self.config.max_get_nodes_attempts
+                and ip not in self._queued
+            ):
+                self._queue.append(ip)
+                self._queued.add(ip)
+
+    def _rewalk(self) -> None:
+        """Re-queue every previously-responsive IP for get_nodes: the
+        steady-state behaviour of a continuously running crawler."""
+        for ip in self._responded:
+            if ip not in self._queued:
+                self._queue.append(ip)
+                self._queued.add(ip)
+                self._attempts[ip] = 0
+
+    def _ping_round(self) -> None:
+        """Hourly verification: ping all ports of multi-port IPs."""
+        for ip in sorted(self._multiport):
+            if self._cooled_down(ip):
+                self._send_pings(ip)
+
+    # -- receiving -----------------------------------------------------
+
+    def _handle(self, datagram: Datagram) -> None:
+        try:
+            message = decode_message(datagram.payload)
+        except KrpcError:
+            self.stats.malformed += 1
+            return
+        now = self._scheduler.now
+        src = datagram.src
+        if isinstance(message, PingResponse):
+            if self._outstanding.pop(message.txn, None) != QUERY_PING:
+                return  # unsolicited or duplicate
+            node_hex = message.responder_id.hex()
+            self._node_ids.add(node_hex)
+            self.stats.unique_node_ids = len(self._node_ids)
+            self.stats.ping_responses += 1
+            self._responded.add(src.ip)
+            self.log.append(
+                ReceivedRecord(
+                    now,
+                    QUERY_PING,
+                    src.ip,
+                    src.port,
+                    node_hex,
+                    message.txn.hex(),
+                    message.version.hex() if message.version else None,
+                )
+            )
+        elif isinstance(message, GetNodesResponse):
+            if self._outstanding.pop(message.txn, None) != QUERY_GET_NODES:
+                return
+            node_hex = message.responder_id.hex()
+            self._node_ids.add(node_hex)
+            self.stats.unique_node_ids = len(self._node_ids)
+            self.stats.get_nodes_received += 1
+            self._responded.add(src.ip)
+            self.log.append(
+                ReceivedRecord(
+                    now,
+                    QUERY_GET_NODES,
+                    src.ip,
+                    src.port,
+                    node_hex,
+                    message.txn.hex(),
+                    message.version.hex() if message.version else None,
+                )
+            )
+            # The responder itself is a sighting (it may answer from a
+            # port we had not seen), as is every contact it returned.
+            self._note_sighting(src.ip, src.port)
+            for contact in message.nodes:
+                self._note_sighting(contact.ip, contact.port)
+        # Queries and errors directed at the crawler are ignored.

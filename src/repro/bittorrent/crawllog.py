@@ -1,0 +1,171 @@
+"""Crawl log records and JSONL (de)serialisation.
+
+The paper: "The crawler logs all the messages (bt_ping or get_nodes)
+sent and all the messages received with the timestamps, which are then
+processed to determine NATed addresses." Detection (repro.natdetect) is
+a pure function over these records, so a crawl can be stored, shared,
+and re-analysed — the property that makes the technique replicable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+__all__ = [
+    "QUERY_PING",
+    "QUERY_GET_NODES",
+    "SentRecord",
+    "ReceivedRecord",
+    "CrawlRecord",
+    "CrawlLog",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+QUERY_PING = "bt_ping"
+QUERY_GET_NODES = "get_nodes"
+_KINDS = (QUERY_PING, QUERY_GET_NODES)
+
+
+@dataclass(frozen=True)
+class SentRecord:
+    """A query the crawler sent."""
+
+    time: float
+    kind: str
+    dst_ip: int
+    dst_port: int
+    txn: str  # hex
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ReceivedRecord:
+    """A response the crawler received."""
+
+    time: float
+    kind: str
+    src_ip: int
+    src_port: int
+    node_id: str  # hex
+    txn: str  # hex
+    version: Optional[str] = None  # hex or None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown response kind {self.kind!r}")
+
+
+CrawlRecord = Union[SentRecord, ReceivedRecord]
+
+
+class CrawlLog:
+    """In-memory, append-only crawl log."""
+
+    def __init__(self) -> None:
+        self._records: List[CrawlRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CrawlRecord]:
+        return iter(self._records)
+
+    def append(self, record: CrawlRecord) -> None:
+        """Append one record (records arrive in time order)."""
+        self._records.append(record)
+
+    def sent(self) -> Iterator[SentRecord]:
+        """All sent-query records."""
+        return (r for r in self._records if isinstance(r, SentRecord))
+
+    def received(self) -> Iterator[ReceivedRecord]:
+        """All received-response records."""
+        return (r for r in self._records if isinstance(r, ReceivedRecord))
+
+    def response_rate(self, kind: Optional[str] = None) -> float:
+        """Responses/queries ratio (the paper reports 48.6% for pings)."""
+        sent = sum(1 for r in self.sent() if kind is None or r.kind == kind)
+        got = sum(
+            1 for r in self.received() if kind is None or r.kind == kind
+        )
+        return got / sent if sent else 0.0
+
+
+def _to_json(record: CrawlRecord) -> dict:
+    if isinstance(record, SentRecord):
+        return {
+            "dir": "sent",
+            "t": record.time,
+            "kind": record.kind,
+            "ip": record.dst_ip,
+            "port": record.dst_port,
+            "txn": record.txn,
+        }
+    return {
+        "dir": "recv",
+        "t": record.time,
+        "kind": record.kind,
+        "ip": record.src_ip,
+        "port": record.src_port,
+        "id": record.node_id,
+        "txn": record.txn,
+        "v": record.version,
+    }
+
+
+def _from_json(obj: dict) -> CrawlRecord:
+    direction = obj.get("dir")
+    if direction == "sent":
+        return SentRecord(
+            time=float(obj["t"]),
+            kind=obj["kind"],
+            dst_ip=int(obj["ip"]),
+            dst_port=int(obj["port"]),
+            txn=obj["txn"],
+        )
+    if direction == "recv":
+        return ReceivedRecord(
+            time=float(obj["t"]),
+            kind=obj["kind"],
+            src_ip=int(obj["ip"]),
+            src_port=int(obj["port"]),
+            node_id=obj["id"],
+            txn=obj["txn"],
+            version=obj.get("v"),
+        )
+    raise ValueError(f"unknown record direction {direction!r}")
+
+
+def write_jsonl(records: Iterable[CrawlRecord], path: Union[str, Path]) -> int:
+    """Write records as JSON Lines; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(_to_json(record), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> CrawlLog:
+    """Load a crawl log previously written with :func:`write_jsonl`."""
+    log = CrawlLog()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                log.append(_from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad crawl record: {exc}"
+                ) from exc
+    return log

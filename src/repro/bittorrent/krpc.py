@@ -1,0 +1,437 @@
+"""KRPC: the DHT's RPC layer (BEP 5) over bencoded UDP datagrams.
+
+Implements the full BEP 5 query set. The two the paper's crawler uses:
+
+* ``bt_ping``   — the DHT ``ping`` query; the reply carries the
+  responder's ``node_id`` (and client version), which is how the
+  crawler counts distinct simultaneous users behind one IP.
+* ``get_nodes`` — the DHT ``find_node`` query; the reply carries up to
+  eight neighbours in compact ``(node_id, ip, port)`` form, which is
+  how the crawler walks the network.
+
+Plus the content-lookup pair any real DHT node must answer (and the
+simulated peers do): ``get_peers`` (with BEP 5 announce tokens; see
+:mod:`repro.bittorrent.tokens`) and ``announce_peer``.
+
+Every message round-trips through real bencode bytes: the simulated
+peers and the crawler agree only on the wire format, exactly like a
+live deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..net.ipv4 import is_valid_ip_int
+from ..net.ports import is_valid_port
+from .bencode import BencodeError, bdecode, bencode
+from .nodeid import NODE_ID_BYTES
+
+__all__ = [
+    "KrpcError",
+    "NodeInfo",
+    "PingQuery",
+    "GetNodesQuery",
+    "GetPeersQuery",
+    "AnnouncePeerQuery",
+    "PingResponse",
+    "GetNodesResponse",
+    "GetPeersResponse",
+    "PeerEndpoint",
+    "ErrorMessage",
+    "pack_peers",
+    "unpack_peers",
+    "KrpcMessage",
+    "encode_message",
+    "decode_message",
+    "TransactionCounter",
+    "pack_nodes",
+    "unpack_nodes",
+    "ERROR_GENERIC",
+    "ERROR_SERVER",
+    "ERROR_PROTOCOL",
+    "ERROR_METHOD_UNKNOWN",
+]
+
+ERROR_GENERIC = 201
+ERROR_SERVER = 202
+ERROR_PROTOCOL = 203
+ERROR_METHOD_UNKNOWN = 204
+
+_COMPACT_NODE_BYTES = NODE_ID_BYTES + 6
+
+
+class KrpcError(ValueError):
+    """Raised when a datagram is not a well-formed KRPC message."""
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One contact in compact node format: id + public endpoint."""
+
+    node_id: bytes
+    ip: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if len(self.node_id) != NODE_ID_BYTES:
+            raise ValueError("node id must be 20 bytes")
+        if not is_valid_ip_int(self.ip):
+            raise ValueError(f"bad address integer: {self.ip!r}")
+        if not is_valid_port(self.port):
+            raise ValueError(f"bad port: {self.port!r}")
+
+
+def pack_nodes(nodes: Sequence[NodeInfo]) -> bytes:
+    """Serialise contacts to BEP 5 compact form (26 bytes each)."""
+    chunks: List[bytes] = []
+    for node in nodes:
+        chunks.append(node.node_id)
+        chunks.append(node.ip.to_bytes(4, "big"))
+        chunks.append(node.port.to_bytes(2, "big"))
+    return b"".join(chunks)
+
+
+def unpack_nodes(blob: bytes) -> List[NodeInfo]:
+    """Parse compact node info; length must be a multiple of 26."""
+    if len(blob) % _COMPACT_NODE_BYTES:
+        raise KrpcError(
+            f"compact nodes blob of {len(blob)} bytes is not a multiple "
+            f"of {_COMPACT_NODE_BYTES}"
+        )
+    nodes: List[NodeInfo] = []
+    for start in range(0, len(blob), _COMPACT_NODE_BYTES):
+        chunk = blob[start : start + _COMPACT_NODE_BYTES]
+        node_id = chunk[:NODE_ID_BYTES]
+        ip = int.from_bytes(chunk[NODE_ID_BYTES : NODE_ID_BYTES + 4], "big")
+        port = int.from_bytes(chunk[NODE_ID_BYTES + 4 :], "big")
+        if port == 0:
+            raise KrpcError("zero port in compact node info")
+        nodes.append(NodeInfo(node_id, ip, port))
+    return nodes
+
+
+@dataclass(frozen=True)
+class PingQuery:
+    """``ping`` query (the paper's *bt_ping*)."""
+
+    txn: bytes
+    sender_id: bytes
+
+
+@dataclass(frozen=True)
+class GetNodesQuery:
+    """``find_node`` query (the paper's *get_nodes*)."""
+
+    txn: bytes
+    sender_id: bytes
+    target: bytes
+
+
+@dataclass(frozen=True)
+class GetPeersQuery:
+    """``get_peers`` query: who has ``info_hash``?"""
+
+    txn: bytes
+    sender_id: bytes
+    info_hash: bytes
+
+
+@dataclass(frozen=True)
+class AnnouncePeerQuery:
+    """``announce_peer`` query: register me as a peer for
+    ``info_hash``. Requires a token from a prior get_peers response."""
+
+    txn: bytes
+    sender_id: bytes
+    info_hash: bytes
+    port: int
+    token: bytes
+
+
+@dataclass(frozen=True)
+class PingResponse:
+    """Reply to ping: responder's id (plus optional client version)."""
+
+    txn: bytes
+    responder_id: bytes
+    version: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class GetNodesResponse:
+    """Reply to find_node: responder's id and its closest contacts."""
+
+    txn: bytes
+    responder_id: bytes
+    nodes: Tuple[NodeInfo, ...]
+    version: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class GetPeersResponse:
+    """Reply to get_peers: a token plus either known peers (values)
+    or the closest contacts (nodes)."""
+
+    txn: bytes
+    responder_id: bytes
+    token: bytes
+    values: Tuple["PeerEndpoint", ...] = ()
+    nodes: Tuple[NodeInfo, ...] = ()
+    version: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class PeerEndpoint:
+    """A peer in compact 6-byte form: (ip, port)."""
+
+    ip: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if not is_valid_ip_int(self.ip):
+            raise ValueError(f"bad peer address: {self.ip!r}")
+        if not is_valid_port(self.port):
+            raise ValueError(f"bad peer port: {self.port!r}")
+
+
+def pack_peers(peers: Sequence["PeerEndpoint"]) -> List[bytes]:
+    """Compact peer entries (one 6-byte string per peer)."""
+    return [
+        peer.ip.to_bytes(4, "big") + peer.port.to_bytes(2, "big")
+        for peer in peers
+    ]
+
+
+def unpack_peers(blobs: Sequence[bytes]) -> List["PeerEndpoint"]:
+    """Parse compact peer entries."""
+    peers: List[PeerEndpoint] = []
+    for blob in blobs:
+        if not isinstance(blob, bytes) or len(blob) != 6:
+            raise KrpcError(f"bad compact peer entry {blob!r}")
+        ip = int.from_bytes(blob[:4], "big")
+        port = int.from_bytes(blob[4:], "big")
+        if port == 0:
+            raise KrpcError("zero port in compact peer entry")
+        peers.append(PeerEndpoint(ip, port))
+    return peers
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    """KRPC error (``y`` = ``e``)."""
+
+    txn: bytes
+    code: int
+    message: str
+
+
+KrpcMessage = Union[
+    PingQuery,
+    GetNodesQuery,
+    GetPeersQuery,
+    AnnouncePeerQuery,
+    PingResponse,
+    GetNodesResponse,
+    GetPeersResponse,
+    ErrorMessage,
+]
+
+
+class TransactionCounter:
+    """Generates compact unique transaction ids for outgoing queries."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next(self) -> bytes:
+        """Return the next transaction id (2+ bytes, big-endian)."""
+        value = next(self._counter)
+        width = max(2, (value.bit_length() + 7) // 8)
+        return value.to_bytes(width, "big")
+
+
+def encode_message(message: KrpcMessage) -> bytes:
+    """Serialise a typed message to bencoded wire bytes."""
+    if isinstance(message, PingQuery):
+        payload = {
+            b"t": message.txn,
+            b"y": b"q",
+            b"q": b"ping",
+            b"a": {b"id": message.sender_id},
+        }
+    elif isinstance(message, GetNodesQuery):
+        payload = {
+            b"t": message.txn,
+            b"y": b"q",
+            b"q": b"find_node",
+            b"a": {b"id": message.sender_id, b"target": message.target},
+        }
+    elif isinstance(message, GetPeersQuery):
+        payload = {
+            b"t": message.txn,
+            b"y": b"q",
+            b"q": b"get_peers",
+            b"a": {b"id": message.sender_id, b"info_hash": message.info_hash},
+        }
+    elif isinstance(message, AnnouncePeerQuery):
+        payload = {
+            b"t": message.txn,
+            b"y": b"q",
+            b"q": b"announce_peer",
+            b"a": {
+                b"id": message.sender_id,
+                b"info_hash": message.info_hash,
+                b"port": message.port,
+                b"token": message.token,
+            },
+        }
+    elif isinstance(message, GetPeersResponse):
+        body = {
+            b"id": message.responder_id,
+            b"token": message.token,
+        }
+        if message.values:
+            body[b"values"] = pack_peers(message.values)
+        if message.nodes:
+            body[b"nodes"] = pack_nodes(message.nodes)
+        payload = {b"t": message.txn, b"y": b"r", b"r": body}
+        if message.version is not None:
+            payload[b"v"] = message.version
+    elif isinstance(message, PingResponse):
+        payload = {
+            b"t": message.txn,
+            b"y": b"r",
+            b"r": {b"id": message.responder_id},
+        }
+        if message.version is not None:
+            payload[b"v"] = message.version
+    elif isinstance(message, GetNodesResponse):
+        payload = {
+            b"t": message.txn,
+            b"y": b"r",
+            b"r": {
+                b"id": message.responder_id,
+                b"nodes": pack_nodes(message.nodes),
+            },
+        }
+        if message.version is not None:
+            payload[b"v"] = message.version
+    elif isinstance(message, ErrorMessage):
+        payload = {
+            b"t": message.txn,
+            b"y": b"e",
+            b"e": [message.code, message.message.encode("utf-8")],
+        }
+    else:
+        raise TypeError(f"not a KRPC message: {type(message).__name__}")
+    return bencode(payload)
+
+
+def decode_message(data: bytes) -> KrpcMessage:
+    """Parse wire bytes into a typed message.
+
+    Raises :class:`KrpcError` on anything malformed; a DHT node on the
+    open internet sees plenty of garbage and must reject it cleanly.
+    """
+    try:
+        root = bdecode(data)
+    except BencodeError as exc:
+        raise KrpcError(f"not bencode: {exc}") from exc
+    if not isinstance(root, dict):
+        raise KrpcError("KRPC root must be a dict")
+    txn = root.get(b"t")
+    if not isinstance(txn, bytes) or not txn:
+        raise KrpcError("missing/invalid transaction id")
+    kind = root.get(b"y")
+    if kind == b"q":
+        return _decode_query(root, txn)
+    if kind == b"r":
+        return _decode_response(root, txn)
+    if kind == b"e":
+        return _decode_error(root, txn)
+    raise KrpcError(f"unknown message kind {kind!r}")
+
+
+def _require_id(args: dict, key: bytes) -> bytes:
+    value = args.get(key)
+    if not isinstance(value, bytes) or len(value) != NODE_ID_BYTES:
+        raise KrpcError(f"missing/invalid {key.decode()} field")
+    return value
+
+
+def _decode_query(root: dict, txn: bytes) -> KrpcMessage:
+    method = root.get(b"q")
+    args = root.get(b"a")
+    if not isinstance(args, dict):
+        raise KrpcError("query without args dict")
+    sender_id = _require_id(args, b"id")
+    if method == b"ping":
+        return PingQuery(txn, sender_id)
+    if method == b"find_node":
+        target = _require_id(args, b"target")
+        return GetNodesQuery(txn, sender_id, target)
+    if method == b"get_peers":
+        info_hash = _require_id(args, b"info_hash")
+        return GetPeersQuery(txn, sender_id, info_hash)
+    if method == b"announce_peer":
+        info_hash = _require_id(args, b"info_hash")
+        port = args.get(b"port")
+        token = args.get(b"token")
+        if not isinstance(port, int) or not is_valid_port(port):
+            raise KrpcError("missing/invalid announce port")
+        if not isinstance(token, bytes) or not token:
+            raise KrpcError("missing/invalid announce token")
+        return AnnouncePeerQuery(txn, sender_id, info_hash, port, token)
+    raise KrpcError(f"unsupported query method {method!r}")
+
+
+def _decode_response(root: dict, txn: bytes) -> KrpcMessage:
+    body = root.get(b"r")
+    if not isinstance(body, dict):
+        raise KrpcError("response without body dict")
+    responder_id = _require_id(body, b"id")
+    version = root.get(b"v")
+    if version is not None and not isinstance(version, bytes):
+        raise KrpcError("version field must be bytes")
+    token = body.get(b"token")
+    if token is not None:
+        # get_peers response: token plus values and/or nodes.
+        if not isinstance(token, bytes):
+            raise KrpcError("token field must be bytes")
+        values_blob = body.get(b"values", [])
+        if not isinstance(values_blob, list):
+            raise KrpcError("values field must be a list")
+        nodes_blob = body.get(b"nodes", b"")
+        if not isinstance(nodes_blob, bytes):
+            raise KrpcError("nodes field must be bytes")
+        return GetPeersResponse(
+            txn,
+            responder_id,
+            token,
+            tuple(unpack_peers(values_blob)),
+            tuple(unpack_nodes(nodes_blob)),
+            version,
+        )
+    nodes_blob = body.get(b"nodes")
+    if nodes_blob is None:
+        return PingResponse(txn, responder_id, version)
+    if not isinstance(nodes_blob, bytes):
+        raise KrpcError("nodes field must be bytes")
+    return GetNodesResponse(
+        txn, responder_id, tuple(unpack_nodes(nodes_blob)), version
+    )
+
+
+def _decode_error(root: dict, txn: bytes) -> ErrorMessage:
+    body = root.get(b"e")
+    if (
+        not isinstance(body, list)
+        or len(body) != 2
+        or not isinstance(body[0], int)
+        or not isinstance(body[1], bytes)
+    ):
+        raise KrpcError("error body must be [code, message]")
+    return ErrorMessage(txn, body[0], body[1].decode("utf-8", "replace"))

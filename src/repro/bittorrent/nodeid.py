@@ -1,0 +1,69 @@
+"""160-bit DHT node identifiers.
+
+Per the paper (Section 3.1): "Every user generates its own unique
+160-bit node_id that is obtained by hashing the (possibly private) IP
+address of the user and a random number", and ids are regenerated on
+reboot — which is precisely why the crawler refuses to use node_ids to
+distinguish users and relies on simultaneous port liveness instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from ..net.ipv4 import int_to_ip, is_valid_ip_int
+
+__all__ = [
+    "NODE_ID_BYTES",
+    "generate_node_id",
+    "node_id_hex",
+    "xor_distance",
+    "common_prefix_bits",
+]
+
+#: Width of a DHT node identifier.
+NODE_ID_BYTES = 20
+
+
+def generate_node_id(private_ip: int, rng: random.Random) -> bytes:
+    """Generate a node id the way the paper describes: SHA-1 over the
+    client's (possibly private) IP address and a random number.
+
+    Each call draws a fresh random number, so calling again for the same
+    host models a reboot (new id, same address).
+    """
+    if not is_valid_ip_int(private_ip):
+        raise ValueError(f"bad address integer: {private_ip!r}")
+    nonce = rng.getrandbits(64)
+    material = f"{int_to_ip(private_ip)}|{nonce}".encode("ascii")
+    return hashlib.sha1(material).digest()
+
+
+def node_id_hex(node_id: bytes) -> str:
+    """Render a node id for logs."""
+    _check(node_id)
+    return node_id.hex()
+
+
+def xor_distance(a: bytes, b: bytes) -> int:
+    """Kademlia XOR metric between two node ids."""
+    _check(a)
+    _check(b)
+    return int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+
+
+def common_prefix_bits(a: bytes, b: bytes) -> int:
+    """Number of leading bits shared by ``a`` and ``b`` (the k-bucket
+    index in a routing table centred on ``a``)."""
+    distance = xor_distance(a, b)
+    if distance == 0:
+        return NODE_ID_BYTES * 8
+    return NODE_ID_BYTES * 8 - distance.bit_length()
+
+
+def _check(node_id: bytes) -> None:
+    if not isinstance(node_id, bytes) or len(node_id) != NODE_ID_BYTES:
+        raise ValueError(
+            f"node id must be {NODE_ID_BYTES} bytes, got {node_id!r}"
+        )

@@ -1,0 +1,99 @@
+"""Kademlia k-bucket routing table.
+
+Simulated peers answer get_nodes from a real routing table, which is
+what makes the crawler's walk (and its encounters with *stale* entries)
+faithful: a bucket can hold a contact whose socket has since closed or
+whose client restarted on another port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .krpc import NodeInfo
+from .nodeid import NODE_ID_BYTES, common_prefix_bits, xor_distance
+
+__all__ = ["BUCKET_SIZE", "RoutingTable"]
+
+#: Standard Kademlia bucket width (and the number of neighbours a new
+#: BitTorrent user learns, per the paper).
+BUCKET_SIZE = 8
+
+
+class RoutingTable:
+    """Fixed-depth k-bucket table centred on ``own_id``.
+
+    Buckets are indexed by shared-prefix length. Insertion follows the
+    classic policy: update an existing contact in place, append when the
+    bucket has room, otherwise drop the newcomer (peers here do not
+    evict via liveness checks; churned entries simply go stale — the
+    exact behaviour the crawler must cope with).
+    """
+
+    def __init__(self, own_id: bytes, bucket_size: int = BUCKET_SIZE) -> None:
+        if len(own_id) != NODE_ID_BYTES:
+            raise ValueError("own id must be 20 bytes")
+        if bucket_size <= 0:
+            raise ValueError(f"bucket size must be positive: {bucket_size}")
+        self.own_id = own_id
+        self.bucket_size = bucket_size
+        self._buckets: Dict[int, List[NodeInfo]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __iter__(self) -> Iterator[NodeInfo]:
+        for index in sorted(self._buckets):
+            yield from self._buckets[index]
+
+    def insert(self, contact: NodeInfo) -> bool:
+        """Offer ``contact`` to the table. Returns True when stored
+        (inserted or refreshed), False when the bucket was full."""
+        if contact.node_id == self.own_id:
+            return False
+        index = common_prefix_bits(self.own_id, contact.node_id)
+        bucket = self._buckets.setdefault(index, [])
+        for position, existing in enumerate(bucket):
+            if existing.node_id == contact.node_id:
+                bucket[position] = contact
+                return True
+        if len(bucket) < self.bucket_size:
+            bucket.append(contact)
+            return True
+        return False
+
+    def remove(self, node_id: bytes) -> bool:
+        """Drop the contact with ``node_id``; True when it was present."""
+        index = common_prefix_bits(self.own_id, node_id)
+        bucket = self._buckets.get(index)
+        if not bucket:
+            return False
+        for position, existing in enumerate(bucket):
+            if existing.node_id == node_id:
+                del bucket[position]
+                return True
+        return False
+
+    def closest(self, target: bytes, count: int = BUCKET_SIZE) -> List[NodeInfo]:
+        """The ``count`` contacts closest to ``target`` by XOR metric —
+        the payload of a get_nodes response."""
+        if len(target) != NODE_ID_BYTES:
+            raise ValueError("target must be 20 bytes")
+        contacts = list(self)
+        contacts.sort(key=lambda node: xor_distance(node.node_id, target))
+        return contacts[:count]
+
+    def random_contacts(self, rng, count: int) -> List[NodeInfo]:
+        """A random sample of contacts (peer gossip)."""
+        contacts = list(self)
+        if len(contacts) <= count:
+            return contacts
+        return rng.sample(contacts, count)
+
+    def contains(self, node_id: bytes) -> bool:
+        """True when a contact with ``node_id`` is stored."""
+        index = common_prefix_bits(self.own_id, node_id)
+        return any(
+            existing.node_id == node_id
+            for existing in self._buckets.get(index, [])
+        )

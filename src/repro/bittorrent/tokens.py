@@ -1,0 +1,67 @@
+"""BEP 5 announce tokens.
+
+A DHT node must not let arbitrary parties register peers for arbitrary
+info-hashes: ``get_peers`` responses carry an opaque *token* bound to
+the requester's IP, and ``announce_peer`` is only accepted with a
+token the node recently issued to that IP. Tokens are an HMAC-style
+hash of a rotating secret and the requester address; the previous
+secret stays valid for one rotation period (a requester may announce
+up to ~10 minutes after asking).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from ..net.ipv4 import int_to_ip, is_valid_ip_int
+
+__all__ = ["TOKEN_ROTATION_SECONDS", "TokenManager"]
+
+#: BEP 5 suggests tokens stay acceptable for up to ten minutes.
+TOKEN_ROTATION_SECONDS = 300.0
+
+
+class TokenManager:
+    """Issues and validates announce tokens for one node."""
+
+    def __init__(
+        self,
+        node_secret: bytes,
+        *,
+        rotation_seconds: float = TOKEN_ROTATION_SECONDS,
+    ) -> None:
+        if not node_secret:
+            raise ValueError("node secret must be non-empty")
+        if rotation_seconds <= 0:
+            raise ValueError("rotation period must be positive")
+        self._secret = node_secret
+        self._rotation = rotation_seconds
+
+    def _epoch(self, now: float) -> int:
+        return int(now // self._rotation)
+
+    def _token_for_epoch(self, ip: int, epoch: int) -> bytes:
+        material = b"%s|%d|%s" % (
+            self._secret,
+            epoch,
+            int_to_ip(ip).encode("ascii"),
+        )
+        return hashlib.sha1(material).digest()[:8]
+
+    def issue(self, ip: int, now: float) -> bytes:
+        """Token for requester ``ip`` at time ``now``."""
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad requester address: {ip!r}")
+        return self._token_for_epoch(ip, self._epoch(now))
+
+    def validate(self, ip: int, token: bytes, now: float) -> bool:
+        """True when ``token`` was issued to ``ip`` in the current or
+        previous rotation period."""
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad requester address: {ip!r}")
+        epoch = self._epoch(now)
+        candidates: List[bytes] = [self._token_for_epoch(ip, epoch)]
+        if epoch > 0:
+            candidates.append(self._token_for_epoch(ip, epoch - 1))
+        return token in candidates

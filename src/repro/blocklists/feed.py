@@ -1,0 +1,89 @@
+"""Synthetic feed generation: abuse events → listing intervals.
+
+Models how a real blocklist behaves as an observer of the abuse stream:
+
+* it only reacts to categories it monitors;
+* it samples — a feed sees a fraction (``sensitivity``) of in-category
+  events on any given day;
+* it lists with a small reporting lag;
+* it delists ``removal_ttl_days`` after the *last* event it observed
+  (which is why dynamic addresses fall off lists quickly: the abuser
+  moves to a new address and the old one goes quiet).
+
+The output is a :class:`~repro.blocklists.timeline.ListingStore`;
+daily snapshot documents can be materialised on demand.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..internet.abuse import AbuseEvent
+from ..net.ipv4 import Prefix
+from .catalog import BlocklistInfo
+from .formats import serialize_feed
+from .timeline import Listing, ListingStore
+
+__all__ = ["generate_listings", "materialize_snapshot"]
+
+
+def generate_listings(
+    events: Sequence[AbuseEvent],
+    catalog: Sequence[BlocklistInfo],
+    rng: random.Random,
+    *,
+    horizon_days: float,
+) -> ListingStore:
+    """Run every list in ``catalog`` over the abuse event stream."""
+    store = ListingStore()
+    events_by_category: Dict[str, List[AbuseEvent]] = {}
+    for event in events:
+        events_by_category.setdefault(event.category, []).append(event)
+    for info in catalog:
+        observed_days: Dict[int, List[int]] = {}
+        for category in info.categories:
+            for event in events_by_category.get(category, ()):
+                if rng.random() < info.sensitivity:
+                    observed_days.setdefault(event.ip, []).append(
+                        event.day + info.report_lag_days
+                    )
+        for ip, days in observed_days.items():
+            for listing in _merge_observations(
+                info, ip, days, horizon_days
+            ):
+                store.add(listing)
+    return store
+
+
+def _merge_observations(
+    info: BlocklistInfo, ip: int, days: List[int], horizon_days: float
+) -> Iterable[Listing]:
+    """Collapse observed event days into listing intervals.
+
+    A listing opens at the first observation and closes
+    ``removal_ttl_days`` after the most recent one; a quiet gap longer
+    than the TTL splits the presence into separate listings
+    (delist-then-relist).
+    """
+    days = sorted(set(days))
+    ttl = int(info.removal_ttl_days)
+    start = days[0]
+    last = days[0]
+    for day in days[1:]:
+        if day - last > ttl:
+            yield Listing(
+                info.list_id, ip, start, min(last + ttl, int(horizon_days))
+            )
+            start = day
+        last = day
+    yield Listing(info.list_id, ip, start, min(last + ttl, int(horizon_days)))
+
+
+def materialize_snapshot(
+    info: BlocklistInfo, store: ListingStore, day: int
+) -> str:
+    """Render one list's daily snapshot as its published feed document
+    (the artefact a BLAG-style collector downloads)."""
+    entries = [Prefix(ip, 32) for ip in store.snapshot(info.list_id, day)]
+    return serialize_feed(info.fmt, entries, list_name=info.name, day=day)

@@ -1,0 +1,122 @@
+"""Blocklist feed file formats.
+
+Real public feeds come in several shapes; the BLAG collector had to
+parse all of them. We implement the three that cover the corpus:
+
+* ``plain`` — one address per line, ``#`` comments, blank lines;
+* ``cidr``  — addresses and/or CIDR blocks per line;
+* ``csv``   — ``ip,category,last_seen`` rows with a header.
+
+Parsers are tolerant of the junk real feeds contain (comments,
+whitespace, stray blank lines) but raise on lines that are neither
+junk nor parseable — silently skipping malformed entries is how
+collectors end up with holes nobody notices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..net.ipv4 import Prefix, int_to_ip, parse_ip_or_prefix
+
+__all__ = [
+    "FORMATS",
+    "serialize_feed",
+    "parse_feed",
+    "FeedFormatError",
+]
+
+FORMATS = ("plain", "cidr", "csv")
+
+
+class FeedFormatError(ValueError):
+    """Raised when a feed document cannot be parsed."""
+
+
+def serialize_feed(
+    fmt: str,
+    entries: Sequence[Prefix],
+    *,
+    list_name: str = "",
+    day: int = 0,
+) -> str:
+    """Render ``entries`` as a feed document in ``fmt``."""
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown feed format {fmt!r}")
+    ordered = sorted(entries, key=lambda p: (p.network, p.length))
+    lines: List[str] = []
+    if fmt == "plain":
+        lines.append(f"# {list_name} snapshot day={day}")
+        lines.append(f"# {len(ordered)} entries")
+        for prefix in ordered:
+            if prefix.length != 32:
+                raise ValueError(
+                    f"plain format cannot express {prefix} (not a /32)"
+                )
+            lines.append(int_to_ip(prefix.network))
+    elif fmt == "cidr":
+        lines.append(f"; {list_name} snapshot day={day}")
+        for prefix in ordered:
+            if prefix.length == 32:
+                lines.append(int_to_ip(prefix.network))
+            else:
+                lines.append(str(prefix))
+    else:  # csv
+        lines.append("ip,category,last_seen")
+        for prefix in ordered:
+            if prefix.length != 32:
+                raise ValueError(
+                    f"csv format cannot express {prefix} (not a /32)"
+                )
+            lines.append(f"{int_to_ip(prefix.network)},listed,{day}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_feed(fmt: str, document: str) -> List[Prefix]:
+    """Parse a feed document back into prefixes.
+
+    Raises :class:`FeedFormatError` with the offending line number on
+    malformed input.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown feed format {fmt!r}")
+    if fmt == "csv":
+        return _parse_csv(document)
+    return _parse_linewise(document)
+
+
+def _parse_linewise(document: str) -> List[Prefix]:
+    entries: List[Prefix] = []
+    for line_number, raw in enumerate(document.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith(";"):
+            continue
+        # Some feeds append inline comments after the address.
+        token = line.split()[0].split("#")[0].split(";")[0]
+        try:
+            entries.append(parse_ip_or_prefix(token))
+        except ValueError as exc:
+            raise FeedFormatError(
+                f"line {line_number}: {exc}"
+            ) from exc
+    return entries
+
+
+def _parse_csv(document: str) -> List[Prefix]:
+    lines = document.splitlines()
+    if not lines:
+        return []
+    start = 1 if lines and lines[0].lower().startswith("ip,") else 0
+    entries: List[Prefix] = []
+    for line_number, raw in enumerate(lines[start:], start=start + 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 1 or not fields[0]:
+            raise FeedFormatError(f"line {line_number}: empty ip field")
+        try:
+            entries.append(parse_ip_or_prefix(fields[0]))
+        except ValueError as exc:
+            raise FeedFormatError(f"line {line_number}: {exc}") from exc
+    return entries

@@ -1,0 +1,224 @@
+"""Command-line entry point: ``repro-blocklist-reuse`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run``      — full reproduction; prints the headline table and
+  optionally writes the greylist and crawl/Atlas logs.
+* ``figures``  — regenerate every figure/table artefact into a
+  directory (what the benchmark suite does, without pytest).
+* ``survey``   — print Table 1 and Figure 9.
+* ``catalog``  — print Table 2 (the 151-blocklist catalog).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.tables import render_table
+from .blocklists.catalog import catalog_by_maintainer
+from .core.asreport import render_as_report
+from .core.greylist import build_greylist, render_greylist
+from .experiments.runner import RunConfig, run_full
+from .survey.analyze import figure9_usage, render_table1, summarize
+from .survey.generate import generate_responses
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-blocklist-reuse",
+        description=(
+            "Reproduction of 'Quantifying the Impact of Blocklisting in "
+            "the Age of Address Reuse' (IMC 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run the full measurement study")
+    run_p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="small",
+        help=(
+            "scenario scale (small: ~1 s; default: ~15 s; "
+            "large: ~1 min)"
+        ),
+    )
+    run_p.add_argument("--seed", type=int, default=2020)
+    run_p.add_argument(
+        "--greylist",
+        metavar="PATH",
+        help="write the reused-address greylist here",
+    )
+    run_p.add_argument(
+        "--export-dir",
+        metavar="DIR",
+        help=(
+            "write the full artefact bundle (greylist, AS/window "
+            "reports, crawl + Atlas logs, serialized world) here"
+        ),
+    )
+
+    fig_p = sub.add_parser(
+        "figures", help="regenerate every table/figure artefact"
+    )
+    fig_p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="small",
+    )
+    fig_p.add_argument("--seed", type=int, default=2020)
+
+    survey_p = sub.add_parser("survey", help="print Table 1 and Figure 9")
+    survey_p.add_argument("--seed", type=int, default=2020)
+
+    sub.add_parser("catalog", help="print Table 2")
+    return parser
+
+
+def _make_config(preset: str, seed: int) -> RunConfig:
+    if preset == "small":
+        return RunConfig.small(seed)
+    if preset == "large":
+        return RunConfig.large(seed)
+    return RunConfig.default(seed)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    run = run_full(_make_config(args.preset, args.seed))
+    print(run.report.render())
+    print()
+    print(render_as_report(run.analysis, top=5))
+    stats = run.crawl.crawler.stats
+    print()
+    print(
+        f"crawler: {stats.get_nodes_sent} get_nodes / {stats.pings_sent} "
+        f"bt_pings, ping response rate "
+        f"{stats.ping_response_rate():.1%}"
+    )
+    if args.greylist:
+        entries = build_greylist(run.analysis)
+        Path(args.greylist).write_text(
+            render_greylist(entries), encoding="utf-8"
+        )
+        print(f"greylist: {len(entries)} addresses -> {args.greylist}")
+    if args.export_dir:
+        _export_bundle(run, Path(args.export_dir))
+    return 0
+
+
+def _export_bundle(run, out: Path) -> None:
+    """Write the study's complete artefact bundle — the reproduction's
+    counterpart of the address lists the paper publishes."""
+    from .bittorrent.crawllog import write_jsonl as write_crawl
+    from .core.windows import render_window_report
+    from .internet.serialize import save_listings, save_truth
+    from .ripe.connlog import write_jsonl as write_atlas
+
+    out.mkdir(parents=True, exist_ok=True)
+    entries = build_greylist(run.analysis)
+    (out / "greylist.txt").write_text(
+        render_greylist(entries), encoding="utf-8"
+    )
+    (out / "as_report.txt").write_text(
+        render_as_report(run.analysis, top=10) + "\n", encoding="utf-8"
+    )
+    (out / "window_report.txt").write_text(
+        render_window_report(run.analysis) + "\n", encoding="utf-8"
+    )
+    (out / "headline.txt").write_text(
+        run.report.render() + "\n", encoding="utf-8"
+    )
+    write_crawl(run.crawl.merged_log(), out / "crawl_log.jsonl")
+    write_atlas(run.scenario.atlas_log, out / "atlas_log.jsonl")
+    save_truth(run.scenario.truth, out / "world.json")
+    save_listings(run.scenario.listings, out / "listings.jsonl")
+    print(f"artefact bundle -> {out} ({len(list(out.iterdir()))} files)")
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    # The benchmark modules are the single source of truth for figure
+    # rendering; reuse their compute/render logic via pytest.
+    import pytest
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.exists():
+        print(
+            "benchmarks/ directory not found (installed without sources); "
+            "run from a source checkout",
+            file=sys.stderr,
+        )
+        return 2
+    import os
+
+    os.environ["REPRO_BENCH_PRESET"] = args.preset
+    code = pytest.main(
+        ["-q", "--benchmark-disable", str(bench_dir)]
+    )
+    # The bench conftest writes next to the benchmarks directory.
+    print(f"artefacts in {bench_dir.parent / 'results'}")
+    return int(code)
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    import random
+
+    responses = generate_responses(random.Random(args.seed))
+    print(render_table1(summarize(responses)))
+    print()
+    rows = [
+        (name, f"{pct:.0f}%") for name, pct in figure9_usage(responses)
+    ]
+    print(
+        render_table(
+            ["blocklist type", "% of reuse-affected operators"],
+            rows,
+            title="Figure 9",
+        )
+    )
+    return 0
+
+
+def _cmd_catalog(_: argparse.Namespace) -> int:
+    grouped = catalog_by_maintainer()
+    rows = sorted(
+        ((name, len(lists)) for name, lists in grouped.items()),
+        key=lambda kv: (-kv[1], kv[0]),
+    )
+    total = sum(count for _, count in rows)
+    print(
+        render_table(
+            ["maintainer", "# of blocklists"],
+            rows + [("Total", total)],
+            title="Table 2: monitored blocklists",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figures": _cmd_figures,
+        "survey": _cmd_survey,
+        "catalog": _cmd_catalog,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into head/less that exited early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Per-AS reuse profiles (the paper's Section 4 AS discussion).
+
+The paper singles out the most-blocklisted ASes — AS4134 (China
+Telecom Backbone) originates 9% of all listed addresses, of which 3%
+run BitTorrent and 0.4% sit in RIPE prefixes. This module produces
+that table for any analysis: per-AS counts of blocklisted, NATed,
+dynamic and BitTorrent-visible addresses, for operators deciding where
+blocklist-driven filtering will misfire most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.tables import render_table
+from .reuse import ReuseAnalysis
+
+__all__ = ["AsReuseProfile", "per_as_profiles", "render_as_report"]
+
+
+@dataclass(frozen=True)
+class AsReuseProfile:
+    """Reuse statistics of one autonomous system."""
+
+    asn: int
+    name: str
+    blocklisted: int
+    bittorrent: int
+    nated: int
+    dynamic: int
+
+    def reused(self) -> int:
+        """Blocklisted reused addresses in this AS."""
+        return self.nated + self.dynamic
+
+    def reuse_share(self) -> float:
+        """Fraction of the AS's blocklisted addresses that are reused —
+        the collateral-damage risk of blocking this AS's listings."""
+        if not self.blocklisted:
+            return 0.0
+        return self.reused() / self.blocklisted
+
+
+def per_as_profiles(
+    analysis: ReuseAnalysis, *, top: Optional[int] = None
+) -> List[AsReuseProfile]:
+    """Profiles for every AS with blocklisted addresses, ordered by
+    descending blocklisted count (``top`` truncates)."""
+    counters = {}
+    for ip in analysis.blocklisted_ips:
+        asn = analysis.asn_of(ip)
+        entry = counters.setdefault(asn, [0, 0, 0, 0])
+        entry[0] += 1
+        if ip in analysis.bittorrent_ips:
+            entry[1] += 1
+        if ip in analysis.nated_blocklisted:
+            entry[2] += 1
+        if ip in analysis.dynamic_blocklisted:
+            entry[3] += 1
+    profiles = []
+    for asn, (blocklisted, bittorrent, nated, dynamic) in counters.items():
+        record = analysis.asdb.get(asn)
+        profiles.append(
+            AsReuseProfile(
+                asn=asn,
+                name=record.name if record else "unrouted",
+                blocklisted=blocklisted,
+                bittorrent=bittorrent,
+                nated=nated,
+                dynamic=dynamic,
+            )
+        )
+    profiles.sort(key=lambda p: (-p.blocklisted, p.asn))
+    return profiles[:top] if top else profiles
+
+
+def render_as_report(
+    analysis: ReuseAnalysis, *, top: int = 10
+) -> str:
+    """The top-N AS table, AS4134-style."""
+    profiles = per_as_profiles(analysis, top=top)
+    total = len(analysis.blocklisted_ips)
+    rows = [
+        (
+            f"AS{p.asn}",
+            p.name,
+            p.blocklisted,
+            f"{p.blocklisted / total:.1%}" if total else "0%",
+            p.bittorrent,
+            p.nated,
+            p.dynamic,
+            f"{p.reuse_share():.1%}",
+        )
+        for p in profiles
+    ]
+    return render_table(
+        ["AS", "name", "listed", "share", "BT", "NATed", "dynamic",
+         "reuse share"],
+        rows,
+        title=f"Top-{top} most-blocklisted ASes and their reuse profile",
+    )

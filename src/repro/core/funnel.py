@@ -1,0 +1,82 @@
+"""The detection funnel (paper Figure 4).
+
+Upper half (BitTorrent): discovered IPs → NATed IPs → NATed and
+blocklisted. Lower half (RIPE): blocklisted addresses in any probe
+prefix → in same-AS probe prefixes → in frequently-changing probe
+prefixes → in daily-changing probe prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from ..net.prefixtrie import PrefixSet
+from .reuse import ReuseAnalysis
+
+__all__ = ["DetectionFunnel", "compute_funnel"]
+
+
+@dataclass
+class DetectionFunnel:
+    """All eight boxes of Figure 4."""
+
+    bittorrent_ips: int
+    nated_ips: int
+    nated_blocklisted: int
+    blocklisted_in_ripe_prefixes: int
+    blocklisted_same_as: int
+    blocklisted_frequent: int
+    blocklisted_daily: int
+    allocation_knee: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat mapping for reports."""
+        return {
+            "bittorrent_ips": self.bittorrent_ips,
+            "nated_ips": self.nated_ips,
+            "nated_blocklisted": self.nated_blocklisted,
+            "blocklisted_in_ripe_prefixes": self.blocklisted_in_ripe_prefixes,
+            "blocklisted_same_as": self.blocklisted_same_as,
+            "blocklisted_frequent": self.blocklisted_frequent,
+            "blocklisted_daily": self.blocklisted_daily,
+            "allocation_knee": self.allocation_knee,
+        }
+
+    def monotone(self) -> bool:
+        """Each stage must shrink (or hold) — a sanity invariant."""
+        return (
+            self.bittorrent_ips >= self.nated_ips >= self.nated_blocklisted
+            and self.blocklisted_in_ripe_prefixes
+            >= self.blocklisted_same_as
+            >= self.blocklisted_frequent
+            >= self.blocklisted_daily
+        )
+
+
+def compute_funnel(analysis: ReuseAnalysis) -> DetectionFunnel:
+    """Evaluate every funnel stage against the blocklisted set."""
+    pipeline = analysis.pipeline
+
+    def blocklisted_within(prefixes) -> int:
+        space = PrefixSet(iter(prefixes))
+        return sum(
+            1 for ip in analysis.blocklisted_ips if space.contains_ip(ip)
+        )
+
+    return DetectionFunnel(
+        bittorrent_ips=len(analysis.bittorrent_ips),
+        nated_ips=len(analysis.nated_ips),
+        nated_blocklisted=len(analysis.nated_blocklisted),
+        blocklisted_in_ripe_prefixes=len(
+            analysis.blocklisted_in_ripe_prefixes()
+        ),
+        blocklisted_same_as=blocklisted_within(
+            pipeline.stage_prefixes(pipeline.same_as_probes)
+        ),
+        blocklisted_frequent=blocklisted_within(
+            pipeline.stage_prefixes(pipeline.frequent_probes)
+        ),
+        blocklisted_daily=blocklisted_within(pipeline.dynamic_prefixes),
+        allocation_knee=pipeline.allocation_knee,
+    )

@@ -1,0 +1,139 @@
+"""Headline report: the paper's abstract/conclusion numbers, paper
+value against measured value, for EXPERIMENTS.md and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import render_comparison
+from .funnel import DetectionFunnel, compute_funnel
+from .impact import (
+    DurationStats,
+    PerListCounts,
+    UserImpactStats,
+    duration_stats,
+    per_list_counts,
+    user_impact_stats,
+)
+from .overlap import OverlapCurves, compute_overlap
+from .reuse import ReuseAnalysis
+
+__all__ = ["HeadlineReport", "build_report"]
+
+#: The paper's published values for the quantities we reproduce.
+PAPER_VALUES: Dict[str, object] = {
+    "pct_lists_with_nated": 60.0,
+    "pct_lists_with_dynamic": 53.0,
+    "nated_listings": 45_100,
+    "dynamic_listings": 30_600,
+    "nated_blocklisted_ips": 29_700,
+    "dynamic_blocklisted_ips": 22_700,
+    "max_users_behind_nat": 78,
+    "max_days_listed": 44,
+    "pct_nated_exactly_two_users": 68.5,
+    "pct_nated_under_ten_users": 97.8,
+    "top10_nated_listing_share": 65.9,
+    "top10_dynamic_listing_share": 72.6,
+    "bt_as_coverage_pct": 29.6,
+    "ripe_as_coverage_pct": 17.1,
+    "allocation_knee": 8,
+    "median_days_all": 9,
+    "median_days_nated": 10,
+    "median_days_dynamic": 3,
+}
+
+
+@dataclass
+class HeadlineReport:
+    """Every evaluation product in one bundle."""
+
+    funnel: DetectionFunnel
+    overlap: OverlapCurves
+    nated_counts: PerListCounts
+    dynamic_counts: PerListCounts
+    durations: DurationStats
+    users: UserImpactStats
+    total_lists: int
+
+    def measured(self) -> Dict[str, object]:
+        """Measured values keyed like :data:`PAPER_VALUES`."""
+        medians = self.durations.medians()
+        max_days = self.durations.max_days()
+        return {
+            "pct_lists_with_nated": round(
+                100.0
+                * self.nated_counts.fraction_of_lists_affected(
+                    self.total_lists
+                ),
+                1,
+            ),
+            "pct_lists_with_dynamic": round(
+                100.0
+                * self.dynamic_counts.fraction_of_lists_affected(
+                    self.total_lists
+                ),
+                1,
+            ),
+            "nated_listings": self.nated_counts.total_listings,
+            "dynamic_listings": self.dynamic_counts.total_listings,
+            "nated_blocklisted_ips": self.funnel.nated_blocklisted,
+            "dynamic_blocklisted_ips": self.funnel.blocklisted_daily,
+            "max_users_behind_nat": self.users.max_users(),
+            "max_days_listed": max(max_days.values()) if max_days else 0,
+            "pct_nated_exactly_two_users": round(
+                100.0 * self.users.fraction_exactly_two(), 1
+            ),
+            "pct_nated_under_ten_users": round(
+                100.0 * self.users.fraction_below_ten(), 1
+            ),
+            "top10_nated_listing_share": round(
+                100.0 * self.nated_counts.top10_listing_share, 1
+            ),
+            "top10_dynamic_listing_share": round(
+                100.0 * self.dynamic_counts.top10_listing_share, 1
+            ),
+            "bt_as_coverage_pct": round(
+                100.0 * self.overlap.bittorrent_as_coverage(), 1
+            ),
+            "ripe_as_coverage_pct": round(
+                100.0 * self.overlap.ripe_as_coverage(), 1
+            ),
+            "allocation_knee": self.funnel.allocation_knee,
+            "median_days_all": medians.get("all", 0),
+            "median_days_nated": medians.get("nated", 0),
+            "median_days_dynamic": medians.get("dynamic", 0),
+        }
+
+    def comparison_rows(self) -> List[Tuple[str, object, object]]:
+        """(quantity, paper, measured) rows in a stable order."""
+        measured = self.measured()
+        return [
+            (key, PAPER_VALUES[key], measured[key]) for key in PAPER_VALUES
+        ]
+
+    def render(self) -> str:
+        """Printable paper-vs-measured block."""
+        return render_comparison(
+            self.comparison_rows(),
+            title="Headline results — paper vs measured (scaled scenario)",
+        )
+
+
+def build_report(
+    analysis: ReuseAnalysis, *, all_list_ids: Sequence[str]
+) -> HeadlineReport:
+    """Evaluate everything once."""
+    return HeadlineReport(
+        funnel=compute_funnel(analysis),
+        overlap=compute_overlap(analysis),
+        nated_counts=per_list_counts(
+            analysis, "nated", all_list_ids=all_list_ids
+        ),
+        dynamic_counts=per_list_counts(
+            analysis, "dynamic", all_list_ids=all_list_ids
+        ),
+        durations=duration_stats(analysis),
+        users=user_impact_stats(analysis),
+        total_lists=len(all_list_ids),
+    )

@@ -1,0 +1,17 @@
+"""Orchestrated experiments: one full run powers every figure/table."""
+
+from .btsetup import CrawlOutcome, CrawlSetup, run_crawl
+from .runner import FullRun, RunConfig, cached_run, run_full
+from .validation import DetectionScore, score_sets
+
+__all__ = [
+    "CrawlOutcome",
+    "CrawlSetup",
+    "run_crawl",
+    "FullRun",
+    "RunConfig",
+    "cached_run",
+    "run_full",
+    "DetectionScore",
+    "score_sets",
+]

@@ -1,0 +1,141 @@
+"""End-to-end reproduction runs.
+
+``run_full`` executes the entire study against one scenario:
+
+1. build the synthetic world (topology, population, abuse, feeds,
+   Atlas logs);
+2. run the BitTorrent crawl campaign and NAT detection;
+3. run the RIPE dynamic-address pipeline;
+4. run the Cai et al. census baseline;
+5. join everything into the reuse analysis and headline report;
+6. generate and tabulate the operator survey.
+
+Runs are cached per preset so the benchmark suite (one bench per
+figure/table) evaluates the expensive pipeline once per scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..baselines.icmp_census import CensusConfig, CensusResult, run_census
+from ..core.report import HeadlineReport, build_report
+from ..core.reuse import ReuseAnalysis
+from ..internet.scenario import Scenario, ScenarioConfig, build_scenario
+from ..natdetect.detector import NatDetectionResult, detect_nated
+from ..ripe.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from ..survey.analyze import SurveySummary, summarize
+from ..survey.generate import generate_responses
+from ..survey.model import SurveyResponse
+from .btsetup import CrawlOutcome, CrawlSetup, run_crawl
+
+__all__ = ["RunConfig", "FullRun", "run_full", "cached_run"]
+
+
+@dataclass
+class RunConfig:
+    """One full reproduction run."""
+
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig.default)
+    crawl: CrawlSetup = field(default_factory=CrawlSetup)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    census: CensusConfig = field(default_factory=CensusConfig)
+
+    @classmethod
+    def small(cls, seed: int = 2020) -> "RunConfig":
+        """Test-scale run (seconds)."""
+        return cls(
+            scenario=ScenarioConfig.small(seed),
+            crawl=CrawlSetup(duration_hours=8.0),
+        )
+
+    @classmethod
+    def default(cls, seed: int = 2020) -> "RunConfig":
+        """Benchmark-scale run."""
+        return cls(scenario=ScenarioConfig.default(seed))
+
+    @classmethod
+    def large(cls, seed: int = 2020) -> "RunConfig":
+        """~4x default scale (minutes)."""
+        return cls(scenario=ScenarioConfig.large(seed))
+
+
+@dataclass
+class FullRun:
+    """All products of one run."""
+
+    config: RunConfig
+    scenario: Scenario
+    crawl: CrawlOutcome
+    nat: NatDetectionResult
+    pipeline: PipelineResult
+    census: CensusResult
+    analysis: ReuseAnalysis
+    report: HeadlineReport
+    survey_responses: List[SurveyResponse]
+    survey_summary: SurveySummary
+
+
+def run_full(config: Optional[RunConfig] = None) -> FullRun:
+    """Execute the whole study for ``config``."""
+    config = config or RunConfig.default()
+    scenario = build_scenario(config.scenario)
+
+    crawl = run_crawl(scenario, config.crawl)
+    nat = detect_nated(crawl.merged_log())
+
+    pipeline = run_pipeline(
+        scenario.atlas_log, scenario.truth.asdb, config.pipeline
+    )
+    census = run_census(
+        scenario.truth, config.census, scenario.hub.stream("census")
+    )
+
+    analysis = ReuseAnalysis(
+        scenario.listings,
+        scenario.windows,
+        nat,
+        pipeline,
+        scenario.truth.asdb,
+        bittorrent_ips=crawl.bittorrent_ips(),
+    )
+    report = build_report(
+        analysis,
+        all_list_ids=[info.list_id for info in scenario.catalog],
+    )
+    survey_responses = generate_responses(scenario.hub.stream("survey"))
+    survey_summary = summarize(survey_responses)
+    return FullRun(
+        config=config,
+        scenario=scenario,
+        crawl=crawl,
+        nat=nat,
+        pipeline=pipeline,
+        census=census,
+        analysis=analysis,
+        report=report,
+        survey_responses=survey_responses,
+        survey_summary=survey_summary,
+    )
+
+
+_CACHE: Dict[str, FullRun] = {}
+
+
+def cached_run(preset: str = "default", seed: int = 2020) -> FullRun:
+    """Run once per (preset, seed) per process; benches share this."""
+    key = f"{preset}:{seed}"
+    run = _CACHE.get(key)
+    if run is None:
+        if preset == "small":
+            config = RunConfig.small(seed)
+        elif preset == "default":
+            config = RunConfig.default(seed)
+        elif preset == "large":
+            config = RunConfig.large(seed)
+        else:
+            raise ValueError(f"unknown preset {preset!r}")
+        run = run_full(config)
+        _CACHE[key] = run
+    return run

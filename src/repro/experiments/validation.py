@@ -1,0 +1,77 @@
+"""Detection-quality scoring against ground truth.
+
+The original study could only argue its techniques are precise; a
+ground-truthed reproduction can *measure* it. These helpers score any
+detector output (sets of addresses or prefixes) against the synthetic
+truth and are used by the ablation benchmarks and the validation
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, TypeVar
+
+__all__ = ["DetectionScore", "score_sets"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Standard binary detection metrics."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def detected(self) -> int:
+        """Total items the detector reported."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def precision(self) -> float:
+        """TP / detected (1.0 for an empty detection — nothing wrong
+        was claimed)."""
+        if self.detected == 0:
+            return 1.0
+        return self.true_positives / self.detected
+
+    @property
+    def recall(self) -> float:
+        """TP / truth (1.0 when there was nothing to find)."""
+        truth = self.true_positives + self.false_negatives
+        if truth == 0:
+            return 1.0
+        return self.true_positives / truth
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def as_row(self) -> tuple:
+        """(detected, TP, FP, precision, recall) for table rendering."""
+        return (
+            self.detected,
+            self.true_positives,
+            self.false_positives,
+            round(self.precision, 3),
+            round(self.recall, 3),
+        )
+
+
+def score_sets(
+    detected: AbstractSet[T], truth: AbstractSet[T]
+) -> DetectionScore:
+    """Score a detected set against the ground-truth set."""
+    tp = len(detected & truth)
+    return DetectionScore(
+        true_positives=tp,
+        false_positives=len(detected) - tp,
+        false_negatives=len(truth) - tp,
+    )

@@ -1,0 +1,193 @@
+"""Dynamic address allocation (DHCP pool) ground truth.
+
+Each pool owns a set of /24-aligned blocks inside one AS and a set of
+subscriber lines. Lines re-draw a random free address at exponentially
+distributed intervals; the pool guarantees exclusivity (no two lines
+hold one address at the same time). The per-line
+:class:`AssignmentTimeline` is the ground truth that both the RIPE log
+simulator and the abuse model read — and the reason "unjust blocking"
+emerges organically: an address listed while line A held it is later
+drawn by line B.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..net.ipv4 import Prefix
+
+__all__ = ["AssignmentTimeline", "LineChurnSpec", "DhcpPool"]
+
+
+class AssignmentTimeline:
+    """The sequence of (start_day, ip) assignments of one line.
+
+    Times are in days since the scenario epoch. A static line is simply
+    a timeline with one entry.
+    """
+
+    __slots__ = ("_starts", "_ips", "horizon")
+
+    def __init__(
+        self, entries: Sequence[Tuple[float, int]], horizon: float
+    ) -> None:
+        if not entries:
+            raise ValueError("a line must hold at least one address")
+        starts = [t for t, _ in entries]
+        if starts != sorted(starts):
+            raise ValueError("timeline entries must be time-ordered")
+        if horizon < starts[-1]:
+            raise ValueError("horizon precedes the last assignment")
+        self._starts: List[float] = starts
+        self._ips: List[int] = [ip for _, ip in entries]
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def ip_at(self, day: float) -> Optional[int]:
+        """Address held at time ``day`` (None before the first
+        assignment or past the horizon)."""
+        if day < self._starts[0] or day > self.horizon:
+            return None
+        index = bisect.bisect_right(self._starts, day) - 1
+        return self._ips[index]
+
+    def addresses(self) -> Set[int]:
+        """Every distinct address the line ever held."""
+        return set(self._ips)
+
+    def change_count(self) -> int:
+        """Number of address *changes* (allocations minus one)."""
+        return len(self._starts) - 1
+
+    def allocation_count(self) -> int:
+        """Number of allocations (what the paper's Figure 2 counts)."""
+        return len(self._starts)
+
+    def mean_holding_days(self) -> float:
+        """Average time between consecutive address changes.
+
+        The paper's "frequency of IP address change" criterion keeps
+        probes whose average inter-change duration is within one day.
+        For a single-assignment line this is the full horizon.
+        """
+        if len(self._starts) == 1:
+            return self.horizon - self._starts[0]
+        span = self._starts[-1] - self._starts[0]
+        return span / (len(self._starts) - 1)
+
+    def intervals(self) -> Iterator[Tuple[float, float, int]]:
+        """Yield (start, end, ip) holdings; the last ends at horizon."""
+        for index, start in enumerate(self._starts):
+            end = (
+                self._starts[index + 1]
+                if index + 1 < len(self._starts)
+                else self.horizon
+            )
+            yield start, end, self._ips[index]
+
+
+@dataclass(frozen=True)
+class LineChurnSpec:
+    """Churn profile of one dynamic line."""
+
+    line_key: str
+    #: Mean days between address changes (exponential draw).
+    mean_interchange_days: float
+
+    def __post_init__(self) -> None:
+        if self.mean_interchange_days <= 0:
+            raise ValueError(
+                f"mean inter-change must be positive, got "
+                f"{self.mean_interchange_days}"
+            )
+
+
+@dataclass
+class DhcpPool:
+    """One dynamically-allocated address pool (ground truth)."""
+
+    pool_id: str
+    asn: int
+    prefixes: List[Prefix]
+    timelines: Dict[str, AssignmentTimeline] = field(default_factory=dict)
+
+    def addresses(self) -> List[int]:
+        """Every address the pool manages."""
+        out: List[int] = []
+        for prefix in self.prefixes:
+            out.extend(prefix.addresses())
+        return out
+
+    def slash24s(self) -> List[Prefix]:
+        """The /24 blocks this pool spans (ground-truth dynamic /24s)."""
+        blocks: Set[Prefix] = set()
+        for prefix in self.prefixes:
+            if prefix.length >= 24:
+                blocks.add(Prefix(prefix.network & 0xFFFFFF00, 24))
+            else:
+                blocks.update(prefix.subprefixes(24))
+        return sorted(blocks, key=lambda p: p.network)
+
+    def simulate(
+        self,
+        lines: Sequence[LineChurnSpec],
+        horizon_days: float,
+        rng: random.Random,
+    ) -> None:
+        """Simulate churn for ``lines`` over ``horizon_days``.
+
+        Populates :attr:`timelines`. The pool must be larger than the
+        line count (ISPs over-provision pools; exhaustion would break
+        the exclusivity guarantee).
+        """
+        if horizon_days <= 0:
+            raise ValueError(f"horizon must be positive: {horizon_days}")
+        pool_addresses = self.addresses()
+        if len(lines) >= len(pool_addresses):
+            raise ValueError(
+                f"pool {self.pool_id}: {len(lines)} lines need more than "
+                f"{len(pool_addresses)} addresses"
+            )
+        free = list(pool_addresses)
+        rng.shuffle(free)
+        entries: Dict[str, List[Tuple[float, int]]] = {}
+        heap: List[Tuple[float, int, str, float]] = []
+        for order, spec in enumerate(lines):
+            ip = free.pop()
+            entries[spec.line_key] = [(0.0, ip)]
+            next_change = rng.expovariate(1.0 / spec.mean_interchange_days)
+            heapq.heappush(
+                heap,
+                (next_change, order, spec.line_key, spec.mean_interchange_days),
+            )
+        while heap:
+            when, order, line_key, mean = heapq.heappop(heap)
+            if when >= horizon_days:
+                continue
+            held = entries[line_key][-1][1]
+            # Release-then-draw, excluding an immediate re-draw of the
+            # same address (a renewal, not a change).
+            replacement_index = rng.randrange(len(free))
+            replacement = free[replacement_index]
+            free[replacement_index] = held
+            entries[line_key].append((when, replacement))
+            next_change = when + rng.expovariate(1.0 / mean)
+            heapq.heappush(heap, (next_change, order, line_key, mean))
+        for line_key, line_entries in entries.items():
+            self.timelines[line_key] = AssignmentTimeline(
+                line_entries, horizon_days
+            )
+
+    def line_holding(self, ip: int, day: float) -> Optional[str]:
+        """Which line held ``ip`` at ``day`` (reverse lookup; None when
+        the address was in the free set)."""
+        for line_key, timeline in self.timelines.items():
+            if timeline.ip_at(day) == ip:
+                return line_key
+        return None

@@ -1,0 +1,164 @@
+"""Scenario assembly: one call builds the whole synthetic world.
+
+A scenario bundles the topology, population, abuse stream, blocklist
+listings and Atlas deployment under a single seed. Two presets:
+
+* :meth:`ScenarioConfig.small` — seconds-fast, for unit/integration
+  tests;
+* :meth:`ScenarioConfig.default` — the benchmark scale (≈1:100 of the
+  paper's populations, same window geometry).
+
+Calendar geometry follows the paper exactly, as day offsets from the
+2019-01-01 epoch: RIPE monitoring days 0–497 (1 Jan 2019 – 11 May
+2020); blocklist window 1 days 214–252 (3 Aug – 10 Sep 2019, 39 days);
+window 2 days 453–496 (29 Mar – 11 May 2020, 44 days).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..blocklists.catalog import BlocklistInfo, build_catalog
+from ..blocklists.feed import generate_listings
+from ..blocklists.timeline import ListingStore, Window
+from ..ripe.connlog import ConnectionLog
+from ..ripe.simulate import (
+    AtlasConfig,
+    ProbeDeployment,
+    deploy_probes,
+    synthesize_log,
+)
+from ..sim.rng import RngHub
+from .abuse import AbuseConfig, AbuseEvent, generate_abuse
+from .groundtruth import GroundTruth
+from .population import PopulationConfig, build_population
+from .topology import Topology, TopologyConfig, build_topology
+
+__all__ = ["PAPER_WINDOWS", "ScenarioConfig", "Scenario", "build_scenario"]
+
+#: The paper's two collection windows as inclusive day ranges.
+PAPER_WINDOWS: Tuple[Window, Window] = ((214, 252), (453, 496))
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything that determines a synthetic world."""
+
+    seed: int = 2020
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    abuse: AbuseConfig = field(default_factory=AbuseConfig)
+    atlas: AtlasConfig = field(default_factory=AtlasConfig)
+    windows: Tuple[Window, ...] = PAPER_WINDOWS
+
+    @classmethod
+    def small(cls, seed: int = 2020) -> "ScenarioConfig":
+        """Tiny world for tests: ~10 ASes, hundreds of lines."""
+        return cls(
+            seed=seed,
+            topology=TopologyConfig(
+                n_eyeball=8, n_hosting=3, n_backbone=2, max_slash16s=2
+            ),
+            population=PopulationConfig(
+                static_single_lines_per_16=20,
+                home_nat_lines_per_16=8,
+                cgn_sites_per_16=0.5,
+                dynamic_pools_per_as_range=(1, 1),
+                pool_slash24s_range=(1, 1),
+                pool_lines_per_24=40,
+                fast_pool_lines_per_24=15,
+                bt_blocked_as_fraction=0.1,
+            ),
+            atlas=AtlasConfig(
+                n_probes=80, as_concentration=1.0, fast_line_fraction=0.3
+            ),
+            # Tiny worlds need a strong dynamic-abuse signal so the
+            # dynamic side of every figure stays non-degenerate.
+            abuse=AbuseConfig(compromise_rate_dynamic=0.30),
+        )
+
+    @classmethod
+    def default(cls, seed: int = 2020) -> "ScenarioConfig":
+        """Benchmark scale (the per-experiment defaults)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def large(cls, seed: int = 2020) -> "ScenarioConfig":
+        """~4x the default populations (minutes, not seconds) for
+        tighter statistics; same window geometry."""
+        return cls(
+            seed=seed,
+            topology=TopologyConfig(
+                n_eyeball=120, n_hosting=40, n_backbone=20, max_slash16s=8
+            ),
+            atlas=AtlasConfig(n_probes=900),
+        )
+
+
+@dataclass
+class Scenario:
+    """A fully built world plus its derived measurement artefacts."""
+
+    config: ScenarioConfig
+    hub: RngHub
+    topology: Topology
+    truth: GroundTruth
+    abuse_events: List[AbuseEvent]
+    catalog: List[BlocklistInfo]
+    listings: ListingStore
+    deployment: ProbeDeployment
+    atlas_log: ConnectionLog
+
+    @property
+    def windows(self) -> Sequence[Window]:
+        """The blocklist collection windows."""
+        return self.config.windows
+
+    def observed_listings(self) -> ListingStore:
+        """Listings visible during the collection windows."""
+        return self.listings.observed(list(self.windows))
+
+    def blocklisted_ips(self) -> set:
+        """Every address listed anywhere during the windows."""
+        return self.observed_listings().all_ips()
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Deterministically build the world for ``config``.
+
+    Each subsystem draws from its own named RNG stream, so changing
+    one component's internals never reshuffles the others.
+    """
+    hub = RngHub(config.seed)
+    topology = build_topology(config.topology, hub.stream("topology"))
+    truth = build_population(
+        topology, config.population, hub.stream("population")
+    )
+    abuse_events = generate_abuse(truth, config.abuse, hub.stream("abuse"))
+    catalog = build_catalog()
+    listings = generate_listings(
+        abuse_events,
+        catalog,
+        hub.stream("feeds"),
+        horizon_days=config.population.horizon_days,
+    )
+    deployment = deploy_probes(truth, config.atlas, hub.stream("atlas"))
+    atlas_log = synthesize_log(
+        truth,
+        deployment,
+        config.atlas,
+        hub.stream("atlas-log"),
+        window=(0.0, config.population.horizon_days),
+    )
+    return Scenario(
+        config=config,
+        hub=hub,
+        topology=topology,
+        truth=truth,
+        abuse_events=abuse_events,
+        catalog=catalog,
+        listings=listings,
+        deployment=deployment,
+        atlas_log=atlas_log,
+    )

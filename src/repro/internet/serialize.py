@@ -1,0 +1,223 @@
+"""Ground-truth serialization.
+
+The paper publishes its reused-address lists so others can use them.
+The reproduction's equivalent artefact is the *world*: serialising a
+ground truth (and its listings) lets two machines analyse exactly the
+same synthetic internet without replaying the simulation — and lets a
+regression suite pin a world as a golden file.
+
+Format: a single JSON document, versioned. Assignment timelines are
+stored as flat arrays; everything integer-valued stays integer (no
+dotted quads) to keep files compact and parsing fast.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..blocklists.timeline import Listing, ListingStore
+from ..net.asdb import ASDatabase, ASRecord
+from ..net.ipv4 import Prefix
+from .dhcp import AssignmentTimeline, DhcpPool
+from .groundtruth import GroundTruth, LineInfo, UserInfo
+
+__all__ = [
+    "FORMAT_VERSION",
+    "truth_to_dict",
+    "truth_from_dict",
+    "save_truth",
+    "load_truth",
+    "save_listings",
+    "load_listings",
+]
+
+FORMAT_VERSION = 1
+
+
+def truth_to_dict(truth: GroundTruth) -> Dict[str, Any]:
+    """Serialise a ground truth to plain JSON-able data."""
+    return {
+        "version": FORMAT_VERSION,
+        "horizon_days": truth.horizon_days,
+        "ases": [
+            {
+                "asn": record.asn,
+                "name": record.name,
+                "kind": record.kind,
+                "country": record.country,
+                "prefixes": [
+                    [p.network, p.length] for p in record.prefixes
+                ],
+            }
+            for record in truth.asdb
+        ],
+        "lines": [
+            {
+                "key": line.key,
+                "asn": line.asn,
+                "addressing": line.addressing,
+                "nat": line.nat,
+                "pool_id": line.pool_id,
+                "static_ip": line.static_ip,
+                "country": line.country,
+            }
+            for line in truth.lines.values()
+        ],
+        "users": [
+            {
+                "key": user.key,
+                "line_key": user.line_key,
+                "bt": user.runs_bittorrent,
+                "reach": user.reachable,
+                "bad": user.compromised,
+            }
+            for user in truth.users.values()
+        ],
+        "pools": [
+            {
+                "pool_id": pool.pool_id,
+                "asn": pool.asn,
+                "prefixes": [
+                    [p.network, p.length] for p in pool.prefixes
+                ],
+                "timelines": {
+                    line_key: {
+                        "starts": [s for s, _ in timeline_entries(t)],
+                        "ips": [ip for _, ip in timeline_entries(t)],
+                        "horizon": t.horizon,
+                    }
+                    for line_key, t in pool.timelines.items()
+                },
+            }
+            for pool in truth.pools.values()
+        ],
+    }
+
+
+def timeline_entries(timeline: AssignmentTimeline):
+    """(start, ip) pairs of a timeline (its interval starts)."""
+    return [
+        (start, ip) for start, _, ip in timeline.intervals()
+    ]
+
+
+def truth_from_dict(data: Dict[str, Any]) -> GroundTruth:
+    """Rebuild a ground truth serialised by :func:`truth_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported ground-truth format version {version!r}"
+        )
+    asdb = ASDatabase()
+    for record in data["ases"]:
+        asdb.add(
+            ASRecord(
+                asn=record["asn"],
+                name=record["name"],
+                kind=record["kind"],
+                country=record["country"],
+                prefixes=[
+                    Prefix(network, length)
+                    for network, length in record["prefixes"]
+                ],
+            )
+        )
+    truth = GroundTruth(asdb, data["horizon_days"])
+    for line in data["lines"]:
+        truth.add_line(
+            LineInfo(
+                key=line["key"],
+                asn=line["asn"],
+                addressing=line["addressing"],
+                nat=line["nat"],
+                pool_id=line["pool_id"],
+                static_ip=line["static_ip"],
+                country=line["country"],
+            )
+        )
+    for user in data["users"]:
+        truth.add_user(
+            UserInfo(
+                key=user["key"],
+                line_key=user["line_key"],
+                runs_bittorrent=user["bt"],
+                reachable=user["reach"],
+                compromised=user["bad"],
+            )
+        )
+    for pool_data in data["pools"]:
+        pool = DhcpPool(
+            pool_id=pool_data["pool_id"],
+            asn=pool_data["asn"],
+            prefixes=[
+                Prefix(network, length)
+                for network, length in pool_data["prefixes"]
+            ],
+        )
+        for line_key, t in pool_data["timelines"].items():
+            entries = list(zip(t["starts"], t["ips"]))
+            pool.timelines[line_key] = AssignmentTimeline(
+                entries, t["horizon"]
+            )
+        truth.add_pool(pool)
+    return truth
+
+
+def save_truth(truth: GroundTruth, path: Union[str, Path]) -> None:
+    """Write the ground truth to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(truth_to_dict(truth), handle, separators=(",", ":"))
+
+
+def load_truth(path: Union[str, Path]) -> GroundTruth:
+    """Load a ground truth written by :func:`save_truth`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return truth_from_dict(json.load(handle))
+
+
+def save_listings(store: ListingStore, path: Union[str, Path]) -> int:
+    """Write a listing store as JSON Lines; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for listing in store:
+            handle.write(
+                json.dumps(
+                    {
+                        "l": listing.list_id,
+                        "ip": listing.ip,
+                        "a": listing.first_day,
+                        "b": listing.last_day,
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_listings(path: Union[str, Path]) -> ListingStore:
+    """Load listings written by :func:`save_listings`."""
+    store = ListingStore()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+                store.add(
+                    Listing(
+                        list_id=obj["l"],
+                        ip=int(obj["ip"]),
+                        first_day=int(obj["a"]),
+                        last_day=int(obj["b"]),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad listing: {exc}"
+                ) from exc
+    return store

@@ -1,0 +1,130 @@
+"""AS-level topology generation.
+
+Produces an :class:`~repro.net.asdb.ASDatabase` with a heavy-tailed size
+distribution (a few very large eyeball networks originate most of the
+end-user — and hence blocklisted — address space; the paper's top-10
+ASes hold 27.7% of all listed addresses, led by a telecom backbone).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..net.asdb import ASDatabase, ASKind, ASRecord
+from ..net.ipv4 import Prefix
+from ..sim.rng import zipf_weights
+from .addressplan import AddressCursor, iter_public_slash16s
+
+__all__ = ["RegionMix", "TopologyConfig", "Topology", "build_topology"]
+
+
+@dataclass(frozen=True)
+class RegionMix:
+    """Share of ASes per region. RIPE Atlas coverage is concentrated in
+    Europe and North America, so region matters for probe placement."""
+
+    europe: float = 0.35
+    north_america: float = 0.25
+    asia: float = 0.25
+    rest: float = 0.15
+
+    REGIONS = ("EU", "NA", "AS", "XX")
+
+    def weights(self) -> List[float]:
+        total = self.europe + self.north_america + self.asia + self.rest
+        if total <= 0:
+            raise ValueError("region mix must have positive mass")
+        return [
+            self.europe / total,
+            self.north_america / total,
+            self.asia / total,
+            self.rest / total,
+        ]
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs for topology generation."""
+
+    n_eyeball: int = 60
+    n_hosting: int = 20
+    n_backbone: int = 10
+    #: /16 blocks for the largest eyeball AS; the tail shrinks by Zipf.
+    max_slash16s: int = 8
+    zipf_exponent: float = 1.1
+    region_mix: RegionMix = field(default_factory=RegionMix)
+    first_asn: int = 64500
+
+
+@dataclass
+class Topology:
+    """Generated topology: the AS database plus per-AS address cursors
+    (consumed by the population builder)."""
+
+    asdb: ASDatabase
+    cursors: Dict[int, AddressCursor]
+    eyeball_asns: List[int]
+    hosting_asns: List[int]
+    backbone_asns: List[int]
+
+
+def build_topology(config: TopologyConfig, rng: random.Random) -> Topology:
+    """Generate the AS-level topology deterministically from ``rng``."""
+    total = config.n_eyeball + config.n_hosting + config.n_backbone
+    if total <= 0:
+        raise ValueError("topology needs at least one AS")
+    blocks = iter_public_slash16s()
+    asdb = ASDatabase()
+    cursors: Dict[int, AddressCursor] = {}
+    eyeballs: List[int] = []
+    hostings: List[int] = []
+    backbones: List[int] = []
+    region_weights = config.region_mix.weights()
+
+    sizes = zipf_weights(config.n_eyeball, config.zipf_exponent)
+    next_asn = config.first_asn
+
+    def allocate(kind: str, name: str, n_blocks: int) -> ASRecord:
+        nonlocal next_asn
+        prefixes: List[Prefix] = [next(blocks) for _ in range(n_blocks)]
+        region = rng.choices(RegionMix.REGIONS, weights=region_weights)[0]
+        record = ASRecord(
+            asn=next_asn,
+            name=name,
+            kind=kind,
+            country=region,
+            prefixes=prefixes,
+        )
+        next_asn += 1
+        asdb.add(record)
+        cursors[record.asn] = AddressCursor(prefixes)
+        return record
+
+    for rank in range(config.n_eyeball):
+        # Zipf rank → block count, at least one /16.
+        n_blocks = max(
+            1, round(sizes[rank] * config.max_slash16s * config.n_eyeball / 4)
+        )
+        n_blocks = min(n_blocks, config.max_slash16s)
+        record = allocate(
+            ASKind.EYEBALL, f"eyeball-{rank:03d}", n_blocks
+        )
+        eyeballs.append(record.asn)
+
+    for rank in range(config.n_hosting):
+        record = allocate(ASKind.HOSTING, f"hosting-{rank:03d}", 1)
+        hostings.append(record.asn)
+
+    for rank in range(config.n_backbone):
+        record = allocate(ASKind.BACKBONE, f"backbone-{rank:03d}", 1)
+        backbones.append(record.asn)
+
+    return Topology(
+        asdb=asdb,
+        cursors=cursors,
+        eyeball_asns=eyeballs,
+        hosting_asns=hostings,
+        backbone_asns=backbones,
+    )

@@ -1,0 +1,171 @@
+"""IPv6 address primitives.
+
+The paper's study "focuses only on IPv4 blocklists" and points to
+Entropy/IP (Foremski et al., IMC 2016) as the way to extend reuse
+detection to IPv6. This module provides the 128-bit primitives that
+extension builds on: int-based addresses, RFC 4291 parsing (including
+``::`` compression), RFC 5952 canonical formatting, prefixes, and
+nibble access (Entropy/IP works nibble-wise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "MAX_IPV6",
+    "NIBBLES",
+    "ip6_to_int",
+    "int_to_ip6",
+    "nibble",
+    "nibbles",
+    "Prefix6",
+    "interface_id",
+    "subnet_of",
+]
+
+#: Largest IPv6 address as an integer.
+MAX_IPV6 = (1 << 128) - 1
+#: Nibbles (hex digits) in an address.
+NIBBLES = 32
+
+
+def ip6_to_int(text: str) -> int:
+    """Parse an IPv6 address (full or ``::``-compressed) to an int.
+
+    Embedded IPv4 notation (``::ffff:1.2.3.4``) is supported. Zone
+    indices and prefixes are not (split those off first).
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty IPv6 address")
+    if "%" in text or "/" in text:
+        raise ValueError(f"unexpected zone/prefix in {text!r}")
+    if text.count("::") > 1:
+        raise ValueError(f"multiple '::' in {text!r}")
+
+    # Embedded IPv4 tail.
+    groups_text = text
+    v4_tail: List[str] = []
+    if "." in text:
+        head, _, tail = text.rpartition(":")
+        octets = tail.split(".")
+        if len(octets) != 4 or not all(
+            o.isdigit() and 0 <= int(o) <= 255 and len(o) <= 3 for o in octets
+        ):
+            raise ValueError(f"bad embedded IPv4 in {text!r}")
+        value = (int(octets[0]) << 8) | int(octets[1])
+        value2 = (int(octets[2]) << 8) | int(octets[3])
+        v4_tail = [f"{value:x}", f"{value2:x}"]
+        groups_text = head if head else ":"
+
+    if "::" in groups_text:
+        left_text, right_text = groups_text.split("::", 1)
+        left = left_text.split(":") if left_text else []
+        right = right_text.split(":") if right_text else []
+        right.extend(v4_tail)
+        missing = 8 - len(left) - len(right)
+        if missing < 1:
+            raise ValueError(f"'::' expands to nothing in {text!r}")
+        groups = left + ["0"] * missing + right
+    else:
+        groups = groups_text.split(":") if groups_text != ":" else []
+        groups.extend(v4_tail)
+    if len(groups) != 8:
+        raise ValueError(f"{text!r} has {len(groups)} groups, need 8")
+    value = 0
+    for group in groups:
+        if not group or len(group) > 4:
+            raise ValueError(f"bad group {group!r} in {text!r}")
+        try:
+            part = int(group, 16)
+        except ValueError as exc:
+            raise ValueError(f"bad group {group!r} in {text!r}") from exc
+        value = (value << 16) | part
+    return value
+
+
+def int_to_ip6(value: int) -> str:
+    """Format ``value`` per RFC 5952: lowercase hex, no leading zeros,
+    the longest run of ≥2 zero groups compressed to ``::``."""
+    if not 0 <= value <= MAX_IPV6:
+        raise ValueError(f"not an IPv6 integer: {value!r}")
+    groups = [(value >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+    # Longest zero run (first among ties), length >= 2.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start == -1:
+                run_start = index
+                run_len = 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len :])
+    return f"{head}::{tail}"
+
+
+def nibble(value: int, index: int) -> int:
+    """Nibble ``index`` of the address (0 = most significant)."""
+    if not 0 <= index < NIBBLES:
+        raise ValueError(f"nibble index out of range: {index}")
+    return (value >> (4 * (NIBBLES - 1 - index))) & 0xF
+
+
+def nibbles(value: int) -> List[int]:
+    """All 32 nibbles, most significant first."""
+    return [(value >> (4 * i)) & 0xF for i in range(NIBBLES - 1, -1, -1)]
+
+
+@dataclass(frozen=True, order=True)
+class Prefix6:
+    """An IPv6 prefix (normalised; host bits must be zero)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 128:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= MAX_IPV6:
+            raise ValueError(f"bad network integer: {self.network!r}")
+        if self.network & ~self.mask() & MAX_IPV6:
+            raise ValueError(
+                f"host bits set in {int_to_ip6(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def from_text(cls, text: str) -> "Prefix6":
+        addr, sep, length = text.partition("/")
+        if not sep or not length.isdigit():
+            raise ValueError(f"bad IPv6 prefix {text!r}")
+        return cls(ip6_to_int(addr), int(length))
+
+    def mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (MAX_IPV6 << (128 - self.length)) & MAX_IPV6
+
+    def contains(self, ip: int) -> bool:
+        """True when ``ip`` is inside this prefix."""
+        return (ip & self.mask()) == self.network
+
+    def __str__(self) -> str:
+        return f"{int_to_ip6(self.network)}/{self.length}"
+
+
+def interface_id(ip: int) -> int:
+    """The low 64 bits (the interface identifier)."""
+    return ip & ((1 << 64) - 1)
+
+
+def subnet_of(ip: int) -> Prefix6:
+    """The covering /64 — the IPv6 analogue of the paper's /24 unit."""
+    return Prefix6(ip & ~((1 << 64) - 1) & MAX_IPV6, 64)

@@ -1,0 +1,98 @@
+"""Synthetic IPv6 active-address corpora.
+
+Entropy/IP learns address structure from a set of *known-active*
+addresses. To exercise it we generate corpora with the allocation
+strategies seen in real networks:
+
+* ``EUI64``      — interface id derived from the MAC address (vendor
+  OUI + ``ff:fe`` + serial): stable over time, structured;
+* ``PRIVACY``    — RFC 4941 temporary addresses: 64 random bits,
+  rotated regularly — the IPv6 analogue of dynamic addressing, and
+  exactly the population whose blocklisting is promptly unjust;
+* ``SEQUENTIAL`` — operator-assigned low integers (::1, ::2, …),
+  typical for servers/routers;
+* ``SERVICE``    — fixed well-known low words (::25, ::53, ::443 …).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .addr6 import MAX_IPV6, Prefix6
+
+__all__ = ["Strategy", "SubnetPlan", "generate_corpus"]
+
+
+class Strategy:
+    """Interface-identifier allocation strategies."""
+
+    EUI64 = "eui64"
+    PRIVACY = "privacy"
+    SEQUENTIAL = "sequential"
+    SERVICE = "service"
+
+    ALL = (EUI64, PRIVACY, SEQUENTIAL, SERVICE)
+
+
+@dataclass(frozen=True)
+class SubnetPlan:
+    """One /64 and how its hosts number themselves."""
+
+    subnet: Prefix6
+    strategy: str
+    hosts: int = 64
+
+    def __post_init__(self) -> None:
+        if self.subnet.length != 64:
+            raise ValueError("subnet plans operate on /64s")
+        if self.strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.hosts <= 0:
+            raise ValueError("need a positive host count")
+
+
+#: A handful of real vendor OUIs (first 24 MAC bits).
+_OUIS = (0x00163E, 0x3C5AB4, 0xB827EB, 0x00E04C, 0xF4F5E8)
+
+_SERVICE_WORDS = (0x25, 0x53, 0x80, 0x443, 0x8080, 0x993)
+
+
+def _eui64_iid(rng: random.Random) -> int:
+    """EUI-64 interface id: OUI (with universal/local bit flipped),
+    0xFFFE in the middle, 24-bit serial."""
+    oui = rng.choice(_OUIS) ^ 0x020000  # flip the U/L bit
+    serial = rng.getrandbits(24)
+    return (oui << 40) | (0xFFFE << 24) | serial
+
+
+def _iid(strategy: str, index: int, rng: random.Random) -> int:
+    if strategy == Strategy.EUI64:
+        return _eui64_iid(rng)
+    if strategy == Strategy.PRIVACY:
+        return rng.getrandbits(64)
+    if strategy == Strategy.SEQUENTIAL:
+        return index + 1
+    # SERVICE
+    return rng.choice(_SERVICE_WORDS)
+
+
+def generate_corpus(
+    plans: Sequence[SubnetPlan], rng: random.Random
+) -> List[int]:
+    """Generate the active-address corpus for ``plans``.
+
+    Addresses are deduplicated and shuffled — a hitlist has no useful
+    order.
+    """
+    if not plans:
+        raise ValueError("need at least one subnet plan")
+    addresses = set()
+    for plan in plans:
+        for index in range(plan.hosts):
+            iid = _iid(plan.strategy, index, rng)
+            addresses.add(plan.subnet.network | iid)
+    corpus = list(addresses)
+    rng.shuffle(corpus)
+    return corpus

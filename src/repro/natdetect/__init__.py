@@ -1,0 +1,27 @@
+"""NATed-address detection from BitTorrent crawl logs (Section 3.1)."""
+
+from .evidence import (
+    DEFAULT_ROUND_WINDOW,
+    IpEvidence,
+    PingRound,
+    collect_evidence,
+)
+from .detector import (
+    NatDetectionResult,
+    NatVerdict,
+    detect_by_node_ids,
+    detect_by_ports,
+    detect_nated,
+)
+
+__all__ = [
+    "DEFAULT_ROUND_WINDOW",
+    "IpEvidence",
+    "PingRound",
+    "collect_evidence",
+    "NatDetectionResult",
+    "NatVerdict",
+    "detect_by_node_ids",
+    "detect_by_ports",
+    "detect_nated",
+]

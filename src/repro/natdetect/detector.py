@@ -1,0 +1,131 @@
+"""NATed-address verdicts (paper Section 3.1).
+
+The rule, verbatim from the paper: *"If the crawler gets more than two
+responses with two different node_id's and two different port numbers,
+we conclude that the IP address is shared by multiple BitTorrent
+users."* Interpreted per ping round (simultaneity), this yields
+high-precision positives and a per-IP lower bound on affected users —
+the quantity Figure 8 plots.
+
+Two alternative rules are also implemented for the ablation benches;
+both are rules the paper explicitly *rejects*:
+
+* :func:`detect_by_ports` — trust multi-port sightings without ping
+  verification (breaks on stale routing entries after port churn);
+* :func:`detect_by_node_ids` — count node_ids per IP over the whole
+  crawl (breaks on node_id regeneration at reboot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..bittorrent.crawllog import CrawlLog
+from .evidence import DEFAULT_ROUND_WINDOW, IpEvidence, collect_evidence
+
+__all__ = [
+    "NatVerdict",
+    "NatDetectionResult",
+    "detect_nated",
+    "detect_by_ports",
+    "detect_by_node_ids",
+]
+
+
+@dataclass(frozen=True)
+class NatVerdict:
+    """Detection outcome for one IP address."""
+
+    ip: int
+    is_nated: bool
+    user_lower_bound: int
+    ports_seen: int
+    node_ids_seen: int
+    ping_rounds: int
+
+
+@dataclass
+class NatDetectionResult:
+    """All verdicts of one detection pass, with convenience queries."""
+
+    verdicts: Dict[int, NatVerdict]
+
+    def nated_ips(self) -> Set[int]:
+        """IPs judged NATed."""
+        return {ip for ip, v in self.verdicts.items() if v.is_nated}
+
+    def users_behind(self, ip: int) -> int:
+        """Detected user lower bound for ``ip`` (0 when never seen)."""
+        verdict = self.verdicts.get(ip)
+        return verdict.user_lower_bound if verdict else 0
+
+    def user_counts(self) -> List[int]:
+        """User lower bounds across all NATed IPs (Figure 8 input)."""
+        return sorted(
+            v.user_lower_bound for v in self.verdicts.values() if v.is_nated
+        )
+
+
+def detect_nated(
+    log: CrawlLog,
+    *,
+    round_window: float = DEFAULT_ROUND_WINDOW,
+    min_users: int = 2,
+) -> NatDetectionResult:
+    """Run the paper's verified detection over a crawl log."""
+    if min_users < 2:
+        raise ValueError("a NAT needs at least two users")
+    evidence = collect_evidence(log, round_window=round_window)
+    verdicts: Dict[int, NatVerdict] = {}
+    for ip, entry in evidence.items():
+        bound = entry.max_simultaneous_users()
+        verdicts[ip] = NatVerdict(
+            ip=ip,
+            is_nated=bound >= min_users,
+            user_lower_bound=bound,
+            ports_seen=len(entry.ports_seen),
+            node_ids_seen=len(entry.node_ids_seen),
+            ping_rounds=len(entry.rounds),
+        )
+    return NatDetectionResult(verdicts)
+
+
+def detect_by_ports(
+    log: CrawlLog, *, min_ports: int = 2
+) -> NatDetectionResult:
+    """Ablation: call an IP NATed whenever ≥ ``min_ports`` distinct
+    ports were ever sighted, with no liveness verification."""
+    evidence = collect_evidence(log)
+    verdicts: Dict[int, NatVerdict] = {}
+    for ip, entry in evidence.items():
+        nated = len(entry.ports_seen) >= min_ports
+        verdicts[ip] = NatVerdict(
+            ip=ip,
+            is_nated=nated,
+            user_lower_bound=len(entry.ports_seen) if nated else 1,
+            ports_seen=len(entry.ports_seen),
+            node_ids_seen=len(entry.node_ids_seen),
+            ping_rounds=len(entry.rounds),
+        )
+    return NatDetectionResult(verdicts)
+
+
+def detect_by_node_ids(
+    log: CrawlLog, *, min_ids: int = 2
+) -> NatDetectionResult:
+    """Ablation: call an IP NATed whenever ≥ ``min_ids`` node_ids were
+    ever observed for it, across the whole crawl (no simultaneity)."""
+    evidence = collect_evidence(log)
+    verdicts: Dict[int, NatVerdict] = {}
+    for ip, entry in evidence.items():
+        nated = len(entry.node_ids_seen) >= min_ids
+        verdicts[ip] = NatVerdict(
+            ip=ip,
+            is_nated=nated,
+            user_lower_bound=len(entry.node_ids_seen) if nated else 1,
+            ports_seen=len(entry.ports_seen),
+            node_ids_seen=len(entry.node_ids_seen),
+            ping_rounds=len(entry.rounds),
+        )
+    return NatDetectionResult(verdicts)

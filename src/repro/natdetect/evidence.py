@@ -1,0 +1,104 @@
+"""Evidence extraction from crawl logs.
+
+Turns the flat message log into per-IP *ping rounds*: bursts of bt_ping
+responses close together in time. Simultaneity is the paper's whole
+trick — two responses from different ports with different node_ids
+*in the same round* prove two users share the address right now,
+whereas the same observations hours apart could be one user who
+restarted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..bittorrent.crawllog import CrawlLog, QUERY_PING, ReceivedRecord
+
+__all__ = ["PingRound", "IpEvidence", "collect_evidence"]
+
+#: Responses within this many seconds of a round's first response are
+#: the same round. Ping bursts are sub-second; an hour separates rounds
+#: (the crawler's reping interval), so anything under ~60 s is safe.
+DEFAULT_ROUND_WINDOW = 30.0
+
+
+@dataclass
+class PingRound:
+    """All ping responses from one IP within one round window."""
+
+    start: float
+    responses: List[ReceivedRecord] = field(default_factory=list)
+
+    def distinct_ports(self) -> Set[int]:
+        """Ports that answered this round."""
+        return {r.src_port for r in self.responses}
+
+    def distinct_node_ids(self) -> Set[str]:
+        """node_ids that answered this round."""
+        return {r.node_id for r in self.responses}
+
+    def simultaneous_users(self) -> int:
+        """Distinct (port, node_id) pairs — the per-round user count.
+
+        Duplicate responses (retransmits, duplicated datagrams) from the
+        same port+id collapse to one user.
+        """
+        return len({(r.src_port, r.node_id) for r in self.responses})
+
+
+@dataclass
+class IpEvidence:
+    """Everything the crawl learned about one IP address."""
+
+    ip: int
+    ports_seen: Set[int] = field(default_factory=set)
+    node_ids_seen: Set[str] = field(default_factory=set)
+    rounds: List[PingRound] = field(default_factory=list)
+    get_nodes_responses: int = 0
+
+    def max_simultaneous_users(self) -> int:
+        """Lower bound on concurrent users: the best round, counting
+        only rounds where both ports and ids were distinct."""
+        best = 0
+        for rnd in self.rounds:
+            if len(rnd.distinct_ports()) >= 2 and len(rnd.distinct_node_ids()) >= 2:
+                users = min(
+                    len(rnd.distinct_ports()), len(rnd.distinct_node_ids())
+                )
+                best = max(best, users)
+            elif rnd.responses:
+                best = max(best, 1)
+        return best
+
+
+def collect_evidence(
+    log: CrawlLog, *, round_window: float = DEFAULT_ROUND_WINDOW
+) -> Dict[int, IpEvidence]:
+    """Fold a crawl log into per-IP evidence.
+
+    Records are consumed in log order (the crawler appends in time
+    order); a ping response starts a new round for its IP when it falls
+    outside ``round_window`` of the current round's start.
+    """
+    if round_window <= 0:
+        raise ValueError(f"round window must be positive: {round_window}")
+    evidence: Dict[int, IpEvidence] = {}
+    open_rounds: Dict[int, PingRound] = {}
+    for record in log.received():
+        entry = evidence.get(record.src_ip)
+        if entry is None:
+            entry = IpEvidence(record.src_ip)
+            evidence[record.src_ip] = entry
+        entry.ports_seen.add(record.src_port)
+        entry.node_ids_seen.add(record.node_id)
+        if record.kind != QUERY_PING:
+            entry.get_nodes_responses += 1
+            continue
+        current = open_rounds.get(record.src_ip)
+        if current is None or record.time - current.start > round_window:
+            current = PingRound(start=record.time)
+            entry.rounds.append(current)
+            open_rounds[record.src_ip] = current
+        current.responses.append(record)
+    return evidence

@@ -1,0 +1,116 @@
+"""Autonomous-system database: AS records and IP-to-AS resolution.
+
+The paper's Figure 3 groups blocklisted and reused addresses by origin
+AS. In a live study that mapping comes from BGP dumps; here the synthetic
+topology registers its prefixes, and the same lookup interface would work
+over a RouteViews-derived table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .ipv4 import Prefix
+from .prefixtrie import PrefixTrie
+
+__all__ = ["ASKind", "ASRecord", "ASDatabase"]
+
+
+class ASKind:
+    """Coarse AS roles used by the topology generator.
+
+    Eyeball networks host end users (and therefore NATs, DHCP pools and
+    most abuse); hosting/cloud networks contribute server addresses;
+    backbone/transit contribute little end-user address space.
+    """
+
+    EYEBALL = "eyeball"
+    HOSTING = "hosting"
+    BACKBONE = "backbone"
+
+    ALL = (EYEBALL, HOSTING, BACKBONE)
+
+
+@dataclass
+class ASRecord:
+    """One autonomous system and its originated address space."""
+
+    asn: int
+    name: str
+    kind: str = ASKind.EYEBALL
+    country: str = "US"
+    prefixes: List[Prefix] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if self.kind not in ASKind.ALL:
+            raise ValueError(f"unknown AS kind {self.kind!r}")
+
+    def address_count(self) -> int:
+        """Total addresses originated by this AS."""
+        return sum(prefix.size() for prefix in self.prefixes)
+
+
+class ASDatabase:
+    """Registry of :class:`ASRecord` with longest-prefix IP→AS lookup."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ASRecord] = {}
+        self._trie: PrefixTrie[int] = PrefixTrie()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ASRecord]:
+        return iter(sorted(self._records.values(), key=lambda r: r.asn))
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._records
+
+    def add(self, record: ASRecord) -> None:
+        """Register ``record`` and announce its prefixes.
+
+        Re-registering an ASN is an error; announce additional prefixes
+        with :meth:`announce` instead.
+        """
+        if record.asn in self._records:
+            raise ValueError(f"AS{record.asn} already registered")
+        self._records[record.asn] = record
+        for prefix in record.prefixes:
+            self._trie.insert(prefix, record.asn)
+
+    def announce(self, asn: int, prefix: Prefix) -> None:
+        """Announce an additional ``prefix`` as originated by ``asn``."""
+        record = self._records.get(asn)
+        if record is None:
+            raise KeyError(f"AS{asn} not registered")
+        record.prefixes.append(prefix)
+        self._trie.insert(prefix, asn)
+
+    def get(self, asn: int) -> Optional[ASRecord]:
+        """Return the record for ``asn`` or None."""
+        return self._records.get(asn)
+
+    def asn_of(self, ip: int) -> Optional[int]:
+        """Resolve integer address ``ip`` to its origin ASN (LPM)."""
+        return self._trie.lookup_value(ip)
+
+    def record_of(self, ip: int) -> Optional[ASRecord]:
+        """Resolve ``ip`` to the full :class:`ASRecord`."""
+        asn = self.asn_of(ip)
+        return None if asn is None else self._records.get(asn)
+
+    def group_by_asn(self, ips: Iterable[int]) -> Dict[int, int]:
+        """Count addresses per origin AS; unroutable addresses are
+        grouped under ASN 0."""
+        counts: Dict[int, int] = {}
+        for ip in ips:
+            asn = self.asn_of(ip) or 0
+            counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    def records(self) -> List[ASRecord]:
+        """All records sorted by ASN."""
+        return list(self)

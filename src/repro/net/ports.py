@@ -1,0 +1,107 @@
+"""UDP port conventions and allocation helpers.
+
+NAT gateways rewrite source ports; BitTorrent clients bind an ephemeral
+or configured port. These helpers keep the two worlds consistent and
+give deterministic, collision-free allocation for the simulators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Set
+
+__all__ = [
+    "MIN_PORT",
+    "MAX_PORT",
+    "EPHEMERAL_RANGE",
+    "BITTORRENT_COMMON_RANGE",
+    "is_valid_port",
+    "PortAllocator",
+]
+
+#: Smallest usable UDP port (0 is reserved).
+MIN_PORT = 1
+#: Largest UDP port.
+MAX_PORT = 65535
+#: IANA-suggested ephemeral range, used by NAT translation.
+EPHEMERAL_RANGE = (49152, 65535)
+#: Range most BitTorrent clients default to for their DHT port.
+BITTORRENT_COMMON_RANGE = (6881, 6999)
+
+
+def is_valid_port(port: int) -> bool:
+    """Return True for a valid non-zero UDP port number."""
+    return isinstance(port, int) and MIN_PORT <= port <= MAX_PORT
+
+
+class PortAllocator:
+    """Deterministic collision-free port allocator over a range.
+
+    A NAT gateway owns one allocator per public IP; a simulated host owns
+    one for its local sockets. Allocation order is randomised by the
+    provided RNG so port numbers do not correlate with join order
+    (real NATs do the same to frustrate scanning).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        low: int = EPHEMERAL_RANGE[0],
+        high: int = EPHEMERAL_RANGE[1],
+    ) -> None:
+        if not (is_valid_port(low) and is_valid_port(high) and low <= high):
+            raise ValueError(f"bad port range [{low}, {high}]")
+        self._rng = rng
+        self._low = low
+        self._high = high
+        self._in_use: Set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        """Total ports in the managed range."""
+        return self._high - self._low + 1
+
+    @property
+    def in_use(self) -> int:
+        """Ports currently allocated."""
+        return len(self._in_use)
+
+    def allocate(self) -> int:
+        """Allocate a free port, raising :class:`RuntimeError` when the
+        range is exhausted (a CGN under port pressure hits this)."""
+        free = self.capacity - len(self._in_use)
+        if free <= 0:
+            raise RuntimeError(
+                f"port range [{self._low}, {self._high}] exhausted"
+            )
+        # Rejection-sample; with realistic occupancy this terminates in a
+        # couple of draws, and we fall back to a linear scan when the
+        # range is nearly full.
+        for _ in range(16):
+            port = self._rng.randint(self._low, self._high)
+            if port not in self._in_use:
+                self._in_use.add(port)
+                return port
+        for port in range(self._low, self._high + 1):
+            if port not in self._in_use:
+                self._in_use.add(port)
+                return port
+        raise RuntimeError("unreachable: free port accounting corrupt")
+
+    def claim(self, port: int) -> bool:
+        """Claim a specific port (e.g. a client's configured BitTorrent
+        port). Returns False when it is taken or out of range."""
+        if not (self._low <= port <= self._high) or port in self._in_use:
+            return False
+        self._in_use.add(port)
+        return True
+
+    def release(self, port: int) -> None:
+        """Return ``port`` to the pool; releasing a free port is an
+        error (it means the caller's mapping table is out of sync)."""
+        if port not in self._in_use:
+            raise KeyError(f"port {port} is not allocated")
+        self._in_use.remove(port)
+
+    def __contains__(self, port: int) -> bool:
+        return port in self._in_use

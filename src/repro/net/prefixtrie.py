@@ -1,0 +1,193 @@
+"""Binary radix trie for longest-prefix matching over IPv4.
+
+The AS database, the crawler's "blocklisted address space" restriction,
+and the RIPE /24 expansion all need fast membership and longest-prefix
+queries over large prefix sets. A path-compressed binary trie keyed on
+the bits of the network address gives O(32) lookups independent of set
+size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .ipv4 import MAX_IPV4, Prefix, is_valid_ip_int
+
+__all__ = ["PrefixTrie", "PrefixSet"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+def _bit(ip: int, depth: int) -> int:
+    """Bit of ``ip`` at ``depth`` (0 = most significant)."""
+    return (ip >> (31 - depth)) & 1
+
+
+class PrefixTrie(Generic[V]):
+    """Map from IPv4 prefixes to values with longest-prefix-match lookup.
+
+    Inserting the same prefix twice overwrites the value (last write
+    wins) — blocklist snapshots are replayed in time order and rely on
+    this.
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert ``prefix`` mapping to ``value``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = _bit(prefix.network, depth)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove an exact prefix. Returns True when it was present.
+
+        Leaves empty interior nodes in place; the trie is build-heavy and
+        query-heavy, not delete-heavy, so compaction is not worth the
+        bookkeeping.
+        """
+        node: Optional[_Node[V]] = self._root
+        for depth in range(prefix.length):
+            if node is None:
+                return False
+            node = node.children[_bit(prefix.network, depth)]
+        if node is None or not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._count -= 1
+        return True
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """Return the value stored at exactly ``prefix``, or None."""
+        node: Optional[_Node[V]] = self._root
+        for depth in range(prefix.length):
+            if node is None:
+                return None
+            node = node.children[_bit(prefix.network, depth)]
+        if node is not None and node.has_value:
+            return node.value
+        return None
+
+    def lookup(self, ip: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for integer address ``ip``.
+
+        Returns the matching ``(prefix, value)`` pair or None.
+        """
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad address integer: {ip!r}")
+        node: Optional[_Node[V]] = self._root
+        best: Optional[Tuple[int, V]] = None
+        depth = 0
+        while node is not None:
+            if node.has_value:
+                best = (depth, node.value)  # type: ignore[arg-type]
+            if depth == 32:
+                break
+            node = node.children[_bit(ip, depth)]
+            depth += 1
+        if best is None:
+            return None
+        length, value = best
+        mask = 0 if length == 0 else (MAX_IPV4 << (32 - length)) & MAX_IPV4
+        return Prefix(ip & mask, length), value
+
+    def lookup_value(self, ip: int) -> Optional[V]:
+        """Longest-prefix match returning just the value (hot path)."""
+        match = self.lookup(ip)
+        return None if match is None else match[1]
+
+    def covers(self, ip: int) -> bool:
+        """Return True when any stored prefix contains ``ip``."""
+        return self.lookup(ip) is not None
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate ``(prefix, value)`` pairs in address order."""
+        stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        out: List[Tuple[Prefix, V]] = []
+        while stack:
+            node, net, depth = stack.pop()
+            if node.has_value:
+                mask = 0 if depth == 0 else (MAX_IPV4 << (32 - depth)) & MAX_IPV4
+                out.append((Prefix(net & mask, depth), node.value))  # type: ignore[arg-type]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(
+                        (child, net | (bit << (31 - (depth))), depth + 1)
+                    )
+        out.sort(key=lambda item: (item[0].network, item[0].length))
+        return iter(out)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return (prefix for prefix, _ in self.items())
+
+
+class PrefixSet:
+    """A set of IPv4 prefixes with containment queries.
+
+    Thin wrapper over :class:`PrefixTrie` used wherever only membership
+    matters (e.g. "is this address inside the crawl-allowed space?").
+    """
+
+    def __init__(self, prefixes: Optional[Iterator[Prefix]] = None) -> None:
+        self._trie: PrefixTrie[bool] = PrefixTrie()
+        if prefixes is not None:
+            for prefix in prefixes:
+                self.add(prefix)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def add(self, prefix: Prefix) -> None:
+        """Add ``prefix`` to the set."""
+        self._trie.insert(prefix, True)
+
+    def discard(self, prefix: Prefix) -> bool:
+        """Remove an exact prefix; returns True when it was present."""
+        return self._trie.remove(prefix)
+
+    def contains_ip(self, ip: int) -> bool:
+        """True when some member prefix covers integer address ``ip``."""
+        return self._trie.covers(ip)
+
+    def contains_exact(self, prefix: Prefix) -> bool:
+        """True when exactly ``prefix`` is a member."""
+        return self._trie.exact(prefix) is not None
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Prefix):
+            return self.contains_exact(item)
+        if isinstance(item, int):
+            return self.contains_ip(item)
+        raise TypeError(f"cannot test membership of {type(item).__name__}")
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self._trie)
+
+    def prefixes(self) -> List[Prefix]:
+        """All member prefixes in address order."""
+        return list(self._trie)

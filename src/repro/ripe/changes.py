@@ -1,0 +1,117 @@
+"""Why did the address change? — Padmanabhan et al. analysis.
+
+Section 3.2 "extends Padmanabhan et al.'s idea of using the RIPE Atlas
+measurement logs"; their original study ("Reasons Dynamic Addresses
+Change", IMC 2016) classified each observed address change by what
+preceded it: a connectivity outage (power cut, CPE reboot, ISP
+maintenance) or nothing visible (a silent lease-pool renumbering).
+
+This module reproduces that classification over our connection logs:
+an address change whose new-address connect follows a disconnect
+within ``attribution_window_days`` is *outage-associated*; otherwise
+it is *silent*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .connlog import KIND_CONNECT, KIND_DISCONNECT, ConnectionLog
+
+__all__ = ["ChangeRecord", "ChangeReasons", "classify_changes"]
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One observed address change of one probe."""
+
+    probe_id: int
+    day: float
+    old_ip: int
+    new_ip: int
+    #: Gap since the probe was last heard from (days).
+    silence_days: float
+    #: True when a disconnect event preceded this change within the
+    #: attribution window.
+    outage_associated: bool
+
+
+@dataclass
+class ChangeReasons:
+    """All classified changes plus the summary statistics."""
+
+    changes: List[ChangeRecord] = field(default_factory=list)
+
+    def total(self) -> int:
+        """Number of address changes observed."""
+        return len(self.changes)
+
+    def outage_associated(self) -> int:
+        """Changes that followed a visible outage."""
+        return sum(1 for c in self.changes if c.outage_associated)
+
+    def outage_fraction(self) -> float:
+        """Fraction of changes explained by outages."""
+        if not self.changes:
+            return 0.0
+        return self.outage_associated() / len(self.changes)
+
+    def median_silence_days(self) -> float:
+        """Median quiet time preceding a change."""
+        if not self.changes:
+            return 0.0
+        ordered = sorted(c.silence_days for c in self.changes)
+        return ordered[len(ordered) // 2]
+
+
+def classify_changes(
+    log: ConnectionLog,
+    *,
+    attribution_window_days: float = 1.0,
+) -> ChangeReasons:
+    """Classify every address change in ``log``.
+
+    For each probe, walk the raw event stream in time order; when a
+    connect shows a new address, attribute it to the most recent
+    disconnect if one occurred within the window and after the previous
+    connect.
+    """
+    if attribution_window_days <= 0:
+        raise ValueError("attribution window must be positive")
+    reasons = ChangeReasons()
+    for probe_id, events in log.by_probe().items():
+        current_ip: Optional[int] = None
+        last_seen: Optional[float] = None
+        last_disconnect: Optional[float] = None
+        for event in events:
+            if event.kind == KIND_DISCONNECT:
+                last_disconnect = event.day
+                continue
+            if event.kind != KIND_CONNECT:
+                continue
+            if current_ip is not None and event.ip != current_ip:
+                outage = (
+                    last_disconnect is not None
+                    and event.day - last_disconnect
+                    <= attribution_window_days
+                    and (last_seen is None or last_disconnect >= last_seen - 1e-9)
+                )
+                reasons.changes.append(
+                    ChangeRecord(
+                        probe_id=probe_id,
+                        day=event.day,
+                        old_ip=current_ip,
+                        new_ip=event.ip,
+                        silence_days=(
+                            event.day - last_seen
+                            if last_seen is not None
+                            else 0.0
+                        ),
+                        outage_associated=bool(outage),
+                    )
+                )
+            current_ip = event.ip
+            last_seen = event.day
+        # probe ends; nothing to flush
+    return reasons

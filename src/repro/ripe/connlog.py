@@ -1,0 +1,137 @@
+"""RIPE Atlas connection-log records.
+
+Every Atlas probe reports to the central infrastructure; its connection
+log records when it (re)connects and from which public address. The
+paper mines exactly this: per-probe address sequences over 16 months.
+We reproduce the same minimal schema — (probe_id, day, ip) connect
+events — plus JSONL persistence so pipelines run over files, like the
+real measurement would.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Union
+
+__all__ = [
+    "KIND_CONNECT",
+    "KIND_DISCONNECT",
+    "ConnectionEvent",
+    "ConnectionLog",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+KIND_CONNECT = "connect"
+KIND_DISCONNECT = "disconnect"
+
+
+@dataclass(frozen=True)
+class ConnectionEvent:
+    """One probe connection-state event seen by the Atlas
+    infrastructure: a (re)connect from an address, or a disconnect
+    (the probe dropping off; ``ip`` is the address it last held)."""
+
+    probe_id: int
+    day: float
+    ip: int
+    kind: str = KIND_CONNECT
+
+    def __post_init__(self) -> None:
+        if self.probe_id < 0:
+            raise ValueError(f"bad probe id {self.probe_id}")
+        if self.day < 0:
+            raise ValueError(f"negative day {self.day}")
+        if self.kind not in (KIND_CONNECT, KIND_DISCONNECT):
+            raise ValueError(f"bad event kind {self.kind!r}")
+
+
+class ConnectionLog:
+    """Append-only connection log with per-probe views."""
+
+    def __init__(self, events: Iterable[ConnectionEvent] = ()) -> None:
+        self._events: List[ConnectionEvent] = []
+        for event in events:
+            self.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ConnectionEvent]:
+        return iter(self._events)
+
+    def append(self, event: ConnectionEvent) -> None:
+        """Add one event."""
+        self._events.append(event)
+
+    def probe_ids(self) -> List[int]:
+        """Every probe that appears in the log."""
+        return sorted({e.probe_id for e in self._events})
+
+    def by_probe(self) -> Dict[int, List[ConnectionEvent]]:
+        """Events grouped by probe, time-ordered within each probe."""
+        grouped: Dict[int, List[ConnectionEvent]] = {}
+        for event in self._events:
+            grouped.setdefault(event.probe_id, []).append(event)
+        for events in grouped.values():
+            events.sort(key=lambda e: e.day)
+        return grouped
+
+    def address_sequence(self, probe_id: int) -> List[ConnectionEvent]:
+        """The probe's *connect* events with consecutive duplicates
+        collapsed — reconnects from an unchanged address are not
+        address changes, and disconnects carry no new address."""
+        sequence: List[ConnectionEvent] = []
+        for event in sorted(
+            (
+                e
+                for e in self._events
+                if e.probe_id == probe_id and e.kind == KIND_CONNECT
+            ),
+            key=lambda e: e.day,
+        ):
+            if not sequence or sequence[-1].ip != event.ip:
+                sequence.append(event)
+        return sequence
+
+
+def write_jsonl(log: ConnectionLog, path: Union[str, Path]) -> int:
+    """Persist the log as JSON Lines; returns the event count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in log:
+            record = {"p": event.probe_id, "d": event.day, "ip": event.ip}
+            if event.kind != KIND_CONNECT:
+                record["k"] = event.kind
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> ConnectionLog:
+    """Load a connection log written by :func:`write_jsonl`."""
+    log = ConnectionLog()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                log.append(
+                    ConnectionEvent(
+                        probe_id=int(obj["p"]),
+                        day=float(obj["d"]),
+                        ip=int(obj["ip"]),
+                        kind=obj.get("k", KIND_CONNECT),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad connection event: {exc}"
+                ) from exc
+    return log

@@ -1,0 +1,113 @@
+"""Knee-point detection — Satopää et al., "Finding a 'Kneedle' in a
+Haystack" (ICDCSW 2011).
+
+The paper uses this to pick the allocation-count threshold (8) that
+separates frequently-readdressed RIPE probes from the rest (Figure 2).
+The implementation follows the published algorithm: min-max normalise,
+compute the difference curve against the chord, and take the maximum
+difference, honouring curve shape (concave/convex) and direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["find_knee_index", "find_knee", "allocation_threshold"]
+
+
+def _normalise(values: Sequence[float]) -> List[float]:
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return [0.0 for _ in values]
+    return [(v - lo) / (hi - lo) for v in values]
+
+
+def _smooth(values: Sequence[float], window: int) -> List[float]:
+    """Centred moving average (the paper's smoothing spline stand-in;
+    adequate for monotone step curves)."""
+    if window <= 1:
+        return list(values)
+    half = window // 2
+    out: List[float] = []
+    for index in range(len(values)):
+        lo = max(0, index - half)
+        hi = min(len(values), index + half + 1)
+        out.append(sum(values[lo:hi]) / (hi - lo))
+    return out
+
+
+def find_knee_index(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    curve: str = "convex",
+    direction: str = "increasing",
+    smoothing: int = 1,
+) -> Optional[int]:
+    """Index of the knee/elbow of the discrete curve (xs, ys).
+
+    ``curve='convex'`` finds the knee of a flat-then-steep curve (our
+    Figure 2 shape); ``'concave'`` finds the elbow of diminishing
+    returns. Returns None for degenerate inputs (fewer than 3 points or
+    a flat curve).
+    """
+    if curve not in ("convex", "concave"):
+        raise ValueError(f"curve must be convex/concave, got {curve!r}")
+    if direction not in ("increasing", "decreasing"):
+        raise ValueError(f"bad direction {direction!r}")
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 3:
+        return None
+    if min(ys) == max(ys):
+        return None
+    x_norm = _normalise(xs)
+    y_norm = _normalise(_smooth(ys, smoothing))
+    if direction == "decreasing":
+        x_norm = [1.0 - x for x in x_norm]
+        x_norm.reverse()
+        y_norm = list(reversed(y_norm))
+    if curve == "concave":
+        differences = [y - x for x, y in zip(x_norm, y_norm)]
+    else:
+        differences = [x - y for x, y in zip(x_norm, y_norm)]
+    best_index = max(range(len(differences)), key=differences.__getitem__)
+    if differences[best_index] <= 0:
+        return None
+    if direction == "decreasing":
+        best_index = len(xs) - 1 - best_index
+    return best_index
+
+
+def find_knee(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    **kwargs,
+) -> Optional[Tuple[float, float]]:
+    """The (x, y) coordinates of the knee, or None."""
+    index = find_knee_index(xs, ys, **kwargs)
+    if index is None:
+        return None
+    return xs[index], ys[index]
+
+
+def allocation_threshold(
+    allocation_counts: Sequence[int], *, fallback: int = 8
+) -> int:
+    """The paper's Figure 2 procedure: sort per-probe allocation counts
+    ascending, find the knee of the resulting convex increasing curve,
+    and return the allocation count at the knee.
+
+    Falls back to the paper's published value (8) when the curve is
+    degenerate (e.g. a tiny test scenario where every probe is static).
+    """
+    if not allocation_counts:
+        return fallback
+    ys = sorted(allocation_counts)
+    xs = list(range(len(ys)))
+    knee = find_knee(xs, [float(y) for y in ys], curve="convex")
+    if knee is None:
+        return fallback
+    threshold = int(knee[1])
+    return max(threshold, 2)

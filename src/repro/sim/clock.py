@@ -1,0 +1,58 @@
+"""Simulated time.
+
+All simulators share one :class:`SimClock`. Time is a float count of
+seconds since the scenario epoch; helpers convert to the day/hour units
+the paper reports in ("removed within nine days", "pings every hour").
+"""
+
+from __future__ import annotations
+
+__all__ = ["SECOND", "MINUTE", "HOUR", "DAY", "SimClock"]
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+
+class SimClock:
+    """Monotonic simulated clock.
+
+    Only the scheduler advances it; everything else reads ``now``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before epoch: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since epoch."""
+        return self._now
+
+    @property
+    def now_days(self) -> float:
+        """Current time expressed in days."""
+        return self._now / DAY
+
+    @property
+    def now_hours(self) -> float:
+        """Current time expressed in hours."""
+        return self._now / HOUR
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Moving backwards is a scheduler bug and raises immediately —
+        a silently time-travelling simulation produces unexplainable
+        measurement artefacts.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {when} < {self._now}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f}s / day {self.now_days:.2f})"

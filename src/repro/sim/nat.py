@@ -1,0 +1,235 @@
+"""Address-translation layer: public hosts, home NATs and CGNs.
+
+Simulated BitTorrent users never touch the fabric directly — they open
+*sockets* from either a :class:`HostStack` (public address, one user) or
+a :class:`NatGateway` (one public address shared by several users). The
+gateway rewrites ports exactly like a real NAT, which is what creates
+the multi-port/multi-node_id signature the paper's crawler detects.
+
+NAT behaviours modelled:
+
+* ``FULL_CONE`` — the mapping accepts inbound from anyone (UPnP/NAT-PMP
+  port forwards and endpoint-independent NATs). These users are
+  reachable by the crawler.
+* ``ADDRESS_RESTRICTED`` — inbound is accepted only from addresses the
+  internal host has already contacted. The crawler (which the peer has
+  never talked to) gets silence: this is why the paper can only ever
+  report a *lower bound* on users behind a NAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from ..net.ports import PortAllocator
+from .udp import Datagram, Endpoint, UdpFabric
+
+__all__ = [
+    "NatBehaviour",
+    "Socket",
+    "HostStack",
+    "NatGateway",
+    "NatStats",
+]
+
+ReceiveHandler = Callable[[Datagram], None]
+
+
+class NatBehaviour:
+    """Inbound-filtering behaviour of a NAT mapping."""
+
+    FULL_CONE = "full_cone"
+    ADDRESS_RESTRICTED = "address_restricted"
+
+    ALL = (FULL_CONE, ADDRESS_RESTRICTED)
+
+
+class Socket:
+    """A bound UDP socket as seen by a simulated peer.
+
+    ``endpoint`` is the *public* view — what other DHT nodes (and the
+    crawler) observe in get_nodes responses.
+    """
+
+    def __init__(self, endpoint: Endpoint, owner: "_SocketOwner") -> None:
+        self._endpoint = endpoint
+        self._owner = owner
+        self._handler: Optional[ReceiveHandler] = None
+        self._closed = False
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """Public (ip, port) endpoint of this socket."""
+        return self._endpoint
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        """Install the inbound datagram handler."""
+        self._handler = handler
+
+    def send(self, dst: Endpoint, payload: bytes) -> None:
+        """Send ``payload`` to ``dst`` from this socket."""
+        if self._closed:
+            raise RuntimeError(f"socket {self._endpoint} is closed")
+        self._owner._socket_send(self, dst, payload)
+
+    def close(self) -> None:
+        """Release the socket (and its NAT mapping / port). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._owner._socket_closed(self)
+
+    def _dispatch(self, datagram: Datagram) -> None:
+        if self._closed or self._handler is None:
+            return
+        self._handler(datagram)
+
+
+class _SocketOwner:
+    """Interface both socket factories implement."""
+
+    def _socket_send(self, sock: Socket, dst: Endpoint, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _socket_closed(self, sock: Socket) -> None:
+        raise NotImplementedError
+
+
+class HostStack(_SocketOwner):
+    """A host holding a public IP address of its own.
+
+    Sockets bind straight onto the fabric; the port is either chosen by
+    the caller (a configured BitTorrent port) or allocated from the
+    client-typical range.
+    """
+
+    def __init__(self, fabric: UdpFabric, ip: int, rng) -> None:
+        self._fabric = fabric
+        self.ip = ip
+        self._allocator = PortAllocator(rng, 1024, 65535)
+
+    def open_socket(self, port: Optional[int] = None) -> Socket:
+        """Bind a socket; ``port=None`` draws from the allocator."""
+        if port is None:
+            port = self._allocator.allocate()
+        elif not self._allocator.claim(port):
+            raise ValueError(f"port {port} unavailable on {self.ip}")
+        endpoint = Endpoint(self.ip, port)
+        sock = Socket(endpoint, self)
+        self._fabric.bind(endpoint, sock._dispatch)
+        return sock
+
+    def _socket_send(self, sock: Socket, dst: Endpoint, payload: bytes) -> None:
+        self._fabric.send(sock.endpoint, dst, payload)
+
+    def _socket_closed(self, sock: Socket) -> None:
+        self._fabric.unbind(sock.endpoint)
+        self._allocator.release(sock.endpoint.port)
+
+
+@dataclass
+class NatStats:
+    """Per-gateway drop accounting."""
+
+    inbound_no_mapping: int = 0
+    inbound_restricted: int = 0
+    inbound_delivered: int = 0
+
+
+@dataclass
+class _Mapping:
+    socket: Socket
+    behaviour: str
+    permitted: Set[int] = field(default_factory=set)  # remote IPs contacted
+
+
+class NatGateway(_SocketOwner):
+    """One public IP shared by several internal users.
+
+    A home NAT and a carrier-grade NAT differ only in scale here: the
+    number of sockets opened behind the gateway and the size of the
+    port pool under translation.
+    """
+
+    def __init__(self, fabric: UdpFabric, public_ip: int, rng) -> None:
+        self._fabric = fabric
+        self.public_ip = public_ip
+        self._allocator = PortAllocator(rng, 1024, 65535)
+        self._mappings: Dict[int, _Mapping] = {}
+        self.stats = NatStats()
+        self._fabric.bind_ip(public_ip, self._inbound)
+
+    @property
+    def active_mappings(self) -> int:
+        """Currently-translated port mappings."""
+        return len(self._mappings)
+
+    def open_socket(
+        self,
+        *,
+        behaviour: str = NatBehaviour.ADDRESS_RESTRICTED,
+        forwarded_port: Optional[int] = None,
+    ) -> Socket:
+        """Open a translated socket for one internal user.
+
+        ``forwarded_port`` emulates a UPnP/static port-forward: the
+        public port is pinned and the mapping behaves as full-cone.
+        """
+        if behaviour not in NatBehaviour.ALL:
+            raise ValueError(f"unknown NAT behaviour {behaviour!r}")
+        if forwarded_port is not None:
+            if not self._allocator.claim(forwarded_port):
+                raise ValueError(
+                    f"public port {forwarded_port} unavailable on gateway"
+                )
+            public_port = forwarded_port
+            behaviour = NatBehaviour.FULL_CONE
+        else:
+            public_port = self._allocator.allocate()
+        endpoint = Endpoint(self.public_ip, public_port)
+        sock = Socket(endpoint, self)
+        self._mappings[public_port] = _Mapping(sock, behaviour)
+        return sock
+
+    def shutdown(self) -> None:
+        """Tear the gateway down (close every socket, release the IP)."""
+        for mapping in list(self._mappings.values()):
+            mapping.socket.close()
+        self._fabric.unbind_ip(self.public_ip)
+
+    # -- _SocketOwner ------------------------------------------------
+
+    def _socket_send(self, sock: Socket, dst: Endpoint, payload: bytes) -> None:
+        mapping = self._mappings.get(sock.endpoint.port)
+        if mapping is None or mapping.socket is not sock:
+            raise RuntimeError("send on socket with no NAT mapping")
+        mapping.permitted.add(dst.ip)
+        self._fabric.send(sock.endpoint, dst, payload)
+
+    def _socket_closed(self, sock: Socket) -> None:
+        port = sock.endpoint.port
+        mapping = self._mappings.pop(port, None)
+        if mapping is not None:
+            self._allocator.release(port)
+
+    # -- inbound path ------------------------------------------------
+
+    def _inbound(self, datagram: Datagram) -> None:
+        mapping = self._mappings.get(datagram.dst.port)
+        if mapping is None:
+            self.stats.inbound_no_mapping += 1
+            return
+        if (
+            mapping.behaviour == NatBehaviour.ADDRESS_RESTRICTED
+            and datagram.src.ip not in mapping.permitted
+        ):
+            self.stats.inbound_restricted += 1
+            return
+        self.stats.inbound_delivered += 1
+        mapping.socket._dispatch(datagram)

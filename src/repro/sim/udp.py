@@ -1,0 +1,171 @@
+"""Simulated UDP fabric.
+
+The BitTorrent crawler and the simulated peers exchange real bencoded
+KRPC datagrams over this fabric. It models exactly the properties the
+paper's methodology has to survive:
+
+* **loss** — bt_ping runs over UDP; the paper reports a 48.6% response
+  rate and compensates with hourly re-pings;
+* **latency** — responses arrive after a delay, so the crawler needs
+  timeouts and transaction matching;
+* **unreachable endpoints** — stale routing-table entries point at ports
+  nobody listens on any more (the false-NAT signal bt_ping verification
+  is designed to reject).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..net.ipv4 import int_to_ip, is_valid_ip_int
+from ..net.ports import is_valid_port
+from .events import Scheduler
+from .rng import RngHub
+
+__all__ = ["Endpoint", "Datagram", "FabricStats", "UdpFabric"]
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A public (ip, port) UDP endpoint. ``ip`` is an integer address."""
+
+    ip: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if not is_valid_ip_int(self.ip):
+            raise ValueError(f"bad endpoint address: {self.ip!r}")
+        if not is_valid_port(self.port):
+            raise ValueError(f"bad endpoint port: {self.port!r}")
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.ip)}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP datagram in flight."""
+
+    src: Endpoint
+    dst: Endpoint
+    payload: bytes
+
+
+@dataclass
+class FabricStats:
+    """Fabric-wide delivery counters (crawler traffic accounting —
+    the paper reports 1.6B pings sent / 779M responses)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_unbound: int = 0
+
+    def delivery_rate(self) -> float:
+        """Fraction of sent datagrams that reached a listener."""
+        return self.delivered / self.sent if self.sent else 0.0
+
+
+Handler = Callable[[Datagram], None]
+
+
+class UdpFabric:
+    """Best-effort datagram delivery between bound endpoints.
+
+    Listeners bind exact ``(ip, port)`` endpoints. A NAT gateway instead
+    binds its whole public IP with :meth:`bind_ip` and demultiplexes
+    ports itself (that *is* what a NAT does).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng_hub: RngHub,
+        *,
+        loss_rate: float = 0.3,
+        latency_min: float = 0.02,
+        latency_max: float = 0.4,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        if not 0 < latency_min <= latency_max:
+            raise ValueError(
+                f"bad latency range [{latency_min}, {latency_max}]"
+            )
+        self._scheduler = scheduler
+        self._rng = rng_hub.stream("udp.fabric")
+        self._loss_rate = loss_rate
+        self._latency_min = latency_min
+        self._latency_max = latency_max
+        self._endpoints: Dict[Endpoint, Handler] = {}
+        self._ip_handlers: Dict[int, Handler] = {}
+        self.stats = FabricStats()
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The event loop datagrams are delivered on."""
+        return self._scheduler
+
+    # -- binding -----------------------------------------------------
+
+    def bind(self, endpoint: Endpoint, handler: Handler) -> None:
+        """Attach ``handler`` to an exact endpoint."""
+        if endpoint.ip in self._ip_handlers:
+            raise ValueError(
+                f"{int_to_ip(endpoint.ip)} is owned by an IP-level handler"
+            )
+        if endpoint in self._endpoints:
+            raise ValueError(f"endpoint {endpoint} already bound")
+        self._endpoints[endpoint] = handler
+
+    def unbind(self, endpoint: Endpoint) -> None:
+        """Detach the handler for ``endpoint``; missing bindings raise."""
+        if endpoint not in self._endpoints:
+            raise KeyError(f"endpoint {endpoint} is not bound")
+        del self._endpoints[endpoint]
+
+    def bind_ip(self, ip: int, handler: Handler) -> None:
+        """Attach ``handler`` to every port of ``ip`` (NAT gateways)."""
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad address integer: {ip!r}")
+        if ip in self._ip_handlers:
+            raise ValueError(f"{int_to_ip(ip)} already has an IP handler")
+        if any(ep.ip == ip for ep in self._endpoints):
+            raise ValueError(
+                f"{int_to_ip(ip)} already has port-level bindings"
+            )
+        self._ip_handlers[ip] = handler
+
+    def unbind_ip(self, ip: int) -> None:
+        """Detach an IP-level handler."""
+        if ip not in self._ip_handlers:
+            raise KeyError(f"{int_to_ip(ip)} has no IP handler")
+        del self._ip_handlers[ip]
+
+    def is_bound(self, endpoint: Endpoint) -> bool:
+        """True when a datagram to ``endpoint`` would find a listener."""
+        return endpoint in self._endpoints or endpoint.ip in self._ip_handlers
+
+    # -- sending -----------------------------------------------------
+
+    def send(self, src: Endpoint, dst: Endpoint, payload: bytes) -> None:
+        """Send one datagram. Loss and latency are applied here;
+        delivery happens as a scheduled event."""
+        self.stats.sent += 1
+        if self._loss_rate and self._rng.random() < self._loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        latency = self._rng.uniform(self._latency_min, self._latency_max)
+        datagram = Datagram(src, dst, payload)
+        self._scheduler.after(latency, lambda: self._deliver(datagram))
+
+    def _deliver(self, datagram: Datagram) -> None:
+        handler = self._endpoints.get(datagram.dst)
+        if handler is None:
+            handler = self._ip_handlers.get(datagram.dst.ip)
+        if handler is None:
+            self.stats.dropped_unbound += 1
+            return
+        self.stats.delivered += 1
+        handler(datagram)

@@ -1,0 +1,131 @@
+"""Survey tabulation: Table 1 and Figure 9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.tables import render_table
+from .model import BLOCKLIST_TYPES, SurveyResponse
+
+__all__ = ["SurveySummary", "summarize", "figure9_usage", "render_table1"]
+
+
+@dataclass
+class SurveySummary:
+    """Table 1's cells."""
+
+    respondents: int
+    pct_external: float
+    paid_avg: float
+    paid_max: int
+    public_avg: float
+    public_max: int
+    pct_direct_block: float
+    pct_threat_intel: float
+    reuse_respondents: int
+    pct_dynamic_issue: float
+    pct_cgn_issue: float
+
+
+def summarize(responses: Sequence[SurveyResponse]) -> SurveySummary:
+    """Compute Table 1 from a response set."""
+    if not responses:
+        raise ValueError("no survey responses to summarise")
+    n = len(responses)
+    external = [r for r in responses if r.uses_external]
+    answered = [r for r in responses if r.answered_reuse_questions()]
+    return SurveySummary(
+        respondents=n,
+        pct_external=100.0 * len(external) / n,
+        paid_avg=(
+            sum(r.paid_lists for r in external) / len(external)
+            if external
+            else 0.0
+        ),
+        paid_max=max((r.paid_lists for r in external), default=0),
+        public_avg=(
+            sum(r.public_lists for r in external) / len(external)
+            if external
+            else 0.0
+        ),
+        public_max=max((r.public_lists for r in external), default=0),
+        pct_direct_block=100.0 * sum(r.direct_block for r in responses) / n,
+        pct_threat_intel=100.0
+        * sum(r.threat_intel_input for r in responses)
+        / n,
+        reuse_respondents=len(answered),
+        pct_dynamic_issue=(
+            100.0
+            * sum(bool(r.dynamic_hurts_accuracy) for r in answered)
+            / len(answered)
+            if answered
+            else 0.0
+        ),
+        pct_cgn_issue=(
+            100.0
+            * sum(bool(r.cgn_hurts_accuracy) for r in answered)
+            / len(answered)
+            if answered
+            else 0.0
+        ),
+    )
+
+
+def figure9_usage(
+    responses: Sequence[SurveyResponse],
+) -> List[Tuple[str, float]]:
+    """Blocklist-type usage among reuse-affected operators, sorted by
+    descending usage (Figure 9's bars)."""
+    affected = [r for r in responses if r.faced_reuse_issues()]
+    if not affected:
+        return [(t, 0.0) for t in BLOCKLIST_TYPES]
+    usage = [
+        (
+            type_name,
+            100.0
+            * sum(type_name in r.blocklist_types for r in affected)
+            / len(affected),
+        )
+        for type_name in BLOCKLIST_TYPES
+    ]
+    usage.sort(key=lambda kv: -kv[1])
+    return usage
+
+
+def render_table1(summary: SurveySummary) -> str:
+    """Table 1 in the paper's layout."""
+    rows = [
+        ("Blocklist usage", "External blocklists", f"{summary.pct_external:.0f}%"),
+        (
+            "",
+            "Paid-for blocklists",
+            f"Avg:{summary.paid_avg:.0f} Max:{summary.paid_max}",
+        ),
+        (
+            "",
+            "Public blocklists",
+            f"Avg:{summary.public_avg:.0f} Max:{summary.public_max}",
+        ),
+        ("Active defense", "Directly block IPs", f"{summary.pct_direct_block:.0f}%"),
+        (
+            "",
+            "Threat intelligence system",
+            f"{summary.pct_threat_intel:.0f}%",
+        ),
+        ("Issues", "Dynamic addressing*", f"{summary.pct_dynamic_issue:.0f}%"),
+        ("", "Carrier-grade NATs*", f"{summary.pct_cgn_issue:.0f}%"),
+    ]
+    note = (
+        f"(*) answered by {summary.reuse_respondents} of "
+        f"{summary.respondents} respondents"
+    )
+    return (
+        render_table(
+            ["Question", "Item", "Response"],
+            rows,
+            title="Table 1: Summary of survey responses",
+        )
+        + "\n"
+        + note
+    )

@@ -1,0 +1,145 @@
+"""Synthetic survey-respondent generation.
+
+Reproduces the published marginals of the 65-operator survey:
+
+* 85% use external blocklists, ~70% maintain internal ones;
+* 59% block directly, 35% feed a threat-intelligence system;
+* paid lists: average 2, maximum 39; public lists: average 10,
+  maximum 68 (heavy-tailed — most operators use a handful, one uses
+  dozens);
+* 34 of 65 answered the reuse questions; of those 56% blame CGN and
+  76% blame dynamic addressing for inaccuracy;
+* blocklist-type usage among operators with reuse issues follows
+  Figure 9 (spam and reputation lists on top).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .model import BLOCKLIST_TYPES, NETWORK_TYPES, SurveyResponse
+
+__all__ = ["SURVEY_SIZE", "FIGURE9_USAGE", "generate_responses"]
+
+SURVEY_SIZE = 65
+
+#: Approximate Figure 9 usage rates (fraction of reuse-affected
+#: operators using each external blocklist type), read off the plot.
+FIGURE9_USAGE: Dict[str, float] = {
+    "spam": 0.93,
+    "reputation": 0.86,
+    "ddos": 0.76,
+    "bruteforce": 0.69,
+    "ransomware": 0.59,
+    "ssh": 0.52,
+    "http": 0.45,
+    "backdoor": 0.34,
+    "ftp": 0.24,
+    "banking": 0.17,
+    "voip": 0.10,
+}
+
+_REGIONS = ("EU", "NA", "AS", "SA", "AF")
+
+
+def _heavy_tailed_count(
+    rng: random.Random, mean: float, maximum: int
+) -> int:
+    """Geometric-ish draw with the observed mean, clipped to the
+    observed maximum; the max itself appears via the clip."""
+    if mean <= 0:
+        return 0
+    p = 1.0 / (mean + 1.0)
+    count = 0
+    while rng.random() > p and count < maximum:
+        count += 1
+    return count
+
+
+def generate_responses(
+    rng: random.Random, *, n: int = SURVEY_SIZE
+) -> List[SurveyResponse]:
+    """Generate ``n`` responses with the published marginals."""
+    if n <= 0:
+        raise ValueError("need a positive respondent count")
+    responses: List[SurveyResponse] = []
+    # Exactly the published counts when n == 65; proportional otherwise.
+    n_external = round(n * 0.85)
+    n_internal = round(n * 0.70)
+    n_direct = round(n * 0.59)
+    n_ti = round(n * 0.35)
+    n_answered = round(n * (34 / 65))
+    n_cgn_yes = round(n_answered * (19 / 34))
+    n_dyn_yes = round(n_answered * (26 / 34))
+
+    def flags(k: int) -> List[bool]:
+        out = [True] * k + [False] * (n - k)
+        rng.shuffle(out)
+        return out
+
+    external_flags = flags(n_external)
+    internal_flags = flags(n_internal)
+    direct_flags = flags(n_direct)
+    ti_flags = flags(n_ti)
+    answered_flags = flags(n_answered)
+    # Within answerers, assign CGN/dynamic opinions.
+    answer_slots = [i for i, a in enumerate(answered_flags) if a]
+    cgn_yes = set(rng.sample(answer_slots, min(n_cgn_yes, len(answer_slots))))
+    dyn_yes = set(rng.sample(answer_slots, min(n_dyn_yes, len(answer_slots))))
+
+    # One deliberate whale for each maximum, among external users.
+    external_slots = [i for i, e in enumerate(external_flags) if e]
+    paid_whale = rng.choice(external_slots)
+    public_whale = rng.choice(external_slots)
+
+    for index in range(n):
+        uses_external = external_flags[index]
+        if uses_external:
+            paid = (
+                39
+                if index == paid_whale
+                else _heavy_tailed_count(rng, 1.6, 12)
+            )
+            public = (
+                68
+                if index == public_whale
+                else _heavy_tailed_count(rng, 9.0, 30)
+            )
+        else:
+            paid = 0
+            public = 0
+        answered = answered_flags[index]
+        faced = answered and (index in cgn_yes or index in dyn_yes)
+        if uses_external:
+            types = frozenset(
+                t
+                for t in BLOCKLIST_TYPES
+                if rng.random()
+                < (FIGURE9_USAGE[t] if faced else FIGURE9_USAGE[t] * 0.7)
+            )
+        else:
+            types = frozenset()
+        n_types = rng.randint(1, 3)
+        responses.append(
+            SurveyResponse(
+                respondent_id=index,
+                network_types=tuple(
+                    rng.sample(NETWORK_TYPES, n_types)
+                ),
+                region=rng.choice(_REGIONS),
+                subscribers=int(10 ** rng.uniform(2, 7)),
+                maintains_internal=internal_flags[index],
+                uses_external=uses_external,
+                paid_lists=paid,
+                public_lists=public,
+                direct_block=direct_flags[index],
+                threat_intel_input=ti_flags[index],
+                cgn_hurts_accuracy=(index in cgn_yes) if answered else None,
+                dynamic_hurts_accuracy=(
+                    (index in dyn_yes) if answered else None
+                ),
+                blocklist_types=types,
+            )
+        )
+    return responses

@@ -1,0 +1,90 @@
+"""Operator-survey response schema (paper Section 6, Appendix A/C).
+
+The questionnaire's 24 questions reduce, for the published analysis,
+to the fields below. Responses are synthetic (the original human
+subjects are not reproducible) but the *analysis code* consumes this
+schema exactly as it would consume a real response export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["NETWORK_TYPES", "BLOCKLIST_TYPES", "SurveyResponse"]
+
+NETWORK_TYPES = (
+    "end-user ISP",
+    "enterprise",
+    "content provider",
+    "education",
+    "transit",
+)
+
+#: The blocklist types of Figure 9, in the paper's display order.
+BLOCKLIST_TYPES = (
+    "spam",
+    "reputation",
+    "ddos",
+    "bruteforce",
+    "ransomware",
+    "ssh",
+    "http",
+    "backdoor",
+    "ftp",
+    "banking",
+    "voip",
+)
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """One operator's answers."""
+
+    respondent_id: int
+    network_types: Tuple[str, ...]
+    region: str
+    subscribers: int
+    maintains_internal: bool
+    uses_external: bool
+    paid_lists: int
+    public_lists: int
+    direct_block: bool
+    threat_intel_input: bool
+    #: None = skipped the reuse questions (only 34 of 65 answered).
+    cgn_hurts_accuracy: Optional[bool]
+    dynamic_hurts_accuracy: Optional[bool]
+    #: External blocklist types in use (Figure 9's categories).
+    blocklist_types: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.respondent_id < 0:
+            raise ValueError("respondent id must be non-negative")
+        if self.subscribers < 0:
+            raise ValueError("subscriber count cannot be negative")
+        if self.paid_lists < 0 or self.public_lists < 0:
+            raise ValueError("list counts cannot be negative")
+        unknown_nets = set(self.network_types) - set(NETWORK_TYPES)
+        if unknown_nets:
+            raise ValueError(f"unknown network types {unknown_nets}")
+        unknown_types = set(self.blocklist_types) - set(BLOCKLIST_TYPES)
+        if unknown_types:
+            raise ValueError(f"unknown blocklist types {unknown_types}")
+        if not self.uses_external and (self.paid_lists or self.public_lists):
+            raise ValueError(
+                "a respondent without external lists cannot count them"
+            )
+
+    def answered_reuse_questions(self) -> bool:
+        """True when the reuse questions were answered at all."""
+        return (
+            self.cgn_hurts_accuracy is not None
+            or self.dynamic_hurts_accuracy is not None
+        )
+
+    def faced_reuse_issues(self) -> bool:
+        """Operators who reported accuracy problems from either reuse
+        form — Figure 9's population."""
+        return bool(self.cgn_hurts_accuracy) or bool(
+            self.dynamic_hurts_accuracy
+        )

@@ -1,0 +1,142 @@
+"""Tests for ECDF helpers and text rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import Ecdf, fraction_at_most, percentile
+from repro.analysis.tables import render_comparison, render_series, render_table
+
+
+class TestEcdf:
+    def test_basic(self):
+        cdf = Ecdf([1, 2, 3, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(2) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.min == 1 and cdf.max == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf([])
+
+    def test_median(self):
+        assert Ecdf([1, 2, 3]).median() == 2
+        assert Ecdf([5]).median() == 5
+
+    def test_quantile_bounds(self):
+        cdf = Ecdf([10, 20, 30])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(1.0) == 30
+        with pytest.raises(ValueError):
+            cdf.quantile(1.1)
+
+    def test_points_step_shape(self):
+        cdf = Ecdf([1, 1, 2])
+        points = cdf.points()
+        assert points == [(1, 2 / 3), (2, 1.0)]
+
+    def test_len(self):
+        assert len(Ecdf([1, 2, 2])) == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_monotone_and_consistent(self, samples):
+        cdf = Ecdf(samples)
+        xs = sorted(set(samples))
+        values = [cdf.at(x) for x in xs]
+        assert values == sorted(values)
+        assert cdf.at(max(samples)) == 1.0
+        # quantile/at consistency: F(quantile(q)) >= q
+        for q in (0.1, 0.5, 0.9):
+            assert cdf.at(cdf.quantile(q)) >= q - 1e-12
+
+    def test_helpers(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+        assert fraction_at_most([], 2) == 0.0
+        assert percentile([1, 2, 3, 4], 0.5) == 2
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_downsampling(self):
+        points = [(float(i), float(i) * 2) for i in range(100)]
+        text = render_series(points, title="T", max_points=10)
+        # 10 sample lines + title + header
+        assert len(text.splitlines()) == 12
+
+    def test_empty(self):
+        assert "empty" in render_series([], title="T")
+
+    def test_short_series_kept(self):
+        text = render_series([(1.0, 2.0)], title="T")
+        assert "1" in text
+
+
+class TestRenderComparison:
+    def test_shape(self):
+        text = render_comparison(
+            [("metric", 10, 12)], title="Cmp"
+        )
+        assert "paper" in text and "measured" in text and "metric" in text
+
+
+class TestAsciiFigures:
+    def test_columns_shape(self):
+        from repro.analysis.figures import ascii_columns
+
+        text = ascii_columns([10, 5, 1], title="T", height=4)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 4 + 2  # title + rows + axis + caption
+        assert "#" in text
+
+    def test_columns_log_scale_caption(self):
+        from repro.analysis.figures import ascii_columns
+
+        text = ascii_columns([1000, 1], title="T", log_scale=True)
+        assert "log10" in text
+
+    def test_columns_downsamples(self):
+        from repro.analysis.figures import ascii_columns
+
+        text = ascii_columns(list(range(500)), title="T", max_columns=40)
+        axis = [l for l in text.splitlines() if l.strip().startswith("+")][0]
+        assert len(axis.strip()) <= 41 + 1
+
+    def test_columns_empty(self):
+        from repro.analysis.figures import ascii_columns
+
+        assert "empty" in ascii_columns([], title="T")
+
+    def test_cdf_shape(self):
+        from repro.analysis.figures import ascii_cdf
+
+        text = ascii_cdf([(0, 0.5), (10, 1.0)], title="C", height=5, width=20)
+        assert text.splitlines()[0] == "C"
+        assert "*" in text
+        assert "1.00" in text and "0.00" in text
+
+    def test_cdf_empty(self):
+        from repro.analysis.figures import ascii_cdf
+
+        assert "empty" in ascii_cdf([], title="C")

@@ -1,0 +1,120 @@
+"""Tests for the Cai et al. ICMP census baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.icmp_census import CensusConfig, run_census
+from repro.internet.population import PopulationConfig, build_population
+from repro.internet.topology import TopologyConfig, build_topology
+
+
+def census_world(seed=5, fast_fraction=0.5):
+    topo = build_topology(
+        TopologyConfig(n_eyeball=4, n_hosting=1, n_backbone=1, max_slash16s=1),
+        random.Random(seed),
+    )
+    config = PopulationConfig(
+        static_single_lines_per_16=25,
+        home_nat_lines_per_16=4,
+        cgn_sites_per_16=0.0,
+        dynamic_pools_per_as_range=(1, 1),
+        pool_slash24s_range=(1, 1),
+        pool_lines_per_24=40,
+        fast_pool_lines_per_24=20,
+        fast_pool_fraction=fast_fraction,
+        horizon_days=200.0,
+    )
+    return build_population(topo, config, random.Random(seed))
+
+
+class TestCensus:
+    def test_bad_window(self):
+        truth = census_world()
+        with pytest.raises(ValueError):
+            run_census(
+                truth,
+                CensusConfig(window=(10.0, 5.0)),
+                random.Random(1),
+            )
+
+    def test_fast_pools_detected_statics_not(self):
+        truth = census_world()
+        config = CensusConfig(
+            window=(100.0, 180.0),
+            firewalled_fraction=0.1,
+            block_sample_fraction=1.0,
+        )
+        result = run_census(truth, config, random.Random(2))
+        inferred = result.dynamic_blocks()
+        true_fast = truth.fast_dynamic_slash24s(max_mean_days=2.0)
+        # Every true fast block covered by the census should be flagged...
+        covered_fast = {
+            b for b in true_fast if b.network in result.metrics
+        }
+        assert covered_fast
+        assert covered_fast <= inferred
+        # ...and no purely-static block may be flagged.
+        dynamic_all = truth.dynamic_slash24s()
+        for block in inferred:
+            assert block in dynamic_all
+
+    def test_full_firewalling_hides_everything(self):
+        truth = census_world()
+        config = CensusConfig(
+            window=(100.0, 180.0),
+            firewalled_fraction=1.0,
+            middlebox_fraction=0.0,
+            block_sample_fraction=1.0,
+        )
+        result = run_census(truth, config, random.Random(3))
+        assert not result.dynamic_blocks()
+
+    def test_block_sampling_reduces_coverage(self):
+        truth = census_world()
+        full = run_census(
+            truth,
+            CensusConfig(window=(100.0, 180.0), block_sample_fraction=1.0),
+            random.Random(4),
+        )
+        sampled = run_census(
+            truth,
+            CensusConfig(window=(100.0, 180.0), block_sample_fraction=0.3),
+            random.Random(4),
+        )
+        assert len(sampled.metrics) < len(full.metrics)
+
+    def test_probe_accounting(self):
+        truth = census_world()
+        config = CensusConfig(
+            window=(100.0, 130.0),
+            probe_interval_days=1.0,
+            block_sample_fraction=1.0,
+        )
+        result = run_census(truth, config, random.Random(5))
+        assert result.probes_sent > 0
+        assert result.probes_sent % 30 == 0  # whole rounds per address
+
+    def test_covers_query(self):
+        truth = census_world()
+        result = run_census(
+            truth,
+            CensusConfig(window=(100.0, 160.0), block_sample_fraction=1.0),
+            random.Random(6),
+        )
+        some_block = next(iter(result.metrics.values())).block
+        assert result.covers(some_block.first() + 3)
+        assert not result.covers(0xDEADBEEF)
+
+    def test_metrics_ranges(self):
+        truth = census_world()
+        result = run_census(
+            truth,
+            CensusConfig(window=(100.0, 160.0), block_sample_fraction=1.0),
+            random.Random(7),
+        )
+        for m in result.metrics.values():
+            assert 0.0 <= m.availability <= 1.0
+            assert 0.0 <= m.volatility <= 1.0
+            assert m.median_uptime_days >= 0.0
+            assert m.responsive_addresses >= CensusConfig().min_responsive

@@ -1,0 +1,125 @@
+"""Tests for the bencode codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.bencode import BencodeError, bdecode, bencode
+
+
+class TestEncode:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"i0e"),
+            (42, b"i42e"),
+            (-7, b"i-7e"),
+            (b"", b"0:"),
+            (b"spam", b"4:spam"),
+            ("uni", b"3:uni"),
+            ([], b"le"),
+            ([1, b"a"], b"li1e1:ae"),
+            ({}, b"de"),
+            ({b"b": 2, b"a": 1}, b"d1:ai1e1:bi2ee"),  # sorted keys
+        ],
+    )
+    def test_vectors(self, value, expected):
+        assert bencode(value) == expected
+
+    def test_nested(self):
+        value = {b"d": {b"list": [1, 2, [b"x"]]}, b"n": -1}
+        assert bdecode(bencode(value)) == value
+
+    def test_str_keys_coerced(self):
+        assert bencode({"key": 1}) == b"d3:keyi1ee"
+
+    def test_bool_rejected(self):
+        with pytest.raises(BencodeError):
+            bencode(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(BencodeError):
+            bencode(1.5)
+
+    def test_none_rejected(self):
+        with pytest.raises(BencodeError):
+            bencode(None)
+
+    def test_bad_key_type(self):
+        with pytest.raises(BencodeError):
+            bencode({1: 2})
+
+    def test_duplicate_key_via_str_bytes(self):
+        with pytest.raises(BencodeError):
+            bencode({b"a": 1, "a": 2})
+
+
+class TestDecode:
+    def test_empty_input(self):
+        with pytest.raises(BencodeError):
+            bdecode(b"")
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"i12",  # unterminated int
+            b"ie",  # empty int
+            b"i--1e",
+            b"i01e",  # leading zero
+            b"i-0e",  # negative zero
+            b"5:spam",  # short string
+            b"4spam",  # missing colon... actually digit then non-digit
+            b"l",  # unterminated list
+            b"d",  # unterminated dict
+            b"d1:a",  # dict missing value
+            b"di1e1:ae",  # non-bytes key
+            b"d1:ai1e1:ai2ee",  # duplicate key
+            b"x",  # unknown lead byte
+            b"i1ei2e",  # trailing data
+            b"04:spam",  # leading zero in length
+        ],
+    )
+    def test_malformed_rejected(self, blob):
+        with pytest.raises(BencodeError):
+            bdecode(blob)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(BencodeError) as err:
+            bdecode(b"4:spamXX")
+        assert "trailing" in str(err.value)
+
+    def test_non_bytes_input(self):
+        with pytest.raises(BencodeError):
+            bdecode("i1e")  # type: ignore[arg-type]
+
+    def test_memoryview_accepted(self):
+        assert bdecode(memoryview(b"i5e")) == 5
+
+    def test_decodes_unsorted_dict(self):
+        # Real clients emit unsorted dicts; decoder tolerates them.
+        assert bdecode(b"d1:bi2e1:ai1ee") == {b"a": 1, b"b": 2}
+
+
+_bencodable = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**63), max_value=2**63),
+        st.binary(max_size=40),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.binary(max_size=12), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestRoundtrip:
+    @settings(max_examples=150, deadline=None)
+    @given(_bencodable)
+    def test_roundtrip(self, value):
+        assert bdecode(bencode(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(_bencodable)
+    def test_canonical_encoding_stable(self, value):
+        assert bencode(bdecode(bencode(value))) == bencode(value)

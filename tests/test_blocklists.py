@@ -1,0 +1,314 @@
+"""Tests for the blocklist substrate: catalog, formats, timelines, feeds."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocklists.catalog import (
+    MAINTAINERS,
+    build_catalog,
+    catalog_by_maintainer,
+)
+from repro.blocklists.feed import generate_listings, materialize_snapshot
+from repro.blocklists.formats import (
+    FORMATS,
+    FeedFormatError,
+    parse_feed,
+    serialize_feed,
+)
+from repro.blocklists.timeline import (
+    Listing,
+    ListingStore,
+    listings_from_snapshots,
+)
+from repro.internet.abuse import AbuseCategory, AbuseEvent
+from repro.net.ipv4 import Prefix, ip_to_int
+
+
+class TestCatalog:
+    def test_exactly_151_lists(self):
+        assert len(build_catalog()) == 151
+
+    def test_table2_counts_respected(self):
+        grouped = catalog_by_maintainer()
+        for maintainer, count, *_ in MAINTAINERS:
+            assert len(grouped[maintainer]) == count, maintainer
+
+    def test_badips_is_largest(self):
+        grouped = catalog_by_maintainer()
+        assert len(grouped["Bad IPs"]) == 44
+        assert max(len(v) for v in grouped.values()) == 44
+
+    def test_list_ids_unique(self):
+        ids = [info.list_id for info in build_catalog()]
+        assert len(set(ids)) == len(ids)
+
+    def test_surveyed_maintainers_marked(self):
+        grouped = catalog_by_maintainer()
+        for name in ("Abuse.ch", "Nixspam", "Stopforumspam", "Cleantalk"):
+            assert all(info.surveyed for info in grouped[name])
+
+    def test_sensible_parameters(self):
+        for info in build_catalog():
+            assert 0 < info.sensitivity <= 1
+            assert info.removal_ttl_days >= 1
+            assert info.report_lag_days >= 0
+            assert info.fmt in FORMATS
+            assert info.categories
+
+    def test_categories_valid(self):
+        for info in build_catalog():
+            assert set(info.categories) <= set(AbuseCategory.ALL)
+
+
+class TestFormats:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_roundtrip_hosts(self, fmt):
+        entries = [
+            Prefix(ip_to_int("1.2.3.4"), 32),
+            Prefix(ip_to_int("9.9.9.9"), 32),
+        ]
+        doc = serialize_feed(fmt, entries, list_name="test", day=3)
+        assert sorted(parse_feed(fmt, doc)) == sorted(entries)
+
+    def test_cidr_roundtrip_blocks(self):
+        entries = [Prefix.from_text("10.0.0.0/24"), Prefix(ip_to_int("1.1.1.1"), 32)]
+        doc = serialize_feed("cidr", entries)
+        assert sorted(parse_feed("cidr", doc)) == sorted(entries)
+
+    def test_plain_rejects_blocks(self):
+        with pytest.raises(ValueError):
+            serialize_feed("plain", [Prefix.from_text("10.0.0.0/24")])
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            serialize_feed("xml", [])
+        with pytest.raises(ValueError):
+            parse_feed("xml", "")
+
+    def test_parse_tolerates_comments_and_blanks(self):
+        doc = "# header\n\n1.2.3.4  # inline\n; semicolon comment\n5.6.7.8\n"
+        parsed = parse_feed("plain", doc)
+        assert len(parsed) == 2
+
+    def test_parse_rejects_garbage_line(self):
+        with pytest.raises(FeedFormatError) as err:
+            parse_feed("plain", "1.2.3.4\nnot-an-ip\n")
+        assert "line 2" in str(err.value)
+
+    def test_csv_header_and_rows(self):
+        doc = "ip,category,last_seen\n1.2.3.4,spam,5\n"
+        assert parse_feed("csv", doc) == [Prefix(ip_to_int("1.2.3.4"), 32)]
+
+    def test_csv_bad_ip(self):
+        with pytest.raises(FeedFormatError):
+            parse_feed("csv", "ip,category,last_seen\nxxx,spam,5\n")
+
+    def test_csv_empty(self):
+        assert parse_feed("csv", "") == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_plain_roundtrip_property(self, ips):
+        entries = [Prefix(ip, 32) for ip in ips]
+        doc = serialize_feed("plain", entries)
+        assert sorted(parse_feed("plain", doc)) == sorted(entries)
+
+
+class TestListing:
+    def test_duration(self):
+        l = Listing("x", 1, 10, 12)
+        assert l.duration_days() == 3
+        assert l.active_on(10) and l.active_on(12)
+        assert not l.active_on(13)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Listing("x", 1, 5, 4)
+
+    def test_observed_days_clipping(self):
+        l = Listing("x", 1, 10, 50)
+        assert l.observed_days([(20, 30)]) == 11
+        assert l.observed_days([(0, 5)]) == 0
+        assert l.observed_days([(0, 15), (45, 60)]) == 12
+
+    def test_max_observed_run(self):
+        l = Listing("x", 1, 10, 50)
+        assert l.max_observed_run([(0, 15), (20, 60)]) == 31
+
+
+class TestListingStore:
+    def make_store(self):
+        return ListingStore(
+            [
+                Listing("a", 1, 0, 5),
+                Listing("a", 2, 10, 12),
+                Listing("b", 1, 100, 120),
+            ]
+        )
+
+    def test_indexing(self):
+        store = self.make_store()
+        assert store.list_ids() == ["a", "b"]
+        assert len(store.listings_of_list("a")) == 2
+        assert len(store.listings_of_ip(1)) == 2
+        assert store.all_ips() == {1, 2}
+
+    def test_observed_filtering(self):
+        store = self.make_store()
+        observed = store.observed([(0, 6)])
+        assert observed.all_ips() == {1, 2} - {2} | {1}  # only ip 1 visible
+        assert len(observed) == 1
+
+    def test_snapshot(self):
+        store = self.make_store()
+        assert store.snapshot("a", 3) == {1}
+        assert store.snapshot("a", 11) == {2}
+        assert store.snapshot("a", 50) == set()
+
+    def test_listing_count_per_list_with_filter(self):
+        store = self.make_store()
+        counts = store.listing_count_per_list([(0, 200)])
+        assert counts == {"a": 2, "b": 1}
+        counts = store.listing_count_per_list([(0, 200)], ips={1})
+        assert counts == {"a": 1, "b": 1}
+
+    def test_max_run_per_ip(self):
+        store = self.make_store()
+        runs = store.max_run_per_ip([(0, 200)])
+        assert runs[1] == 21
+        assert runs[2] == 3
+
+
+class TestSnapshotsRoundtrip:
+    def test_simple_reconstruction(self):
+        snapshots = {0: {1, 2}, 1: {1}, 2: {1, 3}}
+        listings = listings_from_snapshots(snapshots, "l")
+        assert Listing("l", 1, 0, 2) in listings
+        assert Listing("l", 2, 0, 0) in listings
+        assert Listing("l", 3, 2, 2) in listings
+
+    def test_gap_splits_runs(self):
+        snapshots = {0: {1}, 2: {1}}  # day 1 missing: collection outage
+        listings = listings_from_snapshots(snapshots, "l")
+        assert listings == [Listing("l", 1, 0, 0), Listing("l", 1, 2, 2)]
+
+    def test_empty(self):
+        assert listings_from_snapshots({}, "l") == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=15),
+            st.sets(st.integers(min_value=1, max_value=6), max_size=4),
+            max_size=12,
+        )
+    )
+    def test_roundtrip_property(self, snapshots):
+        """snapshots -> listings -> snapshots is the identity on the
+        observed days."""
+        listings = listings_from_snapshots(snapshots, "l")
+        store = ListingStore(listings)
+        for day, listed in snapshots.items():
+            assert store.snapshot("l", day) == listed
+
+
+class TestFeedGeneration:
+    def make_events(self):
+        ip = ip_to_int("1.2.3.4")
+        return [
+            AbuseEvent(day=d, ip=ip, user_key="u1", category=AbuseCategory.SPAM)
+            for d in (10, 11, 12)
+        ]
+
+    def spam_list(self, **overrides):
+        from repro.blocklists.catalog import BlocklistInfo
+
+        defaults = dict(
+            list_id="spamlist",
+            name="Spam List",
+            maintainer="Test",
+            categories=(AbuseCategory.SPAM,),
+            sensitivity=1.0,
+            removal_ttl_days=3.0,
+            report_lag_days=0,
+        )
+        defaults.update(overrides)
+        return BlocklistInfo(**defaults)
+
+    def test_full_sensitivity_lists_all_days(self):
+        store = generate_listings(
+            self.make_events(), [self.spam_list()], random.Random(1),
+            horizon_days=100,
+        )
+        listings = store.listings_of_list("spamlist")
+        assert len(listings) == 1
+        assert listings[0].first_day == 10
+        assert listings[0].last_day == 15  # 12 + ttl 3
+
+    def test_zero_sensitivity_lists_nothing(self):
+        store = generate_listings(
+            self.make_events(),
+            [self.spam_list(sensitivity=0.0)],
+            random.Random(1),
+            horizon_days=100,
+        )
+        assert len(store) == 0
+
+    def test_wrong_category_ignored(self):
+        store = generate_listings(
+            self.make_events(),
+            [self.spam_list(categories=(AbuseCategory.DDOS,))],
+            random.Random(1),
+            horizon_days=100,
+        )
+        assert len(store) == 0
+
+    def test_gap_beyond_ttl_splits_listing(self):
+        ip = ip_to_int("1.2.3.4")
+        events = [
+            AbuseEvent(day=d, ip=ip, user_key="u", category=AbuseCategory.SPAM)
+            for d in (10, 30)
+        ]
+        store = generate_listings(
+            events, [self.spam_list()], random.Random(1), horizon_days=100
+        )
+        listings = store.listings_of_list("spamlist")
+        assert len(listings) == 2
+
+    def test_report_lag_shifts_listing(self):
+        store = generate_listings(
+            self.make_events(),
+            [self.spam_list(report_lag_days=2)],
+            random.Random(1),
+            horizon_days=100,
+        )
+        assert store.listings_of_list("spamlist")[0].first_day == 12
+
+    def test_listing_clipped_to_horizon(self):
+        ip = ip_to_int("1.2.3.4")
+        events = [
+            AbuseEvent(day=98, ip=ip, user_key="u", category=AbuseCategory.SPAM)
+        ]
+        store = generate_listings(
+            events, [self.spam_list(removal_ttl_days=10.0)], random.Random(1),
+            horizon_days=100,
+        )
+        assert store.listings_of_list("spamlist")[0].last_day == 100
+
+    def test_materialize_snapshot_parses_back(self):
+        info = self.spam_list(fmt="csv")
+        store = generate_listings(
+            self.make_events(), [info], random.Random(1), horizon_days=100
+        )
+        doc = materialize_snapshot(info, store, 11)
+        parsed = parse_feed("csv", doc)
+        assert [p.network for p in parsed] == [ip_to_int("1.2.3.4")]

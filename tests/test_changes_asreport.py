@@ -1,0 +1,130 @@
+"""Tests for change-reason classification and the per-AS reuse report."""
+
+import pytest
+
+from repro.core.asreport import per_as_profiles, render_as_report
+from repro.experiments.runner import cached_run
+from repro.ripe.changes import classify_changes
+from repro.ripe.connlog import (
+    KIND_DISCONNECT,
+    ConnectionEvent,
+    ConnectionLog,
+)
+
+
+def connect(probe, day, ip):
+    return ConnectionEvent(probe, day, ip)
+
+
+def disconnect(probe, day, ip):
+    return ConnectionEvent(probe, day, ip, kind=KIND_DISCONNECT)
+
+
+class TestClassifyChanges:
+    def test_no_changes(self):
+        log = ConnectionLog([connect(1, 0.0, 10), connect(1, 5.0, 10)])
+        reasons = classify_changes(log)
+        assert reasons.total() == 0
+        assert reasons.outage_fraction() == 0.0
+        assert reasons.median_silence_days() == 0.0
+
+    def test_silent_change(self):
+        log = ConnectionLog([connect(1, 0.0, 10), connect(1, 5.0, 20)])
+        reasons = classify_changes(log)
+        assert reasons.total() == 1
+        change = reasons.changes[0]
+        assert not change.outage_associated
+        assert change.old_ip == 10 and change.new_ip == 20
+        assert change.silence_days == 5.0
+
+    def test_outage_associated_change(self):
+        log = ConnectionLog(
+            [
+                connect(1, 0.0, 10),
+                disconnect(1, 3.0, 10),
+                connect(1, 3.4, 20),  # back within the window, new addr
+            ]
+        )
+        reasons = classify_changes(log)
+        assert reasons.total() == 1
+        assert reasons.changes[0].outage_associated
+        assert reasons.outage_fraction() == 1.0
+
+    def test_stale_disconnect_not_attributed(self):
+        log = ConnectionLog(
+            [
+                connect(1, 0.0, 10),
+                disconnect(1, 1.0, 10),
+                connect(1, 1.2, 10),   # came back, same address
+                connect(1, 9.0, 20),   # much later: silent change
+            ]
+        )
+        reasons = classify_changes(log)
+        assert reasons.total() == 1
+        assert not reasons.changes[0].outage_associated
+
+    def test_window_boundary(self):
+        log = ConnectionLog(
+            [
+                connect(1, 0.0, 10),
+                disconnect(1, 5.0, 10),
+                connect(1, 7.5, 20),  # 2.5 days later
+            ]
+        )
+        tight = classify_changes(log, attribution_window_days=1.0)
+        loose = classify_changes(log, attribution_window_days=3.0)
+        assert not tight.changes[0].outage_associated
+        assert loose.changes[0].outage_associated
+
+    def test_multiple_probes_isolated(self):
+        log = ConnectionLog(
+            [
+                connect(1, 0.0, 10),
+                disconnect(1, 2.0, 10),
+                connect(2, 0.0, 99),
+                connect(2, 2.1, 88),  # probe 2 never disconnected
+            ]
+        )
+        reasons = classify_changes(log)
+        assert reasons.total() == 1
+        assert not reasons.changes[0].outage_associated
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            classify_changes(ConnectionLog(), attribution_window_days=0)
+
+    def test_scenario_log_classification_runs(self):
+        run = cached_run("small")
+        reasons = classify_changes(run.scenario.atlas_log)
+        assert reasons.total() > 0
+        assert 0.0 <= reasons.outage_fraction() <= 1.0
+
+
+class TestAsReport:
+    def test_profiles_cover_all_blocklisted(self):
+        run = cached_run("small")
+        profiles = per_as_profiles(run.analysis)
+        assert sum(p.blocklisted for p in profiles) == len(
+            run.analysis.blocklisted_ips
+        )
+
+    def test_profiles_sorted_and_truncated(self):
+        run = cached_run("small")
+        profiles = per_as_profiles(run.analysis, top=3)
+        assert len(profiles) <= 3
+        counts = [p.blocklisted for p in profiles]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_counts_consistent(self):
+        run = cached_run("small")
+        for profile in per_as_profiles(run.analysis):
+            assert profile.bittorrent <= profile.blocklisted
+            assert profile.nated <= profile.blocklisted
+            assert profile.dynamic <= profile.blocklisted
+            assert 0.0 <= profile.reuse_share() <= 1.0
+
+    def test_render(self):
+        run = cached_run("small")
+        text = render_as_report(run.analysis, top=5)
+        assert "AS" in text and "reuse share" in text
+        assert "eyeball" in text or "hosting" in text

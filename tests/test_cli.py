@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalogCommand:
+    def test_prints_table2(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Bad IPs" in out
+        assert "151" in out
+        assert "Total" in out
+
+
+class TestSurveyCommand:
+    def test_prints_table1_and_fig9(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "External blocklists" in out
+        assert "Figure 9" in out
+        assert "spam" in out
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert main(["survey", "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "34 of 65" in out
+
+
+class TestRunCommand:
+    def test_small_run_with_greylist(self, capsys, tmp_path):
+        greylist = tmp_path / "grey.txt"
+        assert main(
+            ["run", "--preset", "small", "--greylist", str(greylist)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "measured" in out
+        assert "ping response rate" in out
+        content = greylist.read_text()
+        assert content.startswith("#")
+        assert "nat" in content or "dynamic" in content
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "galactic"])
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestExportBundle:
+    def test_export_dir_writes_all_artefacts(self, capsys, tmp_path):
+        out = tmp_path / "bundle"
+        assert main(
+            ["run", "--preset", "small", "--export-dir", str(out)]
+        ) == 0
+        names = {p.name for p in out.iterdir()}
+        assert names == {
+            "greylist.txt",
+            "as_report.txt",
+            "window_report.txt",
+            "headline.txt",
+            "crawl_log.jsonl",
+            "atlas_log.jsonl",
+            "world.json",
+            "listings.jsonl",
+        }
+        # The serialized world and logs reload cleanly.
+        from repro.bittorrent.crawllog import read_jsonl as read_crawl
+        from repro.internet.serialize import load_listings, load_truth
+        from repro.ripe.connlog import read_jsonl as read_atlas
+
+        assert len(read_crawl(out / "crawl_log.jsonl")) > 100
+        assert len(read_atlas(out / "atlas_log.jsonl")) > 100
+        truth = load_truth(out / "world.json")
+        assert truth.lines
+        assert len(load_listings(out / "listings.jsonl")) > 10

@@ -1,0 +1,240 @@
+"""Tests for the core reuse analysis on handcrafted inputs."""
+
+import pytest
+
+from repro.blocklists.timeline import Listing, ListingStore
+from repro.core.funnel import compute_funnel
+from repro.core.greylist import (
+    BlockAction,
+    build_greylist,
+    recommend_action,
+    render_greylist,
+)
+from repro.core.impact import duration_stats, per_list_counts, user_impact_stats
+from repro.core.overlap import compute_overlap
+from repro.core.report import PAPER_VALUES, build_report
+from repro.core.reuse import ReuseAnalysis
+from repro.natdetect.detector import NatDetectionResult, NatVerdict
+from repro.net.asdb import ASDatabase, ASRecord
+from repro.net.ipv4 import Prefix, ip_to_int
+from repro.ripe.pipeline import PipelineResult, ProbeSummary
+
+WINDOWS = [(0, 9), (20, 29)]
+
+IP_NAT = ip_to_int("1.0.0.10")       # NATed + listed
+IP_NAT_CLEAN = ip_to_int("1.0.0.11") # NATed, never listed
+IP_DYN = ip_to_int("2.0.0.5")        # dynamic + listed
+IP_PLAIN = ip_to_int("3.0.0.7")      # listed, not reused
+IP_OUTSIDE = ip_to_int("3.0.0.8")    # listed outside windows only
+
+
+def make_nat_result():
+    verdicts = {
+        IP_NAT: NatVerdict(IP_NAT, True, 3, 3, 3, 5),
+        IP_NAT_CLEAN: NatVerdict(IP_NAT_CLEAN, True, 2, 2, 2, 5),
+        IP_PLAIN: NatVerdict(IP_PLAIN, False, 1, 1, 1, 2),
+    }
+    return NatDetectionResult(verdicts)
+
+
+def make_pipeline():
+    daily = ProbeSummary(
+        probe_id=1,
+        addresses=[IP_DYN, IP_DYN + 1],
+        first_day=0.0,
+        last_day=10.0,
+        asns={2},
+    )
+    static = ProbeSummary(
+        probe_id=2,
+        addresses=[ip_to_int("9.0.0.1")],
+        first_day=0.0,
+        last_day=10.0,
+        asns={9},
+    )
+    return PipelineResult(
+        all_probes=[daily, static],
+        same_as_probes=[daily, static],
+        frequent_probes=[daily],
+        daily_probes=[daily],
+        allocation_knee=8,
+        dynamic_prefixes={Prefix(IP_DYN & 0xFFFFFF00, 24)},
+    )
+
+
+def make_listings():
+    return ListingStore(
+        [
+            Listing("alpha", IP_NAT, 0, 4),       # 5 days in window 1
+            Listing("alpha", IP_DYN, 2, 3),       # 2 days
+            Listing("beta", IP_NAT, 21, 28),      # 8 days in window 2
+            Listing("beta", IP_PLAIN, 0, 29),     # spans both windows
+            Listing("gamma", IP_OUTSIDE, 12, 15), # outside both windows
+        ]
+    )
+
+
+def make_asdb():
+    db = ASDatabase()
+    db.add(ASRecord(1, "a", prefixes=[Prefix.from_text("1.0.0.0/8")]))
+    db.add(ASRecord(2, "b", prefixes=[Prefix.from_text("2.0.0.0/8")]))
+    db.add(ASRecord(3, "c", prefixes=[Prefix.from_text("3.0.0.0/8")]))
+    return db
+
+
+@pytest.fixture()
+def analysis():
+    return ReuseAnalysis(
+        make_listings(),
+        WINDOWS,
+        make_nat_result(),
+        make_pipeline(),
+        make_asdb(),
+        bittorrent_ips={IP_NAT, IP_NAT_CLEAN, IP_PLAIN},
+    )
+
+
+class TestReuseAnalysis:
+    def test_blocklisted_set_respects_windows(self, analysis):
+        assert IP_OUTSIDE not in analysis.blocklisted_ips
+        assert analysis.blocklisted_ips == {IP_NAT, IP_DYN, IP_PLAIN}
+
+    def test_nated_blocklisted(self, analysis):
+        assert analysis.nated_blocklisted == {IP_NAT}
+
+    def test_dynamic_blocklisted(self, analysis):
+        assert analysis.dynamic_blocklisted == {IP_DYN}
+
+    def test_reused_union(self, analysis):
+        assert analysis.reused_ips() == {IP_NAT, IP_DYN}
+
+    def test_is_reused_covers_unlisted_nat(self, analysis):
+        assert analysis.is_reused(IP_NAT_CLEAN)
+        assert not analysis.is_reused(IP_PLAIN)
+
+    def test_per_list_counts(self, analysis):
+        nated = analysis.nated_listings_per_list()
+        # gamma's only listing fell outside the windows, so it is not
+        # part of the observed store at all.
+        assert nated == {"alpha": 1, "beta": 1}
+        dynamic = analysis.dynamic_listings_per_list()
+        assert dynamic["alpha"] == 1
+        assert dynamic.get("beta", 0) == 0
+
+    def test_total_listings(self, analysis):
+        assert analysis.total_listings({IP_NAT}) == 2  # alpha + beta
+
+    def test_duration_samples(self, analysis):
+        runs = dict(
+            zip(
+                sorted(analysis.blocklisted_ips),
+                [],
+            )
+        )
+        all_runs = analysis.duration_samples()
+        assert sorted(all_runs) == [2, 8, 10]  # DYN=2, NAT=8, PLAIN=10
+        nat_runs = analysis.duration_samples(analysis.nated_blocklisted)
+        assert nat_runs == [8]
+
+    def test_users_behind_samples(self, analysis):
+        assert analysis.users_behind_samples() == [3]
+
+
+class TestImpact:
+    def test_per_list_counts_stats(self, analysis):
+        counts = per_list_counts(
+            analysis, "nated", all_list_ids=["alpha", "beta", "gamma", "delta"]
+        )
+        assert counts.total_listings == 2
+        assert counts.lists_with_any == 2
+        assert counts.lists_with_none == 2
+        assert counts.fraction_of_lists_affected(4) == 0.5
+        assert counts.mean_per_listing_list == 1.0
+
+    def test_per_list_counts_bad_kind(self, analysis):
+        with pytest.raises(ValueError):
+            per_list_counts(analysis, "weird", all_list_ids=[])
+
+    def test_duration_stats(self, analysis):
+        stats = duration_stats(analysis)
+        medians = stats.medians()
+        assert medians["dynamic"] == 2
+        assert medians["nated"] == 8
+        assert stats.max_days()["all"] == 10
+        removed = stats.removed_within(2)
+        assert removed["dynamic"] == 1.0
+
+    def test_user_impact(self, analysis):
+        stats = user_impact_stats(analysis)
+        assert stats.max_users() == 3
+        assert stats.fraction_exactly_two() == 0.0
+        assert stats.fraction_below_ten() == 1.0
+
+
+class TestOverlapAndFunnel:
+    def test_overlap_curves(self, analysis):
+        curves = compute_overlap(analysis)
+        assert curves.ases_with_blocklisted == 3
+        assert curves.ases_with_bittorrent == 2  # AS1 (nat) + AS3 (plain)
+        assert curves.ases_with_ripe == 1
+        assert curves.blocklisted[-1] == pytest.approx(1.0)
+        assert curves.bittorrent[-1] == pytest.approx(1.0)
+        # Cumulative curves are monotone.
+        for series in (curves.blocklisted, curves.bittorrent, curves.ripe):
+            assert series == sorted(series)
+
+    def test_coverage_fractions(self, analysis):
+        curves = compute_overlap(analysis)
+        assert curves.bittorrent_as_coverage() == pytest.approx(2 / 3)
+        assert curves.ripe_as_coverage() == pytest.approx(1 / 3)
+
+    def test_funnel(self, analysis):
+        funnel = compute_funnel(analysis)
+        assert funnel.bittorrent_ips == 3
+        assert funnel.nated_ips == 2
+        assert funnel.nated_blocklisted == 1
+        assert funnel.blocklisted_daily == 1
+        assert funnel.monotone()
+
+
+class TestGreylist:
+    def test_entries(self, analysis):
+        entries = build_greylist(analysis)
+        assert {e.ip for e in entries} == {IP_NAT, IP_DYN}
+        kinds = {e.ip: e.reuse_kind for e in entries}
+        assert kinds[IP_NAT] == "nat"
+        assert kinds[IP_DYN] == "dynamic"
+
+    def test_render(self, analysis):
+        text = render_greylist(build_greylist(analysis))
+        assert "1.0.0.10 nat 3" in text
+        assert text.startswith("#")
+
+    def test_policy(self, analysis):
+        assert (
+            recommend_action(analysis, IP_NAT, blocklist_category="spam")
+            == BlockAction.GREYLIST
+        )
+        assert (
+            recommend_action(analysis, IP_NAT, blocklist_category="ddos")
+            == BlockAction.BLOCK
+        )
+        assert (
+            recommend_action(analysis, IP_PLAIN, blocklist_category="spam")
+            == BlockAction.BLOCK
+        )
+
+
+class TestReport:
+    def test_measured_keys_match_paper_keys(self, analysis):
+        report = build_report(
+            analysis, all_list_ids=["alpha", "beta", "gamma"]
+        )
+        measured = report.measured()
+        assert set(measured) == set(PAPER_VALUES)
+
+    def test_render_contains_rows(self, analysis):
+        report = build_report(analysis, all_list_ids=["alpha", "beta"])
+        text = report.render()
+        assert "nated_listings" in text
+        assert "paper" in text

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run cleanly end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4  # quickstart + >=3 scenario examples
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        cwd=tmp_path,  # scripts write artefacts to cwd
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_writes_greylist(tmp_path):
+    subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=240,
+        check=True,
+    )
+    greylist = tmp_path / "greylist.txt"
+    assert greylist.exists()
+    assert greylist.read_text().startswith("#")
+
+
+def test_crawl_campaign_writes_log(tmp_path):
+    subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "nat_crawl_campaign.py")],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=240,
+        check=True,
+    )
+    log = tmp_path / "crawl_log.jsonl"
+    assert log.exists()
+    from repro.bittorrent.crawllog import read_jsonl
+
+    assert len(read_jsonl(log)) > 100

@@ -1,0 +1,158 @@
+"""Fuzz-style robustness tests.
+
+Anything that parses wire bytes or feed text must fail *cleanly* on
+arbitrary input: a typed error or a valid parse, never an unhandled
+exception. A DHT node and a feed collector both live on hostile input.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.bencode import BencodeError, bdecode
+from repro.bittorrent.krpc import KrpcError, decode_message
+from repro.blocklists.formats import FeedFormatError, parse_feed
+from repro.ipv6.addr6 import ip6_to_int
+from repro.net.ipv4 import ip_to_int, parse_ip_or_prefix
+
+
+class TestWireFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=120))
+    def test_bdecode_never_crashes(self, blob):
+        try:
+            bdecode(blob)
+        except BencodeError:
+            pass
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=120))
+    def test_decode_message_never_crashes(self, blob):
+        try:
+            decode_message(blob)
+        except KrpcError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=80))
+    def test_feed_parsers_never_crash(self, text):
+        for fmt in ("plain", "cidr", "csv"):
+            try:
+                parse_feed(fmt, text)
+            except FeedFormatError:
+                pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=40))
+    def test_ip_parsers_never_crash(self, text):
+        for parser in (ip_to_int, parse_ip_or_prefix, ip6_to_int):
+            try:
+                parser(text)
+            except ValueError:
+                pass
+
+
+class TestPeerUnderHostileTraffic:
+    def test_peer_survives_garbage_storm(self):
+        from repro.bittorrent.peer import SimulatedPeer
+        from repro.net.ipv4 import ip_to_int as ip
+        from repro.sim.events import Scheduler
+        from repro.sim.nat import HostStack
+        from repro.sim.rng import RngHub
+        from repro.sim.udp import UdpFabric
+
+        hub = RngHub(13)
+        sched = Scheduler()
+        fabric = UdpFabric(sched, hub, loss_rate=0.0)
+        rng = hub.stream("t")
+        stack = HostStack(fabric, ip("10.0.0.1"), rng)
+        peer = SimulatedPeer("p", ip("10.0.0.1"), stack.open_socket, rng)
+        peer.start()
+        attacker = HostStack(fabric, ip("10.9.9.9"), rng).open_socket()
+        blob_rng = random.Random(5)
+        for _ in range(200):
+            size = blob_rng.randint(0, 60)
+            blob = bytes(blob_rng.getrandbits(8) for _ in range(size))
+            attacker.send(peer.endpoint, blob)
+        sched.run()
+        # Peer still answers a well-formed query afterwards.
+        from repro.bittorrent.krpc import PingQuery, PingResponse, encode_message
+
+        got = []
+        attacker.on_receive(
+            lambda d: got.append(d)
+        )
+        attacker.send(
+            peer.endpoint,
+            encode_message(PingQuery(b"\x00\x01", bytes(20))),
+        )
+        sched.run()
+        replies = [
+            d for d in got
+            if isinstance(_try_decode(d.payload), PingResponse)
+        ]
+        assert len(replies) == 1
+
+
+def _try_decode(blob):
+    try:
+        return decode_message(blob)
+    except KrpcError:
+        return None
+
+
+class TestCrawlerUnderHostileTraffic:
+    def test_unsolicited_responses_ignored(self):
+        """Forged responses with unknown transaction ids must not
+        pollute the crawl log (they would fabricate NAT evidence)."""
+        from repro.bittorrent.crawler import CrawlerConfig, DhtCrawler
+        from repro.bittorrent.krpc import PingResponse, encode_message
+        from repro.net.ipv4 import ip_to_int as ip
+        from repro.sim.clock import HOUR
+        from repro.sim.events import Scheduler
+        from repro.sim.nat import HostStack
+        from repro.sim.rng import RngHub
+        from repro.sim.udp import UdpFabric
+
+        hub = RngHub(14)
+        sched = Scheduler()
+        fabric = UdpFabric(sched, hub, loss_rate=0.0)
+        rng = hub.stream("t")
+        crawler_sock = HostStack(fabric, ip("10.0.0.1"), rng).open_socket()
+        crawler = DhtCrawler(
+            sched, crawler_sock, rng, CrawlerConfig(duration=1 * HOUR)
+        )
+        attacker = HostStack(fabric, ip("66.6.6.6"), rng)
+        for port_index in range(5):
+            sock = attacker.open_socket()
+            forged = PingResponse(
+                b"\xff\xff", bytes([port_index]) * 20, None
+            )
+            sock.send(crawler_sock.endpoint, encode_message(forged))
+        sched.run_until(10.0)
+        assert crawler.stats.ping_responses == 0
+        assert len(list(crawler.log.received())) == 0
+
+    def test_malformed_datagrams_counted(self):
+        from repro.bittorrent.crawler import CrawlerConfig, DhtCrawler
+        from repro.net.ipv4 import ip_to_int as ip
+        from repro.sim.clock import HOUR
+        from repro.sim.events import Scheduler
+        from repro.sim.nat import HostStack
+        from repro.sim.rng import RngHub
+        from repro.sim.udp import UdpFabric
+
+        hub = RngHub(15)
+        sched = Scheduler()
+        fabric = UdpFabric(sched, hub, loss_rate=0.0)
+        rng = hub.stream("t")
+        crawler_sock = HostStack(fabric, ip("10.0.0.1"), rng).open_socket()
+        crawler = DhtCrawler(
+            sched, crawler_sock, rng, CrawlerConfig(duration=1 * HOUR)
+        )
+        attacker = HostStack(fabric, ip("66.6.6.7"), rng).open_socket()
+        attacker.send(crawler_sock.endpoint, b"\x00\x01garbage")
+        sched.run_until(10.0)
+        assert crawler.stats.malformed == 1

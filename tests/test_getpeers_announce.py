@@ -1,0 +1,190 @@
+"""Tests for get_peers/announce_peer and the token machinery."""
+
+import pytest
+
+from repro.bittorrent.krpc import (
+    AnnouncePeerQuery,
+    ErrorMessage,
+    GetPeersQuery,
+    GetPeersResponse,
+    KrpcError,
+    PeerEndpoint,
+    PingResponse,
+    decode_message,
+    encode_message,
+    pack_peers,
+    unpack_peers,
+)
+from repro.bittorrent.peer import SimulatedPeer
+from repro.bittorrent.tokens import TokenManager
+from repro.net.ipv4 import ip_to_int
+from repro.sim.events import Scheduler
+from repro.sim.nat import HostStack
+from repro.sim.rng import RngHub
+from repro.sim.udp import UdpFabric
+
+INFO_HASH = bytes(range(20))
+
+
+class TestTokenManager:
+    def test_issue_validate_same_period(self):
+        manager = TokenManager(b"secret")
+        token = manager.issue(1234, now=10.0)
+        assert manager.validate(1234, token, now=20.0)
+
+    def test_token_bound_to_ip(self):
+        manager = TokenManager(b"secret")
+        token = manager.issue(1234, now=10.0)
+        assert not manager.validate(9999, token, now=10.0)
+
+    def test_previous_period_still_valid(self):
+        manager = TokenManager(b"secret", rotation_seconds=100.0)
+        token = manager.issue(1234, now=50.0)
+        assert manager.validate(1234, token, now=150.0)  # next period
+        assert not manager.validate(1234, token, now=250.0)  # two later
+
+    def test_distinct_secrets_distinct_tokens(self):
+        a = TokenManager(b"one").issue(1, now=0.0)
+        b = TokenManager(b"two").issue(1, now=0.0)
+        assert a != b
+
+    def test_validation_inputs(self):
+        manager = TokenManager(b"secret")
+        with pytest.raises(ValueError):
+            manager.issue(-1, now=0.0)
+        with pytest.raises(ValueError):
+            TokenManager(b"")
+        with pytest.raises(ValueError):
+            TokenManager(b"x", rotation_seconds=0)
+
+
+class TestCompactPeers:
+    def test_roundtrip(self):
+        peers = [PeerEndpoint(ip_to_int("1.2.3.4"), 6881)]
+        assert unpack_peers(pack_peers(peers)) == peers
+
+    def test_bad_entries(self):
+        with pytest.raises(KrpcError):
+            unpack_peers([b"short"])
+        with pytest.raises(KrpcError):
+            unpack_peers([bytes(6)])  # zero port
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeerEndpoint(-1, 6881)
+        with pytest.raises(ValueError):
+            PeerEndpoint(1, 0)
+
+
+@pytest.fixture()
+def dht():
+    sched = Scheduler()
+    hub = RngHub(33)
+    fabric = UdpFabric(sched, hub, loss_rate=0.0)
+    rng = hub.stream("t")
+    stack = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+    peer = SimulatedPeer(
+        "p",
+        ip_to_int("10.0.0.1"),
+        stack.open_socket,
+        rng,
+        now_fn=lambda: sched.now,
+    )
+    peer.start()
+    client = HostStack(fabric, ip_to_int("10.0.0.9"), rng).open_socket()
+    inbox = []
+    client.on_receive(lambda d: inbox.append(decode_message(d.payload)))
+    return sched, peer, client, inbox
+
+
+class TestGetPeersAnnounceFlow:
+    def test_get_peers_returns_token_and_nodes(self, dht):
+        sched, peer, client, inbox = dht
+        client.send(
+            peer.endpoint,
+            encode_message(GetPeersQuery(b"\x00\x01", bytes(20), INFO_HASH)),
+        )
+        sched.run()
+        assert len(inbox) == 1
+        response = inbox[0]
+        assert isinstance(response, GetPeersResponse)
+        assert response.token
+        assert response.values == ()  # nothing announced yet
+
+    def test_announce_then_get_peers_returns_value(self, dht):
+        sched, peer, client, inbox = dht
+        client.send(
+            peer.endpoint,
+            encode_message(GetPeersQuery(b"\x00\x01", bytes(20), INFO_HASH)),
+        )
+        sched.run()
+        token = inbox.pop().token
+        client.send(
+            peer.endpoint,
+            encode_message(
+                AnnouncePeerQuery(b"\x00\x02", bytes(20), INFO_HASH, 7000, token)
+            ),
+        )
+        sched.run()
+        ack = inbox.pop()
+        assert isinstance(ack, PingResponse)
+        client.send(
+            peer.endpoint,
+            encode_message(GetPeersQuery(b"\x00\x03", bytes(20), INFO_HASH)),
+        )
+        sched.run()
+        response = inbox.pop()
+        assert isinstance(response, GetPeersResponse)
+        assert response.values == (
+            PeerEndpoint(ip_to_int("10.0.0.9"), 7000),
+        )
+
+    def test_announce_with_bad_token_rejected(self, dht):
+        sched, peer, client, inbox = dht
+        client.send(
+            peer.endpoint,
+            encode_message(
+                AnnouncePeerQuery(
+                    b"\x00\x05", bytes(20), INFO_HASH, 7000, b"forged"
+                )
+            ),
+        )
+        sched.run()
+        reply = inbox.pop()
+        assert isinstance(reply, ErrorMessage)
+        assert peer.peer_store.get(INFO_HASH) is None
+
+    def test_token_not_transferable_between_ips(self, dht):
+        sched, peer, client, inbox = dht
+        client.send(
+            peer.endpoint,
+            encode_message(GetPeersQuery(b"\x00\x01", bytes(20), INFO_HASH)),
+        )
+        sched.run()
+        token = inbox.pop().token
+        # A token issued to 10.0.0.9 must not validate for another IP.
+        assert peer._tokens.validate(
+            ip_to_int("10.0.0.9"), token, sched.now
+        )
+        assert not peer._tokens.validate(
+            ip_to_int("10.0.0.8"), token, sched.now
+        )
+
+    def test_announce_wire_validation(self):
+        from repro.bittorrent.bencode import bencode
+
+        blob = bencode(
+            {
+                b"t": b"aa",
+                b"y": b"q",
+                b"q": b"announce_peer",
+                b"a": {
+                    b"id": bytes(20),
+                    b"info_hash": bytes(20),
+                    b"port": 0,
+                    b"token": b"x",
+                },
+            }
+        )
+        with pytest.raises(KrpcError):
+            decode_message(blob)

@@ -1,0 +1,66 @@
+"""Golden regression pins.
+
+The whole reproduction is deterministic under a seed; these pins catch
+*accidental* perturbation of the RNG streams (e.g. a new component
+drawing from an existing stream instead of its own). If a pin moves
+because of an intentional model change, update it consciously and note
+the change — that is the point.
+"""
+
+import pytest
+
+from repro.experiments.runner import cached_run
+from repro.internet.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_scenario(ScenarioConfig.small(seed=2020))
+
+
+class TestScenarioPins:
+    def test_population_pins(self, world):
+        truth = world.truth
+        # Pin the structural counts of the canonical small world.
+        assert len(truth.lines) > 400
+        assert len(truth.users) > len(truth.lines)
+        assert len(truth.pools) == 8
+        assert len(truth.asdb) == 13
+
+    def test_population_exact_pins(self, world):
+        truth = world.truth
+        pins = {
+            "lines": len(truth.lines),
+            "users": len(truth.users),
+            "nated_true": len(truth.true_nated_ips()),
+            "dyn24s": len(truth.dynamic_slash24s()),
+        }
+        # Exact values for seed 2020 at the current model version.
+        assert pins == {
+            "lines": 648,
+            "users": 1528,
+            "nated_true": 78,
+            "dyn24s": 8,
+        }
+
+    def test_abuse_and_listing_pins(self, world):
+        assert len(world.abuse_events) == 1970
+        assert len(world.listings) == 2210
+        assert len(world.blocklisted_ips()) == 189
+
+    def test_atlas_pins(self, world):
+        assert len(world.deployment.probe_ids()) == 80
+        assert len(world.atlas_log) == 7836
+
+
+class TestRunPins:
+    def test_detection_results_stable(self):
+        run = cached_run("small", seed=2020)
+        # These counts move only when the crawl/detection model moves.
+        assert run.crawl.crawler.discovered_ips == len(
+            run.crawl.crawler.discovered_addresses()
+        )
+        assert run.nat.nated_ips() <= set(
+            run.scenario.truth.true_nated_ips()
+        )
+        assert len(run.pipeline.dynamic_prefixes) >= 1

@@ -1,0 +1,87 @@
+"""More edge-case coverage: duration stats, funnel, mitigation math."""
+
+import random
+
+import pytest
+
+from repro.blocklists.timeline import Listing, ListingStore
+from repro.core.funnel import DetectionFunnel
+from repro.core.impact import DurationStats, duration_stats
+from repro.core.mitigation import PolicyOutcome, _apply, _attempts
+from repro.analysis.cdf import Ecdf
+
+
+class TestDurationStatsEdges:
+    def test_missing_populations_are_none(self):
+        stats = DurationStats(all_cdf=None, nated_cdf=None, dynamic_cdf=None)
+        assert stats.medians() == {}
+        assert stats.removed_within(2) == {}
+        assert stats.max_days() == {}
+
+    def test_partial_populations(self):
+        stats = DurationStats(
+            all_cdf=Ecdf([1, 2, 3]), nated_cdf=None, dynamic_cdf=Ecdf([1])
+        )
+        medians = stats.medians()
+        assert set(medians) == {"all", "dynamic"}
+        assert medians["dynamic"] == 1
+
+
+class TestFunnelInvariants:
+    def test_monotone_detects_violations(self):
+        good = DetectionFunnel(10, 5, 2, 8, 6, 4, 2, 8)
+        assert good.monotone()
+        bad = DetectionFunnel(10, 12, 2, 8, 6, 4, 2, 8)
+        assert not bad.monotone()
+        bad_ripe = DetectionFunnel(10, 5, 2, 4, 6, 4, 2, 8)
+        assert not bad_ripe.monotone()
+
+    def test_as_dict_keys(self):
+        funnel = DetectionFunnel(1, 1, 1, 1, 1, 1, 1, 8)
+        assert set(funnel.as_dict()) == {
+            "bittorrent_ips",
+            "nated_ips",
+            "nated_blocklisted",
+            "blocklisted_in_ripe_prefixes",
+            "blocklisted_same_as",
+            "blocklisted_frequent",
+            "blocklisted_daily",
+            "allocation_knee",
+        }
+
+
+class TestMitigationInternals:
+    def test_attempts_zero_mean(self):
+        assert _attempts(random.Random(1), 0.0) == 0
+        assert _attempts(random.Random(1), -1.0) == 0
+
+    def test_attempts_mean_tracks(self):
+        rng = random.Random(2)
+        draws = [_attempts(rng, 3.0) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 2.6 < mean < 3.4
+
+    def test_apply_block_all(self):
+        passed, blocked = _apply("block_all", True, 5, 0.9, random.Random(1))
+        assert (passed, blocked) == (0, 5)
+
+    def test_apply_ignore(self):
+        passed, blocked = _apply(
+            "ignore_lists", False, 5, 0.9, random.Random(1)
+        )
+        assert (passed, blocked) == (5, 0)
+
+    def test_apply_greylist_nonreused_blocks(self):
+        passed, blocked = _apply(
+            "greylist_reused", False, 5, 0.9, random.Random(1)
+        )
+        assert (passed, blocked) == (0, 5)
+
+    def test_apply_greylist_reused_challenges(self):
+        rng = random.Random(3)
+        passed, blocked = _apply("greylist_reused", True, 200, 0.9, rng)
+        assert blocked == 0
+        assert 150 < passed <= 200  # ~90% pass the challenge
+
+    def test_apply_zero_attempts(self):
+        assert _apply("block_all", True, 0, 0.9, random.Random(1)) == (0, 0)

@@ -1,0 +1,144 @@
+"""Tests for address planning and topology generation."""
+
+import random
+
+import pytest
+
+from repro.internet.addressplan import (
+    RESERVED_PREFIXES,
+    AddressCursor,
+    iter_public_slash16s,
+)
+from repro.internet.topology import RegionMix, TopologyConfig, build_topology
+from repro.net.asdb import ASKind
+from repro.net.ipv4 import Prefix, int_to_ip, ip_to_int
+
+
+class TestIterPublicSlash16s:
+    def test_skips_reserved(self):
+        blocks = []
+        it = iter_public_slash16s()
+        for _ in range(3000):
+            blocks.append(next(it))
+        for block in blocks:
+            for reserved in RESERVED_PREFIXES:
+                assert not reserved.contains_prefix(block), (
+                    f"{block} inside reserved {reserved}"
+                )
+
+    def test_first_block_is_1_0(self):
+        first = next(iter_public_slash16s())
+        assert str(first) == "1.0.0.0/16"
+
+    def test_strictly_increasing(self):
+        it = iter_public_slash16s()
+        previous = next(it)
+        for _ in range(500):
+            current = next(it)
+            assert current.network > previous.network
+            previous = current
+
+
+class TestAddressCursor:
+    def test_sequential_addresses(self):
+        cursor = AddressCursor([Prefix.from_text("1.0.0.0/24")])
+        first = cursor.take_address()
+        second = cursor.take_address()
+        assert second == first + 1
+        assert first == ip_to_int("1.0.0.0")
+
+    def test_exhaustion_raises(self):
+        cursor = AddressCursor([Prefix(ip_to_int("1.0.0.0"), 31)])
+        cursor.take_address()
+        cursor.take_address()
+        with pytest.raises(RuntimeError):
+            cursor.take_address()
+
+    def test_spans_prefixes(self):
+        cursor = AddressCursor(
+            [Prefix(ip_to_int("1.0.0.0"), 31), Prefix(ip_to_int("9.0.0.0"), 31)]
+        )
+        taken = [cursor.take_address() for _ in range(4)]
+        assert int_to_ip(taken[2]) == "9.0.0.0"
+
+    def test_slash24_alignment(self):
+        cursor = AddressCursor([Prefix.from_text("1.0.0.0/22")])
+        cursor.take_address()  # dirty the current /24
+        blocks = cursor.take_slash24s(2)
+        assert all(b.network % 256 == 0 for b in blocks)
+        assert blocks[0] == Prefix.from_text("1.0.1.0/24")
+        assert blocks[1] == Prefix.from_text("1.0.2.0/24")
+
+    def test_take_slash24s_count_validation(self):
+        cursor = AddressCursor([Prefix.from_text("1.0.0.0/24")])
+        with pytest.raises(ValueError):
+            cursor.take_slash24s(0)
+
+    def test_slash24s_dont_overlap_addresses(self):
+        cursor = AddressCursor([Prefix.from_text("1.0.0.0/22")])
+        blocks = cursor.take_slash24s(1)
+        next_addr = cursor.take_address()
+        assert next_addr > blocks[0].last()
+
+    def test_empty_prefixes_rejected(self):
+        with pytest.raises(ValueError):
+            AddressCursor([])
+
+
+class TestTopology:
+    def test_counts_and_kinds(self):
+        config = TopologyConfig(n_eyeball=10, n_hosting=4, n_backbone=2)
+        topo = build_topology(config, random.Random(1))
+        assert len(topo.eyeball_asns) == 10
+        assert len(topo.hosting_asns) == 4
+        assert len(topo.backbone_asns) == 2
+        assert len(topo.asdb) == 16
+        for asn in topo.eyeball_asns:
+            assert topo.asdb.get(asn).kind == ASKind.EYEBALL
+
+    def test_every_as_has_prefixes_and_cursor(self):
+        topo = build_topology(TopologyConfig(n_eyeball=5), random.Random(2))
+        for record in topo.asdb:
+            assert record.prefixes
+            assert record.asn in topo.cursors
+
+    def test_prefixes_disjoint_across_ases(self):
+        topo = build_topology(TopologyConfig(n_eyeball=20), random.Random(3))
+        seen = set()
+        for record in topo.asdb:
+            for prefix in record.prefixes:
+                assert prefix.network not in seen
+                seen.add(prefix.network)
+
+    def test_ip_resolves_to_owner(self):
+        topo = build_topology(TopologyConfig(n_eyeball=6), random.Random(4))
+        for record in topo.asdb:
+            probe_ip = record.prefixes[0].first() + 5
+            assert topo.asdb.asn_of(probe_ip) == record.asn
+
+    def test_zipf_sizing_head_heavier(self):
+        config = TopologyConfig(n_eyeball=30, max_slash16s=8)
+        topo = build_topology(config, random.Random(5))
+        sizes = [
+            len(topo.asdb.get(asn).prefixes) for asn in topo.eyeball_asns
+        ]
+        assert sizes[0] >= sizes[-1]
+        assert max(sizes) <= config.max_slash16s
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(
+                TopologyConfig(n_eyeball=0, n_hosting=0, n_backbone=0),
+                random.Random(1),
+            )
+
+    def test_region_mix_weights(self):
+        mix = RegionMix()
+        weights = mix.weights()
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+    def test_deterministic(self):
+        a = build_topology(TopologyConfig(), random.Random(7))
+        b = build_topology(TopologyConfig(), random.Random(7))
+        assert [r.asn for r in a.asdb] == [r.asn for r in b.asdb]
+        assert [r.country for r in a.asdb] == [r.country for r in b.asdb]

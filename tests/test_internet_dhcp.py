@@ -1,0 +1,141 @@
+"""Tests for DHCP pools and assignment timelines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.internet.dhcp import AssignmentTimeline, DhcpPool, LineChurnSpec
+from repro.net.ipv4 import Prefix
+
+
+def make_pool(n_blocks=1):
+    prefixes = [Prefix(0x01000000 + i * 256, 24) for i in range(n_blocks)]
+    return DhcpPool(pool_id="p", asn=64500, prefixes=prefixes)
+
+
+class TestAssignmentTimeline:
+    def test_single_entry(self):
+        t = AssignmentTimeline([(0.0, 42)], horizon=100.0)
+        assert t.ip_at(50.0) == 42
+        assert t.ip_at(-1.0) is None
+        assert t.ip_at(101.0) is None
+        assert t.change_count() == 0
+        assert t.allocation_count() == 1
+        assert t.mean_holding_days() == 100.0
+
+    def test_multi_entry_lookup(self):
+        t = AssignmentTimeline([(0.0, 1), (10.0, 2), (20.0, 3)], horizon=30.0)
+        assert t.ip_at(5.0) == 1
+        assert t.ip_at(10.0) == 2
+        assert t.ip_at(15.0) == 2
+        assert t.ip_at(25.0) == 3
+        assert t.addresses() == {1, 2, 3}
+        assert t.change_count() == 2
+        assert t.mean_holding_days() == 10.0
+
+    def test_intervals(self):
+        t = AssignmentTimeline([(0.0, 1), (10.0, 2)], horizon=30.0)
+        assert list(t.intervals()) == [(0.0, 10.0, 1), (10.0, 30.0, 2)]
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentTimeline([(5.0, 1), (1.0, 2)], horizon=10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentTimeline([], horizon=10.0)
+
+    def test_horizon_before_last_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentTimeline([(0.0, 1), (10.0, 2)], horizon=5.0)
+
+
+class TestLineChurnSpec:
+    def test_positive_mean_required(self):
+        with pytest.raises(ValueError):
+            LineChurnSpec("l1", 0.0)
+
+
+class TestDhcpPool:
+    def test_slash24s(self):
+        pool = make_pool(3)
+        assert len(pool.slash24s()) == 3
+
+    def test_slash24s_from_wider_prefix(self):
+        pool = DhcpPool("p", 1, [Prefix(0x01000000, 23)])
+        assert len(pool.slash24s()) == 2
+
+    def test_simulate_populates_timelines(self):
+        pool = make_pool()
+        specs = [LineChurnSpec(f"l{i}", 5.0) for i in range(20)]
+        pool.simulate(specs, 100.0, random.Random(1))
+        assert set(pool.timelines) == {f"l{i}" for i in range(20)}
+        for t in pool.timelines.values():
+            assert t.allocation_count() >= 1
+
+    def test_exclusivity_invariant(self):
+        """No two lines hold one address at the same instant."""
+        pool = make_pool()
+        specs = [LineChurnSpec(f"l{i}", 2.0) for i in range(30)]
+        pool.simulate(specs, 60.0, random.Random(2))
+        for day in [0.5, 7.3, 22.9, 41.1, 59.5]:
+            held = [
+                t.ip_at(day)
+                for t in pool.timelines.values()
+                if t.ip_at(day) is not None
+            ]
+            assert len(held) == len(set(held)), f"collision at day {day}"
+
+    def test_addresses_stay_in_pool(self):
+        pool = make_pool(2)
+        valid = set(pool.addresses())
+        specs = [LineChurnSpec(f"l{i}", 1.0) for i in range(10)]
+        pool.simulate(specs, 30.0, random.Random(3))
+        for t in pool.timelines.values():
+            assert t.addresses() <= valid
+
+    def test_fast_lines_change_more(self):
+        pool = make_pool(2)
+        specs = [LineChurnSpec("fast", 1.0), LineChurnSpec("slow", 50.0)]
+        pool.simulate(specs, 200.0, random.Random(4))
+        assert (
+            pool.timelines["fast"].change_count()
+            > pool.timelines["slow"].change_count()
+        )
+
+    def test_overfull_pool_rejected(self):
+        pool = DhcpPool("p", 1, [Prefix(0x01000000, 30)])  # 4 addresses
+        specs = [LineChurnSpec(f"l{i}", 1.0) for i in range(4)]
+        with pytest.raises(ValueError):
+            pool.simulate(specs, 10.0, random.Random(1))
+
+    def test_bad_horizon_rejected(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.simulate([LineChurnSpec("l", 1.0)], 0.0, random.Random(1))
+
+    def test_line_holding_reverse_lookup(self):
+        pool = make_pool()
+        specs = [LineChurnSpec("l0", 1000.0)]
+        pool.simulate(specs, 10.0, random.Random(5))
+        ip = pool.timelines["l0"].ip_at(5.0)
+        assert pool.line_holding(ip, 5.0) == "l0"
+        free_ip = next(a for a in pool.addresses() if a != ip)
+        assert pool.line_holding(free_ip, 5.0) is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_change_points_create_reuse_opportunities(self, seed):
+        """After a change, the released address returns to the free set
+        and can be assigned to another line later — the reuse mechanism
+        underlying unjust blocking."""
+        pool = make_pool()
+        specs = [LineChurnSpec(f"l{i}", 3.0) for i in range(40)]
+        pool.simulate(specs, 120.0, random.Random(seed))
+        holders_per_ip = {}
+        for line_key, timeline in pool.timelines.items():
+            for ip in timeline.addresses():
+                holders_per_ip.setdefault(ip, set()).add(line_key)
+        assert any(len(holders) >= 2 for holders in holders_per_ip.values())

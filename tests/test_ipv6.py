@@ -1,0 +1,285 @@
+"""Tests for the IPv6 / Entropy-IP extension."""
+
+import ipaddress
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipv6.addr6 import (
+    MAX_IPV6,
+    NIBBLES,
+    Prefix6,
+    int_to_ip6,
+    interface_id,
+    ip6_to_int,
+    nibble,
+    nibbles,
+    subnet_of,
+)
+from repro.ipv6.entropyip import (
+    REUSE_ROTATING,
+    REUSE_STABLE,
+    SEGMENT_CONSTANT,
+    SEGMENT_RANDOM,
+    SEGMENT_STRUCTURED,
+    analyze,
+    classify_reuse_risk,
+    nibble_entropies,
+)
+from repro.ipv6.generator import Strategy, SubnetPlan, generate_corpus
+
+
+class TestAddr6Parsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("2001:db8::", 0x20010DB8 << 96),
+            (
+                "2001:0db8:0000:0000:0000:0000:0000:0001",
+                (0x20010DB8 << 96) | 1,
+            ),
+            ("::ffff:1.2.3.4", 0xFFFF01020304),
+            ("fe80::1%", None),  # handled below
+        ],
+    )
+    def test_vectors(self, text, expected):
+        if expected is None:
+            with pytest.raises(ValueError):
+                ip6_to_int(text)
+        else:
+            assert ip6_to_int(text) == expected
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ":::",
+            "1::2::3",
+            "2001:db8",  # too few groups
+            "1:2:3:4:5:6:7:8:9",
+            "2001:dg8::1",
+            "2001:db8::1/64",
+            "::1.2.3.4.5",
+            "12345::",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ip6_to_int(bad)
+
+    def test_format_bounds(self):
+        with pytest.raises(ValueError):
+            int_to_ip6(-1)
+        with pytest.raises(ValueError):
+            int_to_ip6(MAX_IPV6 + 1)
+
+    def test_rfc5952_compression_rules(self):
+        # Longest run compressed; single zero group not compressed.
+        assert int_to_ip6(ip6_to_int("2001:0:0:1:0:0:0:1")) == "2001:0:0:1::1"
+        assert int_to_ip6(ip6_to_int("2001:db8:0:1:1:1:1:1")) == (
+            "2001:db8:0:1:1:1:1:1"
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_format_matches_stdlib(self, value):
+        assert int_to_ip6(value) == str(ipaddress.IPv6Address(value))
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_roundtrip(self, value):
+        assert ip6_to_int(int_to_ip6(value)) == value
+
+
+class TestNibblesAndPrefix:
+    def test_nibble_order(self):
+        value = ip6_to_int("f000::")
+        assert nibble(value, 0) == 0xF
+        assert nibble(value, 31) == 0
+        assert nibbles(value)[0] == 0xF
+
+    def test_nibble_bounds(self):
+        with pytest.raises(ValueError):
+            nibble(0, 32)
+
+    def test_nibbles_roundtrip(self):
+        value = ip6_to_int("2001:db8::42")
+        out = 0
+        for n in nibbles(value):
+            out = (out << 4) | n
+        assert out == value
+
+    def test_prefix_contains(self):
+        p = Prefix6.from_text("2001:db8::/32")
+        assert p.contains(ip6_to_int("2001:db8:ffff::1"))
+        assert not p.contains(ip6_to_int("2001:db9::1"))
+
+    def test_prefix_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix6.from_text("2001:db8::1/32")
+
+    def test_subnet_and_iid(self):
+        value = ip6_to_int("2001:db8:aaaa:bbbb:1234:5678:9abc:def0")
+        assert str(subnet_of(value)) == "2001:db8:aaaa:bbbb::/64"
+        assert interface_id(value) == 0x123456789ABCDEF0
+
+
+def make_plans():
+    return [
+        SubnetPlan(
+            Prefix6.from_text("2001:db8:1:1::/64"), Strategy.PRIVACY, hosts=80
+        ),
+        SubnetPlan(
+            Prefix6.from_text("2001:db8:1:2::/64"), Strategy.EUI64, hosts=80
+        ),
+        SubnetPlan(
+            Prefix6.from_text("2001:db8:1:3::/64"),
+            Strategy.SEQUENTIAL,
+            hosts=80,
+        ),
+        SubnetPlan(
+            Prefix6.from_text("2001:db8:1:4::/64"), Strategy.SERVICE, hosts=40
+        ),
+    ]
+
+
+class TestGenerator:
+    def test_corpus_within_subnets(self):
+        corpus = generate_corpus(make_plans(), random.Random(1))
+        subnets = {str(subnet_of(a)) for a in corpus}
+        assert subnets <= {
+            "2001:db8:1:1::/64",
+            "2001:db8:1:2::/64",
+            "2001:db8:1:3::/64",
+            "2001:db8:1:4::/64",
+        }
+
+    def test_eui64_signature(self):
+        plan = SubnetPlan(
+            Prefix6.from_text("2001:db8::/64"), Strategy.EUI64, hosts=50
+        )
+        corpus = generate_corpus([plan], random.Random(2))
+        for address in corpus:
+            iid = interface_id(address)
+            assert (iid >> 24) & 0xFFFF == 0xFFFE  # the ff:fe marker
+
+    def test_sequential_low_values(self):
+        plan = SubnetPlan(
+            Prefix6.from_text("2001:db8::/64"), Strategy.SEQUENTIAL, hosts=20
+        )
+        corpus = generate_corpus([plan], random.Random(3))
+        assert {interface_id(a) for a in corpus} == set(range(1, 21))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubnetPlan(Prefix6.from_text("2001:db8::/48"), Strategy.EUI64)
+        with pytest.raises(ValueError):
+            SubnetPlan(
+                Prefix6.from_text("2001:db8::/64"), "tarot", hosts=10
+            )
+        with pytest.raises(ValueError):
+            generate_corpus([], random.Random(1))
+
+
+class TestEntropyIp:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            nibble_entropies([])
+
+    def test_constant_corpus_zero_entropy(self):
+        corpus = [ip6_to_int("2001:db8::1")] * 50
+        assert all(h == 0.0 for h in nibble_entropies(corpus))
+
+    def test_random_iid_high_entropy(self):
+        rng = random.Random(4)
+        base = ip6_to_int("2001:db8::")
+        corpus = [base | rng.getrandbits(64) for _ in range(400)]
+        entropies = nibble_entropies(corpus)
+        assert all(h < 0.05 for h in entropies[:16])
+        assert all(h > 0.8 for h in entropies[16:])
+
+    def test_segments_cover_all_nibbles(self):
+        corpus = generate_corpus(make_plans(), random.Random(5))
+        structure = analyze(corpus)
+        covered = sorted(
+            i
+            for s in structure.segments
+            for i in range(s.start, s.end + 1)
+        )
+        assert covered == list(range(NIBBLES))
+
+    def test_segment_kinds(self):
+        corpus = generate_corpus(make_plans(), random.Random(5))
+        structure = analyze(corpus)
+        kinds = {s.kind for s in structure.segments}
+        assert SEGMENT_CONSTANT in kinds  # the fixed site prefix
+        # The mixed IID region carries entropy.
+        assert SEGMENT_RANDOM in kinds or SEGMENT_STRUCTURED in kinds
+
+    def test_constant_segment_mines_prefix_value(self):
+        corpus = generate_corpus(make_plans(), random.Random(5))
+        structure = analyze(corpus)
+        first = structure.segments[0]
+        assert first.kind == SEGMENT_CONSTANT
+        assert first.top_values[0][1] == 1.0
+        assert first.top_values[0][0].startswith("20010db8")
+
+    def test_segment_at(self):
+        corpus = generate_corpus(make_plans(), random.Random(5))
+        structure = analyze(corpus)
+        assert structure.segment_at(0).start == 0
+        with pytest.raises(IndexError):
+            structure.segment_at(99)
+
+    def test_render_contains_summary(self):
+        corpus = generate_corpus(make_plans(), random.Random(5))
+        text = analyze(corpus).render()
+        assert "corpus:" in text and "nibbles" in text
+
+
+class TestReuseRisk:
+    def test_privacy_rotating_eui64_stable(self):
+        corpus = generate_corpus(make_plans(), random.Random(6))
+        verdicts = classify_reuse_risk(corpus)
+        assert verdicts["2001:db8:1:1::/64"] == REUSE_ROTATING
+        assert verdicts["2001:db8:1:2::/64"] == REUSE_STABLE
+        assert verdicts["2001:db8:1:3::/64"] == REUSE_STABLE
+        assert verdicts["2001:db8:1:4::/64"] == REUSE_STABLE
+
+    def test_small_samples_default_stable(self):
+        corpus = [ip6_to_int("2001:db8::1"), ip6_to_int("2001:db8::2")]
+        verdicts = classify_reuse_risk(corpus)
+        assert verdicts["2001:db8::/64"] == REUSE_STABLE
+
+
+class TestCandidateGeneration:
+    def test_samples_respect_constant_prefix(self):
+        corpus = generate_corpus(make_plans(), random.Random(7))
+        structure = analyze(corpus)
+        rng = random.Random(8)
+        candidates = structure.generate_candidates(rng, 50)
+        assert len(candidates) == 50
+        # All candidates carry the constant site prefix.
+        site = ip6_to_int("2001:db8:1::") >> 96
+        for candidate in candidates:
+            assert candidate >> 96 == (site | 0)
+
+    def test_sample_subnet_nibble_from_mined_values(self):
+        corpus = generate_corpus(make_plans(), random.Random(7))
+        structure = analyze(corpus)
+        rng = random.Random(9)
+        seen_subnets = {
+            (structure.sample(rng) >> 64) & 0xFFFF for _ in range(200)
+        }
+        # Candidates stay within the observed subnet ids 1..4.
+        assert seen_subnets <= {1, 2, 3, 4}
+
+    def test_generate_candidates_validation(self):
+        corpus = generate_corpus(make_plans(), random.Random(7))
+        structure = analyze(corpus)
+        with pytest.raises(ValueError):
+            structure.generate_candidates(random.Random(1), 0)

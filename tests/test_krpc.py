@@ -1,0 +1,164 @@
+"""Tests for KRPC message encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.krpc import (
+    ErrorMessage,
+    GetNodesQuery,
+    GetNodesResponse,
+    KrpcError,
+    NodeInfo,
+    PingQuery,
+    PingResponse,
+    TransactionCounter,
+    decode_message,
+    encode_message,
+    pack_nodes,
+    unpack_nodes,
+)
+from repro.net.ipv4 import ip_to_int
+
+ID_A = bytes(range(20))
+ID_B = bytes(20)
+
+
+class TestNodeInfo:
+    def test_valid(self):
+        n = NodeInfo(ID_A, ip_to_int("1.2.3.4"), 6881)
+        assert n.port == 6881
+
+    def test_bad_id(self):
+        with pytest.raises(ValueError):
+            NodeInfo(b"short", 1, 6881)
+
+    def test_bad_port(self):
+        with pytest.raises(ValueError):
+            NodeInfo(ID_A, 1, 0)
+
+
+class TestCompactNodes:
+    def test_roundtrip(self):
+        nodes = [
+            NodeInfo(ID_A, ip_to_int("1.2.3.4"), 6881),
+            NodeInfo(ID_B, ip_to_int("255.0.0.1"), 65535),
+        ]
+        assert unpack_nodes(pack_nodes(nodes)) == nodes
+
+    def test_empty(self):
+        assert unpack_nodes(b"") == []
+        assert pack_nodes([]) == b""
+
+    def test_bad_length(self):
+        with pytest.raises(KrpcError):
+            unpack_nodes(b"x" * 27)
+
+    def test_zero_port_rejected(self):
+        blob = ID_A + (1).to_bytes(4, "big") + (0).to_bytes(2, "big")
+        with pytest.raises(KrpcError):
+            unpack_nodes(blob)
+
+
+class TestMessageRoundtrips:
+    def test_ping_query(self):
+        msg = PingQuery(b"\x00\x01", ID_A)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_get_nodes_query(self):
+        msg = GetNodesQuery(b"\x00\x02", ID_A, ID_B)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_ping_response(self):
+        msg = PingResponse(b"\x00\x03", ID_A, b"UT\x03\x05")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_ping_response_no_version(self):
+        msg = PingResponse(b"\x00\x03", ID_A)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_get_nodes_response(self):
+        nodes = (NodeInfo(ID_B, ip_to_int("9.9.9.9"), 1234),)
+        msg = GetNodesResponse(b"\x01\x00", ID_A, nodes, b"LT\x01\x02")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_get_nodes_response_empty_nodes(self):
+        msg = GetNodesResponse(b"\x01\x00", ID_A, ())
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_error(self):
+        msg = ErrorMessage(b"\x02\x00", 203, "protocol error")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_encode_rejects_non_message(self):
+        with pytest.raises(TypeError):
+            encode_message("nope")  # type: ignore[arg-type]
+
+
+class TestDecodeRejects:
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"not bencode",
+            b"le",  # not a dict
+            b"d1:y1:qe",  # missing txn
+            b"d1:t2:xx1:y1:xe",  # unknown kind
+            b"d1:t2:xx1:y1:qe",  # query without args
+            b"d1:a d0:e1:q4:ping1:t2:xx1:y1:qe".replace(b" ", b""),  # bad id
+        ],
+    )
+    def test_malformed(self, blob):
+        with pytest.raises(KrpcError):
+            decode_message(blob)
+
+    def test_unknown_method(self):
+        from repro.bittorrent.bencode import bencode
+
+        blob = bencode(
+            {b"t": b"aa", b"y": b"q", b"q": b"announce_peer", b"a": {b"id": ID_A}}
+        )
+        with pytest.raises(KrpcError):
+            decode_message(blob)
+
+    def test_bad_error_body(self):
+        from repro.bittorrent.bencode import bencode
+
+        blob = bencode({b"t": b"aa", b"y": b"e", b"e": [1, 2]})
+        with pytest.raises(KrpcError):
+            decode_message(blob)
+
+    def test_response_bad_nodes_blob(self):
+        from repro.bittorrent.bencode import bencode
+
+        blob = bencode(
+            {b"t": b"aa", b"y": b"r", b"r": {b"id": ID_A, b"nodes": b"xyz"}}
+        )
+        with pytest.raises(KrpcError):
+            decode_message(blob)
+
+
+class TestTransactionCounter:
+    def test_unique_and_min_width(self):
+        txns = TransactionCounter()
+        seen = {txns.next() for _ in range(300)}
+        assert len(seen) == 300
+        assert all(len(t) >= 2 for t in seen)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.binary(min_size=2, max_size=4),
+    st.binary(min_size=20, max_size=20),
+    st.lists(
+        st.tuples(
+            st.binary(min_size=20, max_size=20),
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=1, max_value=65535),
+        ),
+        max_size=8,
+    ),
+)
+def test_get_nodes_roundtrip_property(txn, responder, raw_nodes):
+    nodes = tuple(NodeInfo(i, ip, port) for i, ip, port in raw_nodes)
+    msg = GetNodesResponse(txn, responder, nodes)
+    assert decode_message(encode_message(msg)) == msg

@@ -1,0 +1,152 @@
+"""Tests for repro.net.prefixtrie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import MAX_IPV4, Prefix, covering_prefix, ip_to_int
+from repro.net.prefixtrie import PrefixSet, PrefixTrie
+
+
+def P(text):
+    return Prefix.from_text(text)
+
+
+class TestPrefixTrie:
+    def test_empty_lookup(self):
+        trie = PrefixTrie()
+        assert trie.lookup(ip_to_int("1.2.3.4")) is None
+        assert len(trie) == 0
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.exact(P("10.0.0.0/8")) == "a"
+        assert trie.exact(P("10.0.0.0/16")) is None
+        assert len(trie) == 1
+
+    def test_overwrite_same_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "b")
+        assert trie.exact(P("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_longest_prefix_match(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "short")
+        trie.insert(P("10.1.0.0/16"), "long")
+        match = trie.lookup(ip_to_int("10.1.2.3"))
+        assert match == (P("10.1.0.0/16"), "long")
+        match = trie.lookup(ip_to_int("10.2.0.1"))
+        assert match == (P("10.0.0.0/8"), "short")
+
+    def test_lookup_value(self):
+        trie = PrefixTrie()
+        trie.insert(P("1.0.0.0/8"), 42)
+        assert trie.lookup_value(ip_to_int("1.1.1.1")) == 42
+        assert trie.lookup_value(ip_to_int("2.2.2.2")) is None
+
+    def test_slash32_match(self):
+        trie = PrefixTrie()
+        ip = ip_to_int("7.7.7.7")
+        trie.insert(Prefix(ip, 32), "host")
+        assert trie.lookup(ip) == (Prefix(ip, 32), "host")
+        assert trie.lookup(ip + 1) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        assert trie.lookup(ip_to_int("200.1.2.3")) == (Prefix(0, 0), "default")
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.remove(P("10.0.0.0/8"))
+        assert not trie.remove(P("10.0.0.0/8"))
+        assert trie.lookup(ip_to_int("10.1.1.1")) is None
+        assert len(trie) == 0
+
+    def test_remove_keeps_other_entries(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.1.0.0/16"), "b")
+        trie.remove(P("10.0.0.0/8"))
+        assert trie.lookup(ip_to_int("10.1.2.3")) == (P("10.1.0.0/16"), "b")
+
+    def test_items_sorted(self):
+        trie = PrefixTrie()
+        trie.insert(P("20.0.0.0/8"), 2)
+        trie.insert(P("10.0.0.0/8"), 1)
+        trie.insert(P("10.0.0.0/16"), 3)
+        prefixes = [p for p, _ in trie.items()]
+        assert prefixes == [P("10.0.0.0/8"), P("10.0.0.0/16"), P("20.0.0.0/8")]
+
+    def test_lookup_invalid_ip(self):
+        trie = PrefixTrie()
+        with pytest.raises(ValueError):
+            trie.lookup(-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=MAX_IPV4),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=MAX_IPV4),
+    )
+    def test_lpm_matches_bruteforce(self, raw_prefixes, probe):
+        trie = PrefixTrie()
+        prefixes = []
+        for ip, length in raw_prefixes:
+            prefix = covering_prefix(ip, length)
+            trie.insert(prefix, str(prefix))
+            prefixes.append(prefix)
+        expected = None
+        for prefix in prefixes:
+            if prefix.contains(probe):
+                if expected is None or prefix.length > expected.length:
+                    expected = prefix
+        got = trie.lookup(probe)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[0] == expected
+
+
+class TestPrefixSet:
+    def test_membership(self):
+        ps = PrefixSet()
+        ps.add(P("10.0.0.0/24"))
+        assert ps.contains_ip(ip_to_int("10.0.0.5"))
+        assert not ps.contains_ip(ip_to_int("10.0.1.5"))
+        assert P("10.0.0.0/24") in ps
+        assert ip_to_int("10.0.0.5") in ps
+
+    def test_init_from_iterable(self):
+        ps = PrefixSet(iter([P("1.0.0.0/8"), P("2.0.0.0/8")]))
+        assert len(ps) == 2
+        assert sorted(ps.prefixes()) == [P("1.0.0.0/8"), P("2.0.0.0/8")]
+
+    def test_discard(self):
+        ps = PrefixSet()
+        ps.add(P("10.0.0.0/24"))
+        assert ps.discard(P("10.0.0.0/24"))
+        assert not ps.discard(P("10.0.0.0/24"))
+        assert not ps.contains_ip(ip_to_int("10.0.0.5"))
+
+    def test_contains_rejects_other_types(self):
+        ps = PrefixSet()
+        with pytest.raises(TypeError):
+            "10.0.0.1" in ps
+
+    def test_nested_membership(self):
+        ps = PrefixSet()
+        ps.add(P("10.0.0.0/8"))
+        assert ps.contains_ip(ip_to_int("10.200.1.1"))
+        assert not ps.contains_exact(P("10.0.0.0/16"))

@@ -1,0 +1,165 @@
+"""Tests for node ids and the Kademlia routing table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.krpc import NodeInfo
+from repro.bittorrent.nodeid import (
+    NODE_ID_BYTES,
+    common_prefix_bits,
+    generate_node_id,
+    node_id_hex,
+    xor_distance,
+)
+from repro.bittorrent.routing import BUCKET_SIZE, RoutingTable
+from repro.net.ipv4 import ip_to_int
+
+
+class TestNodeId:
+    def test_width(self):
+        node_id = generate_node_id(ip_to_int("192.168.1.2"), random.Random(1))
+        assert len(node_id) == NODE_ID_BYTES
+
+    def test_regeneration_differs(self):
+        rng = random.Random(1)
+        ip = ip_to_int("192.168.1.2")
+        assert generate_node_id(ip, rng) != generate_node_id(ip, rng)
+
+    def test_bad_ip(self):
+        with pytest.raises(ValueError):
+            generate_node_id(-1, random.Random(1))
+
+    def test_hex(self):
+        assert node_id_hex(bytes(20)) == "00" * 20
+
+    def test_hex_rejects_short(self):
+        with pytest.raises(ValueError):
+            node_id_hex(b"xx")
+
+
+class TestXorMetric:
+    def test_identity(self):
+        a = bytes(20)
+        assert xor_distance(a, a) == 0
+        assert common_prefix_bits(a, a) == 160
+
+    def test_symmetry(self):
+        a = bytes([1] * 20)
+        b = bytes([2] * 20)
+        assert xor_distance(a, b) == xor_distance(b, a)
+
+    def test_first_bit_differs(self):
+        a = bytes(20)
+        b = bytes([0x80]) + bytes(19)
+        assert common_prefix_bits(a, b) == 0
+
+    def test_last_bit_differs(self):
+        a = bytes(20)
+        b = bytes(19) + bytes([1])
+        assert common_prefix_bits(a, b) == 159
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.binary(min_size=20, max_size=20),
+        st.binary(min_size=20, max_size=20),
+        st.binary(min_size=20, max_size=20),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        # XOR metric satisfies d(a,c) <= d(a,b) + d(b,c).
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+
+def make_contact(seed: int) -> NodeInfo:
+    rng = random.Random(seed)
+    node_id = bytes(rng.getrandbits(8) for _ in range(20))
+    return NodeInfo(node_id, rng.getrandbits(32), rng.randint(1, 65535))
+
+
+class TestRoutingTable:
+    def test_insert_and_contains(self):
+        table = RoutingTable(bytes(20))
+        contact = make_contact(1)
+        assert table.insert(contact)
+        assert table.contains(contact.node_id)
+        assert len(table) == 1
+
+    def test_own_id_rejected(self):
+        own = bytes(20)
+        table = RoutingTable(own)
+        assert not table.insert(NodeInfo(own, 1, 1))
+
+    def test_update_in_place(self):
+        table = RoutingTable(bytes(20))
+        contact = make_contact(1)
+        table.insert(contact)
+        updated = NodeInfo(contact.node_id, contact.ip, contact.port + 1)
+        assert table.insert(updated)
+        assert len(table) == 1
+        assert list(table)[0].port == contact.port + 1
+
+    def test_bucket_overflow_drops_newcomer(self):
+        own = bytes(20)
+        table = RoutingTable(own, bucket_size=2)
+        # Contacts sharing prefix length 0 (first bit = 1).
+        def contact(n):
+            node_id = bytes([0x80, n]) + bytes(18)
+            return NodeInfo(node_id, n + 1, 1000 + n)
+
+        assert table.insert(contact(1))
+        assert table.insert(contact(2))
+        assert not table.insert(contact(3))
+        assert len(table) == 2
+
+    def test_remove(self):
+        table = RoutingTable(bytes(20))
+        contact = make_contact(5)
+        table.insert(contact)
+        assert table.remove(contact.node_id)
+        assert not table.remove(contact.node_id)
+        assert len(table) == 0
+
+    def test_closest_ordering(self):
+        own = bytes(20)
+        table = RoutingTable(own, bucket_size=32)
+        contacts = [make_contact(i) for i in range(40)]
+        for c in contacts:
+            table.insert(c)
+        target = make_contact(99).node_id
+        closest = table.closest(target, 10)
+        dists = [xor_distance(c.node_id, target) for c in closest]
+        assert dists == sorted(dists)
+        stored = list(table)
+        best = min(xor_distance(c.node_id, target) for c in stored)
+        assert dists[0] == best
+
+    def test_closest_respects_count(self):
+        table = RoutingTable(bytes(20), bucket_size=64)
+        for i in range(30):
+            table.insert(make_contact(i))
+        assert len(table.closest(make_contact(1).node_id, 8)) == 8
+
+    def test_closest_bad_target(self):
+        table = RoutingTable(bytes(20))
+        with pytest.raises(ValueError):
+            table.closest(b"short")
+
+    def test_random_contacts(self):
+        table = RoutingTable(bytes(20), bucket_size=64)
+        for i in range(20):
+            table.insert(make_contact(i))
+        sample = table.random_contacts(random.Random(0), 5)
+        assert len(sample) == 5
+        small = table.random_contacts(random.Random(0), 100)
+        assert len(small) == len(table)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RoutingTable(b"short")
+        with pytest.raises(ValueError):
+            RoutingTable(bytes(20), bucket_size=0)
+
+    def test_default_bucket_size_is_eight(self):
+        assert BUCKET_SIZE == 8

@@ -1,0 +1,164 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down the invariants the analyses rely on, over randomized
+inputs rather than fixtures.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocklists.timeline import Listing, ListingStore
+from repro.internet.dhcp import DhcpPool, LineChurnSpec
+from repro.net.ipv4 import MAX_IPV4, Prefix, covering_prefix
+from repro.ripe.kneedle import allocation_threshold
+
+
+class TestPrefixProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=MAX_IPV4),
+        st.integers(min_value=8, max_value=24),
+        st.integers(min_value=24, max_value=28),
+    )
+    def test_subprefixes_tile_exactly(self, ip, outer_len, inner_len):
+        outer = covering_prefix(ip, outer_len)
+        if inner_len < outer_len:
+            return
+        subs = list(outer.subprefixes(inner_len))
+        # Tiles are disjoint, ordered, and cover exactly the parent.
+        assert len(subs) == 1 << (inner_len - outer_len)
+        assert subs[0].first() == outer.first()
+        assert subs[-1].last() == outer.last()
+        for a, b in zip(subs, subs[1:]):
+            assert a.last() + 1 == b.first()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=MAX_IPV4),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_covering_prefix_is_tightest(self, ip, length):
+        prefix = covering_prefix(ip, length)
+        assert prefix.contains(ip)
+        if length < 32:
+            narrower = covering_prefix(ip, length + 1)
+            assert prefix.contains_prefix(narrower)
+
+
+class TestListingProperties:
+    listings = st.builds(
+        Listing,
+        list_id=st.sampled_from(["a", "b"]),
+        ip=st.integers(min_value=1, max_value=50),
+        first_day=st.integers(min_value=0, max_value=40),
+        last_day=st.integers(min_value=40, max_value=90),
+    )
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        listings,
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=50, max_value=100),
+    )
+    def test_observed_bounded_by_duration(self, listing, w_start, w_end):
+        windows = [(w_start, w_end)]
+        observed = listing.observed_days(windows)
+        assert 0 <= observed <= listing.duration_days()
+        assert listing.max_observed_run(windows) <= observed
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(listings, max_size=20))
+    def test_store_snapshot_consistent_with_activity(self, items):
+        store = ListingStore(items)
+        for day in (0, 25, 50, 75):
+            for list_id in store.list_ids():
+                snapshot = store.snapshot(list_id, day)
+                expected = {
+                    l.ip
+                    for l in store.listings_of_list(list_id)
+                    if l.active_on(day)
+                }
+                assert snapshot == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(listings, max_size=20))
+    def test_observed_store_is_subset(self, items):
+        store = ListingStore(items)
+        windows = [(10, 30)]
+        observed = store.observed(windows)
+        assert observed.all_ips() <= store.all_ips()
+        assert len(observed) <= len(store)
+
+
+class TestDhcpProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=5, max_value=40),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_exclusivity_and_containment(self, seed, n_lines, mean_days):
+        pool = DhcpPool("p", 1, [Prefix(0x0B000000, 24)])
+        specs = [LineChurnSpec(f"l{i}", mean_days) for i in range(n_lines)]
+        pool.simulate(specs, 60.0, random.Random(seed))
+        valid = set(pool.addresses())
+        for probe_day in (0.1, 17.3, 42.7, 59.9):
+            held = [
+                t.ip_at(probe_day)
+                for t in pool.timelines.values()
+                if t.ip_at(probe_day) is not None
+            ]
+            assert len(held) == len(set(held))
+            assert set(held) <= valid
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_timeline_queries_consistent(self, seed):
+        pool = DhcpPool("p", 1, [Prefix(0x0B000000, 24)])
+        specs = [LineChurnSpec(f"l{i}", 2.0) for i in range(10)]
+        pool.simulate(specs, 30.0, random.Random(seed))
+        for timeline in pool.timelines.values():
+            assert timeline.allocation_count() == timeline.change_count() + 1
+            intervals = list(timeline.intervals())
+            assert len(intervals) == timeline.allocation_count()
+            # Intervals are contiguous and ordered.
+            for (s1, e1, _), (s2, e2, _) in zip(intervals, intervals[1:]):
+                assert e1 == s2
+                assert s1 < e1
+            assert intervals[-1][1] == timeline.horizon
+
+
+class TestKneedleProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=5,
+            max_size=60,
+        ),
+        st.integers(min_value=100, max_value=1000),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_threshold_between_clusters(self, low_counts, high, n_high):
+        """With a clear low cluster and a clear high cluster, the
+        derived threshold separates them."""
+        counts = sorted(low_counts) + [high] * n_high
+        threshold = allocation_threshold(counts)
+        assert max(low_counts) >= threshold - 1 or threshold <= high
+        assert 2 <= threshold <= high
+
+
+class TestDetectionDeterminism:
+    def test_same_log_same_verdicts(self):
+        from repro.experiments.runner import cached_run
+        from repro.natdetect import detect_nated
+
+        run = cached_run("small")
+        log = run.crawl.merged_log()
+        first = detect_nated(log)
+        second = detect_nated(log)
+        assert first.nated_ips() == second.nated_ips()
+        assert first.user_counts() == second.user_counts()

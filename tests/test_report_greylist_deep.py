@@ -1,0 +1,145 @@
+"""Deeper tests for reporting, greylist rendering and impact math."""
+
+import pytest
+
+from repro.blocklists.timeline import Listing, ListingStore
+from repro.core.greylist import build_greylist, render_greylist
+from repro.core.impact import PerListCounts, per_list_counts
+from repro.core.report import PAPER_VALUES, build_report
+from repro.core.reuse import ReuseAnalysis
+from repro.natdetect.detector import NatDetectionResult, NatVerdict
+from repro.net.asdb import ASDatabase, ASRecord
+from repro.net.ipv4 import Prefix, int_to_ip, ip_to_int
+from repro.ripe.pipeline import PipelineResult, ProbeSummary
+
+W = [(0, 9)]
+
+
+def make_analysis(
+    *, listings=None, nated=(), dynamic_prefix=None, bt=None
+):
+    store = ListingStore(listings or [])
+    verdicts = {
+        ip: NatVerdict(ip, True, users, 2, 2, 1)
+        for ip, users in nated
+    }
+    probes = []
+    prefixes = set()
+    if dynamic_prefix is not None:
+        prefix = Prefix.from_text(dynamic_prefix)
+        prefixes.add(prefix)
+        probes.append(
+            ProbeSummary(1, [prefix.first() + 1], 0.0, 5.0, {1})
+        )
+    pipeline = PipelineResult(
+        all_probes=probes,
+        same_as_probes=probes,
+        frequent_probes=probes,
+        daily_probes=probes,
+        allocation_knee=8,
+        dynamic_prefixes=prefixes,
+    )
+    db = ASDatabase()
+    db.add(ASRecord(1, "one", prefixes=[Prefix.from_text("1.0.0.0/8")]))
+    return ReuseAnalysis(
+        store,
+        W,
+        NatDetectionResult(verdicts),
+        pipeline,
+        db,
+        bittorrent_ips=bt or set(),
+    )
+
+
+class TestEmptyWorldEdges:
+    def test_no_listings_at_all(self):
+        analysis = make_analysis()
+        assert analysis.blocklisted_ips == set()
+        assert analysis.reused_ips() == set()
+        report = build_report(analysis, all_list_ids=["a", "b"])
+        measured = report.measured()
+        assert measured["nated_listings"] == 0
+        assert measured["max_days_listed"] == 0
+        assert measured["median_days_all"] == 0
+
+    def test_no_nated_but_dynamic(self):
+        ip = ip_to_int("1.0.0.5")
+        analysis = make_analysis(
+            listings=[Listing("a", ip, 0, 3)],
+            dynamic_prefix="1.0.0.0/24",
+        )
+        assert analysis.dynamic_blocklisted == {ip}
+        assert analysis.nated_blocklisted == set()
+        report = build_report(analysis, all_list_ids=["a"])
+        assert report.users.cdf is None
+        assert report.measured()["pct_nated_exactly_two_users"] == 0.0
+
+    def test_greylist_empty(self):
+        analysis = make_analysis()
+        entries = build_greylist(analysis)
+        assert entries == []
+        text = render_greylist(entries)
+        assert text.startswith("#")
+        assert text.count("\n") == 2
+
+
+class TestGreylistContent:
+    def test_nat_plus_dynamic_kind(self):
+        ip = ip_to_int("1.0.0.5")
+        analysis = make_analysis(
+            listings=[Listing("a", ip, 0, 3)],
+            nated=[(ip, 4)],
+            dynamic_prefix="1.0.0.0/24",
+        )
+        entries = build_greylist(analysis)
+        assert len(entries) == 1
+        assert entries[0].reuse_kind == "nat+dynamic"
+        assert entries[0].detected_users == 4
+        rendered = render_greylist(entries)
+        assert f"{int_to_ip(ip)} nat+dynamic 4" in rendered
+
+    def test_entries_sorted_by_address(self):
+        ips = [ip_to_int("1.0.0.9"), ip_to_int("1.0.0.2")]
+        analysis = make_analysis(
+            listings=[Listing("a", ip, 0, 3) for ip in ips],
+            nated=[(ip, 2) for ip in ips],
+        )
+        entries = build_greylist(analysis)
+        assert [e.ip for e in entries] == sorted(ips)
+
+
+class TestPerListCountsEdge:
+    def test_all_zero_lists(self):
+        analysis = make_analysis(
+            listings=[Listing("a", ip_to_int("1.0.0.5"), 0, 3)]
+        )
+        counts = per_list_counts(
+            analysis, "nated", all_list_ids=["a", "b", "c"]
+        )
+        assert counts.total_listings == 0
+        assert counts.lists_with_any == 0
+        assert counts.lists_with_none == 3
+        assert counts.top10_listing_share == 0.0
+        assert counts.mean_per_listing_list == 0.0
+
+    def test_fraction_requires_positive_total(self):
+        analysis = make_analysis()
+        counts = per_list_counts(analysis, "nated", all_list_ids=[])
+        with pytest.raises(ValueError):
+            counts.fraction_of_lists_affected(0)
+
+
+class TestPaperValuesTable:
+    def test_all_keys_have_paper_values(self):
+        # Guard against measured()/PAPER_VALUES drifting apart.
+        analysis = make_analysis(
+            listings=[Listing("a", ip_to_int("1.0.0.5"), 0, 3)],
+            nated=[(ip_to_int("1.0.0.5"), 2)],
+        )
+        report = build_report(analysis, all_list_ids=["a"])
+        assert set(report.measured()) == set(PAPER_VALUES)
+        rows = report.comparison_rows()
+        assert len(rows) == len(PAPER_VALUES)
+        rendered = report.render()
+        for key in PAPER_VALUES:
+            assert key in rendered

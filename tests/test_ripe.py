@@ -1,0 +1,307 @@
+"""Tests for the RIPE Atlas substrate: logs, kneedle, simulate, pipeline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.internet.population import PopulationConfig, build_population
+from repro.internet.scenario import ScenarioConfig, build_scenario
+from repro.internet.topology import TopologyConfig, build_topology
+from repro.net.asdb import ASDatabase, ASRecord
+from repro.net.ipv4 import Prefix, ip_to_int, slash24_of
+from repro.ripe.connlog import (
+    ConnectionEvent,
+    ConnectionLog,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.ripe.kneedle import allocation_threshold, find_knee, find_knee_index
+from repro.ripe.pipeline import PipelineConfig, run_pipeline, summarize_probes
+from repro.ripe.simulate import AtlasConfig, deploy_probes, synthesize_log
+
+
+class TestConnectionLog:
+    def test_address_sequence_collapses_reconnects(self):
+        log = ConnectionLog(
+            [
+                ConnectionEvent(1, 0.0, 100),
+                ConnectionEvent(1, 5.0, 100),  # keepalive, same address
+                ConnectionEvent(1, 9.0, 200),
+                ConnectionEvent(1, 12.0, 200),
+            ]
+        )
+        seq = log.address_sequence(1)
+        assert [e.ip for e in seq] == [100, 200]
+
+    def test_sequence_sorted_by_time(self):
+        log = ConnectionLog(
+            [
+                ConnectionEvent(1, 9.0, 200),
+                ConnectionEvent(1, 0.0, 100),
+            ]
+        )
+        assert [e.ip for e in log.address_sequence(1)] == [100, 200]
+
+    def test_probe_ids(self):
+        log = ConnectionLog([ConnectionEvent(5, 0.0, 1), ConnectionEvent(2, 0.0, 1)])
+        assert log.probe_ids() == [2, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionEvent(-1, 0.0, 1)
+        with pytest.raises(ValueError):
+            ConnectionEvent(1, -0.5, 1)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = ConnectionLog(
+            [ConnectionEvent(1, 0.5, 100), ConnectionEvent(2, 1.5, 200)]
+        )
+        path = tmp_path / "atlas.jsonl"
+        assert write_jsonl(log, path) == 2
+        loaded = read_jsonl(path)
+        assert list(loaded) == list(log)
+
+    def test_jsonl_bad_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"p": "x"}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+
+class TestKneedle:
+    def test_convex_increasing_knee(self):
+        # Flat then sharp rise: knee at the bend.
+        ys = [1.0] * 10 + [2.0, 3.0, 50.0, 500.0]
+        xs = list(range(len(ys)))
+        knee = find_knee(xs, ys, curve="convex")
+        assert knee is not None
+        assert 9 <= knee[0] <= 12
+
+    def test_concave_increasing_elbow(self):
+        # Sharp rise then plateau (diminishing returns).
+        ys = [0.0, 40.0, 70.0, 85.0, 92.0, 95.0, 96.0, 97.0, 97.5, 98.0]
+        xs = list(range(len(ys)))
+        knee = find_knee(xs, ys, curve="concave")
+        assert knee is not None
+        assert 1 <= knee[0] <= 4
+
+    def test_flat_curve_none(self):
+        assert find_knee([0, 1, 2], [5.0, 5.0, 5.0]) is None
+
+    def test_too_short_none(self):
+        assert find_knee([0, 1], [1.0, 2.0]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_knee_index([0, 1], [1.0])
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            find_knee_index([0, 1, 2], [1, 2, 3], curve="wiggly")
+        with pytest.raises(ValueError):
+            find_knee_index([0, 1, 2], [1, 2, 3], direction="sideways")
+
+    def test_decreasing_direction(self):
+        ys = [500.0, 50.0, 3.0, 2.0] + [1.0] * 10
+        xs = list(range(len(ys)))
+        knee = find_knee(xs, ys, curve="convex", direction="decreasing")
+        assert knee is not None
+
+    def test_allocation_threshold_fallback(self):
+        assert allocation_threshold([]) == 8
+        assert allocation_threshold([1, 1, 1, 1]) == 8  # degenerate flat
+
+    def test_allocation_threshold_finds_bend(self):
+        counts = [1] * 60 + [2] * 10 + [3] * 6 + [5] * 4 + [8] * 2 + [300] * 5
+        threshold = allocation_threshold(counts)
+        assert 2 <= threshold <= 10
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=60))
+    def test_allocation_threshold_total(self, counts):
+        threshold = allocation_threshold(counts)
+        assert threshold >= 2
+
+
+def tiny_world(seed=3):
+    topo = build_topology(
+        TopologyConfig(n_eyeball=5, n_hosting=1, n_backbone=1, max_slash16s=1),
+        random.Random(seed),
+    )
+    config = PopulationConfig(
+        static_single_lines_per_16=15,
+        home_nat_lines_per_16=3,
+        cgn_sites_per_16=0.0,
+        dynamic_pools_per_as_range=(1, 1),
+        pool_slash24s_range=(1, 1),
+        pool_lines_per_24=30,
+        fast_pool_lines_per_24=15,
+        fast_pool_fraction=0.5,
+    )
+    truth = build_population(topo, config, random.Random(seed))
+    return truth
+
+
+class TestDeployAndSynthesize:
+    def test_fleet_composition(self):
+        truth = tiny_world()
+        config = AtlasConfig(n_probes=60, as_concentration=1.0)
+        deployment = deploy_probes(truth, config, random.Random(1))
+        assert len(deployment.placements) == 60
+        movers = [
+            p for p, (_, second, _) in deployment.placements.items() if second
+        ]
+        assert len(movers) == round(60 * config.mover_fraction)
+
+    def test_movers_span_two_ases(self):
+        truth = tiny_world()
+        config = AtlasConfig(n_probes=60, as_concentration=1.0)
+        deployment = deploy_probes(truth, config, random.Random(1))
+        for probe_id, (first, second, switch) in deployment.placements.items():
+            if second is not None:
+                assert truth.lines[first].asn != truth.lines[second].asn
+                assert switch is not None
+
+    def test_log_addresses_belong_to_hosting_line(self):
+        truth = tiny_world()
+        config = AtlasConfig(n_probes=40, as_concentration=1.0)
+        deployment = deploy_probes(truth, config, random.Random(2))
+        log = synthesize_log(
+            truth, deployment, config, random.Random(3), window=(0.0, 200.0)
+        )
+        for event in list(log)[:200]:
+            line_key = deployment.line_of(event.probe_id, event.day)
+            expected = truth.ip_of_line(line_key, event.day)
+            assert event.ip == expected
+
+    def test_static_probe_one_address(self):
+        truth = tiny_world()
+        config = AtlasConfig(
+            n_probes=20, static_fraction=1.0, mover_fraction=0.0,
+            as_concentration=1.0,
+        )
+        deployment = deploy_probes(truth, config, random.Random(4))
+        log = synthesize_log(
+            truth, deployment, config, random.Random(5), window=(0.0, 100.0)
+        )
+        for probe_id in log.probe_ids():
+            assert len(log.address_sequence(probe_id)) == 1
+
+    def test_bad_window(self):
+        truth = tiny_world()
+        config = AtlasConfig(n_probes=5, as_concentration=1.0)
+        deployment = deploy_probes(truth, config, random.Random(1))
+        with pytest.raises(ValueError):
+            synthesize_log(
+                truth, deployment, config, random.Random(1), window=(10.0, 5.0)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AtlasConfig(n_probes=0)
+        with pytest.raises(ValueError):
+            AtlasConfig(static_fraction=0.9, mover_fraction=0.3)
+
+
+class TestPipeline:
+    def make_log(self, entries):
+        """entries: {probe_id: [(day, ip), ...]}"""
+        log = ConnectionLog()
+        for probe_id, events in entries.items():
+            for day, ip in events:
+                log.append(ConnectionEvent(probe_id, day, ip))
+        return log
+
+    def make_asdb(self):
+        db = ASDatabase()
+        db.add(ASRecord(1, "a", prefixes=[Prefix.from_text("1.0.0.0/8")]))
+        db.add(ASRecord(2, "b", prefixes=[Prefix.from_text("2.0.0.0/8")]))
+        return db
+
+    def test_multi_as_probe_filtered(self):
+        log = self.make_log(
+            {
+                1: [(float(d), ip_to_int("1.0.0.1") + d) for d in range(12)],
+                2: [(0.0, ip_to_int("1.0.0.99")), (5.0, ip_to_int("2.0.0.5"))],
+            }
+        )
+        result = run_pipeline(
+            log, self.make_asdb(), PipelineConfig(fixed_allocation_threshold=8)
+        )
+        ids = {p.probe_id for p in result.same_as_probes}
+        assert 1 in ids and 2 not in ids
+
+    def test_frequency_threshold(self):
+        log = self.make_log(
+            {
+                1: [(float(d), ip_to_int("1.0.0.1") + d) for d in range(12)],
+                2: [(0.0, ip_to_int("1.0.1.1")), (5.0, ip_to_int("1.0.1.2"))],
+            }
+        )
+        result = run_pipeline(
+            log, self.make_asdb(), PipelineConfig(fixed_allocation_threshold=8)
+        )
+        ids = {p.probe_id for p in result.frequent_probes}
+        assert ids == {1}
+
+    def test_daily_filter(self):
+        fast = [(d * 0.5, ip_to_int("1.0.0.1") + d) for d in range(20)]
+        slow = [(d * 30.0, ip_to_int("1.0.1.1") + d) for d in range(10)]
+        log = self.make_log({1: fast, 2: slow})
+        result = run_pipeline(
+            log, self.make_asdb(), PipelineConfig(fixed_allocation_threshold=8)
+        )
+        assert {p.probe_id for p in result.daily_probes} == {1}
+
+    def test_expansion_to_slash24(self):
+        fast = [(d * 0.5, ip_to_int("1.0.0.1") + d) for d in range(10)]
+        log = self.make_log({1: fast})
+        result = run_pipeline(
+            log, self.make_asdb(), PipelineConfig(fixed_allocation_threshold=5)
+        )
+        assert result.dynamic_prefixes == {Prefix.from_text("1.0.0.0/24")}
+
+    def test_expansion_length_configurable(self):
+        fast = [(d * 0.5, ip_to_int("1.0.0.1") + d) for d in range(10)]
+        log = self.make_log({1: fast})
+        result = run_pipeline(
+            log,
+            self.make_asdb(),
+            PipelineConfig(fixed_allocation_threshold=5, expansion_prefix_len=20),
+        )
+        assert result.dynamic_prefixes == {Prefix.from_text("1.0.0.0/20")}
+
+    def test_bad_expansion_length(self):
+        with pytest.raises(ValueError):
+            run_pipeline(
+                ConnectionLog(),
+                self.make_asdb(),
+                PipelineConfig(expansion_prefix_len=40),
+            )
+
+    def test_funnel_counts_monotone(self):
+        sc = build_scenario(ScenarioConfig.small())
+        result = run_pipeline(sc.atlas_log, sc.truth.asdb)
+        funnel = result.funnel_counts()
+        assert (
+            funnel["all"]
+            >= funnel["same_as"]
+            >= funnel["frequent"]
+            >= funnel["daily"]
+        )
+
+    def test_detected_prefixes_are_truly_dynamic(self):
+        """Precision against ground truth: every detected /24 belongs
+        to a real DHCP pool."""
+        sc = build_scenario(ScenarioConfig.small())
+        result = run_pipeline(sc.atlas_log, sc.truth.asdb)
+        true_dynamic = sc.truth.dynamic_slash24s()
+        assert result.dynamic_prefixes  # small scenario must find some
+        assert result.dynamic_prefixes <= true_dynamic
+
+    def test_mean_interchange_infinite_for_static(self):
+        log = self.make_log({1: [(0.0, ip_to_int("1.0.0.1"))]})
+        probes = summarize_probes(log, self.make_asdb())
+        assert probes[0].mean_interchange_days() == float("inf")

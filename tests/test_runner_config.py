@@ -1,0 +1,53 @@
+"""Tests for run configuration and caching semantics."""
+
+import pytest
+
+from repro.experiments.runner import RunConfig, cached_run
+
+
+class TestRunConfig:
+    def test_small_preset_structure(self):
+        config = RunConfig.small(seed=7)
+        assert config.scenario.seed == 7
+        assert config.crawl.duration_hours == 8.0
+        # Small topology is genuinely small.
+        assert config.scenario.topology.n_eyeball <= 10
+
+    def test_default_preset_structure(self):
+        config = RunConfig.default(seed=9)
+        assert config.scenario.seed == 9
+        assert config.scenario.topology.n_eyeball >= 30
+
+    def test_presets_use_paper_windows(self):
+        for config in (RunConfig.small(), RunConfig.default()):
+            w1, w2 = config.scenario.windows
+            assert w1[1] - w1[0] + 1 == 39
+            assert w2[1] - w2[0] + 1 == 44
+
+    def test_horizon_covers_windows(self):
+        for config in (RunConfig.small(), RunConfig.default()):
+            horizon = config.scenario.population.horizon_days
+            for start, end in config.scenario.windows:
+                assert end <= horizon
+
+
+class TestCachedRun:
+    def test_different_seeds_cached_separately(self):
+        a = cached_run("small", seed=2020)
+        b = cached_run("small", seed=2023)
+        assert a is not b
+        assert a is cached_run("small", seed=2020)
+        assert b is cached_run("small", seed=2023)
+
+    def test_seeded_runs_differ_but_stay_sane(self):
+        a = cached_run("small", seed=2020)
+        b = cached_run("small", seed=2023)
+        # Different worlds...
+        assert a.analysis.blocklisted_ips != b.analysis.blocklisted_ips
+        # ...same invariants.
+        for run in (a, b):
+            truth_nated = set(run.scenario.truth.true_nated_ips())
+            assert run.nat.nated_ips() <= truth_nated
+            assert run.pipeline.dynamic_prefixes <= (
+                run.scenario.truth.dynamic_slash24s()
+            )

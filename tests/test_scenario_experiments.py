@@ -1,0 +1,108 @@
+"""Integration tests: scenario build and the full small-scale run."""
+
+import pytest
+
+from repro.core.funnel import compute_funnel
+from repro.experiments.runner import RunConfig, cached_run, run_full
+from repro.internet.scenario import (
+    PAPER_WINDOWS,
+    ScenarioConfig,
+    build_scenario,
+)
+
+
+class TestScenario:
+    def test_windows_match_paper_calendar(self):
+        w1, w2 = PAPER_WINDOWS
+        assert w1[1] - w1[0] + 1 == 39  # 3 Aug – 10 Sep 2019
+        assert w2[1] - w2[0] + 1 == 44  # 29 Mar – 11 May 2020
+
+    def test_deterministic_build(self):
+        a = build_scenario(ScenarioConfig.small(seed=5))
+        b = build_scenario(ScenarioConfig.small(seed=5))
+        assert len(a.truth.lines) == len(b.truth.lines)
+        assert len(a.listings) == len(b.listings)
+        assert [e.ip for e in a.abuse_events[:50]] == [
+            e.ip for e in b.abuse_events[:50]
+        ]
+        assert len(a.atlas_log) == len(b.atlas_log)
+
+    def test_different_seeds_differ(self):
+        a = build_scenario(ScenarioConfig.small(seed=5))
+        b = build_scenario(ScenarioConfig.small(seed=6))
+        assert {e.ip for e in a.abuse_events} != {e.ip for e in b.abuse_events}
+
+    def test_catalog_is_151(self):
+        sc = build_scenario(ScenarioConfig.small())
+        assert len(sc.catalog) == 151
+
+    def test_blocklisted_ips_nonempty(self):
+        sc = build_scenario(ScenarioConfig.small())
+        assert len(sc.blocklisted_ips()) > 10
+
+    def test_listed_ips_resolve_to_topology(self):
+        sc = build_scenario(ScenarioConfig.small())
+        for ip in list(sc.blocklisted_ips())[:100]:
+            assert sc.truth.asdb.asn_of(ip) is not None
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return cached_run("small")
+
+
+class TestFullRunSmall:
+    def test_crawler_found_peers(self, small_run):
+        assert small_run.crawl.crawler.discovered_ips > 20
+        assert small_run.crawl.crawler.stats.ping_response_rate() > 0.2
+
+    def test_nat_detection_has_true_positives(self, small_run):
+        truth_nated = set(small_run.scenario.truth.true_nated_ips())
+        detected = small_run.nat.nated_ips()
+        assert detected
+        # Verified detection must be pure: no false positives against
+        # ground truth.
+        assert detected <= truth_nated
+
+    def test_nat_user_bounds_are_lower_bounds(self, small_run):
+        truth = small_run.scenario.truth.true_nated_ips()
+        for ip in small_run.nat.nated_ips():
+            assert small_run.nat.users_behind(ip) <= truth[ip]
+
+    def test_dynamic_prefixes_are_true_pools(self, small_run):
+        true_dynamic = small_run.scenario.truth.dynamic_slash24s()
+        assert small_run.pipeline.dynamic_prefixes
+        assert small_run.pipeline.dynamic_prefixes <= true_dynamic
+
+    def test_funnel_monotone(self, small_run):
+        funnel = compute_funnel(small_run.analysis)
+        assert funnel.monotone()
+
+    def test_reused_ips_blocklisted(self, small_run):
+        analysis = small_run.analysis
+        assert analysis.reused_ips() <= analysis.blocklisted_ips
+
+    def test_report_complete(self, small_run):
+        measured = small_run.report.measured()
+        assert measured["nated_blocklisted_ips"] >= 1
+        assert measured["max_days_listed"] <= 44
+
+    def test_duration_capped_by_window(self, small_run):
+        samples = small_run.analysis.duration_samples()
+        assert samples
+        assert max(samples) <= 44
+
+    def test_census_ran(self, small_run):
+        assert small_run.census.metrics
+        true_dynamic = small_run.scenario.truth.dynamic_slash24s()
+        assert small_run.census.dynamic_blocks() <= true_dynamic
+
+    def test_survey_summary(self, small_run):
+        assert small_run.survey_summary.respondents == 65
+
+    def test_cached_run_is_cached(self, small_run):
+        assert cached_run("small") is small_run
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            cached_run("gigantic")

@@ -1,0 +1,109 @@
+"""Tests for ground-truth and listing serialization."""
+
+import pytest
+
+from repro.blocklists.timeline import Listing, ListingStore
+from repro.internet.scenario import ScenarioConfig, build_scenario
+from repro.internet.serialize import (
+    FORMAT_VERSION,
+    load_listings,
+    load_truth,
+    save_listings,
+    save_truth,
+    truth_from_dict,
+    truth_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig.small(seed=42))
+
+
+class TestTruthRoundtrip:
+    def test_dict_roundtrip_preserves_structure(self, scenario):
+        truth = scenario.truth
+        restored = truth_from_dict(truth_to_dict(truth))
+        assert set(restored.lines) == set(truth.lines)
+        assert set(restored.users) == set(truth.users)
+        assert set(restored.pools) == set(truth.pools)
+        assert len(restored.asdb) == len(truth.asdb)
+        assert restored.horizon_days == truth.horizon_days
+
+    def test_roundtrip_preserves_line_attributes(self, scenario):
+        truth = scenario.truth
+        restored = truth_from_dict(truth_to_dict(truth))
+        for key, line in truth.lines.items():
+            other = restored.lines[key]
+            assert other.asn == line.asn
+            assert other.addressing == line.addressing
+            assert other.nat == line.nat
+            assert other.static_ip == line.static_ip
+            assert sorted(other.user_keys) == sorted(line.user_keys)
+
+    def test_roundtrip_preserves_timelines(self, scenario):
+        truth = scenario.truth
+        restored = truth_from_dict(truth_to_dict(truth))
+        for pool_id, pool in truth.pools.items():
+            other = restored.pools[pool_id]
+            for line_key, timeline in pool.timelines.items():
+                assert (
+                    other.timelines[line_key].addresses()
+                    == timeline.addresses()
+                )
+                for day in (0.5, 100.3, 400.9):
+                    assert other.timelines[line_key].ip_at(day) == (
+                        timeline.ip_at(day)
+                    )
+
+    def test_roundtrip_preserves_derived_queries(self, scenario):
+        truth = scenario.truth
+        restored = truth_from_dict(truth_to_dict(truth))
+        assert restored.true_nated_ips() == truth.true_nated_ips()
+        assert restored.dynamic_slash24s() == truth.dynamic_slash24s()
+        assert len(restored.compromised_users()) == len(
+            truth.compromised_users()
+        )
+
+    def test_file_roundtrip(self, scenario, tmp_path):
+        path = tmp_path / "world.json"
+        save_truth(scenario.truth, path)
+        restored = load_truth(path)
+        assert set(restored.lines) == set(scenario.truth.lines)
+
+    def test_version_checked(self, scenario):
+        data = truth_to_dict(scenario.truth)
+        data["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            truth_from_dict(data)
+
+
+class TestListingsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        store = ListingStore(
+            [
+                Listing("a", 1, 0, 5),
+                Listing("b", 2, 3, 3),
+            ]
+        )
+        path = tmp_path / "listings.jsonl"
+        assert save_listings(store, path) == 2
+        restored = load_listings(path)
+        assert sorted(
+            (l.list_id, l.ip, l.first_day, l.last_day) for l in restored
+        ) == sorted(
+            (l.list_id, l.ip, l.first_day, l.last_day) for l in store
+        )
+
+    def test_scenario_listings_roundtrip(self, scenario, tmp_path):
+        path = tmp_path / "listings.jsonl"
+        save_listings(scenario.listings, path)
+        restored = load_listings(path)
+        assert len(restored) == len(scenario.listings)
+        assert restored.all_ips() == scenario.listings.all_ips()
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"l": "a"}\n')
+        with pytest.raises(ValueError):
+            load_listings(path)

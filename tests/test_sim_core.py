@@ -1,0 +1,204 @@
+"""Tests for repro.sim: clock, scheduler, RNG streams."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, MINUTE, SimClock
+from repro.sim.events import Scheduler
+from repro.sim.rng import RngHub, weighted_index, zipf_weights
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_no_time_travel(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_unit_properties(self):
+        clock = SimClock(2 * DAY)
+        assert clock.now_days == 2.0
+        assert clock.now_hours == 48.0
+
+    def test_units(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+        assert DAY == 86400.0
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        sched = Scheduler()
+        seen = []
+        sched.at(3.0, lambda: seen.append("c"))
+        sched.at(1.0, lambda: seen.append("a"))
+        sched.at(2.0, lambda: seen.append("b"))
+        sched.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sched = Scheduler()
+        seen = []
+        sched.at(1.0, lambda: seen.append(1))
+        sched.at(1.0, lambda: seen.append(2))
+        sched.run()
+        assert seen == [1, 2]
+
+    def test_clock_matches_fire_time(self):
+        sched = Scheduler()
+        observed = []
+        sched.at(4.5, lambda: observed.append(sched.now))
+        sched.run()
+        assert observed == [4.5]
+
+    def test_after(self):
+        sched = Scheduler()
+        sched.clock.advance_to(10.0)
+        observed = []
+        sched.after(5.0, lambda: observed.append(sched.now))
+        sched.run()
+        assert observed == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        sched = Scheduler()
+        sched.clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            sched.at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sched.after(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        sched = Scheduler()
+        seen = []
+        event = sched.at(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sched.run()
+        assert seen == []
+
+    def test_cancel_idempotent(self):
+        sched = Scheduler()
+        event = sched.at(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sched.run() == 0
+
+    def test_run_until_partial(self):
+        sched = Scheduler()
+        seen = []
+        sched.at(1.0, lambda: seen.append(1))
+        sched.at(5.0, lambda: seen.append(5))
+        ran = sched.run_until(2.0)
+        assert ran == 1
+        assert seen == [1]
+        assert sched.now == 2.0
+        assert sched.pending == 1
+
+    def test_every_repeats_until(self):
+        sched = Scheduler()
+        seen = []
+        sched.every(1.0, lambda: seen.append(sched.now), until=3.5)
+        sched.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_every_stopiteration_stops(self):
+        sched = Scheduler()
+        seen = []
+
+        def tick():
+            seen.append(sched.now)
+            if len(seen) >= 2:
+                raise StopIteration
+
+        sched.every(1.0, tick, until=100.0)
+        sched.run()
+        assert seen == [1.0, 2.0]
+
+    def test_every_bad_interval(self):
+        sched = Scheduler()
+        with pytest.raises(ValueError):
+            sched.every(0.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sched = Scheduler()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sched.after(1.0, lambda: seen.append("second"))
+
+        sched.at(1.0, first)
+        sched.run()
+        assert seen == ["first", "second"]
+
+    def test_executed_counter(self):
+        sched = Scheduler()
+        sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        sched.run()
+        assert sched.executed == 2
+
+
+class TestRngHub:
+    def test_same_seed_same_draws(self):
+        a = RngHub(99).stream("x").random()
+        b = RngHub(99).stream("x").random()
+        assert a == b
+
+    def test_different_streams_differ(self):
+        hub = RngHub(99)
+        assert hub.stream("x").random() != hub.stream("y").random()
+
+    def test_stream_memoised(self):
+        hub = RngHub(1)
+        assert hub.stream("s") is hub.stream("s")
+
+    def test_fork_independent(self):
+        hub = RngHub(1)
+        child_a = hub.fork("a")
+        child_b = hub.fork("b")
+        assert child_a.stream("s").random() != child_b.stream("s").random()
+
+    def test_adding_stream_does_not_disturb_existing(self):
+        hub1 = RngHub(5)
+        first = hub1.stream("alpha")
+        baseline = [first.random() for _ in range(3)]
+        hub2 = RngHub(5)
+        hub2.stream("newcomer").random()  # extra stream created first
+        second = hub2.stream("alpha")
+        assert [second.random() for _ in range(3)] == baseline
+
+
+class TestWeights:
+    def test_zipf_normalised(self):
+        weights = zipf_weights(10)
+        assert abs(sum(weights) - 1.0) < 1e-12
+        assert weights[0] > weights[-1]
+
+    def test_zipf_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_weighted_index_bounds(self):
+        import random
+
+        rng = random.Random(3)
+        draws = [weighted_index(rng, [0.1, 0.9]) for _ in range(200)]
+        assert set(draws) <= {0, 1}
+        assert draws.count(1) > draws.count(0)
+
+    def test_weighted_index_empty(self):
+        import random
+
+        with pytest.raises(ValueError):
+            weighted_index(random.Random(1), [])

@@ -1,0 +1,204 @@
+"""Tests for NAT gateways and host stacks."""
+
+import pytest
+
+from repro.net.ipv4 import ip_to_int
+from repro.sim.events import Scheduler
+from repro.sim.nat import HostStack, NatBehaviour, NatGateway
+from repro.sim.rng import RngHub
+from repro.sim.udp import Endpoint, UdpFabric
+
+
+@pytest.fixture()
+def world():
+    sched = Scheduler()
+    hub = RngHub(11)
+    fabric = UdpFabric(sched, hub, loss_rate=0.0)
+    return sched, fabric, hub.stream("test")
+
+
+class TestHostStack:
+    def test_socket_send_receive(self, world):
+        sched, fabric, rng = world
+        a = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        b = HostStack(fabric, ip_to_int("10.0.0.2"), rng)
+        sock_a = a.open_socket()
+        sock_b = b.open_socket(port=7000)
+        got = []
+        sock_b.on_receive(got.append)
+        sock_a.send(Endpoint(ip_to_int("10.0.0.2"), 7000), b"hi")
+        sched.run()
+        assert len(got) == 1
+        assert got[0].src == sock_a.endpoint
+
+    def test_requested_port_honoured(self, world):
+        _, fabric, rng = world
+        host = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        sock = host.open_socket(port=6881)
+        assert sock.endpoint.port == 6881
+
+    def test_port_conflict(self, world):
+        _, fabric, rng = world
+        host = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        host.open_socket(port=6881)
+        with pytest.raises(ValueError):
+            host.open_socket(port=6881)
+
+    def test_close_releases_port(self, world):
+        sched, fabric, rng = world
+        host = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        sock = host.open_socket(port=6881)
+        sock.close()
+        sock2 = host.open_socket(port=6881)
+        assert sock2.endpoint.port == 6881
+
+    def test_send_after_close_raises(self, world):
+        _, fabric, rng = world
+        host = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        sock = host.open_socket()
+        sock.close()
+        with pytest.raises(RuntimeError):
+            sock.send(Endpoint(ip_to_int("10.0.0.2"), 1), b"x")
+
+    def test_close_idempotent(self, world):
+        _, fabric, rng = world
+        host = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        sock = host.open_socket()
+        sock.close()
+        sock.close()  # no error
+
+    def test_no_delivery_after_close(self, world):
+        sched, fabric, rng = world
+        a = HostStack(fabric, ip_to_int("10.0.0.1"), rng)
+        b = HostStack(fabric, ip_to_int("10.0.0.2"), rng)
+        sock_b = b.open_socket(port=7000)
+        got = []
+        sock_b.on_receive(got.append)
+        sock_a = a.open_socket()
+        sock_a.send(Endpoint(ip_to_int("10.0.0.2"), 7000), b"x")
+        sock_b.close()
+        sched.run()
+        assert got == []
+        assert fabric.stats.dropped_unbound == 1
+
+
+class TestNatGateway:
+    def test_two_users_distinct_public_ports(self, world):
+        _, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        s1 = gw.open_socket()
+        s2 = gw.open_socket()
+        assert s1.endpoint.ip == s2.endpoint.ip == ip_to_int("20.0.0.1")
+        assert s1.endpoint.port != s2.endpoint.port
+        assert gw.active_mappings == 2
+
+    def test_full_cone_reachable_by_stranger(self, world):
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket(behaviour=NatBehaviour.FULL_CONE)
+        got = []
+        inner.on_receive(got.append)
+        stranger = HostStack(fabric, ip_to_int("10.9.9.9"), rng).open_socket()
+        stranger.send(inner.endpoint, b"ping")
+        sched.run()
+        assert len(got) == 1
+        assert gw.stats.inbound_delivered == 1
+
+    def test_restricted_drops_stranger(self, world):
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket(behaviour=NatBehaviour.ADDRESS_RESTRICTED)
+        got = []
+        inner.on_receive(got.append)
+        stranger = HostStack(fabric, ip_to_int("10.9.9.9"), rng).open_socket()
+        stranger.send(inner.endpoint, b"ping")
+        sched.run()
+        assert got == []
+        assert gw.stats.inbound_restricted == 1
+
+    def test_restricted_allows_contacted_peer(self, world):
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket(behaviour=NatBehaviour.ADDRESS_RESTRICTED)
+        got = []
+        inner.on_receive(got.append)
+        peer = HostStack(fabric, ip_to_int("10.9.9.9"), rng).open_socket(port=5000)
+        inner.send(peer.endpoint, b"hello")  # punches the hole
+        sched.run()
+        peer.send(inner.endpoint, b"reply")
+        sched.run()
+        assert len(got) == 1
+
+    def test_forwarded_port_is_full_cone(self, world):
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket(forwarded_port=6881)
+        assert inner.endpoint.port == 6881
+        got = []
+        inner.on_receive(got.append)
+        stranger = HostStack(fabric, ip_to_int("10.9.9.9"), rng).open_socket()
+        stranger.send(inner.endpoint, b"ping")
+        sched.run()
+        assert len(got) == 1
+
+    def test_forwarded_port_conflict(self, world):
+        _, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        gw.open_socket(forwarded_port=6881)
+        with pytest.raises(ValueError):
+            gw.open_socket(forwarded_port=6881)
+
+    def test_unknown_behaviour_rejected(self, world):
+        _, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        with pytest.raises(ValueError):
+            gw.open_socket(behaviour="weird")
+
+    def test_closed_mapping_drops_inbound(self, world):
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket(behaviour=NatBehaviour.FULL_CONE)
+        endpoint = inner.endpoint
+        inner.close()
+        stranger = HostStack(fabric, ip_to_int("10.9.9.9"), rng).open_socket()
+        stranger.send(endpoint, b"ping")
+        sched.run()
+        assert gw.stats.inbound_no_mapping == 1
+
+    def test_port_reusable_after_close(self, world):
+        _, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket(forwarded_port=7777)
+        inner.close()
+        again = gw.open_socket(forwarded_port=7777)
+        assert again.endpoint.port == 7777
+
+    def test_shutdown_releases_ip(self, world):
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        gw.open_socket()
+        gw.shutdown()
+        assert gw.active_mappings == 0
+        # IP can now be claimed by a plain host.
+        host = HostStack(fabric, ip_to_int("20.0.0.1"), rng)
+        host.open_socket()
+
+    def test_nat_translation_roundtrip(self, world):
+        """Outbound from NATed host reaches target with public src, and
+        the reply routes back to the inner socket."""
+        sched, fabric, rng = world
+        gw = NatGateway(fabric, ip_to_int("20.0.0.1"), rng)
+        inner = gw.open_socket()
+        server = HostStack(fabric, ip_to_int("10.0.0.5"), rng).open_socket(port=5053)
+        server_got = []
+        inner_got = []
+        server.on_receive(server_got.append)
+        inner.on_receive(inner_got.append)
+        inner.send(server.endpoint, b"query")
+        sched.run()
+        assert len(server_got) == 1
+        assert server_got[0].src == inner.endpoint  # public view
+        server.send(server_got[0].src, b"answer")
+        sched.run()
+        assert len(inner_got) == 1
+        assert inner_got[0].payload == b"answer"

@@ -1,0 +1,154 @@
+"""Tests for the simulated UDP fabric."""
+
+import pytest
+
+from repro.net.ipv4 import ip_to_int
+from repro.sim.events import Scheduler
+from repro.sim.rng import RngHub
+from repro.sim.udp import Datagram, Endpoint, UdpFabric
+
+
+def make_fabric(loss=0.0):
+    sched = Scheduler()
+    fabric = UdpFabric(sched, RngHub(7), loss_rate=loss)
+    return sched, fabric
+
+
+def ep(ip, port):
+    return Endpoint(ip_to_int(ip), port)
+
+
+class TestEndpoint:
+    def test_str(self):
+        assert str(ep("1.2.3.4", 80)) == "1.2.3.4:80"
+
+    def test_invalid_port(self):
+        with pytest.raises(ValueError):
+            Endpoint(ip_to_int("1.2.3.4"), 0)
+
+    def test_invalid_ip(self):
+        with pytest.raises(ValueError):
+            Endpoint(-1, 80)
+
+    def test_ordering_hashable(self):
+        a = ep("1.2.3.4", 80)
+        b = ep("1.2.3.4", 81)
+        assert a < b
+        assert len({a, b, ep("1.2.3.4", 80)}) == 2
+
+
+class TestBinding:
+    def test_bind_and_deliver(self):
+        sched, fabric = make_fabric()
+        received = []
+        dst = ep("10.0.0.1", 6881)
+        fabric.bind(dst, received.append)
+        fabric.send(ep("10.0.0.2", 1234), dst, b"hello")
+        sched.run()
+        assert len(received) == 1
+        assert received[0].payload == b"hello"
+        assert received[0].src == ep("10.0.0.2", 1234)
+
+    def test_double_bind_rejected(self):
+        _, fabric = make_fabric()
+        dst = ep("10.0.0.1", 6881)
+        fabric.bind(dst, lambda d: None)
+        with pytest.raises(ValueError):
+            fabric.bind(dst, lambda d: None)
+
+    def test_unbind(self):
+        sched, fabric = make_fabric()
+        dst = ep("10.0.0.1", 6881)
+        fabric.bind(dst, lambda d: None)
+        fabric.unbind(dst)
+        with pytest.raises(KeyError):
+            fabric.unbind(dst)
+        fabric.send(ep("10.0.0.2", 1), dst, b"x")
+        sched.run()
+        assert fabric.stats.dropped_unbound == 1
+
+    def test_is_bound(self):
+        _, fabric = make_fabric()
+        dst = ep("10.0.0.1", 6881)
+        assert not fabric.is_bound(dst)
+        fabric.bind(dst, lambda d: None)
+        assert fabric.is_bound(dst)
+
+
+class TestIpLevelHandlers:
+    def test_ip_handler_receives_any_port(self):
+        sched, fabric = make_fabric()
+        got = []
+        nat_ip = ip_to_int("20.0.0.1")
+        fabric.bind_ip(nat_ip, got.append)
+        fabric.send(ep("10.0.0.2", 9), Endpoint(nat_ip, 1111), b"a")
+        fabric.send(ep("10.0.0.2", 9), Endpoint(nat_ip, 2222), b"b")
+        sched.run()
+        assert {d.dst.port for d in got} == {1111, 2222}
+
+    def test_ip_handler_conflicts_with_port_binding(self):
+        _, fabric = make_fabric()
+        nat_ip = ip_to_int("20.0.0.1")
+        fabric.bind(Endpoint(nat_ip, 80), lambda d: None)
+        with pytest.raises(ValueError):
+            fabric.bind_ip(nat_ip, lambda d: None)
+
+    def test_port_binding_conflicts_with_ip_handler(self):
+        _, fabric = make_fabric()
+        nat_ip = ip_to_int("20.0.0.1")
+        fabric.bind_ip(nat_ip, lambda d: None)
+        with pytest.raises(ValueError):
+            fabric.bind(Endpoint(nat_ip, 80), lambda d: None)
+
+    def test_unbind_ip(self):
+        _, fabric = make_fabric()
+        nat_ip = ip_to_int("20.0.0.1")
+        fabric.bind_ip(nat_ip, lambda d: None)
+        fabric.unbind_ip(nat_ip)
+        with pytest.raises(KeyError):
+            fabric.unbind_ip(nat_ip)
+
+
+class TestLossAndLatency:
+    def test_zero_loss_delivers_all(self):
+        sched, fabric = make_fabric(loss=0.0)
+        got = []
+        dst = ep("10.0.0.1", 6881)
+        fabric.bind(dst, got.append)
+        for _ in range(50):
+            fabric.send(ep("10.0.0.2", 1), dst, b"x")
+        sched.run()
+        assert len(got) == 50
+        assert fabric.stats.delivery_rate() == 1.0
+
+    def test_heavy_loss_drops_some(self):
+        sched, fabric = make_fabric(loss=0.5)
+        got = []
+        dst = ep("10.0.0.1", 6881)
+        fabric.bind(dst, got.append)
+        for _ in range(300):
+            fabric.send(ep("10.0.0.2", 1), dst, b"x")
+        sched.run()
+        assert 0 < len(got) < 300
+        assert fabric.stats.dropped_loss == 300 - len(got)
+
+    def test_delivery_is_delayed(self):
+        sched, fabric = make_fabric()
+        times = []
+        dst = ep("10.0.0.1", 6881)
+        fabric.bind(dst, lambda d: times.append(sched.now))
+        fabric.send(ep("10.0.0.2", 1), dst, b"x")
+        assert times == []  # nothing delivered synchronously
+        sched.run()
+        assert len(times) == 1
+        assert times[0] > 0.0
+
+    def test_bad_loss_rate_rejected(self):
+        sched = Scheduler()
+        with pytest.raises(ValueError):
+            UdpFabric(sched, RngHub(1), loss_rate=1.0)
+
+    def test_bad_latency_rejected(self):
+        sched = Scheduler()
+        with pytest.raises(ValueError):
+            UdpFabric(sched, RngHub(1), latency_min=0.5, latency_max=0.1)

@@ -1,0 +1,138 @@
+"""Tests for the operator survey: schema, generation, tabulation."""
+
+import random
+
+import pytest
+
+from repro.survey.analyze import figure9_usage, render_table1, summarize
+from repro.survey.generate import FIGURE9_USAGE, SURVEY_SIZE, generate_responses
+from repro.survey.model import BLOCKLIST_TYPES, SurveyResponse
+
+
+def response(**overrides):
+    defaults = dict(
+        respondent_id=0,
+        network_types=("enterprise",),
+        region="EU",
+        subscribers=1000,
+        maintains_internal=True,
+        uses_external=True,
+        paid_lists=1,
+        public_lists=3,
+        direct_block=True,
+        threat_intel_input=False,
+        cgn_hurts_accuracy=True,
+        dynamic_hurts_accuracy=False,
+        blocklist_types=frozenset({"spam"}),
+    )
+    defaults.update(overrides)
+    return SurveyResponse(**defaults)
+
+
+class TestSchema:
+    def test_valid(self):
+        r = response()
+        assert r.answered_reuse_questions()
+        assert r.faced_reuse_issues()
+
+    def test_skipped_reuse_questions(self):
+        r = response(cgn_hurts_accuracy=None, dynamic_hurts_accuracy=None)
+        assert not r.answered_reuse_questions()
+        assert not r.faced_reuse_issues()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            response(respondent_id=-1)
+        with pytest.raises(ValueError):
+            response(network_types=("pigeon-net",))
+        with pytest.raises(ValueError):
+            response(blocklist_types=frozenset({"astrology"}))
+        with pytest.raises(ValueError):
+            response(uses_external=False, paid_lists=2)
+        with pytest.raises(ValueError):
+            response(paid_lists=-1)
+
+
+class TestGeneration:
+    def test_size(self):
+        responses = generate_responses(random.Random(1))
+        assert len(responses) == SURVEY_SIZE
+
+    def test_published_marginals_exact_at_65(self):
+        responses = generate_responses(random.Random(1))
+        summary = summarize(responses)
+        assert round(summary.pct_external) == 85
+        assert round(summary.pct_threat_intel) == 35
+        assert summary.reuse_respondents == 34
+        assert round(summary.pct_dynamic_issue) == 76
+        assert round(summary.pct_cgn_issue) == 56
+        assert summary.paid_max == 39
+        assert summary.public_max == 68
+
+    def test_direct_block_near_59(self):
+        responses = generate_responses(random.Random(1))
+        summary = summarize(responses)
+        assert 55 <= summary.pct_direct_block <= 62
+
+    def test_averages_close_to_paper(self):
+        responses = generate_responses(random.Random(7))
+        summary = summarize(responses)
+        assert 1 <= summary.paid_avg <= 4
+        assert 6 <= summary.public_avg <= 13
+
+    def test_no_external_means_no_counts(self):
+        for r in generate_responses(random.Random(3)):
+            if not r.uses_external:
+                assert r.paid_lists == 0 and r.public_lists == 0
+                assert not r.blocklist_types
+
+    def test_custom_size(self):
+        assert len(generate_responses(random.Random(1), n=10)) == 10
+        with pytest.raises(ValueError):
+            generate_responses(random.Random(1), n=0)
+
+    def test_deterministic(self):
+        a = generate_responses(random.Random(5))
+        b = generate_responses(random.Random(5))
+        assert a == b
+
+
+class TestAnalysis:
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_figure9_order_and_range(self):
+        responses = generate_responses(random.Random(2))
+        usage = figure9_usage(responses)
+        assert len(usage) == len(BLOCKLIST_TYPES)
+        values = [pct for _, pct in usage]
+        assert values == sorted(values, reverse=True)
+        assert all(0 <= v <= 100 for v in values)
+
+    def test_figure9_spam_tops(self):
+        responses = generate_responses(random.Random(2))
+        usage = dict(figure9_usage(responses))
+        # Spam/reputation lists dominate, VOIP/banking trail (Figure 9).
+        assert usage["spam"] > usage["voip"]
+        assert usage["reputation"] > usage["banking"]
+
+    def test_figure9_no_affected(self):
+        rs = [
+            response(cgn_hurts_accuracy=False, dynamic_hurts_accuracy=False)
+        ]
+        usage = figure9_usage(rs)
+        assert all(pct == 0.0 for _, pct in usage)
+
+    def test_render_table1(self):
+        responses = generate_responses(random.Random(1))
+        text = render_table1(summarize(responses))
+        assert "External blocklists" in text
+        assert "Max:39" in text
+        assert "Max:68" in text
+        assert "34 of 65" in text
+
+    def test_figure9_targets_match_published_shape(self):
+        # The configured usage table must itself be sorted like Fig 9.
+        values = [FIGURE9_USAGE[t] for t in BLOCKLIST_TYPES]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,174 @@
+"""Tests for overlay construction and the crawl wiring."""
+
+import pytest
+
+from repro.bittorrent.swarm import PeerSpec, build_overlay
+from repro.experiments.btsetup import CrawlSetup, _build_specs, run_crawl
+from repro.internet.groundtruth import NAT_NONE
+from repro.internet.scenario import ScenarioConfig, build_scenario
+from repro.net.ipv4 import ip_to_int
+from repro.sim.events import Scheduler
+from repro.sim.nat import HostStack
+from repro.sim.rng import RngHub
+from repro.sim.udp import UdpFabric
+
+
+def make_world(seed=31):
+    hub = RngHub(seed)
+    sched = Scheduler()
+    fabric = UdpFabric(sched, hub, loss_rate=0.0)
+    rng = hub.stream("t")
+    return hub, sched, fabric, rng
+
+
+def make_specs(fabric, rng, n=12):
+    specs = []
+    for index in range(n):
+        ip = ip_to_int(f"10.1.{index}.1")
+        stack = HostStack(fabric, ip, rng)
+        specs.append(PeerSpec(f"p{index}", ip, stack.open_socket))
+    return specs
+
+
+class TestBuildOverlay:
+    def test_every_peer_online_with_contacts(self):
+        hub, sched, fabric, rng = make_world()
+        specs = make_specs(fabric, rng)
+        bstack = HostStack(fabric, ip_to_int("30.0.0.1"), rng)
+        overlay = build_overlay(fabric, specs, bstack, rng)
+        assert len(overlay.peers) == 12
+        for peer in overlay.peers.values():
+            assert peer.online
+            assert len(peer.table) >= 1
+        assert overlay.bootstrap.online
+        assert len(overlay.bootstrap.table) >= 10
+
+    def test_empty_specs_rejected(self):
+        hub, sched, fabric, rng = make_world()
+        bstack = HostStack(fabric, ip_to_int("30.0.0.1"), rng)
+        with pytest.raises(ValueError):
+            build_overlay(fabric, [], bstack, rng)
+
+    def test_duplicate_keys_rejected(self):
+        hub, sched, fabric, rng = make_world()
+        specs = make_specs(fabric, rng, n=2)
+        specs.append(specs[0])
+        bstack = HostStack(fabric, ip_to_int("30.0.0.1"), rng)
+        with pytest.raises(ValueError):
+            build_overlay(fabric, specs, bstack, rng)
+
+    def test_announce_spreads_contact(self):
+        hub, sched, fabric, rng = make_world()
+        specs = make_specs(fabric, rng)
+        bstack = HostStack(fabric, ip_to_int("30.0.0.1"), rng)
+        overlay = build_overlay(fabric, specs, bstack, rng)
+        peer = overlay.peers["p0"]
+        peer.restart()
+        overlay.announce(peer)
+        contact = peer.contact_info()
+        holders = sum(
+            1
+            for other in overlay.peers.values()
+            if other is not peer and other.table.contains(contact.node_id)
+        )
+        assert holders >= 1
+        assert overlay.bootstrap.table.contains(contact.node_id)
+
+    def test_churn_fraction_validation(self):
+        hub, sched, fabric, rng = make_world()
+        specs = make_specs(fabric, rng, n=4)
+        bstack = HostStack(fabric, ip_to_int("30.0.0.1"), rng)
+        overlay = build_overlay(fabric, specs, bstack, rng)
+        with pytest.raises(ValueError):
+            overlay.schedule_churn(sched, duration=10.0, restart_fraction=1.5)
+
+    def test_departed_peers_stop_answering(self):
+        hub, sched, fabric, rng = make_world()
+        specs = make_specs(fabric, rng, n=6)
+        bstack = HostStack(fabric, ip_to_int("30.0.0.1"), rng)
+        overlay = build_overlay(fabric, specs, bstack, rng)
+        overlay.schedule_churn(
+            sched, duration=10.0, restart_fraction=0.0, depart_fraction=1.0
+        )
+        sched.run_until(20.0)
+        assert not overlay.online_peers()
+
+
+class TestBuildSpecs:
+    def test_specs_match_ground_truth(self):
+        scenario = build_scenario(ScenarioConfig.small(seed=77))
+        hub, sched, fabric, rng = make_world()
+        specs, gateways = _build_specs(scenario.truth, fabric, rng)
+        truth = scenario.truth
+        expected_users = {
+            user.key
+            for line in truth.lines.values()
+            if line.static_ip is not None
+            for user in truth.bt_users_behind(line)
+        }
+        assert {s.key for s in specs} == expected_users
+
+    def test_one_gateway_per_nat_line(self):
+        scenario = build_scenario(ScenarioConfig.small(seed=77))
+        hub, sched, fabric, rng = make_world()
+        specs, gateways = _build_specs(scenario.truth, fabric, rng)
+        truth = scenario.truth
+        nat_ips_with_bt = {
+            line.static_ip
+            for line in truth.lines.values()
+            if line.nat != NAT_NONE
+            and line.static_ip is not None
+            and truth.bt_users_behind(line)
+        }
+        assert set(gateways) == nat_ips_with_bt
+
+    def test_nat_peer_public_view_is_gateway_ip(self):
+        scenario = build_scenario(ScenarioConfig.small(seed=77))
+        hub, sched, fabric, rng = make_world()
+        specs, gateways = _build_specs(scenario.truth, fabric, rng)
+        if not gateways:
+            pytest.skip("scenario produced no BT-active NAT lines")
+        gateway_ip = next(iter(gateways))
+        # Find a spec whose socket comes from this gateway and open it.
+        truth = scenario.truth
+        line = next(
+            l
+            for l in truth.lines.values()
+            if l.static_ip == gateway_ip
+        )
+        user_keys = {
+            u.key for u in truth.bt_users_behind(line)
+        }
+        spec = next(s for s in specs if s.key in user_keys)
+        sock = spec.socket_factory()
+        assert sock.endpoint.ip == gateway_ip
+
+
+class TestRunCrawlWiring:
+    def test_restriction_excludes_unlisted_space(self):
+        scenario = build_scenario(ScenarioConfig.small(seed=5))
+        outcome = run_crawl(
+            scenario,
+            CrawlSetup(duration_hours=4.0, restrict_to_blocklisted=True),
+        )
+        from repro.net.ipv4 import slash24_of
+
+        allowed = {slash24_of(ip) for ip in scenario.blocklisted_ips()}
+        bootstrap_space = ip_to_int("198.18.0.0")
+        for ip in outcome.bittorrent_ips():
+            if ip >> 16 == bootstrap_space >> 16:
+                continue  # crawler/bootstrap benchmark space
+            assert slash24_of(ip) in allowed
+
+
+class TestSetupImmutability:
+    def test_run_crawl_does_not_mutate_caller_config(self):
+        from repro.bittorrent.crawler import CrawlerConfig
+
+        scenario = build_scenario(ScenarioConfig.small(seed=5))
+        crawler_config = CrawlerConfig()
+        original_duration = crawler_config.duration
+        setup = CrawlSetup(duration_hours=1.0, crawler=crawler_config)
+        run_crawl(scenario, setup)
+        assert crawler_config.duration == original_duration
+        assert crawler_config.allowed_space is None
