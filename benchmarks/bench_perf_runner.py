@@ -1,0 +1,72 @@
+"""End-to-end performance of the experiment runner.
+
+Tracks the three levers this codebase has for turning hours of
+compute into seconds:
+
+* the raw serial cost of a full test-scale run (what every hot-path
+  optimisation ultimately serves);
+* the persistent run cache (a warm ``cached_run`` must be orders of
+  magnitude cheaper than recomputing);
+* worker sharding (recorded as ``extra_info`` rather than asserted —
+  the speedup depends on the machine's core count, and on a single
+  core a pool is pure overhead; determinism is asserted regardless).
+"""
+
+import time
+
+from repro.experiments import cache
+from repro.experiments.parallel import available_parallelism
+from repro.experiments.runner import RunConfig, cached_run, run_full
+
+
+def test_perf_run_full_small(benchmark):
+    """Serial full study at test scale — the end-to-end hot path."""
+    config = RunConfig.small(2020)
+
+    run = benchmark.pedantic(
+        lambda: run_full(config), rounds=3, iterations=1
+    )
+    assert run.report.measured()["nated_listings"] > 0
+
+
+def test_perf_cached_run_warm(benchmark):
+    """A warm persistent-cache hit (fresh-process scenario: the
+    in-memory memo is bypassed by calling the cache layer directly)."""
+    config = RunConfig.small(2020)
+    cache.fetch(config, lambda: run_full(config))  # ensure stored
+
+    def warm_hit():
+        loaded = cache.load(config)
+        assert loaded is not None
+        return loaded
+
+    run = benchmark.pedantic(warm_hit, rounds=3, iterations=1)
+    assert run.report == cached_run("small").report
+
+
+def test_perf_worker_scaling(benchmark):
+    """Worker sharding: identical results, wall-clock recorded.
+
+    The speedup column in ``extra_info`` is what a multi-core machine
+    should compare; the assertion is only the determinism contract.
+    """
+    config = RunConfig.small(2020)
+
+    start = time.perf_counter()
+    serial = run_full(config, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_full(config, workers=0)  # all cores
+    sharded_s = time.perf_counter() - start
+
+    assert serial.report == sharded.report
+
+    benchmark.extra_info["cores"] = available_parallelism()
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["all_cores_s"] = round(sharded_s, 3)
+    benchmark.pedantic(
+        lambda: run_full(config, workers=0).report,
+        rounds=1,
+        iterations=1,
+    )

@@ -7,16 +7,17 @@ metrics; the qualitative findings must hold for every seed.
 """
 
 from repro.analysis.tables import render_table
-from repro.experiments.runner import RunConfig, run_full
+from repro.experiments.runner import sweep_headlines
 
 SEEDS = (2020, 2021, 2022)
 
 
 def compute():
+    # One independent full run per seed; sweep_headlines shards them
+    # across workers on multi-core machines with identical output.
     rows = {}
-    for seed in SEEDS:
-        run = run_full(RunConfig.small(seed))
-        measured = run.report.measured()
+    for seed, report in sweep_headlines("small", SEEDS, workers=0):
+        measured = report.measured()
         rows[seed] = {
             "pct_nated_lists": measured["pct_lists_with_nated"],
             "pct_dynamic_lists": measured["pct_lists_with_dynamic"],

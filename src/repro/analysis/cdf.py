@@ -24,6 +24,23 @@ class Ecdf:
     def __len__(self) -> int:
         return len(self._sorted)
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality (two ECDFs over equal samples are the same
+        # distribution) — required for whole-report comparisons in the
+        # parallel-determinism and run-cache tests.
+        if not isinstance(other, Ecdf):
+            return NotImplemented
+        return self._sorted == other._sorted
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._sorted))
+
+    def __repr__(self) -> str:
+        return (
+            f"Ecdf(n={len(self._sorted)}, "
+            f"min={self._sorted[0]}, max={self._sorted[-1]})"
+        )
+
     @property
     def min(self) -> float:
         """Smallest sample."""

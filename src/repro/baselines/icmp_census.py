@@ -22,6 +22,7 @@ because our simulated ICMP plane has the same confounders:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -129,10 +130,109 @@ def _median(values: Sequence[float]) -> float:
     return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
+def _block_rng(base: int, net: int) -> random.Random:
+    """Independent probe RNG for one /24 block.
+
+    Derived the same way :class:`~repro.sim.rng.RngHub` names streams:
+    hashing ``base`` (one draw from the census stream) with the block's
+    network integer. Each block's Bernoulli series is therefore a pure
+    function of (census seed, block) — independent of how many other
+    blocks are probed, in what order, or on which worker process.
+    """
+    digest = hashlib.sha256(f"{base}:{net}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+_BlockShared = Tuple[
+    Dict[int, List[int]],  # blocks: net -> member addresses
+    Dict[int, List[Tuple[float, float, str]]],  # occupancy
+    GroundTruth,
+    Dict[int, str],  # line_of_static
+    Set[str],  # firewalled
+    Set[str],  # middleboxed
+    CensusConfig,
+    int,  # n_rounds
+    int,  # base (per-block RNG derivation salt)
+]
+
+
+def _census_block(
+    shared: _BlockShared, net: int
+) -> Tuple[Optional[BlockMetrics], int]:
+    """Probe one /24 block: its metrics (or ``None`` when it stays
+    unclassified) and the number of probes spent on it."""
+    (
+        blocks,
+        occupancy,
+        truth,
+        line_of_static,
+        firewalled,
+        middleboxed,
+        config,
+        n_rounds,
+        base,
+    ) = shared
+    rng = _block_rng(base, net)
+    uptimes: List[float] = []
+    availabilities: List[float] = []
+    volatilities: List[float] = []
+    responsive = 0
+    probes_sent = 0
+    for ip in sorted(blocks[net]):
+        series = _probe_series(
+            ip,
+            occupancy[ip],
+            truth,
+            line_of_static,
+            firewalled,
+            middleboxed,
+            config,
+            rng,
+            n_rounds,
+        )
+        probes_sent += n_rounds
+        series = _debounce(series)
+        up = sum(series)
+        if up == 0:
+            continue
+        responsive += 1
+        availabilities.append(up / n_rounds)
+        flips = sum(
+            1 for a, b in zip(series, series[1:]) if a != b
+        )
+        volatilities.append(flips / max(1, n_rounds - 1))
+        uptimes.extend(
+            run * config.probe_interval_days
+            for run in _up_runs(series)
+        )
+    if responsive < config.min_responsive:
+        return None, probes_sent
+    availability = sum(availabilities) / len(availabilities)
+    volatility = sum(volatilities) / len(volatilities)
+    median_uptime = _median(uptimes) if uptimes else 0.0
+    inferred = (
+        median_uptime <= config.max_median_uptime_days
+        and volatility >= config.min_volatility
+    )
+    return (
+        BlockMetrics(
+            block=Prefix(net, 24),
+            responsive_addresses=responsive,
+            availability=availability,
+            volatility=volatility,
+            median_uptime_days=median_uptime,
+            inferred_dynamic=inferred,
+        ),
+        probes_sent,
+    )
+
+
 def run_census(
     truth: GroundTruth,
     config: CensusConfig,
     rng: random.Random,
+    *,
+    workers: int = 1,
 ) -> CensusResult:
     """Probe the world and classify blocks.
 
@@ -140,7 +240,18 @@ def run_census(
     over the occupancy ground truth — equivalent to scheduling pings on
     the simulated fabric but several orders of magnitude cheaper, and
     the detection input (noisy up/down series) is identical in law.
+
+    Block sampling and per-line ICMP personalities draw from ``rng``;
+    each probed /24 then gets its own RNG derived from one ``rng`` draw
+    and the block's network address, so the probe plane shards cleanly:
+    ``workers`` distributes blocks across a process pool with results
+    bit-identical to the serial (``workers=1``) path.
     """
+    # Imported here, not at module top: the experiments package imports
+    # this module while wiring the runner, so a top-level import would
+    # be circular.
+    from ..experiments.parallel import map_shards
+
     start, end = config.window
     if end <= start:
         raise ValueError(f"bad census window {config.window}")
@@ -173,57 +284,26 @@ def run_census(
     }
 
     n_rounds = int((end - start) / config.probe_interval_days)
+    base = rng.getrandbits(64)
+    shared: _BlockShared = (
+        blocks,
+        occupancy,
+        truth,
+        line_of_static,
+        firewalled,
+        middleboxed,
+        config,
+        n_rounds,
+        base,
+    )
+    results = map_shards(_census_block, probed, workers=workers, shared=shared)
+
     metrics: Dict[int, BlockMetrics] = {}
     probes_sent = 0
-    for net in probed:
-        uptimes: List[float] = []
-        availabilities: List[float] = []
-        volatilities: List[float] = []
-        responsive = 0
-        for ip in sorted(blocks[net]):
-            series = _probe_series(
-                ip,
-                occupancy[ip],
-                truth,
-                line_of_static,
-                firewalled,
-                middleboxed,
-                config,
-                rng,
-                n_rounds,
-            )
-            probes_sent += n_rounds
-            series = _debounce(series)
-            up = sum(series)
-            if up == 0:
-                continue
-            responsive += 1
-            availabilities.append(up / n_rounds)
-            flips = sum(
-                1 for a, b in zip(series, series[1:]) if a != b
-            )
-            volatilities.append(flips / max(1, n_rounds - 1))
-            uptimes.extend(
-                run * config.probe_interval_days
-                for run in _up_runs(series)
-            )
-        if responsive < config.min_responsive:
-            continue
-        availability = sum(availabilities) / len(availabilities)
-        volatility = sum(volatilities) / len(volatilities)
-        median_uptime = _median(uptimes) if uptimes else 0.0
-        inferred = (
-            median_uptime <= config.max_median_uptime_days
-            and volatility >= config.min_volatility
-        )
-        metrics[net] = BlockMetrics(
-            block=Prefix(net, 24),
-            responsive_addresses=responsive,
-            availability=availability,
-            volatility=volatility,
-            median_uptime_days=median_uptime,
-            inferred_dynamic=inferred,
-        )
+    for net, (block_metrics, block_probes) in zip(probed, results):
+        probes_sent += block_probes
+        if block_metrics is not None:
+            metrics[net] = block_metrics
     return CensusResult(metrics=metrics, probes_sent=probes_sent)
 
 

@@ -50,6 +50,9 @@ from .nodeid import NODE_ID_BYTES
 
 __all__ = ["CrawlerConfig", "CrawlerStats", "DhtCrawler"]
 
+# Stable, recognisable crawler node id (shared by every query we send).
+_SENDER_ID = bytes(16) + b"crwl"
+
 
 @dataclass
 class CrawlerConfig:
@@ -220,32 +223,42 @@ class DhtCrawler:
         target = bytes(
             self._rng.getrandbits(8) for _ in range(NODE_ID_BYTES)
         )
-        sender_id = bytes(16) + b"crwl"  # stable, recognisable crawler id
+        send = self._socket.send
+        log_append = self.log.append
+        next_txn = self._txns.next
+        outstanding = self._outstanding
+        sent = 0
         for port in sorted(self._ports.get(ip, ())):
-            txn = self._txns.next()
-            self._outstanding[txn] = QUERY_GET_NODES
-            query = GetNodesQuery(txn, sender_id, target)
-            self._socket.send(Endpoint(ip, port), encode_message(query))
-            self.log.append(
+            txn = next_txn()
+            outstanding[txn] = QUERY_GET_NODES
+            query = GetNodesQuery(txn, _SENDER_ID, target)
+            send(Endpoint(ip, port), encode_message(query))
+            log_append(
                 SentRecord(now, QUERY_GET_NODES, ip, port, txn.hex())
             )
-            self.stats.get_nodes_sent += 1
+            sent += 1
+        self.stats.get_nodes_sent += sent
         self._last_contact[ip] = now
 
     def _send_pings(self, ip: int) -> None:
         """bt_ping every known port of ``ip`` (one verification round)."""
         now = self._scheduler.now
-        sender_id = bytes(16) + b"crwl"
+        send = self._socket.send
+        log_append = self.log.append
+        next_txn = self._txns.next
+        outstanding = self._outstanding
+        sent = 0
         for port in sorted(self._ports.get(ip, ())):
-            txn = self._txns.next()
-            self._outstanding[txn] = QUERY_PING
-            query = PingQuery(txn, sender_id)
-            self._socket.send(Endpoint(ip, port), encode_message(query))
-            self.log.append(SentRecord(now, QUERY_PING, ip, port, txn.hex()))
-            self.stats.pings_sent += 1
+            txn = next_txn()
+            outstanding[txn] = QUERY_PING
+            query = PingQuery(txn, _SENDER_ID)
+            send(Endpoint(ip, port), encode_message(query))
+            log_append(SentRecord(now, QUERY_PING, ip, port, txn.hex()))
+            sent += 1
+        self.stats.pings_sent += sent
         self._last_contact[ip] = now
 
-    def _cooled_down(self, ip: int) -> bool:
+    def _cooled_down(self, ip: int, now: Optional[float] = None) -> bool:
         last = self._last_contact.get(ip)
         if last is None:
             return True
@@ -254,40 +267,50 @@ class DhtCrawler:
             if ip in self._responded
             else self.config.retry_interval
         )
-        return self._scheduler.now - last >= wait
+        if now is None:
+            now = self._scheduler.now
+        return now - last >= wait
 
     def _tick(self) -> None:
         """Pacing tick: contact up to ``queries_per_tick`` queued IPs."""
         budget = self.config.queries_per_tick
         deferred: List[int] = []
-        while budget > 0 and self._queue:
-            ip = self._queue.popleft()
-            if not self._cooled_down(ip):
+        # The clock only advances between callbacks, so one read serves
+        # the whole tick — this method and its cooldown checks run a few
+        # million times per crawl.
+        now = self._scheduler.now
+        queue = self._queue
+        queued = self._queued
+        attempts = self._attempts
+        responded = self._responded
+        cooled_down = self._cooled_down
+        while budget > 0 and queue:
+            ip = queue.popleft()
+            if not cooled_down(ip, now):
                 deferred.append(ip)
                 continue
-            self._queued.discard(ip)
+            queued.discard(ip)
             self._contacted.add(ip)
-            self._attempts[ip] = self._attempts.get(ip, 0) + 1
+            attempts[ip] = attempts.get(ip, 0) + 1
             self._awaiting.add(ip)
             self._send_get_nodes(ip)
             budget -= 1
         # IPs still cooling down go to the back of the queue.
-        self._queue.extend(deferred)
+        queue.extend(deferred)
         # Loss recovery: unanswered IPs get re-queued once their
         # cooldown expires, up to the attempt budget.
-        for ip in list(self._awaiting):
-            if ip in self._responded:
-                self._awaiting.discard(ip)
+        max_attempts = self.config.max_get_nodes_attempts
+        awaiting = self._awaiting
+        for ip in list(awaiting):
+            if ip in responded:
+                awaiting.discard(ip)
                 continue
-            if not self._cooled_down(ip):
+            if not cooled_down(ip, now):
                 continue
-            self._awaiting.discard(ip)
-            if (
-                self._attempts.get(ip, 0) < self.config.max_get_nodes_attempts
-                and ip not in self._queued
-            ):
-                self._queue.append(ip)
-                self._queued.add(ip)
+            awaiting.discard(ip)
+            if attempts.get(ip, 0) < max_attempts and ip not in queued:
+                queue.append(ip)
+                queued.add(ip)
 
     def _rewalk(self) -> None:
         """Re-queue every previously-responsive IP for get_nodes: the
@@ -300,8 +323,9 @@ class DhtCrawler:
 
     def _ping_round(self) -> None:
         """Hourly verification: ping all ports of multi-port IPs."""
+        now = self._scheduler.now
         for ip in sorted(self._multiport):
-            if self._cooled_down(ip):
+            if self._cooled_down(ip, now):
                 self._send_pings(ip)
 
     # -- receiving -----------------------------------------------------

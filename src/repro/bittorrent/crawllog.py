@@ -30,7 +30,7 @@ QUERY_GET_NODES = "get_nodes"
 _KINDS = (QUERY_PING, QUERY_GET_NODES)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SentRecord:
     """A query the crawler sent."""
 
@@ -45,7 +45,7 @@ class SentRecord:
             raise ValueError(f"unknown query kind {self.kind!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceivedRecord:
     """A response the crawler received."""
 

@@ -21,6 +21,7 @@ live deployment.
 from __future__ import annotations
 
 import itertools
+import struct
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -62,12 +63,17 @@ ERROR_METHOD_UNKNOWN = 204
 
 _COMPACT_NODE_BYTES = NODE_ID_BYTES + 6
 
+#: Precompiled compact codecs — the crawl decodes millions of contacts,
+#: and ``struct`` beats per-field ``int.from_bytes`` round trips.
+_NODE_STRUCT = struct.Struct(f">{NODE_ID_BYTES}sIH")
+_PEER_STRUCT = struct.Struct(">IH")
+
 
 class KrpcError(ValueError):
     """Raised when a datagram is not a well-formed KRPC message."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeInfo:
     """One contact in compact node format: id + public endpoint."""
 
@@ -84,14 +90,16 @@ class NodeInfo:
             raise ValueError(f"bad port: {self.port!r}")
 
 
+_NODE_NEW = NodeInfo.__new__
+_FROZEN_SET = object.__setattr__
+
+
 def pack_nodes(nodes: Sequence[NodeInfo]) -> bytes:
     """Serialise contacts to BEP 5 compact form (26 bytes each)."""
-    chunks: List[bytes] = []
-    for node in nodes:
-        chunks.append(node.node_id)
-        chunks.append(node.ip.to_bytes(4, "big"))
-        chunks.append(node.port.to_bytes(2, "big"))
-    return b"".join(chunks)
+    pack = _NODE_STRUCT.pack
+    return b"".join(
+        pack(node.node_id, node.ip, node.port) for node in nodes
+    )
 
 
 def unpack_nodes(blob: bytes) -> List[NodeInfo]:
@@ -102,18 +110,25 @@ def unpack_nodes(blob: bytes) -> List[NodeInfo]:
             f"of {_COMPACT_NODE_BYTES}"
         )
     nodes: List[NodeInfo] = []
-    for start in range(0, len(blob), _COMPACT_NODE_BYTES):
-        chunk = blob[start : start + _COMPACT_NODE_BYTES]
-        node_id = chunk[:NODE_ID_BYTES]
-        ip = int.from_bytes(chunk[NODE_ID_BYTES : NODE_ID_BYTES + 4], "big")
-        port = int.from_bytes(chunk[NODE_ID_BYTES + 4 :], "big")
+    append = nodes.append
+    node_new = _NODE_NEW
+    set_field = _FROZEN_SET
+    # struct ``>20sIH`` guarantees a 20-byte id, a 32-bit address and a
+    # 16-bit port, so constructing via __new__ skips the (provably
+    # redundant) __post_init__ validation — only the zero-port rule
+    # needs checking. The crawl unpacks millions of contacts.
+    for node_id, ip, port in _NODE_STRUCT.iter_unpack(blob):
         if port == 0:
             raise KrpcError("zero port in compact node info")
-        nodes.append(NodeInfo(node_id, ip, port))
+        node = node_new(NodeInfo)
+        set_field(node, "node_id", node_id)
+        set_field(node, "ip", ip)
+        set_field(node, "port", port)
+        append(node)
     return nodes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PingQuery:
     """``ping`` query (the paper's *bt_ping*)."""
 
@@ -121,7 +136,7 @@ class PingQuery:
     sender_id: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetNodesQuery:
     """``find_node`` query (the paper's *get_nodes*)."""
 
@@ -130,7 +145,7 @@ class GetNodesQuery:
     target: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetPeersQuery:
     """``get_peers`` query: who has ``info_hash``?"""
 
@@ -139,7 +154,7 @@ class GetPeersQuery:
     info_hash: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AnnouncePeerQuery:
     """``announce_peer`` query: register me as a peer for
     ``info_hash``. Requires a token from a prior get_peers response."""
@@ -151,7 +166,7 @@ class AnnouncePeerQuery:
     token: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PingResponse:
     """Reply to ping: responder's id (plus optional client version)."""
 
@@ -160,7 +175,7 @@ class PingResponse:
     version: Optional[bytes] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetNodesResponse:
     """Reply to find_node: responder's id and its closest contacts."""
 
@@ -170,7 +185,7 @@ class GetNodesResponse:
     version: Optional[bytes] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetPeersResponse:
     """Reply to get_peers: a token plus either known peers (values)
     or the closest contacts (nodes)."""
@@ -183,7 +198,7 @@ class GetPeersResponse:
     version: Optional[bytes] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PeerEndpoint:
     """A peer in compact 6-byte form: (ip, port)."""
 
@@ -199,27 +214,26 @@ class PeerEndpoint:
 
 def pack_peers(peers: Sequence["PeerEndpoint"]) -> List[bytes]:
     """Compact peer entries (one 6-byte string per peer)."""
-    return [
-        peer.ip.to_bytes(4, "big") + peer.port.to_bytes(2, "big")
-        for peer in peers
-    ]
+    pack = _PEER_STRUCT.pack
+    return [pack(peer.ip, peer.port) for peer in peers]
 
 
 def unpack_peers(blobs: Sequence[bytes]) -> List["PeerEndpoint"]:
     """Parse compact peer entries."""
+    unpack = _PEER_STRUCT.unpack
     peers: List[PeerEndpoint] = []
+    append = peers.append
     for blob in blobs:
         if not isinstance(blob, bytes) or len(blob) != 6:
             raise KrpcError(f"bad compact peer entry {blob!r}")
-        ip = int.from_bytes(blob[:4], "big")
-        port = int.from_bytes(blob[4:], "big")
+        ip, port = unpack(blob)
         if port == 0:
             raise KrpcError("zero port in compact peer entry")
-        peers.append(PeerEndpoint(ip, port))
+        append(PeerEndpoint(ip, port))
     return peers
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ErrorMessage:
     """KRPC error (``y`` = ``e``)."""
 

@@ -94,22 +94,28 @@ class DhtOverlay:
         n_depart = int(len(population) * depart_fraction)
         restarting = population[:n_restart]
         departing = population[n_restart : n_restart + n_depart]
+        # Draw order (restarts, then departures) and batch order match
+        # the per-peer ``after`` loops this replaces, so event sequence
+        # numbers — and therefore replay — are unchanged.
+        base = scheduler.now
+        batch = []
         for peer in restarting:
-            when = self._rng.uniform(0, duration)
+            when = base + self._rng.uniform(0, duration)
 
             def do_restart(p: SimulatedPeer = peer) -> None:
                 if p.online:
                     p.restart()
                     self.announce(p)
 
-            scheduler.after(when, do_restart)
+            batch.append((when, do_restart))
         for peer in departing:
-            when = self._rng.uniform(0, duration)
+            when = base + self._rng.uniform(0, duration)
 
             def do_depart(p: SimulatedPeer = peer) -> None:
                 p.stop()
 
-            scheduler.after(when, do_depart)
+            batch.append((when, do_depart))
+        scheduler.at_batch(batch)
 
 
 def build_overlay(

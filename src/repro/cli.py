@@ -8,6 +8,7 @@ Subcommands:
   directory (what the benchmark suite does, without pytest).
 * ``survey``   — print Table 1 and Figure 9.
 * ``catalog``  — print Table 2 (the 151-blocklist catalog).
+* ``cache``    — inspect or empty the persistent run cache.
 """
 
 from __future__ import annotations
@@ -21,7 +22,7 @@ from .analysis.tables import render_table
 from .blocklists.catalog import catalog_by_maintainer
 from .core.asreport import render_as_report
 from .core.greylist import build_greylist, render_greylist
-from .experiments.runner import RunConfig, run_full
+from .experiments.runner import preset_config, run_full
 from .survey.analyze import figure9_usage, render_table1, summarize
 from .survey.generate import generate_responses
 
@@ -50,6 +51,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--seed", type=int, default=2020)
     run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard independent work units (vantage points, census "
+            "blocks, probe groups) across this many processes; 0 uses "
+            "every core. Results are identical for any value."
+        ),
+    )
+    run_p.add_argument(
         "--greylist",
         metavar="PATH",
         help="write the reused-address greylist here",
@@ -77,19 +88,27 @@ def _build_parser() -> argparse.ArgumentParser:
     survey_p.add_argument("--seed", type=int, default=2020)
 
     sub.add_parser("catalog", help="print Table 2")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or empty the persistent run cache"
+    )
+    cache_p.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="stats: show entries/size/hit counters; clear: delete all",
+    )
     return parser
 
 
-def _make_config(preset: str, seed: int) -> RunConfig:
-    if preset == "small":
-        return RunConfig.small(seed)
-    if preset == "large":
-        return RunConfig.large(seed)
-    return RunConfig.default(seed)
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
-    run = run_full(_make_config(args.preset, args.seed))
+    try:
+        run = run_full(
+            preset_config(args.preset, args.seed),
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(run.report.render())
     print()
     print(render_as_report(run.analysis, top=5))
@@ -183,6 +202,22 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments import cache
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.cache_dir()}")
+        return 0
+    stats = cache.cache_stats()
+    print(f"cache dir : {stats['dir']}")
+    print(f"entries   : {stats['entries']}")
+    print(f"size      : {stats['bytes'] / 1024:.1f} KiB")
+    print(f"hits      : {stats['hits']}")
+    print(f"misses    : {stats['misses']}")
+    return 0
+
+
 def _cmd_catalog(_: argparse.Namespace) -> int:
     grouped = catalog_by_maintainer()
     rows = sorted(
@@ -208,6 +243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "survey": _cmd_survey,
         "catalog": _cmd_catalog,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

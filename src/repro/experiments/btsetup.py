@@ -9,8 +9,13 @@ configured duration — restricted, like the paper's, to the blocklisted
 Multiple vantage points are supported (the paper: "we could reduce
 this burden and have a faster coverage by having the crawler at
 multiple vantage points in different networks"): each vantage point is
-an independent crawler on its own address; their logs merge for
-detection.
+an **independent campaign** — its own fabric, overlay and scheduler,
+built from a fresh seed-derived RNG hub so the world's behaviour is
+identical across campaigns while each crawler's probing differs. Their
+logs merge in time order for detection. Independent campaigns make
+vantage points embarrassingly parallel: pass ``workers`` to
+:func:`run_crawl` to shard them across a process pool with results
+bit-identical to the serial order.
 
 The bootstrap node and the crawlers live in 198.18.0.0/15 (benchmark
 space, never allocated to the synthetic topology), so they can never
@@ -20,11 +25,11 @@ collide with a ground-truth address.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import copy
 
-from ..bittorrent.crawler import CrawlerConfig, DhtCrawler
+from ..bittorrent.crawler import CrawlerConfig, CrawlerStats, DhtCrawler
 from ..bittorrent.crawllog import CrawlLog
 from ..bittorrent.swarm import DhtOverlay, PeerSpec, build_overlay
 from ..internet.groundtruth import GroundTruth, NAT_NONE
@@ -34,9 +39,17 @@ from ..net.prefixtrie import PrefixSet
 from ..sim.clock import HOUR
 from ..sim.events import Scheduler
 from ..sim.nat import HostStack, NatBehaviour, NatGateway
+from ..sim.rng import RngHub
 from ..sim.udp import UdpFabric
+from .parallel import map_shards
 
-__all__ = ["CrawlSetup", "CrawlOutcome", "run_crawl"]
+__all__ = [
+    "CrawlSetup",
+    "CrawlOutcome",
+    "CrawlerView",
+    "run_crawl",
+    "snapshot_crawler",
+]
 
 _BOOTSTRAP_IP = ip_to_int("198.18.0.1")
 _CRAWLER_IP = ip_to_int("198.18.0.2")
@@ -61,19 +74,72 @@ class CrawlSetup:
 
 
 @dataclass
+class CrawlerView:
+    """Picklable snapshot of a crawler's measurement products.
+
+    Mirrors the read-side API of :class:`DhtCrawler` (log, stats,
+    discovered addresses, ports) without the live simulation objects —
+    this is what crosses the process boundary from a parallel campaign
+    worker, and what the persistent run cache stores.
+    """
+
+    log: CrawlLog
+    stats: CrawlerStats
+    ports: Dict[int, Set[int]]
+    multiport: Set[int]
+
+    @property
+    def discovered_ips(self) -> int:
+        """Unique IP addresses seen."""
+        return len(self.ports)
+
+    def discovered_addresses(self) -> Set[int]:
+        """The unique addresses sighted."""
+        return set(self.ports)
+
+    @property
+    def multiport_ips(self) -> Set[int]:
+        """IPs observed with multiple distinct ports."""
+        return set(self.multiport)
+
+    def ports_of(self, ip: int) -> Set[int]:
+        """Every port ever sighted for ``ip``."""
+        return set(self.ports.get(ip, ()))
+
+
+AnyCrawler = Union[DhtCrawler, CrawlerView]
+
+
+def snapshot_crawler(crawler: AnyCrawler) -> CrawlerView:
+    """Reduce a crawler to its picklable measurement products."""
+    if isinstance(crawler, CrawlerView):
+        return crawler
+    return CrawlerView(
+        log=crawler.log,
+        stats=crawler.stats,
+        ports={ip: set(ports) for ip, ports in crawler._ports.items()},
+        multiport=set(crawler._multiport),
+    )
+
+
+@dataclass
 class CrawlOutcome:
     """Everything the campaign produced.
 
     ``crawler`` is the first vantage point (always present);
-    ``crawlers`` holds all of them.
+    ``crawlers`` holds all of them. Serial runs (``workers=1``) keep
+    the first campaign's live simulation objects; parallel runs carry
+    :class:`CrawlerView` snapshots instead and leave the simulation
+    handles (overlay/fabric/scheduler/gateways) as ``None`` — they
+    lived and died in the worker processes.
     """
 
-    crawler: DhtCrawler
-    overlay: DhtOverlay
-    fabric: UdpFabric
-    scheduler: Scheduler
-    gateways: Dict[int, NatGateway]
-    crawlers: List[DhtCrawler] = field(default_factory=list)
+    crawler: AnyCrawler
+    overlay: Optional[DhtOverlay]
+    fabric: Optional[UdpFabric]
+    scheduler: Optional[Scheduler]
+    gateways: Optional[Dict[int, NatGateway]]
+    crawlers: List[AnyCrawler] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.crawlers:
@@ -152,14 +218,23 @@ def _build_specs(
     return specs, gateways
 
 
-def run_crawl(scenario: Scenario, setup: Optional[CrawlSetup] = None) -> CrawlOutcome:
-    """Run a full crawl campaign against ``scenario``'s DHT population."""
-    setup = setup or CrawlSetup()
-    hub = scenario.hub
+def _run_campaign(
+    scenario: Scenario, setup: CrawlSetup, index: int
+) -> Tuple[DhtCrawler, DhtOverlay, UdpFabric, Scheduler, Dict[int, NatGateway]]:
+    """Run vantage point ``index`` as a self-contained campaign.
+
+    Every campaign rebuilds the world's BitTorrent behaviour from a
+    fresh ``RngHub(seed)``: named streams are seeded independently, so
+    the overlay, churn and loss draws are identical across campaigns
+    (and identical to what the pre-campaign shared-simulation code
+    drew), while the ``crawler-{index}`` stream gives each vantage
+    point its own probing schedule. Campaigns therefore share no state
+    at all — they can run in any order, or in different processes, and
+    still produce the same records.
+    """
+    hub = RngHub(scenario.config.seed)
     scheduler = Scheduler()
-    fabric = UdpFabric(
-        scheduler, hub, loss_rate=setup.loss_rate
-    )
+    fabric = UdpFabric(scheduler, hub, loss_rate=setup.loss_rate)
     rng = hub.stream("bt-world")
 
     specs, gateways = _build_specs(scenario.truth, fabric, rng)
@@ -176,8 +251,6 @@ def run_crawl(scenario: Scenario, setup: Optional[CrawlSetup] = None) -> CrawlOu
         depart_fraction=setup.depart_fraction,
     )
 
-    if setup.n_vantage_points < 1:
-        raise ValueError("need at least one vantage point")
     # Never mutate the caller's config object: campaigns derive their
     # own copy (duration and allowed space are campaign-scoped).
     crawler_config = copy.copy(setup.crawler)
@@ -188,21 +261,68 @@ def run_crawl(scenario: Scenario, setup: Optional[CrawlSetup] = None) -> CrawlOu
         )
         crawler_config.allowed_space = allowed
 
-    crawlers: List[DhtCrawler] = []
-    for index in range(setup.n_vantage_points):
-        crawler_stack = HostStack(fabric, _CRAWLER_IP + index, rng)
-        config = (
-            crawler_config if index == 0 else copy.copy(crawler_config)
-        )
-        crawler = DhtCrawler(
-            scheduler,
-            crawler_stack.open_socket(),
-            hub.stream(f"crawler-{index}"),
-            config,
-        )
-        crawler.start([overlay.bootstrap_endpoint])
-        crawlers.append(crawler)
+    crawler_stack = HostStack(fabric, _CRAWLER_IP + index, rng)
+    crawler = DhtCrawler(
+        scheduler,
+        crawler_stack.open_socket(),
+        hub.stream(f"crawler-{index}"),
+        crawler_config,
+    )
+    crawler.start([overlay.bootstrap_endpoint])
     scheduler.run_until(duration + HOUR)
+    return crawler, overlay, fabric, scheduler, gateways
+
+
+def _campaign_shard(shared: Tuple[Scenario, CrawlSetup], index: int) -> CrawlerView:
+    """Worker entry: run one campaign, return its picklable snapshot."""
+    scenario, setup = shared
+    crawler = _run_campaign(scenario, setup, index)[0]
+    return snapshot_crawler(crawler)
+
+
+def run_crawl(
+    scenario: Scenario,
+    setup: Optional[CrawlSetup] = None,
+    *,
+    workers: int = 1,
+) -> CrawlOutcome:
+    """Run a full crawl campaign against ``scenario``'s DHT population.
+
+    ``workers`` shards vantage-point campaigns across a process pool;
+    ``workers=1`` runs them serially in-process and keeps the first
+    campaign's live simulation objects on the outcome. Measurement
+    products (logs, stats, sighted addresses) are bit-identical either
+    way.
+    """
+    setup = setup or CrawlSetup()
+    if setup.n_vantage_points < 1:
+        raise ValueError("need at least one vantage point")
+
+    if workers != 1 and setup.n_vantage_points > 1:
+        views = map_shards(
+            _campaign_shard,
+            range(setup.n_vantage_points),
+            workers=workers,
+            shared=(scenario, setup),
+        )
+        return CrawlOutcome(
+            crawler=views[0],
+            overlay=None,
+            fabric=None,
+            scheduler=None,
+            gateways=None,
+            crawlers=list(views),
+        )
+
+    crawlers: List[DhtCrawler] = []
+    first: Optional[Tuple] = None
+    for index in range(setup.n_vantage_points):
+        result = _run_campaign(scenario, setup, index)
+        if first is None:
+            first = result
+        crawlers.append(result[0])
+    assert first is not None
+    _, overlay, fabric, scheduler, gateways = first
     return CrawlOutcome(
         crawler=crawlers[0],
         overlay=overlay,

@@ -1,0 +1,300 @@
+"""Persistent, content-addressed cache of full reproduction runs.
+
+A full run is a pure function of its :class:`RunConfig` — every draw
+comes from seed-derived named streams — so its products can be reused
+across processes, not just within one (the old in-memory memo). The
+cache key is content-addressed twice over:
+
+* the **config fingerprint** hashes the canonicalised ``RunConfig``
+  tree (every nested dataclass field), so *any* parameter change —
+  seed, scale, thresholds, vantage points — misses;
+* the **code fingerprint** hashes every ``*.py`` file in the package,
+  so editing the model invalidates all cached runs instead of serving
+  stale results from an older implementation.
+
+Artefacts are gzip-pickled :class:`FullRun` objects with live
+simulation handles stripped (crawlers reduced to
+:class:`~repro.experiments.btsetup.CrawlerView` snapshots — schedulers
+hold closures and cannot pickle). Writes are atomic (temp file +
+rename) and corrupt or unreadable entries fall back to recomputation,
+so a killed process can never poison the cache.
+
+The directory defaults to ``~/.cache/repro`` and is overridden by the
+``RESULTS_CACHE_DIR`` environment variable (read per call, so tests
+point it at a temp dir). ``repro cache stats|clear`` inspects it from
+the command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from .btsetup import CrawlOutcome, snapshot_crawler
+
+__all__ = [
+    "cache_dir",
+    "code_fingerprint",
+    "config_fingerprint",
+    "run_key",
+    "load",
+    "store",
+    "fetch",
+    "cache_stats",
+    "clear",
+]
+
+_ENV_VAR = "RESULTS_CACHE_DIR"
+_STATS_FILE = "stats.json"
+_SUFFIX = ".pkl.gz"
+
+
+def cache_dir() -> Path:
+    """The cache directory (not necessarily existing yet)."""
+    override = os.environ.get(_ENV_VAR)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+# -- fingerprints ----------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-serialisable canonical form of a config tree.
+
+    Only shapes that actually occur in configs are supported; anything
+    else raises so a new un-canonicalisable field type becomes a loud
+    error instead of a silent cache-key collision.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__name__}.{value.name}"}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, "fields": fields}
+    if isinstance(value, dict):
+        return {
+            "__dict__": sorted(
+                (
+                    [_canonical(key), _canonical(item)]
+                    for key, item in value.items()
+                ),
+                key=json.dumps,
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                (_canonical(item) for item in value), key=json.dumps
+            )
+        }
+    # PrefixSet and other iterable containers of dataclasses.
+    try:
+        items = list(value)
+    except TypeError:
+        raise TypeError(
+            f"cannot canonicalise config value of type "
+            f"{type(value).__name__}: {value!r}"
+        ) from None
+    return {
+        "__container__": type(value).__name__,
+        "items": sorted((_canonical(item) for item in items), key=json.dumps),
+    }
+
+
+def config_fingerprint(config: Any) -> str:
+    """Hex digest of the canonicalised config tree."""
+    text = json.dumps(_canonical(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hex digest over every ``*.py`` file of the installed package.
+
+    Computed once per process: the code cannot change under a running
+    interpreter in any way that matters to already-imported modules.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def run_key(config: Any) -> str:
+    """The content address of a run: config x code version."""
+    return hashlib.sha256(
+        f"{config_fingerprint(config)}:{code_fingerprint()}".encode()
+    ).hexdigest()[:40]
+
+
+def _entry_path(config: Any) -> Path:
+    return cache_dir() / f"run-{run_key(config)}{_SUFFIX}"
+
+
+# -- stats -----------------------------------------------------------
+
+
+def _read_stats(directory: Path) -> Dict[str, int]:
+    try:
+        raw = json.loads((directory / _STATS_FILE).read_text())
+        return {
+            "hits": int(raw.get("hits", 0)),
+            "misses": int(raw.get("misses", 0)),
+        }
+    except (OSError, ValueError):
+        return {"hits": 0, "misses": 0}
+
+
+def _bump(counter: str) -> None:
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        stats = _read_stats(directory)
+        stats[counter] += 1
+        (directory / _STATS_FILE).write_text(json.dumps(stats))
+    except OSError:
+        pass  # stats are best-effort; never fail a run over them
+
+
+# -- load / store ----------------------------------------------------
+
+
+def _strip_run(run: Any) -> Any:
+    """Pickling-safe copy of a :class:`FullRun`.
+
+    Live simulation objects (scheduler heaps full of closures, bound
+    fabric handlers) cannot cross a pickle boundary; the measurement
+    products can. Crawlers are reduced to snapshots, simulation handles
+    dropped.
+    """
+    crawl = run.crawl
+    stripped_crawl = CrawlOutcome(
+        crawler=snapshot_crawler(crawl.crawler),
+        overlay=None,
+        fabric=None,
+        scheduler=None,
+        gateways=None,
+        crawlers=[snapshot_crawler(c) for c in crawl.crawlers],
+    )
+    return dataclasses.replace(run, crawl=stripped_crawl)
+
+
+def load(config: Any) -> Optional[Any]:
+    """The cached :class:`FullRun` for ``config``, or ``None``.
+
+    Any failure — missing entry, truncated gzip, unpicklable payload —
+    is a miss; a corrupt file is deleted so the next store rewrites it.
+    """
+    path = _entry_path(config)
+    try:
+        with gzip.open(path, "rb") as handle:
+            run = pickle.load(handle)
+    except FileNotFoundError:
+        _bump("misses")
+        return None
+    except Exception:
+        # Corrupt entry (killed writer predating atomic rename, bad
+        # disk, version skew inside the pickle). Drop it and recompute.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        _bump("misses")
+        return None
+    _bump("hits")
+    return run
+
+
+def store(config: Any, run: Any) -> Path:
+    """Persist ``run`` under ``config``'s content address."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _entry_path(config)
+    payload = _strip_run(run)
+    handle, temp_name = tempfile.mkstemp(
+        dir=directory, prefix="tmp-", suffix=_SUFFIX
+    )
+    try:
+        with os.fdopen(handle, "wb") as raw:
+            with gzip.open(raw, "wb", compresslevel=6) as compressed:
+                pickle.dump(payload, compressed, pickle.HIGHEST_PROTOCOL)
+        os.replace(temp_name, path)  # atomic: readers see old or new
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def fetch(config: Any, compute: Callable[[], Any]) -> Any:
+    """Cached run for ``config``, computing and storing on a miss."""
+    run = load(config)
+    if run is None:
+        run = compute()
+        store(config, run)
+    return run
+
+
+# -- maintenance -----------------------------------------------------
+
+
+def cache_stats() -> Dict[str, Any]:
+    """Entry count, size on disk and hit/miss counters."""
+    directory = cache_dir()
+    entries = sorted(directory.glob(f"run-*{_SUFFIX}")) if directory.is_dir() else []
+    counters = _read_stats(directory)
+    return {
+        "dir": str(directory),
+        "entries": len(entries),
+        "bytes": sum(path.stat().st_size for path in entries),
+        "hits": counters["hits"],
+        "misses": counters["misses"],
+    }
+
+
+def clear() -> int:
+    """Delete every cache entry; returns how many were removed."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.glob(f"run-*{_SUFFIX}"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    try:
+        (directory / _STATS_FILE).unlink()
+    except OSError:
+        pass
+    return removed

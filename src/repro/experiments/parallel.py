@@ -1,0 +1,109 @@
+"""Deterministic sharded execution across a process pool.
+
+The expensive stages of a full run decompose into independent work
+units — one crawl campaign per vantage point, one census shard per
+group of /24 blocks, one RIPE summary per probe group, one full run per
+seed in a sensitivity sweep. This module runs such shards across a
+``multiprocessing`` pool while keeping results **bit-identical to
+serial execution**:
+
+* shard functions are pure with respect to their inputs (each derives
+  any randomness it needs from explicit seeds, never from shared
+  mutable state);
+* results are always returned in input order (``pool.map`` order, not
+  completion order), so merging is stable regardless of worker count;
+* ``workers=1`` bypasses the pool entirely and is the exact serial
+  code path.
+
+Workers are forked (POSIX): the parent installs the shard function,
+the shared context object and the item list in a module global right
+before forking, so children inherit them copy-on-write and nothing but
+integer shard indices and pickled results ever crosses a process
+boundary. Shared inputs can therefore hold arbitrarily large scenario
+state; only each shard's *return value* must be picklable. On
+platforms without ``fork`` the pool degrades to serial execution
+rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "available_parallelism",
+    "resolve_workers",
+    "map_shards",
+]
+
+#: (fn, shared, items) for the pool currently being served; forked
+#: children read it, the parent clears it when the pool closes.
+_ACTIVE: Optional[Tuple[Callable[[Any, Any], Any], Any, List[Any]]] = None
+
+#: True inside a forked worker — nested map_shards calls run serially
+#: instead of forking grandchildren.
+_IN_WORKER = False
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (minimum 1)."""
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` knob.
+
+    ``None`` or ``0`` mean "use all available cores"; positive values
+    are taken as-is; anything else is an error.
+    """
+    if workers is None or workers == 0:
+        return available_parallelism()
+    if not isinstance(workers, int) or workers < 0:
+        raise ValueError(f"workers must be a non-negative int: {workers!r}")
+    return workers
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _call_shard(index: int) -> Any:
+    global _IN_WORKER
+    _IN_WORKER = True
+    assert _ACTIVE is not None
+    fn, shared, items = _ACTIVE
+    return fn(shared, items[index])
+
+
+def map_shards(
+    fn: Callable[[Any, Any], Any],
+    items: Iterable[Any],
+    *,
+    workers: int = 1,
+    shared: Any = None,
+) -> List[Any]:
+    """Apply ``fn(shared, item)`` to every item, in input order.
+
+    With ``workers=1`` (or one item, or inside a worker, or without
+    ``fork``) this is exactly ``[fn(shared, item) for item in items]``.
+    With more workers the items are distributed across a forked pool;
+    the returned list is always ordered by input position, so callers
+    merge deterministically no matter how shards raced.
+    """
+    items = list(items)
+    workers = min(resolve_workers(workers), len(items))
+    if workers <= 1 or _IN_WORKER or not _fork_available():
+        return [fn(shared, item) for item in items]
+    global _ACTIVE
+    if _ACTIVE is not None:
+        # A pool is already being served from this process (re-entrant
+        # call outside a worker); don't clobber its context.
+        return [fn(shared, item) for item in items]
+    _ACTIVE = (fn, shared, items)
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_call_shard, range(len(items)))
+    finally:
+        _ACTIVE = None

@@ -17,7 +17,7 @@ figure/table) evaluates the expensive pipeline once per scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..baselines.icmp_census import CensusConfig, CensusResult, run_census
 from ..core.report import HeadlineReport, build_report
@@ -29,8 +29,16 @@ from ..survey.analyze import SurveySummary, summarize
 from ..survey.generate import generate_responses
 from ..survey.model import SurveyResponse
 from .btsetup import CrawlOutcome, CrawlSetup, run_crawl
+from .parallel import map_shards, resolve_workers
 
-__all__ = ["RunConfig", "FullRun", "run_full", "cached_run"]
+__all__ = [
+    "RunConfig",
+    "FullRun",
+    "run_full",
+    "cached_run",
+    "preset_config",
+    "sweep_headlines",
+]
 
 
 @dataclass
@@ -44,21 +52,30 @@ class RunConfig:
 
     @classmethod
     def small(cls, seed: int = 2020) -> "RunConfig":
-        """Test-scale run (seconds)."""
+        """Test-scale run (seconds). Single vantage point, pinned:
+        the regression goldens fingerprint this preset."""
         return cls(
             scenario=ScenarioConfig.small(seed),
-            crawl=CrawlSetup(duration_hours=8.0),
+            crawl=CrawlSetup(duration_hours=8.0, n_vantage_points=1),
         )
 
     @classmethod
     def default(cls, seed: int = 2020) -> "RunConfig":
-        """Benchmark-scale run."""
-        return cls(scenario=ScenarioConfig.default(seed))
+        """Benchmark-scale run. Four crawler vantage points — the
+        paper's multi-vantage scaling suggestion, and the unit the
+        parallel runner shards across workers."""
+        return cls(
+            scenario=ScenarioConfig.default(seed),
+            crawl=CrawlSetup(n_vantage_points=4),
+        )
 
     @classmethod
     def large(cls, seed: int = 2020) -> "RunConfig":
         """~4x default scale (minutes)."""
-        return cls(scenario=ScenarioConfig.large(seed))
+        return cls(
+            scenario=ScenarioConfig.large(seed),
+            crawl=CrawlSetup(n_vantage_points=4),
+        )
 
 
 @dataclass
@@ -77,19 +94,36 @@ class FullRun:
     survey_summary: SurveySummary
 
 
-def run_full(config: Optional[RunConfig] = None) -> FullRun:
-    """Execute the whole study for ``config``."""
+def run_full(
+    config: Optional[RunConfig] = None,
+    *,
+    workers: int = 1,
+) -> FullRun:
+    """Execute the whole study for ``config``.
+
+    ``workers`` shards the run's independent work units — crawl
+    campaigns per vantage point, RIPE grouping per probe, census
+    probing per /24 block — across a process pool. Results are
+    bit-identical to ``workers=1``, which is the exact serial path.
+    """
+    resolve_workers(workers)  # reject bad counts before the build
     config = config or RunConfig.default()
     scenario = build_scenario(config.scenario)
 
-    crawl = run_crawl(scenario, config.crawl)
+    crawl = run_crawl(scenario, config.crawl, workers=workers)
     nat = detect_nated(crawl.merged_log())
 
     pipeline = run_pipeline(
-        scenario.atlas_log, scenario.truth.asdb, config.pipeline
+        scenario.atlas_log,
+        scenario.truth.asdb,
+        config.pipeline,
+        workers=workers,
     )
     census = run_census(
-        scenario.truth, config.census, scenario.hub.stream("census")
+        scenario.truth,
+        config.census,
+        scenario.hub.stream("census"),
+        workers=workers,
     )
 
     analysis = ReuseAnalysis(
@@ -120,22 +154,57 @@ def run_full(config: Optional[RunConfig] = None) -> FullRun:
     )
 
 
+def preset_config(preset: str, seed: int = 2020) -> RunConfig:
+    """The :class:`RunConfig` behind a named preset."""
+    if preset == "small":
+        return RunConfig.small(seed)
+    if preset == "default":
+        return RunConfig.default(seed)
+    if preset == "large":
+        return RunConfig.large(seed)
+    raise ValueError(f"unknown preset {preset!r}")
+
+
+def _sweep_shard(preset: str, seed: int) -> Tuple[int, HeadlineReport]:
+    """One seed of a sensitivity sweep: run everything, keep only the
+    picklable headline report."""
+    return seed, run_full(preset_config(preset, seed)).report
+
+
+def sweep_headlines(
+    preset: str = "small",
+    seeds: Iterable[int] = (2019, 2020, 2021),
+    *,
+    workers: int = 1,
+) -> List[Tuple[int, HeadlineReport]]:
+    """Headline reports across seeds (robustness sweeps, Table 5-style
+    sensitivity checks). Each seed is an independent full run, so the
+    sweep shards across a process pool; the returned list follows the
+    input seed order regardless of worker count."""
+    return map_shards(
+        _sweep_shard, list(seeds), workers=workers, shared=preset
+    )
+
+
 _CACHE: Dict[str, FullRun] = {}
 
 
 def cached_run(preset: str = "default", seed: int = 2020) -> FullRun:
-    """Run once per (preset, seed) per process; benches share this."""
+    """Memoised full run for a named preset.
+
+    Two layers: an in-process memo (same object back within one
+    process — benches and test fixtures share it) over the persistent
+    content-addressed cache in :mod:`repro.experiments.cache`, which
+    survives process boundaries and invalidates on any config or code
+    change. A persistent hit carries :class:`CrawlerView` snapshots
+    instead of live simulation objects.
+    """
+    from . import cache as results_cache
+
     key = f"{preset}:{seed}"
     run = _CACHE.get(key)
     if run is None:
-        if preset == "small":
-            config = RunConfig.small(seed)
-        elif preset == "default":
-            config = RunConfig.default(seed)
-        elif preset == "large":
-            config = RunConfig.large(seed)
-        else:
-            raise ValueError(f"unknown preset {preset!r}")
-        run = run_full(config)
+        config = preset_config(preset, seed)
+        run = results_cache.fetch(config, lambda: run_full(config))
         _CACHE[key] = run
     return run

@@ -56,9 +56,15 @@ class ASRecord:
 class ASDatabase:
     """Registry of :class:`ASRecord` with longest-prefix IP→AS lookup."""
 
+    # Defensive bound on the lookup memo (see PrefixSet._MEMO_MAX).
+    _MEMO_MAX = 1 << 20
+
     def __init__(self) -> None:
         self._records: Dict[int, ASRecord] = {}
         self._trie: PrefixTrie[int] = PrefixTrie()
+        # ip -> origin-ASN memo; analyses resolve the same addresses
+        # over and over. Invalidated whenever the table changes.
+        self._ip_memo: Dict[int, Optional[int]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -80,6 +86,7 @@ class ASDatabase:
         self._records[record.asn] = record
         for prefix in record.prefixes:
             self._trie.insert(prefix, record.asn)
+        self._ip_memo.clear()
 
     def announce(self, asn: int, prefix: Prefix) -> None:
         """Announce an additional ``prefix`` as originated by ``asn``."""
@@ -88,14 +95,25 @@ class ASDatabase:
             raise KeyError(f"AS{asn} not registered")
         record.prefixes.append(prefix)
         self._trie.insert(prefix, asn)
+        self._ip_memo.clear()
 
     def get(self, asn: int) -> Optional[ASRecord]:
         """Return the record for ``asn`` or None."""
         return self._records.get(asn)
 
     def asn_of(self, ip: int) -> Optional[int]:
-        """Resolve integer address ``ip`` to its origin ASN (LPM)."""
-        return self._trie.lookup_value(ip)
+        """Resolve integer address ``ip`` to its origin ASN (LPM).
+
+        Memoised per address; the memo is cleared by :meth:`add` and
+        :meth:`announce`.
+        """
+        memo = self._ip_memo
+        if ip in memo:
+            return memo[ip]
+        if len(memo) >= self._MEMO_MAX:
+            memo.clear()
+        asn = memo[ip] = self._trie.lookup_value(ip)
+        return asn
 
     def record_of(self, ip: int) -> Optional[ASRecord]:
         """Resolve ``ip`` to the full :class:`ASRecord`."""

@@ -11,6 +11,7 @@ prefix covering this IP address to be dynamically allocated").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, List
 
 __all__ = [
@@ -144,6 +145,10 @@ class Prefix:
         return f"{int_to_ip(self.network)}/{self.length}"
 
 
+# Prefix is immutable, so the /24 and covering-prefix helpers can hand
+# out shared cached instances; analyses resolve the same blocks over and
+# over and the dataclass __post_init__ validation dominates otherwise.
+@lru_cache(maxsize=1 << 16)
 def covering_prefix(ip: int, length: int) -> Prefix:
     """Return the /``length`` prefix that covers integer address ``ip``."""
     if not is_valid_ip_int(ip):
@@ -154,6 +159,7 @@ def covering_prefix(ip: int, length: int) -> Prefix:
     return Prefix(ip & mask, length)
 
 
+@lru_cache(maxsize=1 << 16)
 def slash24_of(ip: int) -> Prefix:
     """Return the covering /24 of ``ip`` — the paper's unit of dynamic
     address expansion (Section 3.2, "extent of dynamic addressing")."""

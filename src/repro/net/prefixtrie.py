@@ -116,13 +116,41 @@ class PrefixTrie(Generic[V]):
         return Prefix(ip & mask, length), value
 
     def lookup_value(self, ip: int) -> Optional[V]:
-        """Longest-prefix match returning just the value (hot path)."""
-        match = self.lookup(ip)
-        return None if match is None else match[1]
+        """Longest-prefix match returning just the value (hot path).
+
+        Walks the trie directly instead of delegating to :meth:`lookup`
+        so no result :class:`Prefix` is constructed per call.
+        """
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad address integer: {ip!r}")
+        node: Optional[_Node[V]] = self._root
+        best: Optional[V] = None
+        found = False
+        depth = 0
+        while node is not None:
+            if node.has_value:
+                best = node.value
+                found = True
+            if depth == 32:
+                break
+            node = node.children[(ip >> (31 - depth)) & 1]
+            depth += 1
+        return best if found else None
 
     def covers(self, ip: int) -> bool:
         """Return True when any stored prefix contains ``ip``."""
-        return self.lookup(ip) is not None
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad address integer: {ip!r}")
+        node: Optional[_Node[V]] = self._root
+        depth = 0
+        while node is not None:
+            if node.has_value:
+                return True
+            if depth == 32:
+                break
+            node = node.children[(ip >> (31 - depth)) & 1]
+            depth += 1
+        return False
 
     def items(self) -> Iterator[Tuple[Prefix, V]]:
         """Iterate ``(prefix, value)`` pairs in address order."""
@@ -153,8 +181,17 @@ class PrefixSet:
     matters (e.g. "is this address inside the crawl-allowed space?").
     """
 
+    # Defensive bound on the membership memo; real runs see a few
+    # thousand distinct addresses, so this never trips in practice.
+    _MEMO_MAX = 1 << 20
+
     def __init__(self, prefixes: Optional[Iterator[Prefix]] = None) -> None:
         self._trie: PrefixTrie[bool] = PrefixTrie()
+        # ip -> membership memo. The crawler asks contains_ip for every
+        # sighting, and sightings repeat the same few thousand addresses
+        # millions of times; caching turns the O(32) walk into one dict
+        # hit. Any mutation invalidates the whole memo.
+        self._ip_memo: Dict[int, bool] = {}
         if prefixes is not None:
             for prefix in prefixes:
                 self.add(prefix)
@@ -165,14 +202,22 @@ class PrefixSet:
     def add(self, prefix: Prefix) -> None:
         """Add ``prefix`` to the set."""
         self._trie.insert(prefix, True)
+        self._ip_memo.clear()
 
     def discard(self, prefix: Prefix) -> bool:
         """Remove an exact prefix; returns True when it was present."""
+        self._ip_memo.clear()
         return self._trie.remove(prefix)
 
     def contains_ip(self, ip: int) -> bool:
         """True when some member prefix covers integer address ``ip``."""
-        return self._trie.covers(ip)
+        memo = self._ip_memo
+        hit = memo.get(ip)
+        if hit is None:
+            if len(memo) >= self._MEMO_MAX:
+                memo.clear()
+            hit = memo[ip] = self._trie.covers(ip)
+        return hit
 
     def contains_exact(self, prefix: Prefix) -> bool:
         """True when exactly ``prefix`` is a member."""

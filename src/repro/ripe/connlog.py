@@ -29,7 +29,7 @@ KIND_CONNECT = "connect"
 KIND_DISCONNECT = "disconnect"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionEvent:
     """One probe connection-state event seen by the Atlas
     infrastructure: a (re)connect from an address, or a disconnect

@@ -109,37 +109,61 @@ class PipelineResult:
         }
 
 
+def _summarize_one(shared, probe_id: int) -> Optional[ProbeSummary]:
+    """One probe's summary (``None`` for probes with no connections).
+
+    Pure function of (log, asdb, probe_id) — the per-probe shard unit
+    for parallel grouping.
+    """
+    log, asdb = shared
+    sequence = log.address_sequence(probe_id)
+    if not sequence:
+        return None
+    addresses = [event.ip for event in sequence]
+    asns = set()
+    for ip in addresses:
+        asn = asdb.asn_of(ip)
+        if asn is not None:
+            asns.add(asn)
+    return ProbeSummary(
+        probe_id=probe_id,
+        addresses=addresses,
+        first_day=sequence[0].day,
+        last_day=sequence[-1].day,
+        asns=asns,
+    )
+
+
 def summarize_probes(
-    log: ConnectionLog, asdb: ASDatabase
+    log: ConnectionLog,
+    asdb: ASDatabase,
+    *,
+    workers: int = 1,
 ) -> List[ProbeSummary]:
-    """Stage 1: per-probe address sequences with AS annotations."""
-    summaries: List[ProbeSummary] = []
-    for probe_id in log.probe_ids():
-        sequence = log.address_sequence(probe_id)
-        if not sequence:
-            continue
-        addresses = [event.ip for event in sequence]
-        asns = set()
-        for ip in addresses:
-            asn = asdb.asn_of(ip)
-            if asn is not None:
-                asns.add(asn)
-        summaries.append(
-            ProbeSummary(
-                probe_id=probe_id,
-                addresses=addresses,
-                first_day=sequence[0].day,
-                last_day=sequence[-1].day,
-                asns=asns,
-            )
-        )
-    return summaries
+    """Stage 1: per-probe address sequences with AS annotations.
+
+    The grouping is pure per probe, so ``workers`` shards probes across
+    a process pool; results come back in probe-id order either way.
+    """
+    # Imported lazily: the experiments package pulls this module in
+    # while wiring the runner, so a top-level import would be circular.
+    from ..experiments.parallel import map_shards
+
+    summaries = map_shards(
+        _summarize_one,
+        log.probe_ids(),
+        workers=workers,
+        shared=(log, asdb),
+    )
+    return [summary for summary in summaries if summary is not None]
 
 
 def run_pipeline(
     log: ConnectionLog,
     asdb: ASDatabase,
     config: Optional[PipelineConfig] = None,
+    *,
+    workers: int = 1,
 ) -> PipelineResult:
     """Run all four stages and expand to dynamic prefixes."""
     config = config or PipelineConfig()
@@ -147,7 +171,7 @@ def run_pipeline(
         raise ValueError(
             f"bad expansion prefix length {config.expansion_prefix_len}"
         )
-    all_probes = summarize_probes(log, asdb)
+    all_probes = summarize_probes(log, asdb, workers=workers)
 
     # Stage 2: same-AS probes with at least one address change, plus
     # probes with no change at all (they survive this stage but die in

@@ -26,7 +26,7 @@ from .rng import RngHub
 __all__ = ["Endpoint", "Datagram", "FabricStats", "UdpFabric"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Endpoint:
     """A public (ip, port) UDP endpoint. ``ip`` is an integer address."""
 
@@ -43,7 +43,7 @@ class Endpoint:
         return f"{int_to_ip(self.ip)}:{self.port}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Datagram:
     """One UDP datagram in flight."""
 

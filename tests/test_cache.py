@@ -1,0 +1,153 @@
+"""Correctness of the persistent content-addressed run cache."""
+
+import dataclasses
+import gzip
+import pickle
+
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.btsetup import CrawlerView
+from repro.experiments.runner import RunConfig, run_full
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("RESULTS_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_full(RunConfig.small(2020))
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        config = RunConfig.small(2020)
+        assert cache.run_key(config) == cache.run_key(RunConfig.small(2020))
+
+    def test_any_field_change_misses(self):
+        base = RunConfig.small(2020)
+        variants = [
+            RunConfig.small(2021),
+            dataclasses.replace(
+                base,
+                scenario=dataclasses.replace(
+                    base.scenario,
+                    topology=dataclasses.replace(
+                        base.scenario.topology,
+                        n_eyeball=base.scenario.topology.n_eyeball + 1,
+                    ),
+                ),
+            ),
+            dataclasses.replace(
+                base,
+                crawl=dataclasses.replace(base.crawl, duration_hours=9.0),
+            ),
+            dataclasses.replace(
+                base,
+                crawl=dataclasses.replace(base.crawl, n_vantage_points=2),
+            ),
+            dataclasses.replace(
+                base,
+                pipeline=dataclasses.replace(base.pipeline, daily_mean_days=2.0),
+            ),
+            dataclasses.replace(
+                base,
+                census=dataclasses.replace(base.census, response_rate=0.5),
+            ),
+        ]
+        keys = {cache.run_key(config) for config in variants}
+        assert cache.run_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_code_fingerprint_salts_the_key(self, monkeypatch):
+        config = RunConfig.small(2020)
+        before = cache.run_key(config)
+        monkeypatch.setattr(cache, "_CODE_FINGERPRINT", "deadbeef")
+        assert cache.run_key(config) != before
+
+    def test_unknown_config_type_is_loud(self):
+        with pytest.raises(TypeError):
+            cache.config_fingerprint(object())
+
+
+class TestRoundTrip:
+    def test_same_config_hits_with_identical_products(self, small_run):
+        config = RunConfig.small(2020)
+        assert cache.load(config) is None  # cold
+        cache.store(config, small_run)
+        loaded = cache.load(config)
+        assert loaded is not None
+        assert loaded.report == small_run.report
+        assert loaded.report.render() == small_run.report.render()
+        assert loaded.nat == small_run.nat
+        assert loaded.census.metrics == small_run.census.metrics
+        assert (
+            loaded.crawl.bittorrent_ips() == small_run.crawl.bittorrent_ips()
+        )
+
+    def test_stored_run_is_stripped(self, small_run):
+        config = RunConfig.small(2020)
+        cache.store(config, small_run)
+        loaded = cache.load(config)
+        assert isinstance(loaded.crawl.crawler, CrawlerView)
+        assert loaded.crawl.scheduler is None
+        assert loaded.crawl.fabric is None
+        # ...but the original run object was not mutated.
+        assert small_run.crawl.scheduler is not None
+
+    def test_fetch_computes_once(self, small_run):
+        config = RunConfig.small(2020)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return small_run
+
+        first = cache.fetch(config, compute)
+        second = cache.fetch(config, compute)
+        assert len(calls) == 1
+        assert first.report == second.report
+
+    def test_corrupted_entry_falls_back_to_recompute(self, small_run):
+        config = RunConfig.small(2020)
+        path = cache.store(config, small_run)
+        path.write_bytes(b"this is not a gzip stream")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return small_run
+
+        recovered = cache.fetch(config, compute)
+        assert calls == [1]
+        assert recovered.report == small_run.report
+        # The rewrite repaired the entry for the next reader.
+        with gzip.open(path, "rb") as handle:
+            assert pickle.load(handle).report == small_run.report
+
+    def test_truncated_gzip_falls_back(self, small_run):
+        config = RunConfig.small(2020)
+        path = cache.store(config, small_run)
+        path.write_bytes(path.read_bytes()[:100])
+        assert cache.load(config) is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, small_run):
+        config = RunConfig.small(2020)
+        assert cache.cache_stats()["entries"] == 0
+        cache.load(config)  # miss
+        cache.store(config, small_run)
+        cache.load(config)  # hit
+        stats = cache.cache_stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert cache.clear() == 1
+        after = cache.cache_stats()
+        assert after["entries"] == 0
+        assert after["hits"] == 0 and after["misses"] == 0

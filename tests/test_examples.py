@@ -1,5 +1,6 @@
 """Smoke tests: every example script must run cleanly end-to-end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,8 +8,25 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env() -> dict:
+    """Subprocess environment with an *absolute* src/ on PYTHONPATH.
+
+    The scripts run with ``cwd=tmp_path``, so a relative
+    ``PYTHONPATH=src`` inherited from the pytest invocation would no
+    longer resolve to the repository sources.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    parts = [str(SRC_DIR)] + [
+        p for p in existing.split(os.pathsep) if p and p != "src"
+    ]
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
 
 
 def test_examples_exist():
@@ -24,6 +42,7 @@ def test_example_runs(script, tmp_path):
         capture_output=True,
         text=True,
         timeout=240,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), f"{script} produced no output"
@@ -37,6 +56,7 @@ def test_quickstart_writes_greylist(tmp_path):
         text=True,
         timeout=240,
         check=True,
+        env=_example_env(),
     )
     greylist = tmp_path / "greylist.txt"
     assert greylist.exists()
@@ -51,6 +71,7 @@ def test_crawl_campaign_writes_log(tmp_path):
         text=True,
         timeout=240,
         check=True,
+        env=_example_env(),
     )
     log = tmp_path / "crawl_log.jsonl"
     assert log.exists()

@@ -1,0 +1,115 @@
+"""Determinism contract of the parallel runner.
+
+The whole point of ``repro.experiments.parallel`` is that the worker
+count is *not* an experimental parameter: any ``workers`` value must
+produce bit-identical results. These tests pin that contract at every
+layer — the shard mapper itself, each sharded stage, and the full run.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.icmp_census import CensusConfig, run_census
+from repro.experiments.parallel import (
+    available_parallelism,
+    map_shards,
+    resolve_workers,
+)
+from repro.experiments.runner import RunConfig, run_full, sweep_headlines
+from repro.internet.scenario import ScenarioConfig, build_scenario
+from repro.ripe.pipeline import run_pipeline
+
+
+def _square(shared, item):
+    return item * item
+
+
+def _with_shared(shared, item):
+    return (shared, item)
+
+
+def _nested(shared, item):
+    # Nested map_shards inside a shard must degrade to serial, not
+    # fork grandchildren.
+    return sum(map_shards(_square, range(item + 1), workers=4))
+
+
+class TestMapShards:
+    def test_serial_is_plain_map(self):
+        assert map_shards(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert map_shards(_square, items, workers=4) == [
+            n * n for n in items
+        ]
+
+    def test_shared_context_reaches_every_shard(self):
+        out = map_shards(_with_shared, [1, 2], workers=2, shared="ctx")
+        assert out == [("ctx", 1), ("ctx", 2)]
+
+    def test_empty_items(self):
+        assert map_shards(_square, [], workers=4) == []
+
+    def test_nested_call_runs_serially(self):
+        assert map_shards(_nested, [2, 3], workers=2) == [5, 14]
+
+    def test_workers_clamped_to_item_count(self):
+        # More workers than items must not break anything.
+        assert map_shards(_square, [7], workers=32) == [49]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == available_parallelism()
+        assert resolve_workers(0) == available_parallelism()
+        assert resolve_workers(3) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+        with pytest.raises(ValueError):
+            resolve_workers(2.5)
+
+
+class TestStageInvariance:
+    """Each sharded stage is invariant to the worker count."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(ScenarioConfig.small(seed=2020))
+
+    def test_census_worker_invariant(self, scenario):
+        serial = run_census(
+            scenario.truth, CensusConfig(), random.Random(11), workers=1
+        )
+        sharded = run_census(
+            scenario.truth, CensusConfig(), random.Random(11), workers=4
+        )
+        assert serial.probes_sent == sharded.probes_sent
+        assert serial.metrics == sharded.metrics
+
+    def test_pipeline_worker_invariant(self, scenario):
+        serial = run_pipeline(
+            scenario.atlas_log, scenario.truth.asdb, workers=1
+        )
+        sharded = run_pipeline(
+            scenario.atlas_log, scenario.truth.asdb, workers=4
+        )
+        assert serial.funnel_counts() == sharded.funnel_counts()
+        assert serial.allocation_knee == sharded.allocation_knee
+        assert serial.dynamic_prefixes == sharded.dynamic_prefixes
+        assert serial.all_probes == sharded.all_probes
+
+
+class TestFullRunInvariance:
+    @pytest.mark.parametrize("seed", [2019, 2020, 2021])
+    def test_headline_identical_across_worker_counts(self, seed):
+        serial = run_full(RunConfig.small(seed), workers=1)
+        sharded = run_full(RunConfig.small(seed), workers=4)
+        assert serial.report == sharded.report
+        assert serial.report.render() == sharded.report.render()
+
+    def test_sweep_matches_individual_runs(self):
+        seeds = (2019, 2021)
+        swept = sweep_headlines("small", seeds, workers=2)
+        assert [seed for seed, _ in swept] == list(seeds)
+        for seed, report in swept:
+            assert report == run_full(RunConfig.small(seed)).report
