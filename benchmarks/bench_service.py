@@ -1,0 +1,128 @@
+"""Performance of the online reputation service.
+
+Three numbers gate the serving story (Deri & Fusco's point: the
+lookup path, not the batch pipeline, is the operational bottleneck):
+
+* **index build** — compiling a cached run into the read-optimised
+  :class:`ReputationIndex` (server cold-start cost without a
+  snapshot);
+* **in-process queries/sec** — the engine's point-query path, the
+  per-connection cost an embedding consumer pays. Must sustain at
+  least 10k queries/sec on the small preset (asserted, and recorded in
+  ``extra_info``);
+* **over-the-wire queries/sec** — batched TCP round trips through the
+  framing layer, localhost loopback.
+
+Uses the small preset directly (like ``bench_perf_runner``) so the
+gate's numbers are comparable across machines and presets.
+"""
+
+import time
+
+from repro.experiments.runner import cached_run
+from repro.service.engine import QueryEngine
+from repro.service.index import ReputationIndex
+from repro.service.server import ReputationServer
+from repro.service.client import ReputationClient
+from repro.service.wire import decode_frame, encode_frame
+
+#: Floor asserted on the engine's in-process point-query throughput.
+MIN_INPROCESS_QPS = 10_000
+
+
+def _workload(index, analysis, n):
+    """A deterministic (ip, day) stream skewed like real traffic:
+    every blocklisted address across window edges and midpoints."""
+    ips = sorted(analysis.blocklisted_ips)
+    days = []
+    for start, end in analysis.windows:
+        days += [start, (start + end) // 2, end]
+    pairs = [(ip, day) for day in days for ip in ips]
+    repeats = -(-n // len(pairs))  # ceil
+    return (pairs * repeats)[:n]
+
+
+def test_perf_service_index_build(benchmark):
+    """Compiling a full run into the immutable index."""
+    run = cached_run("small")
+
+    index = benchmark.pedantic(
+        lambda: ReputationIndex.from_run(run), rounds=5, iterations=1
+    )
+    sizes = index.stats()
+    assert sizes["ips"] > 0 and sizes["intervals"] > 0
+    benchmark.extra_info.update(sizes)
+
+
+def test_perf_service_point_queries(benchmark):
+    """In-process point-query throughput (cold LRU each round)."""
+    run = cached_run("small")
+    index = ReputationIndex.from_run(run)
+    queries = _workload(index, run.analysis, 5000)
+
+    def run_queries():
+        engine = QueryEngine(index)
+        for ip, day in queries:
+            engine.query(ip, day)
+        return engine
+
+    engine = benchmark.pedantic(run_queries, rounds=3, iterations=1)
+
+    # The acceptance floor, measured independently of the harness.
+    started = time.perf_counter()
+    run_queries()
+    elapsed = time.perf_counter() - started
+    qps = len(queries) / elapsed
+    benchmark.extra_info["queries_per_sec"] = round(qps)
+    benchmark.extra_info["cache_hit_rate"] = round(
+        engine.stats()["queries"]["point"]["hit_rate"], 3
+    )
+    assert qps >= MIN_INPROCESS_QPS, (
+        f"engine sustained only {qps:.0f} queries/sec "
+        f"(floor: {MIN_INPROCESS_QPS})"
+    )
+
+
+def test_perf_service_wire_roundtrip(benchmark):
+    """Frame encode+decode of a representative verdict reply."""
+    run = cached_run("small")
+    engine = QueryEngine(ReputationIndex.from_run(run))
+    ip = sorted(run.analysis.blocklisted_ips)[0]
+    reply = {
+        "ok": True,
+        "result": engine.query(ip, engine.index.default_day()).to_wire(),
+    }
+
+    def roundtrip():
+        frame = encode_frame(reply)
+        return decode_frame(frame)
+
+    decoded = benchmark(roundtrip)
+    assert decoded[0] == reply
+
+
+def test_perf_service_over_wire(benchmark):
+    """Batched queries through TCP loopback + framing."""
+    run = cached_run("small")
+    engine = QueryEngine(ReputationIndex.from_run(run))
+    queries = _workload(engine.index, run.analysis, 1000)
+    wire_queries = [(ip, day) for ip, day in queries]
+
+    with ReputationServer(engine) as server:
+        host, port = server.start()
+        with ReputationClient(host, port) as client:
+
+            def batch_round():
+                return client.query_batch(wire_queries)
+
+            verdicts = benchmark.pedantic(
+                batch_round, rounds=3, iterations=1
+            )
+            assert len(verdicts) == len(wire_queries)
+
+            started = time.perf_counter()
+            client.query_batch(wire_queries)
+            elapsed = time.perf_counter() - started
+    benchmark.extra_info["queries_per_sec"] = round(
+        len(wire_queries) / elapsed
+    )

@@ -8,9 +8,14 @@ than the threshold (default 20%).
 Workflow::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_perf_primitives.py \
-        benchmarks/bench_perf_runner.py \
+        benchmarks/bench_perf_runner.py benchmarks/bench_service.py \
         --benchmark-json=/tmp/bench_current.json -q
     python scripts/perf_regress.py /tmp/bench_current.json
+
+The gated set covers the batch pipeline (primitives + runner) and the
+online service's query path (index build, in-process and over-the-wire
+queries/sec), so a slowdown on either side of the serving story fails
+the same gate.
 
 Refreshing the baseline after an intentional perf change::
 

@@ -137,6 +137,18 @@ class ListingStore:
             l.ip for l in self._by_list.get(list_id, ()) if l.active_on(day)
         }
 
+    def listings_active_on(self, ip: int, day: int) -> List[Listing]:
+        """Listings of ``ip`` covering ``day``, across all lists.
+
+        The interval-query dual of :meth:`snapshot` (which slices by
+        list, this slices by address) — what an online consumer asks
+        per connection. Ordered by list id, then start day.
+        """
+        return sorted(
+            (l for l in self._by_ip.get(ip, ()) if l.active_on(day)),
+            key=lambda l: (l.list_id, l.first_day),
+        )
+
     def listing_count_per_list(
         self, windows: Sequence[Window], ips: Optional[Set[int]] = None
     ) -> Dict[str, int]:

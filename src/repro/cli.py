@@ -9,11 +9,19 @@ Subcommands:
 * ``survey``   — print Table 1 and Figure 9.
 * ``catalog``  — print Table 2 (the 151-blocklist catalog).
 * ``cache``    — inspect or empty the persistent run cache.
+* ``serve``    — compile a run into a reputation index and answer
+  online queries over TCP.
+* ``query``    — ask a running server for per-address verdicts.
+
+Failures exit non-zero with one ``error:`` line on stderr — a bad
+preset, port, snapshot or an unreachable server never escapes as a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -23,10 +31,25 @@ from .blocklists.catalog import catalog_by_maintainer
 from .core.asreport import render_as_report
 from .core.greylist import build_greylist, render_greylist
 from .experiments.runner import preset_config, run_full
+from .service import (
+    QueryEngine,
+    ReputationClient,
+    ReputationIndex,
+    ReputationServer,
+    ServiceError,
+    SnapshotError,
+)
 from .survey.analyze import figure9_usage, render_table1, summarize
 from .survey.generate import generate_responses
 
 __all__ = ["main"]
+
+#: Default TCP port of the reputation service (unassigned range).
+DEFAULT_SERVICE_PORT = 7339
+
+
+class CliError(Exception):
+    """A user-facing failure: printed as one line, exits non-zero."""
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -96,6 +119,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "action",
         choices=("stats", "clear"),
         help="stats: show entries/size/hit counters; clear: delete all",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve reuse-aware blocklist verdicts over TCP",
+    )
+    serve_p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="small",
+        help="run to compile the index from (loaded via the run cache)",
+    )
+    serve_p.add_argument("--seed", type=int, default=2020)
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=f"TCP port (default {DEFAULT_SERVICE_PORT}; 0 = ephemeral)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the pipeline run on an index-cache miss",
+    )
+    serve_p.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        help=(
+            "index snapshot: loaded when the file exists, otherwise "
+            "written after the index is built"
+        ),
+    )
+
+    query_p = sub.add_parser(
+        "query", help="query a running reputation server"
+    )
+    query_p.add_argument(
+        "ip", nargs="*", help="address(es) to look up (dotted quad)"
+    )
+    query_p.add_argument(
+        "--day",
+        type=int,
+        default=None,
+        help="day index to evaluate (default: last collection day)",
+    )
+    query_p.add_argument("--host", default="127.0.0.1")
+    query_p.add_argument(
+        "--port", type=int, default=DEFAULT_SERVICE_PORT
+    )
+    query_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw JSON verdicts instead of one-line summaries",
+    )
+    query_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print server-side engine/index stats and exit",
     )
     return parser
 
@@ -206,15 +289,111 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from .experiments import cache
 
     if args.action == "clear":
+        directory = cache.cache_dir()
+        if not directory.is_dir():
+            print(f"cache dir {directory} does not exist — nothing to clear")
+            return 0
         removed = cache.clear()
-        print(f"removed {removed} cached run(s) from {cache.cache_dir()}")
+        if removed:
+            print(f"removed {removed} cached run(s) from {directory}")
+        else:
+            print(f"cache at {directory} was already empty")
         return 0
     stats = cache.cache_stats()
+    if not stats["exists"]:
+        print(
+            f"cache dir : {stats['dir']} (not created yet — no runs cached)"
+        )
+        return 0
     print(f"cache dir : {stats['dir']}")
     print(f"entries   : {stats['entries']}")
     print(f"size      : {stats['bytes'] / 1024:.1f} KiB")
     print(f"hits      : {stats['hits']}")
     print(f"misses    : {stats['misses']}")
+    return 0
+
+
+def _checked_port(port: int) -> int:
+    if not 0 <= port <= 65535:
+        raise CliError(f"port out of range 0-65535: {port}")
+    return port
+
+
+def _build_service_index(args: argparse.Namespace) -> ReputationIndex:
+    """The index ``repro serve`` binds: snapshot if present, else the
+    run cache (computing and caching the run on a first start)."""
+    snapshot = Path(args.snapshot) if args.snapshot else None
+    if snapshot is not None and snapshot.exists():
+        index = ReputationIndex.load(snapshot)
+        print(f"index <- snapshot {snapshot}")
+        return index
+    from .experiments import cache as results_cache
+
+    config = preset_config(args.preset, args.seed)
+    was_cached = results_cache.has(config)
+    run = results_cache.fetch(
+        config, lambda: run_full(config, workers=args.workers)
+    )
+    source = "run cache" if was_cached else "fresh run (now cached)"
+    print(f"index <- {source} [preset={args.preset} seed={args.seed}]")
+    index = ReputationIndex.from_run(run)
+    if snapshot is not None:
+        index.save(snapshot)
+        print(f"snapshot -> {snapshot}")
+    return index
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    port = _checked_port(args.port)
+    index = _build_service_index(args)
+    server = ReputationServer(QueryEngine(index), args.host, port)
+    host, bound_port = server.address
+    sizes = index.stats()
+    print(
+        f"serving on {host}:{bound_port} — {sizes['ips']} addresses, "
+        f"{sizes['intervals']} listing intervals, {sizes['lists']} "
+        f"lists, {sizes['dynamic_prefixes']} dynamic /24s"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.shutdown()
+    return 0
+
+
+def _render_verdict(verdict: dict) -> str:
+    lists = ",".join(verdict["lists"]) or "-"
+    return (
+        f"{verdict['ip']} day={verdict['day']} "
+        f"listed={'yes' if verdict['listed'] else 'no'} "
+        f"lists={lists} kind={verdict['reuse_kind'] or '-'} "
+        f"users={verdict['users']} asn={verdict['asn']} "
+        f"unjust={'yes' if verdict['unjust'] else 'no'} "
+        f"action={verdict['action']}"
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    port = _checked_port(args.port)
+    if not args.stats and not args.ip:
+        raise CliError("no addresses given (and --stats not requested)")
+    with ReputationClient(args.host, port) as client:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if len(args.ip) == 1:
+            verdicts = [client.query(args.ip[0], args.day)]
+        else:
+            verdicts = client.query_batch(
+                (ip, args.day) for ip in args.ip
+            )
+    for verdict in verdicts:
+        print(
+            json.dumps(verdict, sort_keys=True)
+            if args.json
+            else _render_verdict(verdict)
+        )
     return 0
 
 
@@ -244,6 +423,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "survey": _cmd_survey,
         "catalog": _cmd_catalog,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
     }
     try:
         return handlers[args.command](args)
@@ -254,6 +435,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except (CliError, ServiceError, SnapshotError, ValueError) as exc:
+        # User-facing failures (bad preset/port/address, unreadable
+        # snapshot, unreachable server): one line, exit code 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Bind failures, refused connections, unwritable paths.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -40,6 +40,8 @@ class BlockAction:
 
     BLOCK = "block"
     GREYLIST = "greylist"
+    #: Not listed at query time — the online service's third verdict.
+    IGNORE = "ignore"
 
     ALL = (BLOCK, GREYLIST)
 
@@ -87,7 +89,12 @@ def recommend_action(
     """The Section 6 policy: DDoS lists warrant blocking even with
     collateral damage (rate matters more than precision); accuracy-
     sensitive lists (spam and the rest) should greylist reused
-    addresses instead."""
+    addresses instead.
+
+    Only ``analysis.is_reused`` is consulted, so any object honouring
+    that contract works — the online service passes its compiled
+    :class:`~repro.service.index.ReputationIndex` here, keeping one
+    policy for the batch and serving paths."""
     if not analysis.is_reused(ip):
         return BlockAction.BLOCK
     if blocklist_category == "ddos":

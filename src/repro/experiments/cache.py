@@ -45,6 +45,8 @@ __all__ = [
     "code_fingerprint",
     "config_fingerprint",
     "run_key",
+    "entry_path",
+    "has",
     "load",
     "store",
     "fetch",
@@ -154,8 +156,22 @@ def run_key(config: Any) -> str:
     ).hexdigest()[:40]
 
 
-def _entry_path(config: Any) -> Path:
+def entry_path(config: Any) -> Path:
+    """Where ``config``'s run artefact lives (existing or not).
+
+    Consumers that only need to know *whether* a run is servable from
+    cache — e.g. ``repro serve`` deciding between loading and
+    recomputing — check this path instead of deserialising the entry.
+    """
     return cache_dir() / f"run-{run_key(config)}{_SUFFIX}"
+
+
+def has(config: Any) -> bool:
+    """True when a cached artefact exists for ``config``."""
+    try:
+        return entry_path(config).is_file()
+    except OSError:
+        return False
 
 
 # -- stats -----------------------------------------------------------
@@ -212,7 +228,7 @@ def load(config: Any) -> Optional[Any]:
     Any failure — missing entry, truncated gzip, unpicklable payload —
     is a miss; a corrupt file is deleted so the next store rewrites it.
     """
-    path = _entry_path(config)
+    path = entry_path(config)
     try:
         with gzip.open(path, "rb") as handle:
             run = pickle.load(handle)
@@ -236,7 +252,7 @@ def store(config: Any, run: Any) -> Path:
     """Persist ``run`` under ``config``'s content address."""
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    path = _entry_path(config)
+    path = entry_path(config)
     payload = _strip_run(run)
     handle, temp_name = tempfile.mkstemp(
         dir=directory, prefix="tmp-", suffix=_SUFFIX
@@ -270,12 +286,20 @@ def fetch(config: Any, compute: Callable[[], Any]) -> Any:
 def cache_stats() -> Dict[str, Any]:
     """Entry count, size on disk and hit/miss counters."""
     directory = cache_dir()
-    entries = sorted(directory.glob(f"run-*{_SUFFIX}")) if directory.is_dir() else []
+    exists = directory.is_dir()
+    entries = sorted(directory.glob(f"run-*{_SUFFIX}")) if exists else []
     counters = _read_stats(directory)
+    total = 0
+    for path in entries:
+        try:
+            total += path.stat().st_size
+        except OSError:
+            pass  # entry vanished between glob and stat — fine
     return {
         "dir": str(directory),
+        "exists": exists,
         "entries": len(entries),
-        "bytes": sum(path.stat().st_size for path in entries),
+        "bytes": total,
         "hits": counters["hits"],
         "misses": counters["misses"],
     }

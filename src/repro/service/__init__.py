@@ -1,0 +1,41 @@
+"""Online reuse-aware blocklist reputation service.
+
+Real blocklist consumers do not read batch reports — they ask, per
+connection, "is this address listed *right now*, and should I act on
+it?". This package turns the study's batch artefact
+(:class:`~repro.core.reuse.ReuseAnalysis`) into that servable product:
+
+* :mod:`repro.service.index` — :class:`ReputationIndex`, the
+  read-optimised immutable compilation of a full run (per-IP sorted
+  listing intervals, NAT/dynamic classification, AS rollups) with a
+  binary snapshot format so a server starts without re-running the
+  pipeline;
+* :mod:`repro.service.engine` — :class:`QueryEngine`, the query layer
+  with point/batch APIs, per-query-type counters and an LRU for hot
+  addresses;
+* :mod:`repro.service.wire` — the length-prefixed JSON framing both
+  ends speak;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only threaded TCP server and its matching client.
+
+``repro serve`` and ``repro query`` expose the whole stack from the
+command line.
+"""
+
+from .client import ReputationClient, ServiceError
+from .engine import QueryEngine, Verdict
+from .index import ReputationIndex, SnapshotError
+from .server import ReputationServer
+from .wire import FrameError, MAX_FRAME_BYTES
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "QueryEngine",
+    "ReputationClient",
+    "ReputationIndex",
+    "ReputationServer",
+    "ServiceError",
+    "SnapshotError",
+    "Verdict",
+]

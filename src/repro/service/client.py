@@ -1,0 +1,116 @@
+"""Blocking client for the reputation service.
+
+Speaks the wire protocol of :mod:`repro.service.server` over one TCP
+connection; requests are strictly sequential (one frame out, one frame
+back), which is all a per-connection blocklist check needs. Server-side
+error replies surface as :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..net.ipv4 import int_to_ip
+from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
+
+__all__ = ["ReputationClient", "ServiceError"]
+
+IpLike = Union[int, str]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error, or the connection failed."""
+
+
+class ReputationClient:
+    """One connection to a :class:`~repro.service.server.ReputationServer`.
+
+    Thread-safe: a lock serialises request/reply exchanges, so one
+    client may be shared, though one-per-thread scales better.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7339,
+        *,
+        timeout: float = 10.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._max_frame = max_frame
+        self._lock = threading.Lock()
+        try:
+            self._sock: Optional[socket.socket] = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _rpc(self, request: Dict[str, Any]) -> Any:
+        with self._lock:
+            if self._sock is None:
+                raise ServiceError("client is closed")
+            try:
+                send_frame(self._sock, request, max_size=self._max_frame)
+                reply = recv_frame(self._sock, max_size=self._max_frame)
+            except (FrameError, OSError) as exc:
+                raise ServiceError(f"transport failure: {exc}") from None
+        if reply is None:
+            raise ServiceError("server closed the connection")
+        if not isinstance(reply, dict):
+            raise ServiceError(f"malformed reply: {reply!r}")
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error", "unknown error")))
+        return reply.get("result")
+
+    @staticmethod
+    def _wire_ip(ip: IpLike) -> str:
+        return int_to_ip(ip) if isinstance(ip, int) else str(ip)
+
+    # -- operations ----------------------------------------------------
+
+    def query(self, ip: IpLike, day: Optional[int] = None) -> Dict[str, Any]:
+        """Point query; returns the verdict as a plain dict."""
+        request: Dict[str, Any] = {"op": "query", "ip": self._wire_ip(ip)}
+        if day is not None:
+            request["day"] = day
+        return self._rpc(request)
+
+    def query_batch(
+        self, queries: Iterable[Tuple[IpLike, Optional[int]]]
+    ) -> List[Dict[str, Any]]:
+        """Batch query; verdicts come back in request order."""
+        payload = [
+            {"ip": self._wire_ip(ip), "day": day} for ip, day in queries
+        ]
+        return self._rpc({"op": "batch", "queries": payload})
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-side engine/index counters."""
+        return self._rpc({"op": "stats"})
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self._rpc({"op": "ping"}) == "pong"
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def __enter__(self) -> "ReputationClient":
+        return self
+
+    def __exit__(self, *_: Any) -> None:
+        self.close()

@@ -1,0 +1,210 @@
+"""The query engine: verdicts, hot-address LRU, and counters.
+
+One :class:`QueryEngine` wraps one immutable
+:class:`~repro.service.index.ReputationIndex` and answers the
+service's question: *given address x on day t — is it listed, on which
+lists, is the block likely unjust, and what should an operator do?*
+
+The action reuses the batch pipeline's policy
+(:func:`repro.core.greylist.recommend_action`, Section 6 of the
+paper): an unlisted address is ``ignore``; a listed reused address is
+``greylist`` unless some carrying list is a DDoS list (rate beats
+precision there), in which case ``block``; a listed non-reused address
+is always ``block``.
+
+Blocklist consumers hit the same few hot addresses over and over (the
+skew the paper's per-list concentration numbers imply), so verdicts go
+through a small LRU; per-query-type hit/latency counters feed the
+``stats`` wire op and the capacity-planning story.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.greylist import BlockAction, recommend_action
+from ..net.ipv4 import int_to_ip, is_valid_ip_int
+from .index import ReputationIndex
+
+__all__ = ["ACTION_IGNORE", "QueryEngine", "Verdict"]
+
+#: Action for traffic from an address not listed on the queried day.
+ACTION_IGNORE = BlockAction.IGNORE
+
+#: Default hot-address cache capacity (verdicts, not bytes).
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The service's full answer for one ``(ip, day)`` query."""
+
+    ip: int
+    day: int
+    listed: bool
+    lists: Tuple[str, ...]
+    nated: bool
+    dynamic: bool
+    #: Listed *and* reused — the paper's likely-unjust-listing flag.
+    unjust: bool
+    reuse_kind: str
+    users: int
+    asn: int
+    action: str
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-ready dict (dotted-quad address, list as array)."""
+        data = asdict(self)
+        data["ip"] = int_to_ip(self.ip)
+        data["lists"] = list(self.lists)
+        return data
+
+
+class QueryEngine:
+    """Thread-safe query layer over a :class:`ReputationIndex`."""
+
+    def __init__(
+        self,
+        index: ReputationIndex,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"negative cache size: {cache_size}")
+        self._index = index
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[int, int], Verdict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[str, float]] = {}
+
+    @property
+    def index(self) -> ReputationIndex:
+        return self._index
+
+    # -- query paths ---------------------------------------------------
+
+    def query(self, ip: int, day: Optional[int] = None) -> Verdict:
+        """Point query; ``day`` defaults to the index's notion of now
+        (last day of the last collection window)."""
+        started = time.perf_counter()
+        verdict, hit = self._lookup(ip, day)
+        self._count("point", time.perf_counter() - started, hit)
+        return verdict
+
+    def query_batch(
+        self, queries: Iterable[Tuple[int, Optional[int]]]
+    ) -> List[Verdict]:
+        """Batch query: one verdict per ``(ip, day)`` pair, in order."""
+        started = time.perf_counter()
+        verdicts = []
+        hits = 0
+        for ip, day in queries:
+            verdict, hit = self._lookup(ip, day)
+            hits += hit
+            verdicts.append(verdict)
+        self._count(
+            "batch",
+            time.perf_counter() - started,
+            hits,
+            queries_run=len(verdicts),
+        )
+        return verdicts
+
+    def _lookup(self, ip: int, day: Optional[int]) -> Tuple[Verdict, bool]:
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad address integer: {ip!r}")
+        resolved = self._index.default_day() if day is None else int(day)
+        key = (ip, resolved)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                return cached, True
+        verdict = self._evaluate(ip, resolved)
+        if self._cache_size:
+            with self._lock:
+                self._cache[key] = verdict
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return verdict, False
+
+    def _evaluate(self, ip: int, day: int) -> Verdict:
+        index = self._index
+        lists = index.lists_active_on(ip, day)
+        nated = index.is_nated(ip)
+        dynamic = index.is_dynamic(ip)
+        if not lists:
+            action = ACTION_IGNORE
+        else:
+            # The per-list Section 6 policy, aggregated: one carrying
+            # list that warrants a hard block makes the verdict block.
+            action = BlockAction.GREYLIST
+            for list_id in lists:
+                if (
+                    recommend_action(
+                        index, ip, blocklist_category=index.category_of(list_id)
+                    )
+                    == BlockAction.BLOCK
+                ):
+                    action = BlockAction.BLOCK
+                    break
+        return Verdict(
+            ip=ip,
+            day=day,
+            listed=bool(lists),
+            lists=lists,
+            nated=nated,
+            dynamic=dynamic,
+            unjust=bool(lists) and (nated or dynamic),
+            reuse_kind=index.reuse_kind(ip),
+            users=index.users_behind(ip),
+            asn=index.asn_of(ip),
+            action=action,
+        )
+
+    # -- counters ------------------------------------------------------
+
+    def _count(
+        self,
+        kind: str,
+        seconds: float,
+        cache_hits: int,
+        *,
+        queries_run: int = 1,
+    ) -> None:
+        with self._lock:
+            row = self._counters.setdefault(
+                kind,
+                {"calls": 0, "queries": 0, "cache_hits": 0, "seconds": 0.0},
+            )
+            row["calls"] += 1
+            row["queries"] += queries_run
+            row["cache_hits"] += cache_hits
+            row["seconds"] += seconds
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus index sizes — the ``stats`` op's payload."""
+        with self._lock:
+            counters = {
+                kind: {
+                    **{k: row[k] for k in ("calls", "queries", "cache_hits")},
+                    "seconds": round(row["seconds"], 6),
+                    "hit_rate": (
+                        row["cache_hits"] / row["queries"]
+                        if row["queries"]
+                        else 0.0
+                    ),
+                }
+                for kind, row in self._counters.items()
+            }
+            cached = len(self._cache)
+        return {
+            "queries": counters,
+            "cache": {"entries": cached, "capacity": self._cache_size},
+            "index": self._index.stats(),
+        }

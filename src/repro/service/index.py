@@ -1,0 +1,353 @@
+"""The compiled, read-optimised reputation index.
+
+A :class:`ReputationIndex` is the immutable compilation of one full
+run's products — blocklist listing intervals, NAT verdicts, dynamic
+/24 prefixes, AS origins — into the shape an online query path wants:
+
+* per-IP listing intervals sorted by start day, so "which lists carry
+  *x* on day *t*" is a :mod:`bisect` cut plus a short scan instead of
+  a pass over the store;
+* NATed addresses as a hash set and dynamic /24s as a
+  :class:`~repro.net.prefixtrie.PrefixSet`, so the reuse
+  classification behind the paper's *unjust listing* verdict is O(1)
+  and O(32) respectively;
+* per-AS rollups (blocklisted / NATed / dynamic / reused counts),
+  precomputed once at build time.
+
+The index also implements ``is_reused`` with the same meaning as
+:class:`~repro.core.reuse.ReuseAnalysis`, so
+:func:`repro.core.greylist.recommend_action` accepts either object —
+the online service and the batch pipeline share one policy.
+
+A binary snapshot (:meth:`save` / :meth:`load`) lets a server start
+from disk without re-running the measurement pipeline.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import pickle
+import tempfile
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from ..blocklists.catalog import BlocklistInfo
+from ..blocklists.timeline import Window
+from ..core.reuse import ReuseAnalysis
+from ..internet.abuse import AbuseCategory
+from ..net.ipv4 import Prefix
+from ..net.prefixtrie import PrefixSet
+
+__all__ = ["ASRollup", "ReputationIndex", "SnapshotError"]
+
+_SNAPSHOT_MAGIC = "repro-reputation-index"
+_SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, corrupt, or from another version."""
+
+
+@dataclass(frozen=True)
+class ASRollup:
+    """Reuse exposure of one AS among blocklisted addresses."""
+
+    asn: int
+    blocklisted: int
+    nated: int
+    dynamic: int
+    reused: int
+
+
+#: One listing interval in index form: (first_day, last_day, list_id).
+_Interval = Tuple[int, int, str]
+
+
+class ReputationIndex:
+    """Immutable, query-optimised view of one run's reuse analysis.
+
+    Build with :meth:`from_analysis` / :meth:`from_run`, or restore a
+    saved snapshot with :meth:`load`. All mappings are frozen at
+    construction; the service layer treats instances as shareable
+    between threads without locking.
+    """
+
+    def __init__(
+        self,
+        *,
+        windows: Sequence[Window],
+        intervals: Dict[int, List[_Interval]],
+        nated: Set[int],
+        users: Dict[int, int],
+        dynamic_prefixes: Sequence[Prefix],
+        categories: Dict[str, str],
+        asn_by_ip: Dict[int, int],
+    ) -> None:
+        self._windows: Tuple[Window, ...] = tuple(
+            (int(start), int(end)) for start, end in windows
+        )
+        self._intervals = {
+            ip: sorted(spans) for ip, spans in intervals.items()
+        }
+        # Parallel per-IP start-day arrays: the bisect key.
+        self._starts: Dict[int, List[int]] = {
+            ip: [span[0] for span in spans]
+            for ip, spans in self._intervals.items()
+        }
+        self._nated = frozenset(nated)
+        self._users = dict(users)
+        self._dynamic_prefixes = tuple(sorted(dynamic_prefixes))
+        self._dynamic_set = PrefixSet(iter(self._dynamic_prefixes))
+        self._categories = dict(categories)
+        self._asn_by_ip = dict(asn_by_ip)
+        self._rollups = self._build_rollups()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_analysis(
+        cls,
+        analysis: ReuseAnalysis,
+        catalog: Sequence[BlocklistInfo] = (),
+    ) -> "ReputationIndex":
+        """Compile a batch :class:`ReuseAnalysis` into an index.
+
+        ``catalog`` supplies each list's category for the action
+        policy; lists absent from it fall back to ``reputation``.
+        """
+        intervals: Dict[int, List[_Interval]] = {}
+        for listing in analysis.observed:
+            intervals.setdefault(listing.ip, []).append(
+                (listing.first_day, listing.last_day, listing.list_id)
+            )
+        return cls(
+            windows=analysis.windows,
+            intervals=intervals,
+            nated=analysis.nated_ips,
+            users={
+                ip: analysis.nat.users_behind(ip)
+                for ip in analysis.nated_ips
+            },
+            dynamic_prefixes=analysis.dynamic_prefixes,
+            categories={
+                info.list_id: _policy_category(info) for info in catalog
+            },
+            asn_by_ip={
+                ip: analysis.asn_of(ip) for ip in analysis.blocklisted_ips
+            },
+        )
+
+    @classmethod
+    def from_run(cls, run: Any) -> "ReputationIndex":
+        """Compile a :class:`~repro.experiments.runner.FullRun`."""
+        return cls.from_analysis(run.analysis, run.scenario.catalog)
+
+    # -- point queries -------------------------------------------------
+
+    @property
+    def windows(self) -> Tuple[Window, ...]:
+        """The collection windows the index was built over."""
+        return self._windows
+
+    def default_day(self) -> int:
+        """The last day of the last collection window — what "now"
+        means to a consumer that does not pass an explicit day."""
+        return self._windows[-1][1] if self._windows else 0
+
+    def lists_active_on(self, ip: int, day: int) -> Tuple[str, ...]:
+        """Lists carrying ``ip`` on ``day``, list-id ordered."""
+        spans = self._intervals.get(ip)
+        if not spans:
+            return ()
+        # Candidates start no later than `day`; intervals are short and
+        # few per address, so the residual scan is a handful of tuples.
+        cut = bisect_right(self._starts[ip], day)
+        return tuple(
+            sorted(
+                list_id
+                for first, last, list_id in spans[:cut]
+                if last >= day
+            )
+        )
+
+    def lists_ever(self, ip: int) -> Tuple[str, ...]:
+        """Every list that carried ``ip`` at any observed time."""
+        spans = self._intervals.get(ip, ())
+        return tuple(sorted({list_id for _, _, list_id in spans}))
+
+    def is_nated(self, ip: int) -> bool:
+        """Crawler-confirmed concurrent NAT sharing."""
+        return ip in self._nated
+
+    def is_dynamic(self, ip: int) -> bool:
+        """Inside a detected dynamically-reassigned /24."""
+        return self._dynamic_set.contains_ip(ip)
+
+    def is_reused(self, ip: int) -> bool:
+        """Either reuse form — same contract as
+        :meth:`ReuseAnalysis.is_reused`, so the greylist policy helper
+        accepts an index wherever it accepts an analysis."""
+        return ip in self._nated or self._dynamic_set.contains_ip(ip)
+
+    def reuse_kind(self, ip: int) -> str:
+        """``"nat"``, ``"dynamic"``, ``"nat+dynamic"`` or ``""``."""
+        nated = ip in self._nated
+        dynamic = self._dynamic_set.contains_ip(ip)
+        if nated and dynamic:
+            return "nat+dynamic"
+        if nated:
+            return "nat"
+        if dynamic:
+            return "dynamic"
+        return ""
+
+    def users_behind(self, ip: int) -> int:
+        """Detected user lower bound (0 when not NATed)."""
+        return self._users.get(ip, 0)
+
+    def asn_of(self, ip: int) -> int:
+        """Origin ASN recorded for a blocklisted ``ip`` (0 otherwise)."""
+        return self._asn_by_ip.get(ip, 0)
+
+    def category_of(self, list_id: str) -> str:
+        """Policy category of a list (``reputation`` when unknown)."""
+        return self._categories.get(list_id, AbuseCategory.REPUTATION)
+
+    # -- rollups and stats ---------------------------------------------
+
+    def _build_rollups(self) -> Dict[int, ASRollup]:
+        counts: Dict[int, List[int]] = {}
+        for ip, asn in self._asn_by_ip.items():
+            row = counts.setdefault(asn, [0, 0, 0, 0])
+            nated = ip in self._nated
+            dynamic = self._dynamic_set.contains_ip(ip)
+            row[0] += 1
+            row[1] += nated
+            row[2] += dynamic
+            row[3] += nated or dynamic
+        return {
+            asn: ASRollup(asn, *row) for asn, row in counts.items()
+        }
+
+    def as_rollups(self) -> List[ASRollup]:
+        """Per-AS reuse exposure, most blocklisted addresses first."""
+        return sorted(
+            self._rollups.values(),
+            key=lambda r: (-r.blocklisted, r.asn),
+        )
+
+    def rollup_of(self, asn: int) -> ASRollup:
+        """Rollup for one AS (all-zero when it has no listings)."""
+        return self._rollups.get(asn, ASRollup(asn, 0, 0, 0, 0))
+
+    def stats(self) -> Dict[str, int]:
+        """Size counters for logs and the ``stats`` wire op."""
+        return {
+            "ips": len(self._intervals),
+            "intervals": sum(len(s) for s in self._intervals.values()),
+            "nated_ips": len(self._nated),
+            "dynamic_prefixes": len(self._dynamic_prefixes),
+            "lists": len(self._categories),
+            "ases": len(self._rollups),
+        }
+
+    # -- snapshots -----------------------------------------------------
+
+    def save(self, path: "Path | str") -> Path:
+        """Write a binary snapshot (atomic: temp file + rename)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "magic": _SNAPSHOT_MAGIC,
+            "version": _SNAPSHOT_VERSION,
+            "state": {
+                "windows": list(self._windows),
+                "intervals": self._intervals,
+                "nated": sorted(self._nated),
+                "users": self._users,
+                "dynamic_prefixes": [
+                    (p.network, p.length) for p in self._dynamic_prefixes
+                ],
+                "categories": self._categories,
+                "asn_by_ip": self._asn_by_ip,
+            },
+        }
+        handle, temp_name = tempfile.mkstemp(
+            dir=target.parent, prefix="tmp-index-"
+        )
+        try:
+            with os.fdopen(handle, "wb") as raw:
+                with gzip.open(raw, "wb", compresslevel=6) as compressed:
+                    pickle.dump(
+                        payload, compressed, pickle.HIGHEST_PROTOCOL
+                    )
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "ReputationIndex":
+        """Restore a snapshot; :class:`SnapshotError` on anything that
+        is not a readable, version-matching snapshot."""
+        try:
+            with gzip.open(Path(path), "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            raise SnapshotError(f"snapshot not found: {path}") from None
+        except Exception as exc:
+            raise SnapshotError(
+                f"unreadable snapshot {path}: {exc}"
+            ) from None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("magic") != _SNAPSHOT_MAGIC
+        ):
+            raise SnapshotError(
+                f"{path} is not a reputation-index snapshot"
+            )
+        if payload.get("version") != _SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot version {payload.get('version')!r} does not "
+                f"match expected {_SNAPSHOT_VERSION}"
+            )
+        state = payload["state"]
+        try:
+            return cls(
+                windows=[tuple(w) for w in state["windows"]],
+                intervals={
+                    ip: [tuple(span) for span in spans]
+                    for ip, spans in state["intervals"].items()
+                },
+                nated=set(state["nated"]),
+                users=state["users"],
+                dynamic_prefixes=[
+                    Prefix(network, length)
+                    for network, length in state["dynamic_prefixes"]
+                ],
+                categories=state["categories"],
+                asn_by_ip=state["asn_by_ip"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"malformed snapshot state in {path}: {exc}"
+            ) from None
+
+
+def _policy_category(info: BlocklistInfo) -> str:
+    """The category the Section 6 action policy keys on.
+
+    A list that reacts to DDoS at all is treated as a DDoS list (rate
+    beats precision there, so those listings stay blocking); otherwise
+    its primary category applies.
+    """
+    if AbuseCategory.DDOS in info.categories:
+        return AbuseCategory.DDOS
+    return info.categories[0] if info.categories else AbuseCategory.REPUTATION

@@ -1,0 +1,221 @@
+"""Stdlib-only threaded TCP server for the reputation service.
+
+One connection carries any number of request frames
+(:mod:`repro.service.wire`); each gets exactly one reply frame:
+
+``{"op": "query", "ip": "1.2.3.4", "day": 17}``
+    → ``{"ok": true, "result": {<verdict>}}`` — ``ip`` may also be an
+    integer; ``day`` is optional (defaults to the index's last window
+    day).
+``{"op": "batch", "queries": [{"ip": ..., "day": ...}, ...]}``
+    → ``{"ok": true, "result": [<verdict>, ...]}`` (at most
+    :data:`MAX_BATCH` queries per frame).
+``{"op": "stats"}``
+    → engine counters, cache occupancy and index sizes.
+``{"op": "ping"}``
+    → ``{"ok": true, "result": "pong"}`` — liveness probe.
+
+Robustness contract: a malformed frame or request gets an error reply
+(``{"ok": false, "error": ...}``), never a crash; only a broken frame
+*boundary* (oversized length, peer cut mid-frame) or an idle timeout
+closes the connection, because there is no way to resynchronise the
+stream. Shutdown is graceful — in-flight requests finish, the listener
+stops accepting.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..net.ipv4 import ip_to_int, is_valid_ip_int
+from .engine import QueryEngine
+from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
+
+__all__ = ["MAX_BATCH", "ReputationServer"]
+
+#: Upper bound on queries in one batch frame.
+MAX_BATCH = 10_000
+
+#: Seconds a connection may sit idle before the server drops it.
+DEFAULT_CONNECTION_TIMEOUT = 30.0
+
+
+class _RequestError(ValueError):
+    """A structurally valid frame asking something unanswerable."""
+
+
+def _parse_ip(value: Any) -> int:
+    if isinstance(value, bool):
+        raise _RequestError(f"bad ip: {value!r}")
+    if isinstance(value, int):
+        if not is_valid_ip_int(value):
+            raise _RequestError(f"ip integer out of range: {value!r}")
+        return value
+    if isinstance(value, str):
+        try:
+            return ip_to_int(value)
+        except ValueError as exc:
+            raise _RequestError(str(exc)) from None
+    raise _RequestError(f"bad ip: {value!r}")
+
+
+def _parse_day(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _RequestError(f"bad day: {value!r}")
+    return value
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    server: "_TcpServer"
+
+    def handle(self) -> None:
+        sock = self.request
+        sock.settimeout(self.server.connection_timeout)
+        while True:
+            try:
+                request = recv_frame(
+                    sock, max_size=self.server.max_frame
+                )
+            except FrameError as exc:
+                self._reply_error(sock, str(exc))
+                if exc.recoverable:
+                    continue
+                return  # framing broke: no next boundary to find
+            except (socket.timeout, OSError):
+                return
+            if request is None:
+                return  # clean EOF between frames
+            try:
+                reply = self._dispatch(request)
+            except _RequestError as exc:
+                reply = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # never let a bug kill the worker
+                reply = {"ok": False, "error": f"internal error: {exc}"}
+            try:
+                send_frame(sock, reply, max_size=self.server.max_frame)
+            except (FrameError, OSError):
+                return
+
+    @staticmethod
+    def _reply_error(sock: socket.socket, message: str) -> None:
+        try:
+            send_frame(sock, {"ok": False, "error": message})
+        except (FrameError, OSError):
+            pass
+
+    def _dispatch(self, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            raise _RequestError(
+                f"request must be a JSON object, got "
+                f"{type(request).__name__}"
+            )
+        op = request.get("op")
+        engine = self.server.engine
+        if op == "query":
+            verdict = engine.query(
+                _parse_ip(request.get("ip")),
+                _parse_day(request.get("day")),
+            )
+            return {"ok": True, "result": verdict.to_wire()}
+        if op == "batch":
+            queries = request.get("queries")
+            if not isinstance(queries, list):
+                raise _RequestError("batch needs a 'queries' array")
+            if len(queries) > MAX_BATCH:
+                raise _RequestError(
+                    f"batch of {len(queries)} exceeds the "
+                    f"{MAX_BATCH}-query limit"
+                )
+            parsed = []
+            for item in queries:
+                if not isinstance(item, dict):
+                    raise _RequestError("each batch query must be an object")
+                parsed.append(
+                    (_parse_ip(item.get("ip")), _parse_day(item.get("day")))
+                )
+            verdicts = engine.query_batch(parsed)
+            return {
+                "ok": True,
+                "result": [v.to_wire() for v in verdicts],
+            }
+        if op == "stats":
+            return {"ok": True, "result": engine.stats()}
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        raise _RequestError(f"unknown op: {op!r}")
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Set by ReputationServer before serving:
+    engine: QueryEngine
+    connection_timeout: float
+    max_frame: int
+
+
+class ReputationServer:
+    """The service's front door; binds on construction.
+
+    Use ``port=0`` to bind an ephemeral port (tests);
+    :attr:`address` reports the bound ``(host, port)``. Either call
+    :meth:`serve_forever` on the current thread, or :meth:`start` to
+    serve from a daemon thread, and :meth:`shutdown` (also via the
+    context manager) to stop accepting and release the socket.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        connection_timeout: float = DEFAULT_CONNECTION_TIMEOUT,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._server = _TcpServer((host, port), _Handler)
+        self._server.engine = engine
+        self._server.connection_timeout = connection_timeout
+        self._server.max_frame = max_frame
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve from a background daemon thread; returns the address."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-reputation-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def shutdown(self) -> None:
+        """Stop accepting, finish in-flight requests, close the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReputationServer":
+        return self
+
+    def __exit__(self, *_: Any) -> None:
+        self.shutdown()

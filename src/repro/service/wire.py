@@ -1,0 +1,149 @@
+"""Framing and codec for the reputation service's TCP protocol.
+
+Every message — request or reply — is one *frame*: a 4-byte big-endian
+unsigned payload length followed by that many bytes of UTF-8 JSON.
+Explicit limits keep a hostile peer from holding memory hostage: a
+frame longer than :data:`MAX_FRAME_BYTES` (or empty) is rejected
+before any payload is read.
+
+Errors are split by whether the byte stream is still usable:
+
+* a well-framed payload that fails to decode (bad UTF-8, bad JSON) is
+  *recoverable* — the stream is still in sync and the server answers
+  with an error reply;
+* a framing violation (absurd length, connection cut mid-frame) is
+  *not* — there is no way to find the next frame boundary, so the
+  connection must be dropped.
+
+:class:`FrameError.recoverable` carries that distinction.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+]
+
+#: Hard ceiling on one frame's JSON payload (1 MiB — a 10K-query batch
+#: fits with room to spare; nothing legitimate comes close).
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A frame violated the protocol.
+
+    ``recoverable`` is True when the byte stream is still in sync (the
+    peer can be answered and the connection kept); False when framing
+    itself broke and the connection must be closed.
+    """
+
+    def __init__(self, message: str, *, recoverable: bool = False) -> None:
+        super().__init__(message)
+        self.recoverable = recoverable
+
+
+def encode_frame(obj: Any, *, max_size: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise ``obj`` into one wire frame (header + JSON payload)."""
+    try:
+        payload = json.dumps(
+            obj, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"unserialisable message: {exc}") from None
+    if len(payload) > max_size:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_size}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(
+            f"undecodable frame payload: {exc}", recoverable=True
+        ) from None
+
+
+def decode_frame(
+    buffer: bytes, *, max_size: int = MAX_FRAME_BYTES
+) -> Optional[Tuple[Any, int]]:
+    """Decode the first complete frame of ``buffer``.
+
+    Returns ``(message, bytes_consumed)``, or ``None`` when the buffer
+    holds only an incomplete frame so far (read more and retry).
+    Raises :class:`FrameError` on violations.
+    """
+    if len(buffer) < _HEADER.size:
+        return None
+    (length,) = _HEADER.unpack_from(buffer)
+    _check_length(length, max_size)
+    end = _HEADER.size + length
+    if len(buffer) < end:
+        return None
+    return _decode_payload(buffer[_HEADER.size : end]), end
+
+
+def _check_length(length: int, max_size: int) -> None:
+    if length == 0:
+        raise FrameError("empty frame payload")
+    if length > max_size:
+        raise FrameError(
+            f"declared frame length {length} exceeds the "
+            f"{max_size}-byte limit"
+        )
+
+
+def send_frame(sock: Any, obj: Any, *, max_size: int = MAX_FRAME_BYTES) -> None:
+    """Encode ``obj`` and write the full frame to ``sock``."""
+    sock.sendall(encode_frame(obj, max_size=max_size))
+
+
+def _recv_exact(sock: Any, count: int) -> bytes:
+    """Read exactly ``count`` bytes; short result means EOF hit."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: Any, *, max_size: int = MAX_FRAME_BYTES) -> Optional[Any]:
+    """Read one frame from ``sock``.
+
+    Returns the decoded message, or ``None`` on a clean EOF at a frame
+    boundary (the peer hung up between requests). Raises
+    :class:`FrameError` when the connection dies mid-frame or the frame
+    violates the limits.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise FrameError("connection closed inside a frame header")
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_size)
+    payload = _recv_exact(sock, length)
+    if len(payload) < length:
+        raise FrameError(
+            f"connection closed {length - len(payload)} bytes short of "
+            "a full frame"
+        )
+    return _decode_payload(payload)

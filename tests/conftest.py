@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite.
+
+The service-layer tests all need one real small-scale run to compile
+into an index; building it once per session keeps them fast without
+sharing mutable state (the run's products are read-only).
+"""
+
+import pytest
+
+from repro.experiments.runner import FullRun, RunConfig, run_full
+
+
+@pytest.fixture(scope="session")
+def small_full_run() -> FullRun:
+    """One seeded test-scale run shared by the service tests."""
+    return run_full(RunConfig.small(2020))

@@ -56,6 +56,46 @@ class TestParser:
             main(["frobnicate"])
 
 
+class TestCacheCommand:
+    def test_stats_on_missing_dir_is_clean(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "RESULTS_CACHE_DIR", str(tmp_path / "never-created")
+        )
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "not created yet" in out
+
+    def test_clear_on_missing_dir_is_clean(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "RESULTS_CACHE_DIR", str(tmp_path / "never-created")
+        )
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to clear" in out
+
+    def test_clear_on_empty_dir_is_clean(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        monkeypatch.setenv("RESULTS_CACHE_DIR", str(empty))
+        assert main(["cache", "clear"]) == 0
+        assert "already empty" in capsys.readouterr().out
+
+    def test_stats_on_empty_dir_reports_zero_entries(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        monkeypatch.setenv("RESULTS_CACHE_DIR", str(empty))
+        assert main(["cache", "stats"]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+
 class TestExportBundle:
     def test_export_dir_writes_all_artefacts(self, capsys, tmp_path):
         out = tmp_path / "bundle"

@@ -92,6 +92,32 @@ class TestListingProperties:
         assert observed.all_ips() <= store.all_ips()
         assert len(observed) <= len(store)
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(listings, max_size=25),
+        st.integers(min_value=0, max_value=95),
+    )
+    def test_active_on_matches_snapshot_view(self, items, day):
+        """The per-IP interval query is the exact dual of the per-list
+        snapshot view: ``ip`` appears in ``snapshot(list, day)`` iff
+        ``listings_active_on(ip, day)`` names that list."""
+        store = ListingStore(items)
+        for ip in store.all_ips() | {0}:  # 0: never-listed probe
+            active = store.listings_active_on(ip, day)
+            # Every returned listing really covers (ip, day)...
+            for listing in active:
+                assert listing.ip == ip
+                assert listing.first_day <= day <= listing.last_day
+            # ...and the listing list-ids equal the snapshot dual.
+            assert {l.list_id for l in active} == {
+                list_id
+                for list_id in store.list_ids()
+                if ip in store.snapshot(list_id, day)
+            }
+            # Ordered by (list_id, first_day) as documented.
+            keys = [(l.list_id, l.first_day) for l in active]
+            assert keys == sorted(keys)
+
 
 class TestDhcpProperties:
     @settings(max_examples=15, deadline=None)

@@ -1,0 +1,229 @@
+"""Engine and index tests: the online path must be a faithful,
+read-optimised view of the batch :class:`ReuseAnalysis`."""
+
+import gzip
+import pickle
+
+import pytest
+
+from repro.core.greylist import BlockAction, recommend_action
+from repro.service.engine import ACTION_IGNORE, QueryEngine
+from repro.service.index import ReputationIndex, SnapshotError
+
+
+@pytest.fixture(scope="module")
+def index(small_full_run):
+    return ReputationIndex.from_run(small_full_run)
+
+
+@pytest.fixture()
+def engine(index):
+    return QueryEngine(index)
+
+
+def _sample_days(analysis):
+    """Days inside, at the edges of, and between the windows."""
+    days = []
+    for start, end in analysis.windows:
+        days += [start, (start + end) // 2, end]
+    days += [analysis.windows[0][1] + 1, 0]
+    return sorted(set(days))
+
+
+class TestIndexFaithfulness:
+    def test_lists_match_store_intervals(self, small_full_run, index):
+        """``lists_active_on`` must agree with the interval store's
+        answer for every blocklisted IP on every probed day."""
+        analysis = small_full_run.analysis
+        store = analysis.observed
+        for ip in analysis.blocklisted_ips:
+            for day in _sample_days(analysis):
+                expected = sorted(
+                    {l.list_id for l in store.listings_active_on(ip, day)}
+                )
+                assert list(index.lists_active_on(ip, day)) == expected
+
+    def test_reuse_flags_match_analysis(self, small_full_run, index):
+        analysis = small_full_run.analysis
+        probe = set(analysis.blocklisted_ips) | set(analysis.nated_ips)
+        for ip in probe:
+            assert index.is_nated(ip) == (ip in analysis.nated_ips)
+            assert index.is_dynamic(ip) == analysis._dynamic_set.contains_ip(ip)
+            assert index.is_reused(ip) == analysis.is_reused(ip)
+            assert index.users_behind(ip) == (
+                analysis.nat.users_behind(ip) if ip in analysis.nated_ips else 0
+            )
+        for ip in analysis.blocklisted_ips:
+            assert index.asn_of(ip) == analysis.asn_of(ip)
+
+    def test_policy_reuses_greylist_helper(self, small_full_run, index):
+        """The index satisfies recommend_action's contract directly."""
+        analysis = small_full_run.analysis
+        for ip in sorted(analysis.blocklisted_ips)[:30]:
+            for category in ("spam", "ddos"):
+                assert recommend_action(
+                    index, ip, blocklist_category=category
+                ) == recommend_action(
+                    analysis, ip, blocklist_category=category
+                )
+
+    def test_rollups_partition_blocklisted_ips(self, small_full_run, index):
+        analysis = small_full_run.analysis
+        rollups = index.as_rollups()
+        assert sum(r.blocklisted for r in rollups) == len(
+            analysis.blocklisted_ips
+        )
+        assert sum(r.nated for r in rollups) == len(analysis.nated_blocklisted)
+        assert sum(r.dynamic for r in rollups) == len(
+            analysis.dynamic_blocklisted
+        )
+        for rollup in rollups:
+            assert rollup.reused <= rollup.blocklisted
+            assert index.rollup_of(rollup.asn) == rollup
+
+    def test_default_day_is_last_window_day(self, small_full_run, index):
+        assert index.default_day() == small_full_run.analysis.windows[-1][1]
+
+
+class TestVerdicts:
+    def test_verdicts_match_batch_analysis(self, small_full_run, engine):
+        """The acceptance contract: engine verdicts equal the batch
+        analysis for every blocklisted IP in the scenario."""
+        analysis = small_full_run.analysis
+        index = engine.index
+        for ip in analysis.blocklisted_ips:
+            for day in _sample_days(analysis):
+                verdict = engine.query(ip, day)
+                listed_lists = {
+                    l.list_id
+                    for l in analysis.observed.listings_active_on(ip, day)
+                }
+                assert verdict.listed == bool(listed_lists)
+                assert set(verdict.lists) == listed_lists
+                assert verdict.nated == (ip in analysis.nated_ips)
+                assert verdict.unjust == (
+                    bool(listed_lists) and analysis.is_reused(ip)
+                )
+                if not listed_lists:
+                    assert verdict.action == ACTION_IGNORE
+                else:
+                    per_list = {
+                        recommend_action(
+                            analysis, ip,
+                            blocklist_category=index.category_of(list_id),
+                        )
+                        for list_id in listed_lists
+                    }
+                    expected = (
+                        BlockAction.BLOCK
+                        if BlockAction.BLOCK in per_list
+                        else BlockAction.GREYLIST
+                    )
+                    assert verdict.action == expected
+
+    def test_unjust_ips_exist_in_scenario(self, small_full_run, engine):
+        """The scenario must actually exercise the unjust path."""
+        analysis = small_full_run.analysis
+        unjust_seen = False
+        for ip in analysis.reused_ips():
+            for start, end in analysis.windows:
+                for day in range(start, end + 1):
+                    if engine.query(ip, day).unjust:
+                        unjust_seen = True
+                        break
+        assert unjust_seen
+
+    def test_batch_equals_points(self, small_full_run, engine):
+        ips = sorted(small_full_run.analysis.blocklisted_ips)[:40]
+        pairs = [(ip, 230) for ip in ips]
+        assert engine.query_batch(pairs) == [
+            engine.query(ip, day) for ip, day in pairs
+        ]
+
+    def test_default_day_applied(self, engine):
+        ip = next(iter(engine.index._intervals))
+        assert engine.query(ip) == engine.query(
+            ip, engine.index.default_day()
+        )
+
+    def test_bad_ip_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(-1, 230)
+        with pytest.raises(ValueError):
+            engine.query(1 << 33, 230)
+
+
+class TestEngineCache:
+    def test_repeat_query_hits_lru(self, index):
+        engine = QueryEngine(index)
+        ip = next(iter(index._intervals))
+        engine.query(ip, 230)
+        engine.query(ip, 230)
+        stats = engine.stats()
+        assert stats["queries"]["point"]["queries"] == 2
+        assert stats["queries"]["point"]["cache_hits"] == 1
+        assert stats["queries"]["point"]["hit_rate"] == 0.5
+
+    def test_capacity_evicts_oldest(self, index):
+        engine = QueryEngine(index, cache_size=2)
+        ips = sorted(index._intervals)[:3]
+        for ip in ips:
+            engine.query(ip, 230)
+        assert engine.stats()["cache"]["entries"] == 2
+        engine.query(ips[0], 230)  # evicted earlier: a miss again
+        assert engine.stats()["queries"]["point"]["cache_hits"] == 0
+
+    def test_cached_verdicts_identical(self, index):
+        engine = QueryEngine(index)
+        ip = next(iter(index._intervals))
+        assert engine.query(ip, 230) == engine.query(ip, 230)
+
+    def test_negative_capacity_rejected(self, index):
+        with pytest.raises(ValueError):
+            QueryEngine(index, cache_size=-1)
+
+
+class TestSnapshots:
+    def test_roundtrip_preserves_verdicts(
+        self, small_full_run, index, tmp_path
+    ):
+        path = tmp_path / "small.idx"
+        index.save(path)
+        loaded = ReputationIndex.load(path)
+        assert loaded.stats() == index.stats()
+        engine, loaded_engine = QueryEngine(index), QueryEngine(loaded)
+        analysis = small_full_run.analysis
+        for ip in sorted(analysis.blocklisted_ips):
+            for day in _sample_days(analysis):
+                assert engine.query(ip, day) == loaded_engine.query(ip, day)
+
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            ReputationIndex.load(tmp_path / "nope.idx")
+
+    def test_garbage_snapshot(self, tmp_path):
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(b"\x00\x01 not a snapshot at all")
+        with pytest.raises(SnapshotError):
+            ReputationIndex.load(path)
+
+    def test_wrong_magic_snapshot(self, tmp_path):
+        path = tmp_path / "magic.idx"
+        with gzip.open(path, "wb") as handle:
+            pickle.dump({"magic": "something-else"}, handle)
+        with pytest.raises(SnapshotError):
+            ReputationIndex.load(path)
+
+    def test_wrong_version_snapshot(self, tmp_path):
+        path = tmp_path / "version.idx"
+        with gzip.open(path, "wb") as handle:
+            pickle.dump(
+                {
+                    "magic": "repro-reputation-index",
+                    "version": 999,
+                    "state": {},
+                },
+                handle,
+            )
+        with pytest.raises(SnapshotError):
+            ReputationIndex.load(path)

@@ -1,0 +1,262 @@
+"""Server/client tests: TCP end-to-end fidelity, hostile peers,
+concurrency, graceful shutdown, and the CLI front end."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.net.ipv4 import int_to_ip
+from repro.service.client import ReputationClient, ServiceError
+from repro.service.engine import QueryEngine
+from repro.service.index import ReputationIndex
+from repro.service.server import ReputationServer
+from repro.service.wire import recv_frame, send_frame
+
+
+@pytest.fixture(scope="module")
+def index(small_full_run):
+    return ReputationIndex.from_run(small_full_run)
+
+
+@pytest.fixture()
+def server(index):
+    srv = ReputationServer(QueryEngine(index), connection_timeout=5.0)
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ReputationClient(host, port) as c:
+        yield c
+
+
+def _raw_connection(server):
+    return socket.create_connection(server.address, timeout=5.0)
+
+
+class TestEndToEnd:
+    def test_over_wire_matches_batch_analysis(
+        self, small_full_run, server, client
+    ):
+        """The acceptance demo as a test: every blocklisted IP's
+        over-the-wire verdict equals the batch ReuseAnalysis."""
+        analysis = small_full_run.analysis
+        days = [start for start, _ in analysis.windows] + [
+            end for _, end in analysis.windows
+        ]
+        ips = sorted(analysis.blocklisted_ips)
+        for day in days:
+            verdicts = client.query_batch([(ip, day) for ip in ips])
+            assert len(verdicts) == len(ips)
+            for ip, verdict in zip(ips, verdicts):
+                expected_lists = sorted(
+                    {
+                        l.list_id
+                        for l in analysis.observed.listings_active_on(
+                            ip, day
+                        )
+                    }
+                )
+                assert verdict["ip"] == int_to_ip(ip)
+                assert verdict["lists"] == expected_lists
+                assert verdict["listed"] == bool(expected_lists)
+                assert verdict["nated"] == (ip in analysis.nated_ips)
+                assert verdict["unjust"] == (
+                    bool(expected_lists) and analysis.is_reused(ip)
+                )
+                assert verdict["action"] in ("block", "greylist", "ignore")
+                if not expected_lists:
+                    assert verdict["action"] == "ignore"
+
+    def test_ping_and_stats(self, client):
+        assert client.ping() is True
+        stats = client.stats()
+        assert stats["index"]["ips"] > 0
+        assert "queries" in stats and "cache" in stats
+
+    def test_point_query_accepts_dotted_quad_and_int(
+        self, small_full_run, client
+    ):
+        ip = sorted(small_full_run.analysis.blocklisted_ips)[0]
+        assert client.query(int_to_ip(ip), 230) == client.query(ip, 230)
+
+    def test_sequential_requests_on_one_connection(self, client):
+        for _ in range(20):
+            assert client.ping()
+
+
+class TestHostilePeers:
+    def test_bad_request_shapes_get_error_replies(self, server):
+        with _raw_connection(server) as sock:
+            for request in (
+                "not an object",
+                {"op": "frobnicate"},
+                {"op": "query"},
+                {"op": "query", "ip": "999.1.2.3"},
+                {"op": "query", "ip": True},
+                {"op": "query", "ip": "1.2.3.4", "day": "tuesday"},
+                {"op": "batch"},
+                {"op": "batch", "queries": "nope"},
+                {"op": "batch", "queries": [17]},
+            ):
+                send_frame(sock, request)
+                reply = recv_frame(sock)
+                assert reply["ok"] is False
+                assert reply["error"]
+            # The connection is still healthy afterwards.
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["result"] == "pong"
+
+    def test_unparseable_json_keeps_connection(self, server):
+        with _raw_connection(server) as sock:
+            payload = b"{broken json"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["result"] == "pong"
+
+    def test_oversized_declared_length_closes_connection(self, server):
+        with _raw_connection(server) as sock:
+            sock.sendall(struct.pack(">I", 1 << 30))
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            # Server must then close: next read sees EOF.
+            assert sock.recv(1) == b""
+
+    def test_oversized_batch_rejected(self, server, client):
+        with pytest.raises(ServiceError):
+            client.query_batch([("1.2.3.4", 1)] * 10_001)
+
+    def test_midframe_disconnect_harmless(self, server):
+        with _raw_connection(server) as sock:
+            sock.sendall(struct.pack(">I", 100) + b"only half")
+        # Server keeps serving other clients.
+        host, port = server.address
+        with ReputationClient(host, port) as c:
+            assert c.ping()
+
+
+class TestConcurrency:
+    def test_concurrent_clients_agree(self, small_full_run, server):
+        analysis = small_full_run.analysis
+        ips = sorted(analysis.blocklisted_ips)[:25]
+        host, port = server.address
+        reference = {}
+        with ReputationClient(host, port) as c:
+            for ip in ips:
+                reference[ip] = c.query(ip, 230)
+        failures = []
+
+        def worker():
+            try:
+                with ReputationClient(host, port) as c:
+                    for ip in ips:
+                        if c.query(ip, 230) != reference[ip]:
+                            failures.append(ip)
+            except Exception as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not failures
+        assert not any(t.is_alive() for t in threads)
+
+    def test_graceful_shutdown(self, index):
+        srv = ReputationServer(QueryEngine(index))
+        host, port = srv.start()
+        with ReputationClient(host, port) as c:
+            assert c.ping()
+        srv.shutdown()
+        with pytest.raises(ServiceError):
+            ReputationClient(host, port, timeout=0.5)
+
+
+class TestCliQuery:
+    def test_query_verdict_line(self, small_full_run, server, capsys):
+        host, port = server.address
+        ip = sorted(small_full_run.analysis.blocklisted_ips)[0]
+        code = main(
+            [
+                "query", int_to_ip(ip),
+                "--day", "230",
+                "--host", host,
+                "--port", str(port),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert int_to_ip(ip) in out
+        assert "action=" in out and "day=230" in out
+
+    def test_query_batch_and_json(self, small_full_run, server, capsys):
+        host, port = server.address
+        ips = [int_to_ip(ip) for ip in
+               sorted(small_full_run.analysis.blocklisted_ips)[:3]]
+        code = main(
+            ["query", *ips, "--port", str(port), "--json"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        import json
+
+        for line, ip_text in zip(lines, ips):
+            assert json.loads(line)["ip"] == ip_text
+
+    def test_query_stats(self, server, capsys):
+        host, port = server.address
+        assert main(["query", "--stats", "--port", str(port)]) == 0
+        assert '"index"' in capsys.readouterr().out
+
+    def test_query_no_ips_is_error(self, server, capsys):
+        host, port = server.address
+        assert main(["query", "--port", str(port)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_bad_address_is_error(self, server, capsys):
+        host, port = server.address
+        assert main(
+            ["query", "not-an-ip", "--port", str(port)]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_unreachable_server_is_error(self, capsys):
+        # Bind-then-close to find a port that refuses connections.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        assert main(["query", "1.2.3.4", "--port", str(free_port)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_bad_port_is_error(self, capsys):
+        assert main(["query", "1.2.3.4", "--port", "99999"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliServe:
+    def test_serve_bad_port_is_error(self, capsys):
+        assert main(["serve", "--port", "-5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_unreadable_snapshot_is_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"not a snapshot")
+        assert main(
+            ["serve", "--snapshot", str(bad), "--port", "0"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_preset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--preset", "galactic"])

@@ -1,0 +1,150 @@
+"""Wire-protocol tests: codec correctness and hostile-input fuzzing.
+
+The framing layer fronts a TCP socket, so like the KRPC decoder it
+must fail *cleanly* on arbitrary bytes: a decoded message or a
+:class:`FrameError`, never an unhandled exception.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+class FakeSocket:
+    """recv/sendall over an in-memory byte buffer, dribbling
+    ``chunk`` bytes per recv to exercise the partial-read loop."""
+
+    def __init__(self, data: bytes = b"", chunk: int = 3) -> None:
+        self._data = data
+        self._chunk = chunk
+        self.sent = b""
+
+    def recv(self, size: int) -> bytes:
+        take = min(size, self._chunk, len(self._data))
+        out, self._data = self._data[:take], self._data[take:]
+        return out
+
+    def sendall(self, data: bytes) -> None:
+        self.sent += data
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+
+class TestCodecRoundtrip:
+    @settings(max_examples=150, deadline=None)
+    @given(json_values)
+    def test_roundtrip(self, value):
+        frame = encode_frame(value)
+        decoded = decode_frame(frame)
+        assert decoded is not None
+        message, consumed = decoded
+        assert message == value
+        assert consumed == len(frame)
+
+    @settings(max_examples=80, deadline=None)
+    @given(json_values, json_values)
+    def test_concatenated_frames_split_correctly(self, first, second):
+        buffer = encode_frame(first) + encode_frame(second)
+        message, consumed = decode_frame(buffer)
+        assert message == first
+        message2, consumed2 = decode_frame(buffer[consumed:])
+        assert message2 == second
+        assert consumed + consumed2 == len(buffer)
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame({"x": object()})
+        with pytest.raises(FrameError):
+            encode_frame(float("nan"))
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame("x" * 100, max_size=50)
+
+
+class TestFrameFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_decode_frame_never_crashes(self, blob):
+        try:
+            decode_frame(blob)
+        except FrameError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=7))
+    def test_recv_frame_never_crashes(self, blob, chunk):
+        try:
+            recv_frame(FakeSocket(blob, chunk=chunk))
+        except FrameError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(json_values, st.integers(min_value=0, max_value=10))
+    def test_truncated_frame_detected(self, value, cut):
+        frame = encode_frame(value)
+        if cut == 0 or cut >= len(frame):
+            return
+        truncated = frame[:-cut]
+        if len(truncated) < 4:
+            # Inside the header: either incomplete (None) or EOF error.
+            assert decode_frame(truncated) is None
+            with pytest.raises(FrameError):
+                recv_frame(FakeSocket(truncated))
+            return
+        assert decode_frame(truncated) is None  # waits for more bytes
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(FakeSocket(truncated))
+        assert not excinfo.value.recoverable
+
+
+class TestFrameLimits:
+    def test_declared_length_over_limit_rejected(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError) as excinfo:
+            decode_frame(header)
+        assert not excinfo.value.recoverable
+        with pytest.raises(FrameError):
+            recv_frame(FakeSocket(header))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(struct.pack(">I", 0) + b"extra")
+
+    def test_bad_json_is_recoverable(self):
+        payload = b"\xff\xfe{not json"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(FrameError) as excinfo:
+            decode_frame(frame)
+        assert excinfo.value.recoverable
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(FakeSocket(frame))
+        assert excinfo.value.recoverable
+
+    def test_clean_eof_returns_none(self):
+        assert recv_frame(FakeSocket(b"")) is None
+
+    def test_send_frame_writes_decodable_bytes(self):
+        sock = FakeSocket()
+        send_frame(sock, {"op": "ping"})
+        assert decode_frame(sock.sent) == ({"op": "ping"}, len(sock.sent))
