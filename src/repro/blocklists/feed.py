@@ -16,6 +16,7 @@ daily snapshot documents can be materialised on demand.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -28,6 +29,18 @@ from .timeline import Listing, ListingStore
 __all__ = ["generate_listings", "materialize_snapshot"]
 
 
+def _list_rng(root: int, list_id: str) -> random.Random:
+    """The sampling stream of one list, derived from the shared feed
+    stream's root draw plus the list's identity. Because the root is
+    drawn exactly once, every list's draws are a pure function of
+    ``(seed, list_id)`` — reordering or slicing the catalog cannot
+    perturb any other list's output."""
+    digest = hashlib.sha256(
+        f"{root}:{list_id}".encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
 def generate_listings(
     events: Sequence[AbuseEvent],
     catalog: Sequence[BlocklistInfo],
@@ -37,14 +50,16 @@ def generate_listings(
 ) -> ListingStore:
     """Run every list in ``catalog`` over the abuse event stream."""
     store = ListingStore()
+    root = rng.getrandbits(64)
     events_by_category: Dict[str, List[AbuseEvent]] = {}
     for event in events:
         events_by_category.setdefault(event.category, []).append(event)
     for info in catalog:
+        list_rng = _list_rng(root, info.list_id)
         observed_days: Dict[int, List[int]] = {}
         for category in info.categories:
             for event in events_by_category.get(category, ()):
-                if rng.random() < info.sensitivity:
+                if list_rng.random() < info.sensitivity:
                     observed_days.setdefault(event.ip, []).append(
                         event.day + info.report_lag_days
                     )

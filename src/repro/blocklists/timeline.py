@@ -149,6 +149,19 @@ class ListingStore:
             key=lambda l: (l.list_id, l.first_day),
         )
 
+    def diff_against(self, other: "ListingStore") -> List:
+        """Per-IP interval changes that turn this store into ``other``.
+
+        Returns :class:`~repro.stream.delta.ListingDelta` records (the
+        streaming layer's unit of churn), ordered by address then list.
+        ``apply_deltas(self, self.diff_against(other))`` reproduces
+        ``other`` exactly — pinned by a property test against
+        :meth:`listings_active_on` on random day pairs.
+        """
+        from ..stream.delta import diff_stores  # circular at module load
+
+        return diff_stores(self, other)
+
     def listing_count_per_list(
         self, windows: Sequence[Window], ips: Optional[Set[int]] = None
     ) -> Dict[str, int]:

@@ -10,8 +10,11 @@ Subcommands:
 * ``catalog``  — print Table 2 (the 151-blocklist catalog).
 * ``cache``    — inspect or empty the persistent run cache.
 * ``serve``    — compile a run into a reputation index and answer
-  online queries over TCP.
+  online queries over TCP; with ``--follow`` the server tails an
+  update log and hot-swaps index epochs with zero downtime.
 * ``query``    — ask a running server for per-address verdicts.
+* ``stream``   — emit a run's listing churn as an append-only update
+  log (whole-window, or paced with ``--replay-days``).
 
 Failures exit non-zero with one ``error:`` line on stderr — a bad
 preset, port, snapshot or an unreachable server never escapes as a
@@ -39,6 +42,7 @@ from .service import (
     ServiceError,
     SnapshotError,
 )
+from .stream import UpdateLogError
 from .survey.analyze import figure9_usage, render_table1, summarize
 from .survey.generate import generate_responses
 
@@ -152,6 +156,59 @@ def _build_parser() -> argparse.ArgumentParser:
             "index snapshot: loaded when the file exists, otherwise "
             "written after the index is built"
         ),
+    )
+    serve_p.add_argument(
+        "--follow",
+        metavar="LOG",
+        help=(
+            "tail this update log (see 'repro stream'): start from the "
+            "log's start-day index state and hot-swap epochs as "
+            "batches arrive"
+        ),
+    )
+
+    stream_p = sub.add_parser(
+        "stream",
+        help="emit a run's listing churn as an update log",
+    )
+    stream_p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="small",
+        help="run whose churn to replay (loaded via the run cache)",
+    )
+    stream_p.add_argument("--seed", type=int, default=2020)
+    stream_p.add_argument(
+        "--out",
+        metavar="PATH",
+        required=True,
+        help="update log to write (existing file is replaced)",
+    )
+    stream_p.add_argument(
+        "--start-day",
+        type=int,
+        default=None,
+        help=(
+            "day the consumer's base index corresponds to (default: "
+            "first collection-window day)"
+        ),
+    )
+    stream_p.add_argument(
+        "--replay-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help=(
+            "pace emission at N simulated days per second so a "
+            "--follow server ingests live (default: whole stream at "
+            "once)"
+        ),
+    )
+    stream_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the pipeline run on a cache miss",
     )
 
     query_p = sub.add_parser(
@@ -319,6 +376,20 @@ def _checked_port(port: int) -> int:
     return port
 
 
+def _cached_preset_run(preset: str, seed: int, workers: int):
+    """One full run for a preset, through the persistent run cache."""
+    from .experiments import cache as results_cache
+
+    config = preset_config(preset, seed)
+    was_cached = results_cache.has(config)
+    run = results_cache.fetch(
+        config, lambda: run_full(config, workers=workers)
+    )
+    source = "run cache" if was_cached else "fresh run (now cached)"
+    print(f"run <- {source} [preset={preset} seed={seed}]")
+    return run
+
+
 def _build_service_index(args: argparse.Namespace) -> ReputationIndex:
     """The index ``repro serve`` binds: snapshot if present, else the
     run cache (computing and caching the run on a first start)."""
@@ -327,15 +398,7 @@ def _build_service_index(args: argparse.Namespace) -> ReputationIndex:
         index = ReputationIndex.load(snapshot)
         print(f"index <- snapshot {snapshot}")
         return index
-    from .experiments import cache as results_cache
-
-    config = preset_config(args.preset, args.seed)
-    was_cached = results_cache.has(config)
-    run = results_cache.fetch(
-        config, lambda: run_full(config, workers=args.workers)
-    )
-    source = "run cache" if was_cached else "fresh run (now cached)"
-    print(f"index <- {source} [preset={args.preset} seed={args.seed}]")
+    run = _cached_preset_run(args.preset, args.seed, args.workers)
     index = ReputationIndex.from_run(run)
     if snapshot is not None:
         index.save(snapshot)
@@ -343,22 +406,124 @@ def _build_service_index(args: argparse.Namespace) -> ReputationIndex:
     return index
 
 
+def _build_follow_state(args: argparse.Namespace):
+    """The streaming pieces behind ``serve --follow``: the epoch index
+    rolled back to the log's start day, plus its follower."""
+    from .stream import EpochIndex, LogFollower, UpdateLogReader, index_as_of
+
+    log_path = Path(args.follow)
+    header = UpdateLogReader(log_path).header
+    start_day = header.get("start_day")
+    if not isinstance(start_day, int):
+        raise CliError(f"update log {log_path} has no start day")
+    run = _cached_preset_run(args.preset, args.seed, args.workers)
+    base = index_as_of(ReputationIndex.from_run(run), start_day)
+    meta = header.get("meta", {})
+    sizes = base.stats()
+    for key in ("ips", "intervals"):
+        expected = meta.get(key)
+        if expected is not None and expected != sizes[key]:
+            raise CliError(
+                f"update log base state mismatch: log expects "
+                f"{expected} {key} on day {start_day}, this run has "
+                f"{sizes[key]} — wrong preset/seed?"
+            )
+    epochs = EpochIndex(base, day=start_day)
+
+    def announce(epoch, n_deltas):
+        print(
+            f"epoch {epoch.number} <- seq {epoch.seq} day {epoch.day} "
+            f"(+{n_deltas} deltas)"
+        )
+
+    follower = LogFollower(log_path, epochs, on_batch=announce)
+    return epochs, follower
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     port = _checked_port(args.port)
-    index = _build_service_index(args)
-    server = ReputationServer(QueryEngine(index), args.host, port)
+    follower = None
+    if args.follow:
+        if args.snapshot:
+            raise CliError("--follow and --snapshot are mutually exclusive")
+        epochs, follower = _build_follow_state(args)
+        engine_source = epochs
+        index = epochs.index
+    else:
+        index = _build_service_index(args)
+        engine_source = index
+    server = ReputationServer(
+        QueryEngine(engine_source),
+        args.host,
+        port,
+        streaming=follower is not None,
+    )
     host, bound_port = server.address
     sizes = index.stats()
     print(
         f"serving on {host}:{bound_port} — {sizes['ips']} addresses, "
         f"{sizes['intervals']} listing intervals, {sizes['lists']} "
         f"lists, {sizes['dynamic_prefixes']} dynamic /24s"
+        + (f", following {args.follow}" if follower else "")
     )
+    if follower is not None:
+        follower.start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
         server.shutdown()
+    finally:
+        if follower is not None:
+            follower.stop()
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from .stream import UpdateLogWriter, day_advance_batches
+
+    run = _cached_preset_run(args.preset, args.seed, args.workers)
+    observed = run.analysis.observed
+    windows = [list(w) for w in run.analysis.windows]
+    start_day = (
+        args.start_day
+        if args.start_day is not None
+        else int(windows[0][0])
+    )
+    base_listings = [l for l in observed if l.first_day <= start_day]
+    out = Path(args.out)
+    if out.exists():
+        out.unlink()
+    writer = UpdateLogWriter(
+        out,
+        start_day=start_day,
+        meta={
+            "preset": args.preset,
+            "seed": args.seed,
+            "windows": windows,
+            "ips": len({l.ip for l in base_listings}),
+            "intervals": len(base_listings),
+        },
+    )
+    total_deltas = 0
+    batches = 0
+    pace = (
+        1.0 / args.replay_days
+        if args.replay_days and args.replay_days > 0
+        else 0.0
+    )
+    for batch in day_advance_batches(observed, start_day=start_day):
+        writer.append(batch)
+        batches += 1
+        total_deltas += len(batch.deltas)
+        if pace:
+            time.sleep(pace)
+    print(
+        f"update log -> {out}: {batches} day batches, "
+        f"{total_deltas} deltas (start day {start_day})"
+    )
     return 0
 
 
@@ -425,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "stream": _cmd_stream,
     }
     try:
         return handlers[args.command](args)
@@ -435,9 +601,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
-    except (CliError, ServiceError, SnapshotError, ValueError) as exc:
+    except (
+        CliError,
+        ServiceError,
+        SnapshotError,
+        UpdateLogError,
+        ValueError,
+    ) as exc:
         # User-facing failures (bad preset/port/address, unreadable
-        # snapshot, unreachable server): one line, exit code 2.
+        # snapshot or update log, unreachable server): one line, exit
+        # code 2.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:

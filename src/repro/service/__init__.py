@@ -25,12 +25,13 @@ command line.
 from .client import ReputationClient, ServiceError
 from .engine import QueryEngine, Verdict
 from .index import ReputationIndex, SnapshotError
-from .server import ReputationServer
+from .server import PROTOCOL_VERSION, ReputationServer
 from .wire import FrameError, MAX_FRAME_BYTES
 
 __all__ = [
     "FrameError",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "QueryEngine",
     "ReputationClient",
     "ReputationIndex",

@@ -95,6 +95,12 @@ class ReputationClient:
         """Server-side engine/index counters."""
         return self._rpc({"op": "stats"})
 
+    def hello(self) -> Dict[str, Any]:
+        """The handshake: protocol version plus the server's current
+        index ``epoch`` and last-applied ``seq`` (both advance while a
+        ``--follow`` server ingests its update log)."""
+        return self._rpc({"op": "hello"})
+
     def ping(self) -> bool:
         """Liveness probe."""
         return self._rpc({"op": "ping"}) == "pong"

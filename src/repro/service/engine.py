@@ -12,6 +12,14 @@ paper): an unlisted address is ``ignore``; a listed reused address is
 precision there), in which case ``block``; a listed non-reused address
 is always ``block``.
 
+The engine also accepts a streaming
+:class:`~repro.stream.epoch.EpochIndex`: every lookup resolves the
+current epoch *once* and evaluates entirely against that immutable
+snapshot, so a concurrent hot swap can never produce a torn verdict.
+Cache keys carry the epoch number — entries from a superseded epoch
+simply stop matching and age out of the LRU; verdicts report the
+``(epoch, seq)`` they were computed against.
+
 Blocklist consumers hit the same few hot addresses over and over (the
 skew the paper's per-list concentration numbers imply), so verdicts go
 through a small LRU; per-query-type hit/latency counters feed the
@@ -28,6 +36,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.greylist import BlockAction, recommend_action
 from ..net.ipv4 import int_to_ip, is_valid_ip_int
+from ..stream.epoch import EpochIndex
 from .index import ReputationIndex
 
 __all__ = ["ACTION_IGNORE", "QueryEngine", "Verdict"]
@@ -55,6 +64,10 @@ class Verdict:
     users: int
     asn: int
     action: str
+    #: Index epoch and last-applied update-log sequence the verdict
+    #: was computed against (both 0 for a static, non-streaming index).
+    epoch: int = 0
+    seq: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         """JSON-ready dict (dotted-quad address, list as array)."""
@@ -69,21 +82,40 @@ class QueryEngine:
 
     def __init__(
         self,
-        index: ReputationIndex,
+        index: "ReputationIndex | EpochIndex",
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"negative cache size: {cache_size}")
-        self._index = index
+        self._source = index
+        self._streaming = isinstance(index, EpochIndex)
         self._cache_size = cache_size
-        self._cache: "OrderedDict[Tuple[int, int], Verdict]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[int, int, int], Verdict]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self._counters: Dict[str, Dict[str, float]] = {}
 
     @property
     def index(self) -> ReputationIndex:
-        return self._index
+        """The index queries resolve against *right now* (the current
+        epoch's for a streaming source)."""
+        return self._resolve()[0]
+
+    def _resolve(self) -> Tuple[ReputationIndex, int, int]:
+        """One consistent ``(index, epoch, seq)`` snapshot — a single
+        atomic reference read, never a lock."""
+        if self._streaming:
+            epoch = self._source.current
+            return epoch.index, epoch.number, epoch.seq
+        return self._source, 0, 0
+
+    def epoch_state(self) -> Tuple[int, int]:
+        """Current ``(epoch, last applied seq)`` — ``(0, 0)`` for a
+        static index. The wire handshake reports this pair."""
+        _, epoch, seq = self._resolve()
+        return epoch, seq
 
     # -- query paths ---------------------------------------------------
 
@@ -117,14 +149,15 @@ class QueryEngine:
     def _lookup(self, ip: int, day: Optional[int]) -> Tuple[Verdict, bool]:
         if not is_valid_ip_int(ip):
             raise ValueError(f"bad address integer: {ip!r}")
-        resolved = self._index.default_day() if day is None else int(day)
-        key = (ip, resolved)
+        index, epoch, seq = self._resolve()
+        resolved = index.default_day() if day is None else int(day)
+        key = (epoch, ip, resolved)
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
                 return cached, True
-        verdict = self._evaluate(ip, resolved)
+        verdict = self._evaluate(index, ip, resolved, epoch, seq)
         if self._cache_size:
             with self._lock:
                 self._cache[key] = verdict
@@ -133,8 +166,14 @@ class QueryEngine:
                     self._cache.popitem(last=False)
         return verdict, False
 
-    def _evaluate(self, ip: int, day: int) -> Verdict:
-        index = self._index
+    def _evaluate(
+        self,
+        index: ReputationIndex,
+        ip: int,
+        day: int,
+        epoch: int,
+        seq: int,
+    ) -> Verdict:
         lists = index.lists_active_on(ip, day)
         nated = index.is_nated(ip)
         dynamic = index.is_dynamic(ip)
@@ -165,6 +204,8 @@ class QueryEngine:
             users=index.users_behind(ip),
             asn=index.asn_of(ip),
             action=action,
+            epoch=epoch,
+            seq=seq,
         )
 
     # -- counters ------------------------------------------------------
@@ -203,8 +244,13 @@ class QueryEngine:
                 for kind, row in self._counters.items()
             }
             cached = len(self._cache)
+        index, epoch, seq = self._resolve()
+        epoch_info: Dict[str, Any] = {"epoch": epoch, "seq": seq}
+        if self._streaming:
+            epoch_info = {**self._source.stats(), **epoch_info}
         return {
             "queries": counters,
             "cache": {"entries": cached, "capacity": self._cache_size},
-            "index": self._index.stats(),
+            "index": index.stats(),
+            "epoch": epoch_info,
         }

@@ -32,7 +32,7 @@ import tempfile
 from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Sequence, Set, Tuple
 
 from ..blocklists.catalog import BlocklistInfo
 from ..blocklists.timeline import Window
@@ -177,6 +177,46 @@ class ReputationIndex:
         """Every list that carried ``ip`` at any observed time."""
         spans = self._intervals.get(ip, ())
         return tuple(sorted({list_id for _, _, list_id in spans}))
+
+    def intervals_of(self, ip: int) -> Tuple[_Interval, ...]:
+        """The raw listing intervals of one address, start-day sorted."""
+        return tuple(self._intervals.get(ip, ()))
+
+    def interval_items(self) -> Iterator[Tuple[int, Tuple[_Interval, ...]]]:
+        """Iterate ``(ip, intervals)`` pairs (streaming/compare paths)."""
+        for ip, spans in self._intervals.items():
+            yield ip, tuple(spans)
+
+    # -- copy-on-write successors --------------------------------------
+
+    def with_interval_updates(
+        self, updates: Dict[int, Sequence[_Interval]]
+    ) -> "ReputationIndex":
+        """A successor index with per-IP interval lists replaced.
+
+        This is the streaming layer's hot path: every structure except
+        the interval tables is *shared* with the parent (they are all
+        effectively immutable), the outer tables are shallow-copied,
+        and only the addresses named in ``updates`` get fresh lists —
+        an empty sequence drops the address. Rollups are inherited:
+        they count the measurement-side reuse exposure, which listing
+        churn does not move.
+        """
+        successor = object.__new__(type(self))
+        successor.__dict__.update(self.__dict__)
+        intervals = dict(self._intervals)
+        starts = dict(self._starts)
+        for ip, spans in updates.items():
+            if spans:
+                ordered = sorted(tuple(span) for span in spans)
+                intervals[ip] = ordered
+                starts[ip] = [span[0] for span in ordered]
+            else:
+                intervals.pop(ip, None)
+                starts.pop(ip, None)
+        successor._intervals = intervals
+        successor._starts = starts
+        return successor
 
     def is_nated(self, ip: int) -> bool:
         """Crawler-confirmed concurrent NAT sharing."""

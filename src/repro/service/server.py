@@ -11,7 +11,13 @@ One connection carries any number of request frames
     → ``{"ok": true, "result": [<verdict>, ...]}`` (at most
     :data:`MAX_BATCH` queries per frame).
 ``{"op": "stats"}``
-    → engine counters, cache occupancy and index sizes.
+    → engine counters, cache occupancy, index sizes and the live
+    epoch/sequence state.
+``{"op": "hello"}``
+    → the handshake: service name, protocol version, whether the
+    server follows an update log, and the current index ``epoch`` +
+    last-applied ``seq`` — what a client checks before trusting
+    verdict freshness.
 ``{"op": "ping"}``
     → ``{"ok": true, "result": "pong"}`` — liveness probe.
 
@@ -34,10 +40,13 @@ from ..net.ipv4 import ip_to_int, is_valid_ip_int
 from .engine import QueryEngine
 from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
 
-__all__ = ["MAX_BATCH", "ReputationServer"]
+__all__ = ["MAX_BATCH", "PROTOCOL_VERSION", "ReputationServer"]
 
 #: Upper bound on queries in one batch frame.
 MAX_BATCH = 10_000
+
+#: Wire protocol version reported by the ``hello`` handshake.
+PROTOCOL_VERSION = 1
 
 #: Seconds a connection may sit idle before the server drops it.
 DEFAULT_CONNECTION_TIMEOUT = 30.0
@@ -145,6 +154,18 @@ class _Handler(socketserver.BaseRequestHandler):
             }
         if op == "stats":
             return {"ok": True, "result": engine.stats()}
+        if op == "hello":
+            epoch, seq = engine.epoch_state()
+            return {
+                "ok": True,
+                "result": {
+                    "service": "repro-reputation",
+                    "protocol": PROTOCOL_VERSION,
+                    "streaming": self.server.streaming,
+                    "epoch": epoch,
+                    "seq": seq,
+                },
+            }
         if op == "ping":
             return {"ok": True, "result": "pong"}
         raise _RequestError(f"unknown op: {op!r}")
@@ -157,6 +178,7 @@ class _TcpServer(socketserver.ThreadingTCPServer):
     engine: QueryEngine
     connection_timeout: float
     max_frame: int
+    streaming: bool
 
 
 class ReputationServer:
@@ -177,11 +199,13 @@ class ReputationServer:
         *,
         connection_timeout: float = DEFAULT_CONNECTION_TIMEOUT,
         max_frame: int = MAX_FRAME_BYTES,
+        streaming: bool = False,
     ) -> None:
         self._server = _TcpServer((host, port), _Handler)
         self._server.engine = engine
         self._server.connection_timeout = connection_timeout
         self._server.max_frame = max_frame
+        self._server.streaming = streaming
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -1,0 +1,320 @@
+"""Listing deltas: the unit of streaming blocklist change.
+
+BLAG-style collection shows listings churn daily — addresses appear,
+persist, and are delisted within days. A :class:`ListingDelta` captures
+one such change for one ``(ip, list)`` interval, and a
+:class:`DeltaBatch` groups the deltas one collection tick produced
+under a sequence number.
+
+Two producers exist:
+
+* :func:`diff_stores` — the general diff between two
+  :class:`~repro.blocklists.timeline.ListingStore` states (what a
+  collector emits after comparing today's snapshot set against
+  yesterday's reconstruction);
+* :func:`day_advance_batches` — the simulated-churn replay: walks the
+  scenario's listing intervals one day at a time and emits exactly the
+  add/extend/delist events a live collector would have observed.
+  Applying the whole stream on top of the day-``start_day`` state
+  reconstructs the full store (a pinned property test).
+
+An interval is identified by ``(ip, list_id, first_day)``; within one
+store, a list's intervals for one address never share a start day
+(gap-splitting guarantees it), so the key is unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..blocklists.timeline import Listing, ListingStore
+
+__all__ = [
+    "DeltaBatch",
+    "ListingDelta",
+    "OPS",
+    "apply_deltas",
+    "day_advance_batches",
+    "diff_stores",
+    "store_as_of",
+    "truncate_spans",
+]
+
+#: Interval span in index form: (first_day, last_day, list_id).
+Span = Tuple[int, int, str]
+
+#: The three delta operations.
+OP_ADD = "add"
+OP_EXTEND = "extend"
+OP_DELIST = "delist"
+OPS = (OP_ADD, OP_EXTEND, OP_DELIST)
+
+
+@dataclass(frozen=True)
+class ListingDelta:
+    """One change to one listing interval.
+
+    ``op`` semantics against the interval keyed
+    ``(ip, list_id, first_day)``:
+
+    * ``add`` — a new interval ``first_day..last_day`` appeared;
+    * ``extend`` — the interval's presence now reaches ``last_day``;
+    * ``delist`` — the interval ends at ``last_day``; a ``last_day``
+      before ``first_day`` removes the interval entirely (the list
+      retracted it).
+
+    ``day`` is the observation day the change became visible — replay
+    pacing keys on it; application does not.
+    """
+
+    day: int
+    ip: int
+    list_id: str
+    op: str
+    first_day: int
+    last_day: int
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown delta op: {self.op!r}")
+        if self.op != OP_DELIST and self.last_day < self.first_day:
+            raise ValueError(
+                f"{self.op} delta ends before it starts: "
+                f"{self.first_day}..{self.last_day}"
+            )
+
+    @property
+    def removes(self) -> bool:
+        """True for a delist that retracts the whole interval."""
+        return self.op == OP_DELIST and self.last_day < self.first_day
+
+    def to_wire(self) -> List:
+        """Compact JSON row: ``[op, day, ip, list_id, first, last]``."""
+        return [self.op, self.day, self.ip, self.list_id,
+                self.first_day, self.last_day]
+
+    @classmethod
+    def from_wire(cls, row: Sequence) -> "ListingDelta":
+        """Parse a wire row; :class:`ValueError` on anything malformed."""
+        if not isinstance(row, (list, tuple)) or len(row) != 6:
+            raise ValueError(f"delta row must have 6 fields: {row!r}")
+        op, day, ip, list_id, first, last = row
+        if not isinstance(op, str) or not isinstance(list_id, str):
+            raise ValueError(f"bad delta row types: {row!r}")
+        for value in (day, ip, first, last):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"bad delta row types: {row!r}")
+        if ip < 0 or ip > 0xFFFFFFFF:
+            raise ValueError(f"delta ip out of range: {ip}")
+        return cls(day, ip, list_id, op, first, last)
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """The deltas one collection tick produced, in sequence order."""
+
+    seq: int
+    day: int
+    deltas: Tuple[ListingDelta, ...]
+
+    def __post_init__(self) -> None:
+        if self.seq < 1:
+            raise ValueError(f"batch sequence must be >= 1: {self.seq}")
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+
+
+def _sort_key(delta: ListingDelta) -> Tuple:
+    return (delta.ip, delta.list_id, delta.first_day, delta.op)
+
+
+# -- span-level application --------------------------------------------
+
+
+def apply_to_spans(
+    spans: Iterable[Span], deltas: Iterable[ListingDelta]
+) -> List[Span]:
+    """Apply deltas to one address's interval spans.
+
+    Application is idempotent per delta: an ``add`` of an existing key
+    replaces it, an ``extend``/``delist`` of a missing key creates it —
+    so a replayed batch converges instead of corrupting state.
+    """
+    table: Dict[Tuple[str, int], int] = {
+        (list_id, first): last for first, last, list_id in spans
+    }
+    for delta in deltas:
+        key = (delta.list_id, delta.first_day)
+        if delta.removes:
+            table.pop(key, None)
+        else:
+            table[key] = delta.last_day
+    return sorted(
+        (first, last, list_id) for (list_id, first), last in table.items()
+    )
+
+
+def apply_deltas(
+    store: ListingStore, deltas: Iterable[ListingDelta]
+) -> ListingStore:
+    """Apply deltas to a whole store, returning the successor store."""
+    by_ip: Dict[int, List[ListingDelta]] = {}
+    for delta in deltas:
+        by_ip.setdefault(delta.ip, []).append(delta)
+    result = ListingStore()
+    for ip in store.all_ips() | set(by_ip):
+        spans = [
+            (l.first_day, l.last_day, l.list_id)
+            for l in store.listings_of_ip(ip)
+        ]
+        for first, last, list_id in apply_to_spans(spans, by_ip.get(ip, ())):
+            result.add(Listing(list_id, ip, first, last))
+    return result
+
+
+# -- diffing two stores ------------------------------------------------
+
+
+def diff_stores(
+    old: ListingStore, new: ListingStore, *, day: Optional[int] = None
+) -> List[ListingDelta]:
+    """Deltas that transform ``old`` into ``new``, per-IP ordered.
+
+    ``day`` stamps the observation day on every delta (defaults to the
+    latest last day across both stores — "the comparison happened
+    now"). ``apply_deltas(old, diff_stores(old, new)) == new`` is the
+    pinned contract.
+    """
+    if day is None:
+        day = max(
+            (l.last_day for store in (old, new) for l in store), default=0
+        )
+    deltas: List[ListingDelta] = []
+    for ip in old.all_ips() | new.all_ips():
+        old_spans = {
+            (l.list_id, l.first_day): l.last_day
+            for l in old.listings_of_ip(ip)
+        }
+        new_spans = {
+            (l.list_id, l.first_day): l.last_day
+            for l in new.listings_of_ip(ip)
+        }
+        for (list_id, first), last in new_spans.items():
+            old_last = old_spans.get((list_id, first))
+            if old_last is None:
+                deltas.append(
+                    ListingDelta(day, ip, list_id, OP_ADD, first, last)
+                )
+            elif last > old_last:
+                deltas.append(
+                    ListingDelta(day, ip, list_id, OP_EXTEND, first, last)
+                )
+            elif last < old_last:
+                deltas.append(
+                    ListingDelta(day, ip, list_id, OP_DELIST, first, last)
+                )
+        for (list_id, first) in old_spans:
+            if (list_id, first) not in new_spans:
+                deltas.append(
+                    ListingDelta(
+                        day, ip, list_id, OP_DELIST, first, first - 1
+                    )
+                )
+    deltas.sort(key=_sort_key)
+    return deltas
+
+
+# -- day-advance replay ------------------------------------------------
+
+
+def truncate_spans(spans: Iterable[Span], day: int) -> List[Span]:
+    """The day-``day`` view of interval spans: intervals that have
+    started, with ongoing ones clamped at ``day`` (a collector cannot
+    know the future end of a presence run)."""
+    return sorted(
+        (first, min(last, day), list_id)
+        for first, last, list_id in spans
+        if first <= day
+    )
+
+
+def store_as_of(store: ListingStore, day: int) -> ListingStore:
+    """The listing store as a live collector would know it on ``day``."""
+    result = ListingStore()
+    for listing in store:
+        if listing.first_day <= day:
+            result.add(
+                Listing(
+                    listing.list_id,
+                    listing.ip,
+                    listing.first_day,
+                    min(listing.last_day, day),
+                )
+            )
+    return result
+
+
+def day_advance_batches(
+    store: ListingStore,
+    *,
+    start_day: int,
+    end_day: Optional[int] = None,
+    start_seq: int = 1,
+) -> Iterator[DeltaBatch]:
+    """Replay the store's churn as an ordered event stream.
+
+    Yields one :class:`DeltaBatch` per day in
+    ``start_day+1 .. end_day`` that saw any change, relative to the
+    day-``start_day`` state (:func:`store_as_of`): a listing opening
+    that day is an ``add``, one still present is an ``extend`` to the
+    new day, one absent after being present yesterday is a ``delist``
+    confirming its final day. ``end_day`` defaults to the last day any
+    listing is present, at which point the accumulated state equals the
+    full store exactly.
+    """
+    if end_day is None:
+        end_day = max((l.last_day for l in store), default=start_day)
+    opens_on: Dict[int, List[Listing]] = {}
+    live: Dict[Tuple[int, str, int], int] = {}  # key -> real last day
+    for listing in store:
+        if listing.first_day > start_day:
+            opens_on.setdefault(listing.first_day, []).append(listing)
+        elif listing.last_day >= start_day:
+            live[
+                (listing.ip, listing.list_id, listing.first_day)
+            ] = listing.last_day
+    seq = start_seq
+    for day in range(start_day + 1, end_day + 1):
+        deltas: List[ListingDelta] = []
+        for (ip, list_id, first), last in list(live.items()):
+            if last < day:
+                # Ended yesterday (or earlier): confirm and close.
+                deltas.append(
+                    ListingDelta(day, ip, list_id, OP_DELIST, first, last)
+                )
+                del live[(ip, list_id, first)]
+            else:
+                deltas.append(
+                    ListingDelta(day, ip, list_id, OP_EXTEND, first, day)
+                )
+        for listing in opens_on.get(day, ()):
+            deltas.append(
+                ListingDelta(
+                    day, listing.ip, listing.list_id, OP_ADD, day, day
+                )
+            )
+            if listing.last_day > day:
+                live[
+                    (listing.ip, listing.list_id, listing.first_day)
+                ] = listing.last_day
+            else:
+                deltas.append(
+                    ListingDelta(
+                        day, listing.ip, listing.list_id, OP_DELIST,
+                        day, day,
+                    )
+                )
+        if deltas:
+            deltas.sort(key=_sort_key)
+            yield DeltaBatch(seq, day, tuple(deltas))
+            seq += 1

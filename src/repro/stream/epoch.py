@@ -1,0 +1,149 @@
+"""Incremental index epochs: apply delta batches, swap atomically.
+
+An :class:`EpochIndex` wraps a :class:`~repro.service.index.
+ReputationIndex` and turns it into a continuously-updating structure
+without ever making readers wait:
+
+* each applied batch produces a *successor* index via copy-on-write
+  (only the touched addresses' interval lists are rebuilt; everything
+  else is shared);
+* the successor is published as a new immutable :class:`Epoch` by a
+  single reference assignment — atomic under the interpreter, so a
+  reader that grabs :attr:`current` sees either the old epoch or the
+  new one in full, never a torn mix;
+* writers serialise on a lock; readers take no lock at all.
+
+:func:`index_as_of` builds the streaming starting point: the full
+run's measurement products (NAT verdicts, dynamic prefixes, AS data —
+the slow pipeline's output) with the listing intervals rolled back to
+what a collector knew on a given day. Replaying the update log from
+that day forward then converges to the batch index.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+from .delta import DeltaBatch, ListingDelta, apply_to_spans, truncate_spans
+
+if TYPE_CHECKING:
+    # Annotation-only: the service package imports this module at load
+    # time (engine accepts an EpochIndex), so importing it back here
+    # would make the package import order cyclic.
+    from ..service.index import ReputationIndex
+
+__all__ = ["Epoch", "EpochIndex", "index_as_of"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One immutable published state of the streaming index."""
+
+    index: ReputationIndex
+    #: Monotonic publication counter (0 is the base index).
+    number: int
+    #: Last applied update-log sequence number (0 before any batch).
+    seq: int
+    #: Collection day the state corresponds to.
+    day: int
+
+
+class EpochIndex:
+    """Lock-free-for-readers incremental wrapper over an index.
+
+    Readers call :attr:`current` (one attribute load) and query the
+    returned epoch's index; a concurrent :meth:`apply` never mutates
+    anything a reader can hold. Batches must arrive in increasing
+    sequence order; replays of already-applied sequences are ignored
+    (the update-log reader can safely restart from scratch).
+    """
+
+    def __init__(self, base: ReputationIndex, *, day: int = 0) -> None:
+        self._current = Epoch(base, 0, 0, day or base.default_day())
+        self._write_lock = threading.Lock()
+        self._deltas_applied = 0
+        self._batches_skipped = 0
+
+    @property
+    def current(self) -> Epoch:
+        """The live epoch — one atomic reference read."""
+        return self._current
+
+    @property
+    def index(self) -> ReputationIndex:
+        """The live epoch's index (readers needing only the data)."""
+        return self._current.index
+
+    def apply(self, batch: DeltaBatch) -> Epoch:
+        """Apply one delta batch and publish the successor epoch.
+
+        Returns the epoch that is current afterwards (unchanged when
+        the batch's sequence was already applied).
+        """
+        with self._write_lock:
+            epoch = self._current
+            if batch.seq <= epoch.seq:
+                self._batches_skipped += 1
+                return epoch
+            if batch.seq != epoch.seq + 1:
+                raise ValueError(
+                    f"batch seq {batch.seq} does not follow {epoch.seq}"
+                )
+            updates = self._updated_intervals(epoch.index, batch.deltas)
+            successor = Epoch(
+                epoch.index.with_interval_updates(updates),
+                epoch.number + 1,
+                batch.seq,
+                batch.day,
+            )
+            self._deltas_applied += len(batch.deltas)
+            self._current = successor  # the swap: one atomic store
+            return successor
+
+    def apply_all(self, batches: Iterable[DeltaBatch]) -> Epoch:
+        """Apply a whole batch stream; returns the final epoch."""
+        epoch = self._current
+        for batch in batches:
+            epoch = self.apply(batch)
+        return epoch
+
+    @staticmethod
+    def _updated_intervals(
+        index: ReputationIndex, deltas: Tuple[ListingDelta, ...]
+    ) -> Dict[int, List]:
+        by_ip: Dict[int, List[ListingDelta]] = {}
+        for delta in deltas:
+            by_ip.setdefault(delta.ip, []).append(delta)
+        return {
+            ip: apply_to_spans(index.intervals_of(ip), ip_deltas)
+            for ip, ip_deltas in by_ip.items()
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """Epoch/sequence counters for logs and the ``stats`` op."""
+        epoch = self._current
+        return {
+            "epoch": epoch.number,
+            "seq": epoch.seq,
+            "day": epoch.day,
+            "deltas_applied": self._deltas_applied,
+            "batches_skipped": self._batches_skipped,
+        }
+
+
+def index_as_of(
+    full: ReputationIndex, day: int
+) -> ReputationIndex:
+    """Roll a compiled index's listing intervals back to ``day``.
+
+    Measurement-side products (NAT set, users, dynamic prefixes, AS
+    origins, categories) are kept whole — they come from the slow
+    pipeline, not the daily feed churn the stream replays.
+    """
+    updates = {
+        ip: truncate_spans(spans, day)
+        for ip, spans in full.interval_items()
+    }
+    return full.with_interval_updates(updates)

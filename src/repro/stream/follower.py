@@ -1,0 +1,106 @@
+"""Background tailer: update log → epoch swaps.
+
+A :class:`LogFollower` runs the read side of the streaming pipeline on
+a daemon thread: poll the update log for appended batches, apply each
+to the :class:`~repro.stream.epoch.EpochIndex`, repeat. The serving
+path never blocks on it — queries read whichever epoch is current.
+
+A log error (corruption, sequence gap) stops the follower and is
+surfaced in :meth:`stats`; the server keeps answering from the last
+good epoch, which is the only sane degradation for a reputation
+service (stale beats down).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from .epoch import Epoch, EpochIndex
+from .log import UpdateLogError, UpdateLogReader
+
+__all__ = ["LogFollower"]
+
+
+class LogFollower:
+    """Tails one update log into one epoch index."""
+
+    def __init__(
+        self,
+        path: "Path | str",
+        epochs: EpochIndex,
+        *,
+        poll_interval: float = 0.1,
+        on_batch: Optional[Callable[[Epoch, int], None]] = None,
+    ) -> None:
+        self._reader = UpdateLogReader(path)
+        self._epochs = epochs
+        self._poll_interval = poll_interval
+        self._on_batch = on_batch
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._batches = 0
+        self._error: Optional[str] = None
+
+    @property
+    def epochs(self) -> EpochIndex:
+        return self._epochs
+
+    def start(self) -> "LogFollower":
+        """Start tailing on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("follower already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-log-follower", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            for batch in self._reader.follow(
+                poll_interval=self._poll_interval, stop=self._stop
+            ):
+                epoch = self._epochs.apply(batch)
+                self._batches += 1
+                if self._on_batch is not None:
+                    self._on_batch(epoch, len(batch.deltas))
+        except UpdateLogError as exc:
+            self._error = str(exc)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop tailing and join the thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def wait_for_seq(self, seq: int, timeout: float = 30.0) -> bool:
+        """Block until the applied sequence reaches ``seq`` (tests and
+        the replay CLI use this to detect catch-up)."""
+        deadline = threading.Event()
+        waited = 0.0
+        step = min(self._poll_interval, 0.05)
+        while waited < timeout:
+            if self._epochs.current.seq >= seq or self._error:
+                return self._epochs.current.seq >= seq
+            deadline.wait(step)
+            waited += step
+        return self._epochs.current.seq >= seq
+
+    def stats(self) -> Dict[str, Any]:
+        """Progress counters plus any terminal log error."""
+        return {
+            "batches": self._batches,
+            "running": self._thread is not None
+            and self._thread.is_alive(),
+            "error": self._error,
+            **self._epochs.stats(),
+        }
+
+    def __enter__(self) -> "LogFollower":
+        return self.start()
+
+    def __exit__(self, *_: Any) -> None:
+        self.stop()

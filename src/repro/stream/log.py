@@ -1,0 +1,339 @@
+"""The append-only blocklist update log.
+
+One file carries an ordered stream of :class:`~repro.stream.delta.
+DeltaBatch` records: a header member followed by one gzip member per
+batch, each member holding one JSON document. Records carry contiguous
+sequence numbers and a CRC32 checksum of their body, so a reader can
+detect both corruption (checksum or sequence violation — an error) and
+a crash mid-append (a truncated final member — recoverable: everything
+before it is intact, which is the property the whole design buys).
+
+Per-record gzip members make appends atomic at the member boundary: a
+writer appends complete members only, and a reader parses members until
+one fails to complete. :class:`UpdateLogWriter` opened on an existing
+log *recovers* first — it scans the file, truncates any partial tail,
+and resumes the sequence after the last complete record.
+
+:class:`UpdateLogReader.follow` tails the file for a live consumer
+(the server's follower thread), yielding batches as they are appended.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .delta import DeltaBatch, ListingDelta
+
+__all__ = [
+    "LOG_MAGIC",
+    "LOG_VERSION",
+    "UpdateLogError",
+    "UpdateLogReader",
+    "UpdateLogWriter",
+    "read_update_log",
+    "write_update_log",
+]
+
+LOG_MAGIC = "repro-update-log"
+LOG_VERSION = 1
+
+#: Hard ceiling on one decompressed record (a day batch is kilobytes;
+#: nothing legitimate comes close).
+MAX_RECORD_BYTES = 8 << 20
+
+
+class UpdateLogError(RuntimeError):
+    """The log is missing, corrupt, or violates the sequence contract."""
+
+
+def _canonical(body: Dict[str, Any]) -> bytes:
+    return json.dumps(
+        body, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def _record_body(batch: DeltaBatch) -> Dict[str, Any]:
+    return {
+        "seq": batch.seq,
+        "day": batch.day,
+        "deltas": [delta.to_wire() for delta in batch.deltas],
+    }
+
+
+def _encode_record(batch: DeltaBatch) -> bytes:
+    body = _record_body(batch)
+    body["crc"] = zlib.crc32(_canonical(_record_body(batch)))
+    return gzip.compress(_canonical(body), compresslevel=6)
+
+
+def _decode_batch(doc: Any) -> DeltaBatch:
+    if not isinstance(doc, dict):
+        raise UpdateLogError(f"record is not an object: {doc!r}")
+    try:
+        seq, day, rows, crc = (
+            doc["seq"], doc["day"], doc["deltas"], doc["crc"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise UpdateLogError(f"record missing field: {exc}") from None
+    if not isinstance(seq, int) or not isinstance(day, int):
+        raise UpdateLogError(f"bad record header: seq={seq!r} day={day!r}")
+    expected = zlib.crc32(
+        _canonical({"seq": seq, "day": day, "deltas": rows})
+    )
+    if crc != expected:
+        raise UpdateLogError(
+            f"record seq={seq} checksum mismatch "
+            f"(stored {crc!r}, computed {expected})"
+        )
+    try:
+        deltas = tuple(ListingDelta.from_wire(row) for row in rows)
+    except (TypeError, ValueError) as exc:
+        raise UpdateLogError(f"record seq={seq}: {exc}") from None
+    try:
+        return DeltaBatch(seq, day, deltas)
+    except ValueError as exc:
+        raise UpdateLogError(str(exc)) from None
+
+
+def _scan_members(blob: bytes) -> Tuple[List[Any], int]:
+    """Parse complete gzip members off the front of ``blob``.
+
+    Returns ``(documents, bytes_consumed)``; bytes past ``consumed``
+    are an incomplete (or corrupt) tail. A member that decompresses but
+    is not valid JSON raises — that is corruption, not truncation.
+    """
+    documents: List[Any] = []
+    pos = 0
+    while pos < len(blob):
+        decomp = zlib.decompressobj(wbits=31)
+        try:
+            data = decomp.decompress(blob[pos:], MAX_RECORD_BYTES)
+        except zlib.error:
+            break  # mangled tail: treat like truncation
+        if not decomp.eof:
+            break  # member not finished — truncated tail
+        consumed = len(blob) - pos - len(decomp.unused_data)
+        if consumed <= 0:  # pragma: no cover — defensive
+            break
+        try:
+            documents.append(json.loads(data.decode("utf-8")))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise UpdateLogError(
+                f"undecodable record at byte {pos}: {exc}"
+            ) from None
+        pos += consumed
+    return documents, pos
+
+
+def _check_header(doc: Any, path: Path) -> Dict[str, Any]:
+    if not isinstance(doc, dict) or doc.get("magic") != LOG_MAGIC:
+        raise UpdateLogError(f"{path} is not an update log")
+    if doc.get("version") != LOG_VERSION:
+        raise UpdateLogError(
+            f"update log version {doc.get('version')!r} does not match "
+            f"expected {LOG_VERSION}"
+        )
+    return doc
+
+
+class UpdateLogWriter:
+    """Appends batches to an update log, recovering on open.
+
+    A fresh path gets a header member first; an existing log is scanned,
+    any partial tail left by a crash is truncated away, and the sequence
+    resumes after the last complete record. ``append`` enforces the
+    next-sequence contract, so a writer bug cannot silently fork the
+    stream.
+    """
+
+    def __init__(
+        self,
+        path: "Path | str",
+        *,
+        start_day: int = 0,
+        meta: Optional[Dict[str, Any]] = None,
+        fsync: bool = False,
+    ) -> None:
+        self._path = Path(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        existing = (
+            self._path.read_bytes() if self._path.exists() else b""
+        )
+        documents, consumed = _scan_members(existing)
+        if documents:
+            header, batches, consumed = _load(self._path)
+            self._header = header
+            self._next_seq = (batches[-1].seq + 1) if batches else 1
+            if consumed < len(existing):
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(consumed)
+        else:
+            # Fresh path, or a crash left not even one complete member:
+            # start the log over with a header.
+            self._header = {
+                "magic": LOG_MAGIC,
+                "version": LOG_VERSION,
+                "start_day": int(start_day),
+                "meta": dict(meta or {}),
+            }
+            self._next_seq = 1
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            if existing:
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(0)
+            self._write(gzip.compress(_canonical(self._header), 6))
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def header(self) -> Dict[str, Any]:
+        return dict(self._header)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended batch must carry."""
+        return self._next_seq
+
+    def _write(self, blob: bytes) -> None:
+        with open(self._path, "ab") as handle:
+            handle.write(blob)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+
+    def append(self, batch: DeltaBatch) -> None:
+        """Append one batch; its ``seq`` must be the next in line."""
+        with self._lock:
+            if batch.seq != self._next_seq:
+                raise UpdateLogError(
+                    f"batch seq {batch.seq} does not follow "
+                    f"{self._next_seq - 1}"
+                )
+            self._write(_encode_record(batch))
+            self._next_seq += 1
+
+    def append_deltas(self, day: int, deltas) -> DeltaBatch:
+        """Wrap loose deltas into the next-sequence batch and append."""
+        with self._lock:
+            batch = DeltaBatch(self._next_seq, day, tuple(deltas))
+            self._write(_encode_record(batch))
+            self._next_seq += 1
+        return batch
+
+
+def _load(path: Path) -> Tuple[Dict[str, Any], List[DeltaBatch], int]:
+    """Scan a log file: header, complete batches, bytes consumed."""
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        raise UpdateLogError(f"update log not found: {path}") from None
+    documents, consumed = _scan_members(blob)
+    if not documents:
+        raise UpdateLogError(f"{path} holds no complete records")
+    header = _check_header(documents[0], path)
+    batches = []
+    expected = 1
+    for doc in documents[1:]:
+        batch = _decode_batch(doc)
+        if batch.seq != expected:
+            raise UpdateLogError(
+                f"sequence gap: expected {expected}, found {batch.seq}"
+            )
+        batches.append(batch)
+        expected += 1
+    return header, batches, consumed
+
+
+def read_update_log(
+    path: "Path | str",
+) -> Tuple[Dict[str, Any], List[DeltaBatch]]:
+    """Read a whole log; a truncated tail is silently dropped (that is
+    the crash-recovery contract), any other violation raises."""
+    header, batches, _ = _load(Path(path))
+    return header, batches
+
+
+def write_update_log(
+    path: "Path | str",
+    batches,
+    *,
+    start_day: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a complete log in one call (the batch-mode producer)."""
+    writer = UpdateLogWriter(path, start_day=start_day, meta=meta)
+    for batch in batches:
+        writer.append(batch)
+    return writer.path
+
+
+class UpdateLogReader:
+    """Incremental reader: read what is there, then tail for more."""
+
+    def __init__(self, path: "Path | str") -> None:
+        self._path = Path(path)
+        self._offset = 0
+        self._next_seq = 1
+        self._header: Optional[Dict[str, Any]] = None
+
+    @property
+    def header(self) -> Dict[str, Any]:
+        """The log header (reads the file on first access)."""
+        if self._header is None:
+            self.poll()
+            if self._header is None:
+                raise UpdateLogError(
+                    f"{self._path} holds no complete header yet"
+                )
+        return dict(self._header)
+
+    def poll(self) -> List[DeltaBatch]:
+        """Batches appended since the last call (empty when none)."""
+        try:
+            with open(self._path, "rb") as handle:
+                handle.seek(self._offset)
+                blob = handle.read()
+        except FileNotFoundError:
+            raise UpdateLogError(
+                f"update log not found: {self._path}"
+            ) from None
+        documents, consumed = _scan_members(blob)
+        if self._offset == 0 and documents:
+            self._header = _check_header(documents.pop(0), self._path)
+        batches = []
+        for doc in documents:
+            batch = _decode_batch(doc)
+            if batch.seq != self._next_seq:
+                raise UpdateLogError(
+                    f"sequence gap: expected {self._next_seq}, "
+                    f"found {batch.seq}"
+                )
+            batches.append(batch)
+            self._next_seq += 1
+        self._offset += consumed
+        return batches
+
+    def follow(
+        self,
+        *,
+        poll_interval: float = 0.1,
+        stop: Optional[threading.Event] = None,
+    ) -> Iterator[DeltaBatch]:
+        """Yield batches as they are appended, until ``stop`` is set."""
+        stop = stop or threading.Event()
+        while not stop.is_set():
+            batches = self.poll()
+            for batch in batches:
+                yield batch
+            if not batches:
+                stop.wait(poll_interval)

@@ -304,6 +304,68 @@ class TestFeedGeneration:
         )
         assert store.listings_of_list("spamlist")[0].last_day == 100
 
+    def _noisy_events(self):
+        """Enough events across categories that sub-1.0 sensitivity
+        sampling actually exercises the RNG."""
+        rng = random.Random(7)
+        categories = (AbuseCategory.SPAM, AbuseCategory.DDOS)
+        return [
+            AbuseEvent(
+                day=rng.randrange(0, 60),
+                ip=rng.randrange(1, 400),
+                user_key=f"u{i % 9}",
+                category=categories[i % 2],
+            )
+            for i in range(400)
+        ]
+
+    def _sampling_catalog(self):
+        return [
+            self.spam_list(list_id="spam-a", sensitivity=0.5),
+            self.spam_list(
+                list_id="ddos-b",
+                sensitivity=0.4,
+                categories=(AbuseCategory.DDOS,),
+            ),
+            self.spam_list(list_id="spam-c", sensitivity=0.7),
+        ]
+
+    @staticmethod
+    def _canon(store):
+        return sorted(
+            (l.list_id, l.ip, l.first_day, l.last_day) for l in store
+        )
+
+    def test_listings_invariant_under_catalog_reorder(self):
+        """Each list samples from its own derived RNG stream, so
+        shuffling the catalog cannot perturb any list's output."""
+        events = self._noisy_events()
+        catalog = self._sampling_catalog()
+        reordered = [catalog[2], catalog[0], catalog[1]]
+        first = generate_listings(
+            events, catalog, random.Random(5), horizon_days=100
+        )
+        second = generate_listings(
+            events, reordered, random.Random(5), horizon_days=100
+        )
+        assert len(first) > 0
+        assert self._canon(first) == self._canon(second)
+
+    def test_catalog_subset_preserves_each_lists_output(self):
+        """Dropping lists from the catalog leaves the survivors'
+        listings bit-identical — per-list streams are independent."""
+        events = self._noisy_events()
+        catalog = self._sampling_catalog()
+        full = generate_listings(
+            events, catalog, random.Random(5), horizon_days=100
+        )
+        solo = generate_listings(
+            events, [catalog[1]], random.Random(5), horizon_days=100
+        )
+        assert self._canon(solo) == self._canon(
+            ListingStore(full.listings_of_list("ddos-b"))
+        )
+
     def test_materialize_snapshot_parses_back(self):
         info = self.spam_list(fmt="csv")
         store = generate_listings(

@@ -118,6 +118,87 @@ class TestFrameFuzz:
         assert not excinfo.value.recoverable
 
 
+class TestStreamingFieldsOverWire:
+    """The streaming additions to the protocol — delta rows inside
+    update-log records, and the epoch/seq fields on verdicts, stats
+    and the hello handshake — must survive the codec and reject
+    malformed input with ValueError/FrameError only."""
+
+    delta_rows = st.tuples(
+        st.sampled_from(["add", "extend", "delist"]),
+        st.integers(min_value=0, max_value=1000),  # day
+        st.integers(min_value=0, max_value=(1 << 32) - 1),  # ip
+        st.text(max_size=12),  # list_id
+        st.integers(min_value=0, max_value=1000),  # first
+        st.integers(min_value=0, max_value=1000),  # last
+    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(delta_rows)
+    def test_delta_roundtrips_through_frames(self, row):
+        from repro.stream.delta import ListingDelta
+
+        op, day, ip, list_id, first, last = row
+        if op != "delist" and last < first:
+            first, last = last, first
+        delta = ListingDelta(day, ip, list_id, op, first, last)
+        decoded, _ = decode_frame(encode_frame(delta.to_wire()))
+        assert ListingDelta.from_wire(decoded) == delta
+
+    @settings(max_examples=200, deadline=None)
+    @given(json_values)
+    def test_from_wire_never_crashes_on_codec_output(self, value):
+        from repro.stream.delta import ListingDelta
+
+        decoded, _ = decode_frame(encode_frame(value))
+        try:
+            delta = ListingDelta.from_wire(decoded)
+        except ValueError:
+            return
+        assert delta.to_wire() == list(decoded)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1 << 31),
+        st.integers(min_value=0, max_value=1 << 31),
+    )
+    def test_epoch_fields_roundtrip_on_replies(self, epoch, seq):
+        hello = {
+            "ok": True,
+            "result": {
+                "service": "repro-reputation",
+                "protocol": 1,
+                "streaming": True,
+                "epoch": epoch,
+                "seq": seq,
+            },
+        }
+        assert decode_frame(encode_frame(hello))[0] == hello
+
+    def test_verdict_wire_form_carries_epoch_and_seq(self):
+        from repro.service.engine import Verdict
+
+        verdict = Verdict(
+            ip=0x01020304,
+            day=230,
+            listed=True,
+            lists=("alpha",),
+            nated=False,
+            dynamic=True,
+            unjust=True,
+            reuse_kind="dynamic",
+            users=1,
+            asn=64500,
+            action="greylist",
+            epoch=7,
+            seq=9,
+        )
+        decoded, _ = decode_frame(encode_frame(verdict.to_wire()))
+        assert decoded["epoch"] == 7
+        assert decoded["seq"] == 9
+        assert decoded["ip"] == "1.2.3.4"
+
+
 class TestFrameLimits:
     def test_declared_length_over_limit_rejected(self):
         header = struct.pack(">I", MAX_FRAME_BYTES + 1)

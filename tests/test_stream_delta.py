@@ -1,0 +1,275 @@
+"""Delta-layer tests: wire rows, diff/apply as inverses, and the
+day-advance replay reconstructing the store it was derived from.
+
+The diff/apply pair is the streaming system's foundation: if
+``apply_deltas(old, diff_stores(old, new)) != new`` anywhere, every
+layer above (log, epochs, server) silently serves wrong verdicts — so
+the properties here are exercised over randomised store pairs, and
+``ListingStore.diff_against`` is cross-checked against
+``listings_active_on`` on random day pairs as the ISSUE pins it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocklists.timeline import Listing, ListingStore
+from repro.stream.delta import (
+    OP_ADD,
+    OP_DELIST,
+    OP_EXTEND,
+    DeltaBatch,
+    ListingDelta,
+    apply_deltas,
+    apply_to_spans,
+    day_advance_batches,
+    diff_stores,
+    store_as_of,
+    truncate_spans,
+)
+
+# -- randomised stores -------------------------------------------------
+#
+# Interval identity is (ip, list_id, first_day); a real store never
+# holds duplicates (gap-splitting guarantees distinct starts per
+# (list, ip)), so the strategy dedupes on that key.
+
+_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),  # ip
+        st.sampled_from(["alpha", "beta", "gamma"]),  # list_id
+        st.integers(min_value=0, max_value=25),  # first_day
+        st.integers(min_value=0, max_value=8),  # duration - 1
+    ),
+    max_size=25,
+)
+
+
+def _build_store(rows):
+    seen = set()
+    store = ListingStore()
+    for ip, list_id, first, extra in rows:
+        key = (ip, list_id, first)
+        if key in seen:
+            continue
+        seen.add(key)
+        store.add(Listing(list_id, ip, first, first + extra))
+    return store
+
+
+stores = _rows.map(_build_store)
+
+
+def _canon(store):
+    return sorted(
+        (l.ip, l.list_id, l.first_day, l.last_day) for l in store
+    )
+
+
+class TestListingDelta:
+    def test_wire_roundtrip(self):
+        delta = ListingDelta(7, 123, "alpha", OP_ADD, 5, 9)
+        assert ListingDelta.from_wire(delta.to_wire()) == delta
+
+    def test_removal_delist_roundtrips(self):
+        delta = ListingDelta(7, 123, "alpha", OP_DELIST, 5, 4)
+        assert delta.removes
+        assert ListingDelta.from_wire(delta.to_wire()) == delta
+
+    def test_non_delist_cannot_end_before_start(self):
+        with pytest.raises(ValueError):
+            ListingDelta(7, 123, "alpha", OP_ADD, 5, 4)
+        with pytest.raises(ValueError):
+            ListingDelta(7, 123, "alpha", OP_EXTEND, 5, 4)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ListingDelta(7, 123, "alpha", "replace", 5, 9)
+
+    @pytest.mark.parametrize(
+        "row",
+        [
+            "not a row",
+            [],
+            ["add", 1, 2, "x", 3],  # five fields
+            ["add", 1, 2, "x", 3, 4, 5],  # seven fields
+            [3, 1, 2, "x", 3, 4],  # op not a string
+            ["add", 1, 2, 9, 3, 4],  # list_id not a string
+            ["add", "one", 2, "x", 3, 4],  # day not an int
+            ["add", 1, True, "x", 3, 4],  # bool masquerading as int
+            ["add", 1, 2, "x", 3.5, 4],  # float day
+            ["add", 1, -1, "x", 3, 4],  # ip below range
+            ["add", 1, 1 << 32, "x", 3, 4],  # ip above range
+            ["frobnicate", 1, 2, "x", 3, 4],  # unknown op
+            ["add", 1, 2, "x", 4, 3],  # add ending before start
+        ],
+    )
+    def test_malformed_wire_rows_rejected(self, row):
+        with pytest.raises(ValueError):
+            ListingDelta.from_wire(row)
+
+    def test_batch_sequence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeltaBatch(0, 1, ())
+        assert DeltaBatch(1, 1, []).deltas == ()
+
+
+class TestApplyToSpans:
+    def test_add_extend_delist_remove(self):
+        spans = [(5, 9, "alpha")]
+        spans = apply_to_spans(
+            spans, [ListingDelta(1, 0, "beta", OP_ADD, 2, 3)]
+        )
+        assert spans == [(2, 3, "beta"), (5, 9, "alpha")]
+        spans = apply_to_spans(
+            spans, [ListingDelta(2, 0, "alpha", OP_EXTEND, 5, 12)]
+        )
+        assert (5, 12, "alpha") in spans
+        spans = apply_to_spans(
+            spans, [ListingDelta(3, 0, "beta", OP_DELIST, 2, 1)]
+        )
+        assert spans == [(5, 12, "alpha")]
+
+    def test_idempotent_replay(self):
+        deltas = [
+            ListingDelta(1, 0, "alpha", OP_ADD, 2, 4),
+            ListingDelta(1, 0, "beta", OP_DELIST, 7, 6),
+        ]
+        once = apply_to_spans([(7, 9, "beta")], deltas)
+        twice = apply_to_spans(once, deltas)
+        assert once == twice == [(2, 4, "alpha")]
+
+
+class TestDiffApplyInverse:
+    @settings(max_examples=120, deadline=None)
+    @given(stores, stores)
+    def test_apply_of_diff_reaches_target(self, old, new):
+        deltas = diff_stores(old, new)
+        assert _canon(apply_deltas(old, deltas)) == _canon(new)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stores)
+    def test_self_diff_is_empty(self, store):
+        assert diff_stores(store, store) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(stores, stores)
+    def test_deltas_are_ip_ordered_and_stamped(self, old, new):
+        deltas = diff_stores(old, new, day=42)
+        keys = [(d.ip, d.list_id, d.first_day) for d in deltas]
+        assert keys == sorted(keys)
+        assert all(d.day == 42 for d in deltas)
+
+    def test_shrink_becomes_delist_removal_becomes_retraction(self):
+        old = _build_store([(1, "alpha", 5, 9), (2, "beta", 3, 0)])
+        new = _build_store([(1, "alpha", 5, 2)])
+        deltas = diff_stores(old, new)
+        ops = {(d.ip, d.op, d.removes) for d in deltas}
+        assert ops == {(1, OP_DELIST, False), (2, OP_DELIST, True)}
+
+
+class TestDiffAgainst:
+    """The satellite contract: ``ListingStore.diff_against`` agrees
+    with ``listings_active_on`` on random day pairs."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stores,
+        stores,
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=40),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    def test_active_sets_match_after_apply(self, a, b, probes):
+        patched = apply_deltas(a, a.diff_against(b))
+        for ip, day in probes:
+            assert patched.listings_active_on(ip, day) == (
+                b.listings_active_on(ip, day)
+            )
+
+    def test_returns_listing_deltas(self):
+        a = _build_store([(1, "alpha", 5, 2)])
+        b = _build_store([(1, "alpha", 5, 4), (2, "beta", 1, 1)])
+        deltas = a.diff_against(b)
+        assert all(isinstance(d, ListingDelta) for d in deltas)
+        assert {d.op for d in deltas} == {OP_ADD, OP_EXTEND}
+
+
+class TestAsOfViews:
+    @settings(max_examples=80, deadline=None)
+    @given(stores, st.integers(min_value=-2, max_value=40))
+    def test_store_as_of_matches_span_truncation(self, store, day):
+        view = store_as_of(store, day)
+        for ip in store.all_ips() | view.all_ips():
+            spans = [
+                (l.first_day, l.last_day, l.list_id)
+                for l in store.listings_of_ip(ip)
+            ]
+            expected = truncate_spans(spans, day)
+            got = sorted(
+                (l.first_day, l.last_day, l.list_id)
+                for l in view.listings_of_ip(ip)
+            )
+            assert got == expected
+
+    def test_future_intervals_invisible(self):
+        store = _build_store([(1, "alpha", 10, 5), (1, "beta", 3, 2)])
+        view = store_as_of(store, 7)
+        assert [l.list_id for l in view.listings_of_ip(1)] == ["beta"]
+
+
+class TestDayAdvanceReplay:
+    @settings(max_examples=100, deadline=None)
+    @given(stores, st.integers(min_value=0, max_value=30))
+    def test_full_replay_reconstructs_store(self, store, start_day):
+        state = store_as_of(store, start_day)
+        for batch in day_advance_batches(store, start_day=start_day):
+            state = apply_deltas(state, batch.deltas)
+        assert _canon(state) == _canon(store)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stores, st.integers(min_value=0, max_value=30))
+    def test_batches_are_contiguous_ordered_days(self, store, start_day):
+        batches = list(day_advance_batches(store, start_day=start_day))
+        assert [b.seq for b in batches] == list(
+            range(1, len(batches) + 1)
+        )
+        days = [b.day for b in batches]
+        assert days == sorted(days)
+        assert all(day > start_day for day in days)
+        for batch in batches:
+            assert all(d.day == batch.day for d in batch.deltas)
+            assert batch.deltas  # empty days are skipped
+
+    @settings(max_examples=50, deadline=None)
+    @given(stores, st.integers(min_value=0, max_value=30))
+    def test_prefix_replay_matches_as_of_view(self, store, start_day):
+        """Stopping the replay mid-stream leaves exactly the state a
+        live collector would hold on the last applied day — the
+        invariant the serving path's per-epoch verdicts rely on."""
+        state = store_as_of(store, start_day)
+        for batch in day_advance_batches(store, start_day=start_day):
+            state = apply_deltas(state, batch.deltas)
+            assert _canon(state) == _canon(store_as_of(store, batch.day))
+
+    def test_replay_after_horizon_is_empty(self):
+        store = _build_store([(1, "alpha", 2, 3)])
+        assert list(day_advance_batches(store, start_day=20)) == []
+
+    def test_end_day_limits_the_stream(self):
+        store = _build_store([(1, "alpha", 2, 8)])
+        batches = list(
+            day_advance_batches(store, start_day=2, end_day=5)
+        )
+        assert [b.day for b in batches] == [3, 4, 5]
+
+    def test_single_day_opener_adds_then_delists(self):
+        store = _build_store([(1, "alpha", 5, 0)])
+        (batch,) = day_advance_batches(store, start_day=4)
+        assert [d.op for d in batch.deltas] == [OP_ADD, OP_DELIST]
+        assert apply_to_spans([], batch.deltas) == [(5, 5, "alpha")]

@@ -1,0 +1,455 @@
+"""Streaming service tests: epoch swaps, the wire handshake, and the
+ISSUE's acceptance scenario end to end.
+
+The acceptance test is the subsystem's reason to exist: start a server
+on the window-start index state, replay the run's whole update log
+through a live follower while concurrent clients hammer it, and
+require (a) zero failed queries, (b) every verdict internally
+consistent with the single epoch it reports (no torn reads), and
+(c) after catch-up, verdicts field-for-field equal to the batch
+engine's answers.
+"""
+
+import argparse
+import threading
+
+import pytest
+
+from repro.cli import CliError, _build_follow_state, main
+from repro.net.ipv4 import int_to_ip
+from repro.service.client import ReputationClient
+from repro.service.engine import QueryEngine
+from repro.service.index import ReputationIndex
+from repro.service.server import PROTOCOL_VERSION, ReputationServer
+from repro.stream.delta import (
+    DeltaBatch,
+    ListingDelta,
+    day_advance_batches,
+    truncate_spans,
+)
+from repro.stream.epoch import EpochIndex, index_as_of
+from repro.stream.follower import LogFollower
+from repro.stream.log import UpdateLogWriter, read_update_log
+
+
+@pytest.fixture(scope="module")
+def full_index(small_full_run):
+    return ReputationIndex.from_run(small_full_run)
+
+
+@pytest.fixture(scope="module")
+def observed(small_full_run):
+    return small_full_run.analysis.observed
+
+
+@pytest.fixture(scope="module")
+def start_day(small_full_run):
+    return int(small_full_run.analysis.windows[0][0])
+
+
+@pytest.fixture(scope="module")
+def base_index(full_index, start_day):
+    return index_as_of(full_index, start_day)
+
+
+@pytest.fixture(scope="module")
+def replay_batches(observed, start_day):
+    return list(day_advance_batches(observed, start_day=start_day))
+
+
+def _sample_span(index):
+    """Some (ip, span) actually present in the index."""
+    for ip, spans in index.interval_items():
+        if spans:
+            return ip, spans[0]
+    raise AssertionError("index has no intervals")
+
+
+class TestIndexAsOf:
+    def test_intervals_rolled_back_products_kept(
+        self, full_index, base_index, start_day
+    ):
+        for ip, spans in full_index.interval_items():
+            expected = truncate_spans(spans, start_day)
+            assert list(base_index.intervals_of(ip)) == expected
+            # Measurement-side products survive the rollback whole —
+            # they come from the pipeline, not the feed churn.
+            assert base_index.asn_of(ip) == full_index.asn_of(ip)
+            assert base_index.is_nated(ip) == full_index.is_nated(ip)
+            assert base_index.users_behind(ip) == full_index.users_behind(
+                ip
+            )
+
+    def test_rollback_shrinks_interval_footprint(
+        self, full_index, base_index
+    ):
+        assert (
+            base_index.stats()["intervals"]
+            < full_index.stats()["intervals"]
+        )
+        assert base_index.windows == full_index.windows
+
+    def test_base_plus_full_replay_equals_batch_index(
+        self, full_index, base_index, replay_batches
+    ):
+        epochs = EpochIndex(base_index)
+        epochs.apply_all(replay_batches)
+        final = epochs.index
+        for ip, spans in full_index.interval_items():
+            assert list(final.intervals_of(ip)) == sorted(spans)
+
+
+class TestEpochIndex:
+    def _delta(self, ip, span, *, op="extend", last=None):
+        first, old_last, list_id = span[0], span[1], span[2]
+        return ListingDelta(
+            old_last + 1, ip, list_id, op,
+            first, old_last + 100 if last is None else last,
+        )
+
+    def test_apply_publishes_successor(self, base_index):
+        epochs = EpochIndex(base_index)
+        ip, span = _sample_span(base_index)
+        before = epochs.current
+        assert (before.number, before.seq) == (0, 0)
+        probe_day = span[1] + 50
+        assert not before.index.lists_active_on(ip, probe_day)
+        after = epochs.apply(
+            DeltaBatch(1, probe_day, (self._delta(ip, span),))
+        )
+        assert (after.number, after.seq) == (1, 1)
+        assert span[2] in after.index.lists_active_on(ip, probe_day)
+        # The superseded epoch is untouched: a reader holding it keeps
+        # getting the old answers (that is the zero-downtime contract).
+        assert not before.index.lists_active_on(ip, probe_day)
+
+    def test_replayed_batch_is_skipped(self, base_index):
+        epochs = EpochIndex(base_index)
+        ip, span = _sample_span(base_index)
+        batch = DeltaBatch(1, 1, (self._delta(ip, span),))
+        first = epochs.apply(batch)
+        again = epochs.apply(batch)
+        assert again is first
+        assert epochs.stats()["batches_skipped"] == 1
+
+    def test_sequence_gap_rejected(self, base_index):
+        epochs = EpochIndex(base_index)
+        ip, span = _sample_span(base_index)
+        with pytest.raises(ValueError):
+            epochs.apply(DeltaBatch(3, 1, (self._delta(ip, span),)))
+
+    def test_untouched_addresses_share_interval_storage(
+        self, base_index
+    ):
+        epochs = EpochIndex(base_index)
+        ip, span = _sample_span(base_index)
+        other = next(
+            i for i, s in base_index.interval_items() if i != ip and s
+        )
+        epochs.apply(DeltaBatch(1, 1, (self._delta(ip, span),)))
+        # Copy-on-write: the successor's table holds the *same* span
+        # list objects for every address the batch did not touch.
+        assert epochs.index._intervals[other] is (
+            base_index._intervals[other]
+        )
+        assert epochs.index._intervals[ip] is not (
+            base_index._intervals.get(ip)
+        )
+
+    def test_stats_counters(self, base_index, start_day):
+        epochs = EpochIndex(base_index, day=start_day)
+        stats = epochs.stats()
+        assert stats == {
+            "epoch": 0,
+            "seq": 0,
+            "day": start_day,
+            "deltas_applied": 0,
+            "batches_skipped": 0,
+        }
+
+
+class TestEngineEpochs:
+    def test_static_engine_reports_epoch_zero(self, full_index):
+        engine = QueryEngine(full_index)
+        ip, _ = _sample_span(full_index)
+        verdict = engine.query(ip)
+        assert (verdict.epoch, verdict.seq) == (0, 0)
+        assert engine.epoch_state() == (0, 0)
+        assert engine.stats()["epoch"] == {"epoch": 0, "seq": 0}
+
+    def test_hot_swap_invalidates_cache_by_epoch(self, base_index):
+        epochs = EpochIndex(base_index)
+        engine = QueryEngine(epochs)
+        ip, span = _sample_span(base_index)
+        probe_day = span[1] + 50
+        stale = engine.query(ip, probe_day)
+        assert not stale.listed and stale.epoch == 0
+        engine.query(ip, probe_day)  # prime the cache
+        delta = ListingDelta(
+            probe_day, ip, span[2], "extend", span[0], probe_day
+        )
+        epochs.apply(DeltaBatch(1, probe_day, (delta,)))
+        fresh = engine.query(ip, probe_day)
+        # Same (ip, day): the cached epoch-0 verdict must not answer.
+        assert fresh.epoch == 1 and fresh.seq == 1
+        assert fresh.listed and span[2] in fresh.lists
+
+    def test_streaming_stats_carry_epoch_block(self, base_index):
+        epochs = EpochIndex(base_index)
+        engine = QueryEngine(epochs)
+        stats = engine.stats()
+        assert stats["epoch"]["epoch"] == 0
+        assert "deltas_applied" in stats["epoch"]
+
+
+class TestHelloHandshake:
+    def test_static_server_handshake(self, full_index):
+        server = ReputationServer(
+            QueryEngine(full_index), connection_timeout=5.0
+        )
+        host, port = server.start()
+        try:
+            with ReputationClient(host, port) as client:
+                hello = client.hello()
+                assert hello == {
+                    "service": "repro-reputation",
+                    "protocol": PROTOCOL_VERSION,
+                    "streaming": False,
+                    "epoch": 0,
+                    "seq": 0,
+                }
+        finally:
+            server.shutdown()
+
+    def test_streaming_server_handshake_tracks_epochs(
+        self, base_index, replay_batches
+    ):
+        epochs = EpochIndex(base_index)
+        server = ReputationServer(
+            QueryEngine(epochs), connection_timeout=5.0, streaming=True
+        )
+        host, port = server.start()
+        try:
+            with ReputationClient(host, port) as client:
+                assert client.hello()["streaming"] is True
+                assert client.hello()["epoch"] == 0
+                epochs.apply(replay_batches[0])
+                hello = client.hello()
+                assert hello["epoch"] == 1
+                assert hello["seq"] == replay_batches[0].seq
+                stats = client.stats()
+                assert stats["epoch"]["epoch"] == 1
+                assert stats["epoch"]["day"] == replay_batches[0].day
+        finally:
+            server.shutdown()
+
+
+class TestFollowEndToEnd:
+    """The acceptance scenario, with the log produced live."""
+
+    def _expected_lists(self, observed, ip, query_day, stream_day):
+        """Active lists for (ip, query_day) in the state a collector
+        holds on stream_day — what a verdict stamped with that stream
+        position must report, whatever epoch the swap is on."""
+        return sorted(
+            {
+                l.list_id
+                for l in observed.listings_of_ip(ip)
+                if l.first_day <= stream_day
+                and l.first_day <= query_day <= min(l.last_day, stream_day)
+            }
+        )
+
+    def test_live_replay_fidelity_and_no_torn_reads(
+        self,
+        tmp_path,
+        small_full_run,
+        full_index,
+        base_index,
+        observed,
+        start_day,
+        replay_batches,
+    ):
+        analysis = small_full_run.analysis
+        ips = sorted(analysis.blocklisted_ips)
+        days = [d for w in analysis.windows for d in w]
+        day_of_seq = {0: start_day}
+        day_of_seq.update(
+            (batch.seq, batch.day) for batch in replay_batches
+        )
+        final_seq = replay_batches[-1].seq
+
+        log_path = tmp_path / "updates.gz"
+        writer = UpdateLogWriter(log_path, start_day=start_day)
+        epochs = EpochIndex(base_index, day=start_day)
+        server = ReputationServer(
+            QueryEngine(epochs), connection_timeout=10.0, streaming=True
+        )
+        host, port = server.start()
+        follower = LogFollower(log_path, epochs, poll_interval=0.002)
+        failures = []
+        produced = threading.Event()
+
+        def produce():
+            # A live producer: the follower tails a growing file, so
+            # swaps genuinely interleave with the queries below.
+            for batch in replay_batches:
+                writer.append(batch)
+            produced.set()
+
+        def consume(worker_seed):
+            try:
+                last_epoch = -1
+                with ReputationClient(host, port) as client:
+                    for i in range(250):
+                        ip = ips[(worker_seed + 3 * i) % len(ips)]
+                        query_day = days[(worker_seed + i) % len(days)]
+                        verdict = client.query(ip, query_day)
+                        if verdict["epoch"] < last_epoch:
+                            failures.append(
+                                ("epoch went backwards", verdict)
+                            )
+                        last_epoch = verdict["epoch"]
+                        expected = self._expected_lists(
+                            observed, ip, query_day,
+                            day_of_seq[verdict["seq"]],
+                        )
+                        if verdict["lists"] != expected:
+                            failures.append(("torn lists", verdict))
+                        if verdict["listed"] != bool(expected):
+                            failures.append(("torn listed", verdict))
+                        if verdict["unjust"] != (
+                            bool(expected)
+                            and (verdict["nated"] or verdict["dynamic"])
+                        ):
+                            failures.append(("torn unjust", verdict))
+            except Exception as exc:  # pragma: no cover — must not happen
+                failures.append(("query failed", repr(exc)))
+
+        try:
+            follower.start()
+            workers = [
+                threading.Thread(target=consume, args=(seed,))
+                for seed in range(4)
+            ]
+            producer = threading.Thread(target=produce)
+            for thread in workers + [producer]:
+                thread.start()
+            for thread in workers + [producer]:
+                thread.join(timeout=60.0)
+            assert produced.is_set()
+            assert not failures, failures[:5]
+            assert follower.wait_for_seq(final_seq, timeout=30.0), (
+                follower.stats()
+            )
+
+            # After full replay: field-for-field equality with the
+            # batch engine, for every blocklisted IP on every window
+            # boundary day.
+            batch_engine = QueryEngine(full_index)
+            with ReputationClient(host, port) as client:
+                for day in days:
+                    streamed = client.query_batch(
+                        [(ip, day) for ip in ips]
+                    )
+                    for ip, got in zip(ips, streamed):
+                        want = batch_engine.query(ip, day).to_wire()
+                        got = dict(got)
+                        assert got.pop("epoch") == final_seq
+                        assert got.pop("seq") == final_seq
+                        want.pop("epoch"), want.pop("seq")
+                        assert got == want, (int_to_ip(ip), day)
+        finally:
+            follower.stop()
+            server.shutdown()
+        assert follower.stats()["error"] is None
+
+
+class TestCliStream:
+    @pytest.fixture(scope="class")
+    def cli_env(self, tmp_path_factory):
+        mp = pytest.MonkeyPatch()
+        mp.setenv(
+            "RESULTS_CACHE_DIR",
+            str(tmp_path_factory.mktemp("run-cache")),
+        )
+        yield mp
+        mp.undo()
+
+    @pytest.fixture(scope="class")
+    def cli_log(self, cli_env, tmp_path_factory):
+        out = tmp_path_factory.mktemp("stream") / "updates.gz"
+        assert main(["stream", "--out", str(out)]) == 0
+        return out
+
+    def test_stream_writes_replayable_log(
+        self, cli_log, observed, start_day, replay_batches
+    ):
+        header, batches = read_update_log(cli_log)
+        assert header["start_day"] == start_day
+        assert header["meta"]["preset"] == "small"
+        assert header["meta"]["seed"] == 2020
+        # The CLI's cached run is the same seeded world as the session
+        # fixture, so its churn stream is bit-identical.
+        assert batches == replay_batches
+
+    def test_stream_replaces_existing_file(self, cli_env, tmp_path):
+        out = tmp_path / "updates.gz"
+        out.write_bytes(b"old junk")
+        assert main(["stream", "--out", str(out)]) == 0
+        header, batches = read_update_log(out)
+        assert header["magic"] == "repro-update-log"
+        assert batches
+
+    def test_stream_paced_emission(self, cli_env, tmp_path, capsys):
+        out = tmp_path / "paced.gz"
+        assert main(
+            ["stream", "--out", str(out), "--replay-days", "1e6"]
+        ) == 0
+        assert "day batches" in capsys.readouterr().out
+        _, batches = read_update_log(out)
+        assert batches
+
+    def test_follow_state_builds_and_validates(
+        self, cli_env, cli_log, start_day
+    ):
+        args = argparse.Namespace(
+            follow=str(cli_log), preset="small", seed=2020, workers=1
+        )
+        epochs, follower = _build_follow_state(args)
+        assert epochs.current.number == 0
+        assert epochs.current.day == start_day
+        assert follower.epochs is epochs
+
+    def test_follow_state_rejects_mismatched_base(
+        self, cli_env, tmp_path
+    ):
+        log = tmp_path / "other.gz"
+        UpdateLogWriter(
+            log, start_day=214, meta={"ips": 99999, "intervals": 1}
+        )
+        args = argparse.Namespace(
+            follow=str(log), preset="small", seed=2020, workers=1
+        )
+        with pytest.raises(CliError, match="wrong preset/seed"):
+            _build_follow_state(args)
+
+    def test_serve_follow_conflicts_with_snapshot(self, capsys):
+        code = main(
+            [
+                "serve", "--follow", "x.gz", "--snapshot", "y.idx",
+                "--port", "0",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_follow_missing_log_is_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve", "--follow", str(tmp_path / "absent.gz"),
+                "--port", "0",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
