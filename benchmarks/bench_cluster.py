@@ -1,0 +1,147 @@
+"""Performance of the sharded cluster's serving path.
+
+Two numbers gate the scatter-gather story:
+
+* **routed batch queries/sec** — batched TCP round trips through the
+  router (split by shard, scattered, merged) vs the same workload
+  against one single-process server. The router adds a hop and a
+  fan-out, so it will not beat one process on one machine — the gate
+  asserts the routed path keeps at least a fixed fraction of the
+  direct path's throughput (the overhead is bounded, not free);
+* **point-query p99 during failover** — per-query latencies against a
+  replicated cluster while one shard's primary is killed and later
+  restarted mid-run. Queries fail over to the replica; the failover
+  phase's p99 must stay within 3x the steady-state p99 (plus a small
+  epsilon for connect/retry noise, asserted).
+"""
+
+import time
+
+from repro.cluster import LocalCluster
+from repro.experiments.runner import cached_run
+from repro.service.client import ReputationClient
+from repro.service.engine import QueryEngine
+from repro.service.index import ReputationIndex
+from repro.service.server import ReputationServer
+
+#: Minimum fraction of single-process batch throughput the routed
+#: path must retain (scatter-gather overhead bound).
+MIN_ROUTED_FRACTION = 0.25
+
+#: Allowed failover-phase p99 inflation: 3x steady-state + noise.
+FAILOVER_P99_FACTOR = 3.0
+FAILOVER_P99_EPSILON_S = 500e-6
+
+
+def _workload(analysis, n):
+    """A deterministic (ip, day) stream over every blocklisted
+    address — spread across the whole space, so batches genuinely
+    scatter over all shards."""
+    ips = sorted(analysis.blocklisted_ips)
+    days = []
+    for start, end in analysis.windows:
+        days += [start, (start + end) // 2, end]
+    pairs = [(ip, day) for day in days for ip in ips]
+    repeats = -(-n // len(pairs))  # ceil
+    return (pairs * repeats)[:n]
+
+
+def _p99(samples):
+    ordered = sorted(samples)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def test_perf_cluster_scatter_gather_batches(benchmark):
+    """Routed batch throughput vs the single-process baseline."""
+    run = cached_run("small")
+    index = ReputationIndex.from_run(run)
+    queries = _workload(run.analysis, 1000)
+
+    # Single-process baseline: same workload, same wire protocol.
+    with ReputationServer(QueryEngine(index)) as server:
+        host, port = server.start()
+        with ReputationClient(host, port) as client:
+            client.query_batch(queries)  # warm up
+            started = time.perf_counter()
+            client.query_batch(queries)
+            single_elapsed = time.perf_counter() - started
+    single_qps = len(queries) / single_elapsed
+
+    with LocalCluster(index, shards=3, mode="thread") as cluster:
+        assert cluster.router.wait_healthy(10.0)
+        with ReputationClient(*cluster.address) as client:
+
+            def batch_round():
+                return client.query_batch(queries)
+
+            verdicts = benchmark.pedantic(
+                batch_round, rounds=3, iterations=1
+            )
+            assert len(verdicts) == len(queries)
+            assert not any("error" in v for v in verdicts)
+
+            started = time.perf_counter()
+            client.query_batch(queries)
+            elapsed = time.perf_counter() - started
+    routed_qps = len(queries) / elapsed
+    benchmark.extra_info.update(
+        routed_qps=round(routed_qps),
+        single_process_qps=round(single_qps),
+        routed_fraction=round(routed_qps / single_qps, 3),
+    )
+    assert routed_qps >= MIN_ROUTED_FRACTION * single_qps, (
+        f"routed path sustained {routed_qps:.0f} q/s, under "
+        f"{MIN_ROUTED_FRACTION:.0%} of the single-process "
+        f"{single_qps:.0f} q/s"
+    )
+
+
+def test_perf_cluster_failover_p99(benchmark):
+    """Point-query p99 while a shard primary dies and comes back."""
+    run = cached_run("small")
+    index = ReputationIndex.from_run(run)
+    queries = _workload(run.analysis, 600)
+
+    with LocalCluster(
+        index, shards=3, replicas=1, mode="thread"
+    ) as cluster:
+        assert cluster.router.wait_healthy(10.0)
+        victim = cluster.partition.shard_of(queries[0][0])
+
+        def timed_points(client, pairs):
+            samples = []
+            for ip, day in pairs:
+                started = time.perf_counter()
+                client.query(ip, day)
+                samples.append(time.perf_counter() - started)
+            return samples
+
+        with ReputationClient(*cluster.address) as client:
+            steady = timed_points(client, queries)
+
+            def failover_round():
+                cluster.kill_primary(victim)
+                try:
+                    return timed_points(client, queries)
+                finally:
+                    cluster.restart_primary(victim)
+                    assert cluster.router.wait_healthy(10.0)
+
+            during = benchmark.pedantic(
+                failover_round, rounds=3, iterations=1
+            )
+            failovers = client.stats()["router"]["failovers"]
+    p99_steady, p99_during = _p99(steady), _p99(during)
+    benchmark.extra_info.update(
+        p99_steady_us=round(p99_steady * 1e6, 1),
+        p99_during_us=round(p99_during * 1e6, 1),
+        failovers=failovers,
+    )
+    assert failovers >= 1, "failover path never exercised"
+    assert p99_during <= (
+        FAILOVER_P99_FACTOR * p99_steady + FAILOVER_P99_EPSILON_S
+    ), (
+        f"failover p99 {p99_during * 1e6:.1f}us exceeds "
+        f"{FAILOVER_P99_FACTOR}x steady-state "
+        f"{p99_steady * 1e6:.1f}us"
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot a 3-shard (1 replica each) cluster via the
+# CLI, fire 100 queries through the router, kill one shard worker
+# process, and assert the service keeps answering (failover), then
+# tear everything down. Exits non-zero on any failed step.
+#
+# Usage: scripts/cluster_smoke.sh  (from the repo root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+PORT="${CLUSTER_SMOKE_PORT:-7341}"
+LOG="$(mktemp /tmp/cluster_smoke.XXXXXX.log)"
+CLUSTER_PID=""
+
+cleanup() {
+    if [[ -n "$CLUSTER_PID" ]] && kill -0 "$CLUSTER_PID" 2>/dev/null; then
+        # Kill the whole process group: router plus shard workers.
+        kill -- -"$CLUSTER_PID" 2>/dev/null || kill "$CLUSTER_PID" 2>/dev/null || true
+        wait "$CLUSTER_PID" 2>/dev/null || true
+    fi
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+echo "== booting cluster (3 shards x 2 backends) on port $PORT"
+setsid python -m repro cluster \
+    --shards 3 --replicas 1 --port "$PORT" >"$LOG" 2>&1 &
+CLUSTER_PID=$!
+
+for _ in $(seq 1 120); do
+    if grep -q "cluster serving on" "$LOG"; then
+        break
+    fi
+    if ! kill -0 "$CLUSTER_PID" 2>/dev/null; then
+        echo "FAIL: cluster process died during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+grep -q "cluster serving on" "$LOG" || {
+    echo "FAIL: cluster never reported serving" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+grep "^shard " "$LOG"
+
+echo "== handshake"
+python -m repro query --hello --port "$PORT" | grep -q '"shards": 3' || {
+    echo "FAIL: hello did not report 3 shards" >&2
+    exit 1
+}
+
+echo "== 100 queries through the router"
+IPS=$(python - <<'EOF'
+import random
+rng = random.Random(7)
+print(" ".join(
+    ".".join(str(rng.randrange(256)) for _ in range(4)) for _ in range(100)
+))
+EOF
+)
+# shellcheck disable=SC2086
+ANSWERS=$(python -m repro query --port "$PORT" $IPS | grep -c "listed=")
+[[ "$ANSWERS" -eq 100 ]] || {
+    echo "FAIL: expected 100 verdicts, got $ANSWERS" >&2
+    exit 1
+}
+echo "   100/100 answered"
+
+echo "== killing shard 0's primary worker"
+SHARD_PID=$(grep "^shard 0 primary" "$LOG" | sed -n 's/.*pid=\([0-9]*\).*/\1/p')
+[[ -n "$SHARD_PID" ]] || {
+    echo "FAIL: could not find shard 0 primary pid in output" >&2
+    exit 1
+}
+kill -9 "$SHARD_PID"
+sleep 1
+
+echo "== 100 queries with a dead primary (replica must answer)"
+# shellcheck disable=SC2086
+ANSWERS=$(python -m repro query --port "$PORT" $IPS | grep -c "listed=")
+[[ "$ANSWERS" -eq 100 ]] || {
+    echo "FAIL: expected 100 verdicts after shard kill, got $ANSWERS" >&2
+    exit 1
+}
+echo "   100/100 answered through failover"
+
+echo "OK: cluster served through a shard failure"

@@ -9,15 +9,17 @@ Workflow::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_perf_primitives.py \
         benchmarks/bench_perf_runner.py benchmarks/bench_service.py \
-        benchmarks/bench_stream.py \
+        benchmarks/bench_stream.py benchmarks/bench_cluster.py \
         --benchmark-json=/tmp/bench_current.json -q
     python scripts/perf_regress.py /tmp/bench_current.json
 
 The gated set covers the batch pipeline (primitives + runner), the
 online service's query path (index build, in-process and over-the-wire
-queries/sec), and the streaming ingestion path (delta apply
-throughput, update-log roundtrip, query p99 under epoch hot swap), so
-a slowdown on any side of the serving story fails the same gate.
+queries/sec), the streaming ingestion path (delta apply throughput,
+update-log roundtrip, query p99 under epoch hot swap), and the sharded
+cluster (scatter-gather batch throughput vs single-process, point p99
+during shard failover), so a slowdown on any side of the serving story
+fails the same gate.
 
 Refreshing the baseline after an intentional perf change::
 

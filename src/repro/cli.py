@@ -12,7 +12,13 @@ Subcommands:
 * ``serve``    — compile a run into a reputation index and answer
   online queries over TCP; with ``--follow`` the server tails an
   update log and hot-swaps index epochs with zero downtime.
-* ``query``    — ask a running server for per-address verdicts.
+* ``cluster``  — the same service sharded: N worker processes each
+  holding one slice of the index behind a scatter-gather router that
+  speaks the identical wire protocol (``--replicas`` adds failover
+  backends per shard; ``--follow`` has every shard tail the shared
+  update log independently).
+* ``query``    — ask a running server (or cluster router — the
+  protocol is the same) for per-address verdicts.
 * ``stream``   — emit a run's listing churn as an append-only update
   log (whole-window, or paced with ``--replay-days``).
 
@@ -42,6 +48,7 @@ from .service import (
     ServiceError,
     SnapshotError,
 )
+from .service.server import DEFAULT_CONNECTION_TIMEOUT
 from .stream import UpdateLogError
 from .survey.analyze import figure9_usage, render_table1, summarize
 from .survey.generate import generate_responses
@@ -166,6 +173,84 @@ def _build_parser() -> argparse.ArgumentParser:
             "batches arrive"
         ),
     )
+    serve_p.add_argument(
+        "--conn-timeout",
+        type=float,
+        default=DEFAULT_CONNECTION_TIMEOUT,
+        metavar="SECONDS",
+        help=(
+            "per-connection idle timeout before the server hangs up "
+            f"(default {DEFAULT_CONNECTION_TIMEOUT:g}s)"
+        ),
+    )
+
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="serve verdicts from a sharded cluster behind a router",
+    )
+    cluster_p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="small",
+        help="run to compile the index from (loaded via the run cache)",
+    )
+    cluster_p.add_argument("--seed", type=int, default=2020)
+    cluster_p.add_argument("--host", default="127.0.0.1")
+    cluster_p.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=(
+            f"router TCP port (default {DEFAULT_SERVICE_PORT}; "
+            "0 = ephemeral); shards always bind ephemeral ports"
+        ),
+    )
+    cluster_p.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        metavar="N",
+        help="number of address-space partitions (default 3)",
+    )
+    cluster_p.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="R",
+        help="extra failover backends per shard (default 0)",
+    )
+    cluster_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the pipeline run on an index-cache miss",
+    )
+    cluster_p.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        help=(
+            "index snapshot: loaded when the file exists, otherwise "
+            "written after the index is built"
+        ),
+    )
+    cluster_p.add_argument(
+        "--follow",
+        metavar="LOG",
+        help=(
+            "every shard tails this update log independently "
+            "(filtered to its range; epochs roll shard-by-shard)"
+        ),
+    )
+    cluster_p.add_argument(
+        "--conn-timeout",
+        type=float,
+        default=DEFAULT_CONNECTION_TIMEOUT,
+        metavar="SECONDS",
+        help=(
+            "per-connection idle timeout on the router and every "
+            f"shard (default {DEFAULT_CONNECTION_TIMEOUT:g}s)"
+        ),
+    )
 
     stream_p = sub.add_parser(
         "stream",
@@ -236,6 +321,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print server-side engine/index stats and exit",
+    )
+    query_p.add_argument(
+        "--hello",
+        action="store_true",
+        help=(
+            "print the server handshake (protocol/epoch; for a "
+            "cluster router also the fleet min/max epoch) and exit"
+        ),
     )
     return parser
 
@@ -406,10 +499,11 @@ def _build_service_index(args: argparse.Namespace) -> ReputationIndex:
     return index
 
 
-def _build_follow_state(args: argparse.Namespace):
-    """The streaming pieces behind ``serve --follow``: the epoch index
-    rolled back to the log's start day, plus its follower."""
-    from .stream import EpochIndex, LogFollower, UpdateLogReader, index_as_of
+def _follow_base(args: argparse.Namespace):
+    """The starting state behind ``--follow``: the full index rolled
+    back to the log's start day, validated against the log header.
+    Returns ``(log_path, start_day, base)``."""
+    from .stream import UpdateLogReader, index_as_of
 
     log_path = Path(args.follow)
     header = UpdateLogReader(log_path).header
@@ -428,6 +522,15 @@ def _build_follow_state(args: argparse.Namespace):
                 f"{expected} {key} on day {start_day}, this run has "
                 f"{sizes[key]} — wrong preset/seed?"
             )
+    return log_path, start_day, base
+
+
+def _build_follow_state(args: argparse.Namespace):
+    """The streaming pieces behind ``serve --follow``: the epoch index
+    rolled back to the log's start day, plus its follower."""
+    from .stream import EpochIndex, LogFollower
+
+    log_path, start_day, base = _follow_base(args)
     epochs = EpochIndex(base, day=start_day)
 
     def announce(epoch, n_deltas):
@@ -440,8 +543,15 @@ def _build_follow_state(args: argparse.Namespace):
     return epochs, follower
 
 
+def _checked_conn_timeout(value: float) -> float:
+    if not value > 0:
+        raise CliError(f"--conn-timeout must be positive: {value}")
+    return float(value)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     port = _checked_port(args.port)
+    conn_timeout = _checked_conn_timeout(args.conn_timeout)
     follower = None
     if args.follow:
         if args.snapshot:
@@ -456,6 +566,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         QueryEngine(engine_source),
         args.host,
         port,
+        connection_timeout=conn_timeout,
         streaming=follower is not None,
     )
     host, bound_port = server.address
@@ -476,6 +587,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if follower is not None:
             follower.stop()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import MAX_SHARDS, LocalCluster
+
+    port = _checked_port(args.port)
+    conn_timeout = _checked_conn_timeout(args.conn_timeout)
+    if not 1 <= args.shards <= MAX_SHARDS:
+        raise CliError(
+            f"--shards must be in 1..{MAX_SHARDS}: {args.shards}"
+        )
+    if args.replicas < 0:
+        raise CliError(f"--replicas must be >= 0: {args.replicas}")
+    follow = None
+    start_day = None
+    if args.follow:
+        if args.snapshot:
+            raise CliError("--follow and --snapshot are mutually exclusive")
+        follow, start_day, index = _follow_base(args)
+    else:
+        index = _build_service_index(args)
+    cluster = LocalCluster(
+        index,
+        shards=args.shards,
+        replicas=args.replicas,
+        follow=follow,
+        start_day=start_day,
+        mode="process",
+        host=args.host,
+        router_port=port,
+        connection_timeout=conn_timeout,
+    )
+    try:
+        addresses = cluster.start_backends()
+        for shard_id, shard_range in enumerate(cluster.partition.ranges):
+            for replica, (host, bound) in enumerate(addresses[shard_id]):
+                backend = cluster.backend(shard_id, replica)
+                role = "primary" if replica == 0 else f"replica {replica}"
+                print(
+                    f"shard {shard_id} {role} pid={backend.pid} "
+                    f"addr={host}:{bound} range={shard_range}"
+                )
+        router = cluster.build_router(addresses)
+        host, bound_port = router.address
+        sizes = index.stats()
+        print(
+            f"cluster serving on {host}:{bound_port} — {args.shards} "
+            f"shards x {1 + args.replicas} backends, {sizes['ips']} "
+            f"addresses, {sizes['intervals']} listing intervals"
+            + (f", following {follow}" if follow else "")
+        )
+        try:
+            router.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+    finally:
+        cluster.close()
     return 0
 
 
@@ -541,9 +710,14 @@ def _render_verdict(verdict: dict) -> str:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     port = _checked_port(args.port)
-    if not args.stats and not args.ip:
-        raise CliError("no addresses given (and --stats not requested)")
+    if not args.stats and not args.hello and not args.ip:
+        raise CliError(
+            "no addresses given (and --stats/--hello not requested)"
+        )
     with ReputationClient(args.host, port) as client:
+        if args.hello:
+            print(json.dumps(client.hello(), indent=2, sort_keys=True))
+            return 0
         if args.stats:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
@@ -554,11 +728,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 (ip, args.day) for ip in args.ip
             )
     for verdict in verdicts:
-        print(
-            json.dumps(verdict, sort_keys=True)
-            if args.json
-            else _render_verdict(verdict)
-        )
+        if args.json:
+            print(json.dumps(verdict, sort_keys=True))
+        elif "error" in verdict:
+            # A cluster router degrades per-IP when a shard is down
+            # instead of failing the whole batch.
+            shard = verdict.get("shard")
+            where = f" shard={shard}" if shard is not None else ""
+            print(f"{verdict['ip']} error={verdict['error']}{where}")
+        else:
+            print(_render_verdict(verdict))
     return 0
 
 
@@ -589,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "catalog": _cmd_catalog,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "query": _cmd_query,
         "stream": _cmd_stream,
     }

@@ -1,0 +1,42 @@
+"""Sharded, replicated serving for the reputation service.
+
+One process and one index copy cap the single-server stack of
+:mod:`repro.service`; real deployments consult blocklists per flow, so
+query capacity must scale horizontally. This package partitions the
+IPv4 space across worker shards and puts a protocol-identical router
+in front:
+
+* :mod:`repro.cluster.partition` — :class:`PartitionMap`, the
+  deterministic /24-aligned split of the address space (no dynamic-
+  prefix verdict ever straddles shards);
+* :mod:`repro.cluster.shard` — :class:`ShardServer` /
+  :class:`ShardProcess`, the existing service stack over
+  ``ReputationIndex.restrict(...)``, each shard independently tailing
+  the shared update log (filtered to its range, epochs in lockstep);
+* :mod:`repro.cluster.router` — :class:`Router`, the scatter-gather
+  front speaking the unchanged wire protocol: point routing, batched
+  fan-out with in-order merge, merged ``stats``/``hello`` with
+  min/max epoch, heartbeats, replica failover, and explicit
+  ``SHARD_UNAVAILABLE`` degradation instead of failed batches;
+* :mod:`repro.cluster.local` — :class:`LocalCluster`, the one-machine
+  bootstrapper behind ``repro cluster`` and the tests.
+"""
+
+from .local import LocalCluster
+from .partition import MAX_SHARDS, PartitionMap, ShardRange
+from .router import SHARD_UNAVAILABLE, Backend, Router, ShardSlot
+from .shard import ShardProcess, ShardServer, filter_batch
+
+__all__ = [
+    "Backend",
+    "LocalCluster",
+    "MAX_SHARDS",
+    "PartitionMap",
+    "Router",
+    "SHARD_UNAVAILABLE",
+    "ShardProcess",
+    "ShardRange",
+    "ShardServer",
+    "ShardSlot",
+    "filter_batch",
+]

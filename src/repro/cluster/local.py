@@ -1,0 +1,224 @@
+"""Boot a whole sharded cluster on one machine.
+
+:class:`LocalCluster` wires the pieces together: partition the space,
+restrict the full index per shard, start each shard's primary and
+replicas (threads in-process, or one forked worker process per
+backend), then put a :class:`~repro.cluster.router.Router` in front.
+Tests and benchmarks use thread mode; ``repro cluster`` uses process
+mode so each shard genuinely holds only its slice in its own
+interpreter.
+
+Kill/restart hooks (:meth:`kill_primary` / :meth:`restart_primary`)
+exist because the acceptance bar requires serving *through* a shard
+outage, not just before and after one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
+
+from ..service.index import ReputationIndex
+from ..service.server import DEFAULT_CONNECTION_TIMEOUT
+from ..stream.epoch import index_as_of
+from .partition import PartitionMap
+from .router import (
+    DEFAULT_BACKEND_TIMEOUT,
+    DEFAULT_HEARTBEAT_INTERVAL,
+    Router,
+)
+from .shard import ShardProcess, ShardServer
+
+__all__ = ["LocalCluster"]
+
+_ShardHost = Union[ShardServer, ShardProcess]
+
+
+class LocalCluster:
+    """N shards × (1 + R) backends plus a router, on localhost.
+
+    ``full_index`` is the unrestricted compiled index; each backend
+    gets ``full_index.restrict(...)`` of its shard's range (rolled
+    back to the log's start day first when ``follow`` is given, so a
+    following shard replays exactly what a single-process
+    ``serve --follow`` would). Replicas are independent backends over
+    the same slice — in streaming mode each follows the shared log on
+    its own, so a failover target is as fresh as its own tail.
+    """
+
+    def __init__(
+        self,
+        full_index: ReputationIndex,
+        *,
+        shards: int = 3,
+        replicas: int = 0,
+        follow: "Path | str | None" = None,
+        start_day: Optional[int] = None,
+        mode: str = "thread",
+        host: str = "127.0.0.1",
+        router_port: int = 0,
+        connection_timeout: float = DEFAULT_CONNECTION_TIMEOUT,
+        backend_timeout: float = DEFAULT_BACKEND_TIMEOUT,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown cluster mode: {mode!r}")
+        if replicas < 0:
+            raise ValueError(f"negative replica count: {replicas}")
+        self.partition = PartitionMap(shards)
+        self.mode = mode
+        self._follow = follow
+        self._start_day = start_day
+        base = full_index
+        if follow is not None and start_day is not None:
+            base = index_as_of(full_index, start_day)
+        # backends[shard_id][0] is the primary, the rest replicas.
+        # The pristine restricted bases are kept: a restarted follower
+        # shard must replay the log from this state, not from whatever
+        # epoch the dead worker had reached.
+        self._bases: List[ReputationIndex] = []
+        self._backends: List[List[_ShardHost]] = []
+        for shard_id, shard_range in enumerate(self.partition.ranges):
+            restricted = base.restrict(shard_range.lo, shard_range.hi)
+            self._bases.append(restricted)
+            slot: List[_ShardHost] = []
+            for _ in range(1 + replicas):
+                if mode == "process":
+                    slot.append(
+                        ShardProcess(
+                            restricted,
+                            shard_id,
+                            shard_range,
+                            follow=follow,
+                            start_day=start_day,
+                            host=host,
+                            connection_timeout=connection_timeout,
+                        )
+                    )
+                else:
+                    slot.append(
+                        ShardServer(
+                            restricted,
+                            shard_id,
+                            shard_range,
+                            follow=follow,
+                            start_day=start_day,
+                            host=host,
+                            connection_timeout=connection_timeout,
+                            poll_interval=poll_interval,
+                        )
+                    )
+            self._backends.append(slot)
+        self._router_args = dict(
+            host=host,
+            port=router_port,
+            connection_timeout=connection_timeout,
+            backend_timeout=backend_timeout,
+            heartbeat_interval=heartbeat_interval,
+        )
+        self.router: Optional[Router] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start_backends(self) -> List[List[Tuple[str, int]]]:
+        """Start every shard backend; returns their bound addresses."""
+        return [
+            [backend.start() for backend in slot]
+            for slot in self._backends
+        ]
+
+    def build_router(
+        self, addresses: List[List[Tuple[str, int]]]
+    ) -> Router:
+        """Construct (but don't start) the router over ``addresses``;
+        registered on ``self.router`` so :meth:`close` tears it down."""
+        self.router = Router(
+            self.partition, addresses, **self._router_args
+        )
+        return self.router
+
+    def start(self) -> Tuple[str, int]:
+        """Start every backend, then the router; returns its address."""
+        return self.build_router(self.start_backends()).start()
+
+    def close(self) -> None:
+        """Shut the router and every backend down (idempotent)."""
+        if self.router is not None:
+            self.router.shutdown()
+            self.router = None
+        for slot in self._backends:
+            for backend in slot:
+                try:
+                    if isinstance(backend, ShardProcess):
+                        backend.kill()
+                    else:
+                        backend.stop()
+                except Exception:
+                    pass  # teardown must not mask the real failure
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *_: Any) -> None:
+        self.close()
+
+    # -- observability / chaos hooks -----------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self.router is None:
+            raise RuntimeError("cluster not started")
+        return self.router.address
+
+    def backend(self, shard_id: int, replica: int = 0) -> _ShardHost:
+        """One backend host (0 = primary)."""
+        return self._backends[shard_id][replica]
+
+    def shard_pids(self) -> List[List[Optional[int]]]:
+        """Per-shard backend pids (process mode; None in thread mode)."""
+        return [
+            [
+                backend.pid if isinstance(backend, ShardProcess) else None
+                for backend in slot
+            ]
+            for slot in self._backends
+        ]
+
+    def kill_primary(self, shard_id: int) -> None:
+        """Take shard ``shard_id``'s primary down, hard."""
+        backend = self._backends[shard_id][0]
+        if isinstance(backend, ShardProcess):
+            backend.kill()
+        else:
+            backend.stop()
+
+    def restart_primary(self, shard_id: int) -> Tuple[str, int]:
+        """Bring a killed primary back on its original port."""
+        old = self._backends[shard_id][0]
+        shard_range = self.partition.range_of(shard_id)
+        if isinstance(old, ShardProcess):
+            return old.restart()
+        host, port = old.address
+        replacement = ShardServer(
+            self._bases[shard_id],
+            shard_id,
+            shard_range,
+            follow=self._follow,
+            start_day=self._start_day,
+            host=host,
+            port=port,
+            connection_timeout=self._router_args["connection_timeout"],
+        )
+        self._backends[shard_id][0] = replacement
+        return replacement.start()
+
+    def wait_for_seq(self, seq: int, timeout: float = 60.0) -> bool:
+        """Block until every live backend has applied ``seq``."""
+        for slot in self._backends:
+            for backend in slot:
+                if isinstance(backend, ShardServer):
+                    if not backend.wait_for_seq(seq, timeout=timeout):
+                        return False
+        return True

@@ -1,0 +1,138 @@
+"""Deterministic partitioning of the IPv4 space into shard ranges.
+
+The cluster's correctness hinges on one property: a verdict must never
+depend on *which* shard answered. The only cross-address state a
+verdict reads is the dynamic-/24 classification (the paper expands
+dynamic detections to their covering /24, Section 3.2), so the
+partitioner splits the space at /24 boundaries — every /24, and with
+it every dynamic-prefix decision, lives wholly inside one shard.
+
+A :class:`PartitionMap` is a pure function of the shard count: the
+2^24 /24-blocks are split into ``shards`` contiguous, balanced ranges
+(block ``b`` goes to shard ``floor(b * shards / 2^24)``), so a router
+and any number of shard bootstrappers agree on the layout without
+coordination, and the same map can be recomputed from the ``stats``
+payload alone.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from ..net.ipv4 import MAX_IPV4, int_to_ip, is_valid_ip_int
+
+__all__ = ["MAX_SHARDS", "PartitionMap", "ShardRange"]
+
+#: Number of /24 blocks in the IPv4 space — the partitioning unit.
+_TOTAL_BLOCKS = 1 << 24
+
+#: Upper bound on the shard count (one shard per /24 block at most is
+#: absurd; this bound just keeps a typo'd count from allocating wild).
+MAX_SHARDS = 4096
+
+
+@dataclass(frozen=True, order=True)
+class ShardRange:
+    """One shard's contiguous, /24-aligned slice ``lo..hi`` (inclusive)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (is_valid_ip_int(self.lo) and is_valid_ip_int(self.hi)):
+            raise ValueError(f"bad range bounds: {self.lo!r}..{self.hi!r}")
+        if self.lo > self.hi:
+            raise ValueError(
+                f"range ends before it starts: {self.lo}..{self.hi}"
+            )
+        if self.lo & 0xFF or (self.hi & 0xFF) != 0xFF:
+            raise ValueError(
+                f"range not /24-aligned: "
+                f"{int_to_ip(self.lo)}..{int_to_ip(self.hi)}"
+            )
+
+    def contains(self, ip: int) -> bool:
+        """True when integer address ``ip`` falls inside the range."""
+        return self.lo <= ip <= self.hi
+
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return self.hi - self.lo + 1
+
+    def to_wire(self) -> List[int]:
+        """JSON-ready ``[lo, hi]`` pair."""
+        return [self.lo, self.hi]
+
+    @classmethod
+    def from_wire(cls, row: Sequence[int]) -> "ShardRange":
+        if not isinstance(row, (list, tuple)) or len(row) != 2:
+            raise ValueError(f"range row must be [lo, hi]: {row!r}")
+        return cls(int(row[0]), int(row[1]))
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.lo)}..{int_to_ip(self.hi)}"
+
+
+class PartitionMap:
+    """The deterministic shard layout for a given shard count."""
+
+    def __init__(self, shards: int) -> None:
+        if not isinstance(shards, int) or isinstance(shards, bool):
+            raise ValueError(f"shard count must be an integer: {shards!r}")
+        if not 1 <= shards <= MAX_SHARDS:
+            raise ValueError(
+                f"shard count out of range 1..{MAX_SHARDS}: {shards}"
+            )
+        starts = [
+            (i * _TOTAL_BLOCKS) // shards for i in range(shards)
+        ]
+        ranges = []
+        for i, start_block in enumerate(starts):
+            end_block = (
+                starts[i + 1] if i + 1 < shards else _TOTAL_BLOCKS
+            )
+            ranges.append(
+                ShardRange(start_block << 8, (end_block << 8) - 1)
+            )
+        self._ranges: Tuple[ShardRange, ...] = tuple(ranges)
+        # Parallel start-block array: the bisect key for shard_of.
+        self._block_starts = starts
+
+    @property
+    def ranges(self) -> Tuple[ShardRange, ...]:
+        """Every shard's range, shard-id ordered."""
+        return self._ranges
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __iter__(self) -> Iterator[ShardRange]:
+        return iter(self._ranges)
+
+    def shard_of(self, ip: int) -> int:
+        """The shard id owning integer address ``ip``."""
+        if not is_valid_ip_int(ip):
+            raise ValueError(f"bad address integer: {ip!r}")
+        return bisect_right(self._block_starts, ip >> 8) - 1
+
+    def range_of(self, shard_id: int) -> ShardRange:
+        """The range of one shard (:class:`IndexError` when absent)."""
+        return self._ranges[shard_id]
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-ready description (the ``stats`` op reports it)."""
+        return {
+            "shards": len(self._ranges),
+            "ranges": [r.to_wire() for r in self._ranges],
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PartitionMap)
+            and self._ranges == other._ranges
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._ranges)

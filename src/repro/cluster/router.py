@@ -1,0 +1,565 @@
+"""The cluster's front door: route, scatter-gather, fail over.
+
+A :class:`Router` binds one TCP socket speaking the *existing* service
+wire protocol — a client cannot tell a router from a single-process
+server — and fans requests out over the shard fleet:
+
+* point queries route by the partition map to the owning shard's
+  active backend (primary, else the first healthy replica);
+* batch queries are split by shard, scattered concurrently, and the
+  per-shard replies merged back into request order;
+* ``stats``/``hello`` scatter to every shard and merge, reporting the
+  fleet's ``min``/``max`` epoch and seq so cross-shard staleness is
+  visible to the client;
+* a heartbeat thread pings every backend; a dead backend is marked
+  unhealthy (and retried each beat, so a restarted shard rejoins
+  without operator action).
+
+Failure degrades, never cascades: when every backend of a shard is
+down, a point query gets an explicit ``SHARD_UNAVAILABLE`` error
+reply and a batch reply carries per-IP ``{"error":
+"SHARD_UNAVAILABLE"}`` entries in the dead shard's positions — the
+other shards' verdicts still flow.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..net.ipv4 import int_to_ip
+from ..service.client import ReputationClient, ServiceError, TransportError
+from ..service.server import (
+    DEFAULT_CONNECTION_TIMEOUT,
+    MAX_BATCH,
+    PROTOCOL_VERSION,
+    RequestError,
+    parse_day,
+    parse_ip,
+)
+from ..service.wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
+from .partition import PartitionMap
+
+__all__ = ["Backend", "Router", "ShardSlot", "SHARD_UNAVAILABLE"]
+
+#: Error tag clients see when a shard (and all its replicas) is down.
+SHARD_UNAVAILABLE = "SHARD_UNAVAILABLE"
+
+#: Seconds between heartbeat sweeps over the backend fleet.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: Connect/IO timeout the router uses towards shard backends.
+DEFAULT_BACKEND_TIMEOUT = 5.0
+
+
+class ShardUnavailable(RuntimeError):
+    """Every backend of one shard failed at the transport level."""
+
+    def __init__(self, shard_id: int, cause: str) -> None:
+        super().__init__(
+            f"{SHARD_UNAVAILABLE}: shard {shard_id} has no live "
+            f"backend ({cause})"
+        )
+        self.shard_id = shard_id
+
+
+class Backend:
+    """One shard server address plus its pooled connection + health."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        *,
+        timeout: float = DEFAULT_BACKEND_TIMEOUT,
+    ) -> None:
+        self.address = (str(address[0]), int(address[1]))
+        self._timeout = timeout
+        self._client: Optional[ReputationClient] = None
+        self._lock = threading.Lock()
+        self.healthy = True  # optimistic until a call says otherwise
+
+    def call(self, request: Dict[str, Any]) -> Any:
+        """Forward one request; :class:`TransportError` marks us down."""
+        with self._lock:
+            if self._client is None:
+                self._client = ReputationClient(
+                    *self.address, timeout=self._timeout
+                )
+            try:
+                result = self._client.call(request)
+            except TransportError:
+                self._drop_client()
+                self.healthy = False
+                raise
+            except ServiceError:
+                raise  # backend is alive; the request was the problem
+            self.healthy = True
+            return result
+
+    def _drop_client(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def probe(self) -> bool:
+        """One heartbeat: ping, update ``healthy``, report it."""
+        try:
+            self.call({"op": "ping"})
+        except (TransportError, ServiceError):
+            self.healthy = False
+        return self.healthy
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_client()
+
+
+class ShardSlot:
+    """One shard id's backend set: a primary plus optional replicas."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        addresses: Sequence[Tuple[str, int]],
+        *,
+        timeout: float = DEFAULT_BACKEND_TIMEOUT,
+    ) -> None:
+        if not addresses:
+            raise ValueError(f"shard {shard_id} has no backends")
+        self.shard_id = shard_id
+        self.backends = [
+            Backend(address, timeout=timeout) for address in addresses
+        ]
+        self.failovers = 0
+
+    def call(self, request: Dict[str, Any]) -> Any:
+        """Forward with failover: healthy backends first (primary
+        before replicas), then unhealthy ones as a last resort so a
+        just-restarted shard answers before the next heartbeat."""
+        ordered = [b for b in self.backends if b.healthy] + [
+            b for b in self.backends if not b.healthy
+        ]
+        cause = "no backends"
+        failed = 0
+        for backend in ordered:
+            try:
+                result = backend.call(request)
+            except TransportError as exc:
+                cause = str(exc)
+                failed += 1
+                continue
+            if failed:
+                self.failovers += 1
+            return result
+        raise ShardUnavailable(self.shard_id, cause)
+
+    def healthy_count(self) -> int:
+        return sum(backend.healthy for backend in self.backends)
+
+    def close(self) -> None:
+        for backend in self.backends:
+            backend.close()
+
+
+class _RouterHandler(socketserver.BaseRequestHandler):
+    server: "_RouterTcpServer"
+
+    def handle(self) -> None:
+        sock = self.request
+        sock.settimeout(self.server.router.connection_timeout)
+        router = self.server.router
+        while True:
+            try:
+                request = recv_frame(sock, max_size=MAX_FRAME_BYTES)
+            except FrameError as exc:
+                self._reply(sock, {"ok": False, "error": str(exc)})
+                if exc.recoverable:
+                    continue
+                return
+            except OSError:
+                return
+            if request is None:
+                return
+            try:
+                reply = router.dispatch(request)
+            except RequestError as exc:
+                reply = {"ok": False, "error": str(exc)}
+            except ShardUnavailable as exc:
+                reply = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # never let a bug kill the worker
+                reply = {"ok": False, "error": f"internal error: {exc}"}
+            if not self._reply(sock, reply):
+                return
+
+    @staticmethod
+    def _reply(sock, message: Dict[str, Any]) -> bool:
+        try:
+            send_frame(sock, message)
+            return True
+        except (FrameError, OSError):
+            return False
+
+
+class _RouterTcpServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    router: "Router"
+
+
+class Router:
+    """Scatter-gather front over a partitioned shard fleet.
+
+    ``backends`` maps shard id (list position) to that shard's backend
+    addresses, primary first. The partition map must be the one the
+    shard indexes were restricted with — the router cannot check that,
+    only the fidelity tests can.
+    """
+
+    def __init__(
+        self,
+        partition: PartitionMap,
+        backends: Sequence[Sequence[Tuple[str, int]]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connection_timeout: float = DEFAULT_CONNECTION_TIMEOUT,
+        backend_timeout: float = DEFAULT_BACKEND_TIMEOUT,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    ) -> None:
+        if len(backends) != len(partition):
+            raise ValueError(
+                f"{len(partition)} shards need {len(partition)} backend "
+                f"lists, got {len(backends)}"
+            )
+        self.partition = partition
+        self.connection_timeout = connection_timeout
+        self._slots = [
+            ShardSlot(shard_id, list(addresses), timeout=backend_timeout)
+            for shard_id, addresses in enumerate(backends)
+        ]
+        self._heartbeat_interval = heartbeat_interval
+        self._stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._lock = threading.Lock()
+        self._counters = {
+            "point": 0,
+            "batch": 0,
+            "batch_queries": 0,
+            "degraded": 0,
+        }
+        self._server = _RouterTcpServer((host, port), _RouterHandler)
+        self._server.router = self
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve and heartbeat from daemon threads."""
+        if self._serve_thread is not None:
+            raise RuntimeError("router already started")
+        self._serving = True
+        self._serve_thread = threading.Thread(
+            target=lambda: self._server.serve_forever(poll_interval=0.1),
+            name="repro-cluster-router",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name="repro-cluster-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's foreground mode)."""
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name="repro-cluster-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat.start()
+        self._serving = True
+        self._server.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Stop serving and close every backend connection."""
+        self._stop.set()
+        if self._serving:
+            # BaseServer.shutdown hangs unless serve_forever ran.
+            self._server.shutdown()
+            self._serving = False
+        self._server.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=5.0)
+            self._heartbeat = None
+        for slot in self._slots:
+            slot.close()
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *_: Any) -> None:
+        self.shutdown()
+
+    # -- health --------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.is_set():
+            for slot in self._slots:
+                for backend in slot.backends:
+                    if self._stop.is_set():
+                        return
+                    backend.probe()
+            self._stop.wait(self._heartbeat_interval)
+
+    def health(self) -> List[List[bool]]:
+        """Per-shard, per-backend health flags (tests/observability)."""
+        return [
+            [backend.healthy for backend in slot.backends]
+            for slot in self._slots
+        ]
+
+    def wait_healthy(self, timeout: float = 10.0) -> bool:
+        """Block until every backend probes healthy (bootstrap/tests)."""
+        deadline = threading.Event()
+        waited = 0.0
+        step = 0.05
+        while waited <= timeout:
+            if all(
+                backend.probe()
+                for slot in self._slots
+                for backend in slot.backends
+            ):
+                return True
+            deadline.wait(step)
+            waited += step
+        return False
+
+    # -- dispatch ------------------------------------------------------
+
+    def dispatch(self, request: Any) -> Dict[str, Any]:
+        """Answer one already-decoded request frame."""
+        if not isinstance(request, dict):
+            raise RequestError(
+                f"request must be a JSON object, got "
+                f"{type(request).__name__}"
+            )
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "query":
+            return self._dispatch_query(request)
+        if op == "batch":
+            return self._dispatch_batch(request)
+        if op == "stats":
+            return {"ok": True, "result": self.stats()}
+        if op == "hello":
+            return {"ok": True, "result": self.hello()}
+        raise RequestError(f"unknown op: {op!r}")
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += amount
+
+    def _slot_for(self, ip: int) -> ShardSlot:
+        return self._slots[self.partition.shard_of(ip)]
+
+    def _dispatch_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        ip = parse_ip(request.get("ip"))
+        day = parse_day(request.get("day"))
+        self._count("point")
+        slot = self._slot_for(ip)
+        forward: Dict[str, Any] = {"op": "query", "ip": ip}
+        if day is not None:
+            forward["day"] = day
+        try:
+            result = slot.call(forward)
+        except ShardUnavailable:
+            self._count("degraded")
+            raise
+        return {"ok": True, "result": result}
+
+    def _dispatch_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        queries = request.get("queries")
+        if not isinstance(queries, list):
+            raise RequestError("batch needs a 'queries' array")
+        if len(queries) > MAX_BATCH:
+            raise RequestError(
+                f"batch of {len(queries)} exceeds the "
+                f"{MAX_BATCH}-query limit"
+            )
+        parsed: List[Tuple[int, Optional[int]]] = []
+        for item in queries:
+            if not isinstance(item, dict):
+                raise RequestError("each batch query must be an object")
+            parsed.append(
+                (parse_ip(item.get("ip")), parse_day(item.get("day")))
+            )
+        self._count("batch")
+        self._count("batch_queries", len(parsed))
+
+        by_slot: Dict[int, List[Tuple[int, int, Optional[int]]]] = {}
+        for position, (ip, day) in enumerate(parsed):
+            shard_id = self.partition.shard_of(ip)
+            by_slot.setdefault(shard_id, []).append((position, ip, day))
+
+        results: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
+
+        def fetch(shard_id: int, items) -> None:
+            slot = self._slots[shard_id]
+            sub = [
+                {"ip": ip, "day": day} if day is not None else {"ip": ip}
+                for _, ip, day in items
+            ]
+            try:
+                verdicts = slot.call({"op": "batch", "queries": sub})
+                if (
+                    not isinstance(verdicts, list)
+                    or len(verdicts) != len(items)
+                ):
+                    raise ShardUnavailable(
+                        shard_id, "malformed shard batch reply"
+                    )
+            except (ShardUnavailable, ServiceError):
+                self._count("degraded", len(items))
+                for position, ip, day in items:
+                    results[position] = {
+                        "ip": int_to_ip(ip),
+                        "day": day,
+                        "error": SHARD_UNAVAILABLE,
+                        "shard": shard_id,
+                    }
+                return
+            for (position, _, _), verdict in zip(items, verdicts):
+                results[position] = verdict
+
+        shard_ids = list(by_slot)
+        if len(shard_ids) == 1:
+            fetch(shard_ids[0], by_slot[shard_ids[0]])
+        else:
+            threads = [
+                threading.Thread(
+                    target=fetch, args=(shard_id, by_slot[shard_id])
+                )
+                for shard_id in shard_ids
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return {"ok": True, "result": results}
+
+    # -- fleet views ---------------------------------------------------
+
+    def _gather(self, op: str) -> List[Optional[Any]]:
+        """One ``op`` per shard (active backend), None where down."""
+        replies: List[Optional[Any]] = [None] * len(self._slots)
+
+        def fetch(position: int, slot: ShardSlot) -> None:
+            try:
+                replies[position] = slot.call({"op": op})
+            except (ShardUnavailable, ServiceError):
+                replies[position] = None
+
+        threads = [
+            threading.Thread(target=fetch, args=(i, slot))
+            for i, slot in enumerate(self._slots)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return replies
+
+    def _fleet_summary(
+        self, hellos: List[Optional[Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        epochs = [h["epoch"] for h in hellos if h is not None]
+        seqs = [h["seq"] for h in hellos if h is not None]
+        return {
+            "shards": len(self._slots),
+            "backends": sum(len(s.backends) for s in self._slots),
+            "healthy_backends": sum(
+                s.healthy_count() for s in self._slots
+            ),
+            "shards_up": sum(1 for h in hellos if h is not None),
+            "epoch_min": min(epochs) if epochs else 0,
+            "epoch_max": max(epochs) if epochs else 0,
+            "seq_min": min(seqs) if seqs else 0,
+            "seq_max": max(seqs) if seqs else 0,
+        }
+
+    def hello(self) -> Dict[str, Any]:
+        """The merged handshake. Top-level ``epoch``/``seq`` report the
+        fleet *minimum* — the only freshness a cross-shard consumer may
+        assume — while the ``cluster`` block exposes the spread."""
+        hellos = self._gather("hello")
+        summary = self._fleet_summary(hellos)
+        streaming = any(
+            h.get("streaming", False) for h in hellos if h is not None
+        )
+        return {
+            "service": "repro-reputation",
+            "protocol": PROTOCOL_VERSION,
+            "streaming": streaming,
+            "epoch": summary["epoch_min"],
+            "seq": summary["seq_min"],
+            "cluster": summary,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Merged fleet stats: per-shard payloads plus cluster rollup."""
+        shard_stats = self._gather("stats")
+        hellos = self._gather("hello")
+        summary = self._fleet_summary(hellos)
+        index_totals = {"ips": 0, "intervals": 0, "nated_ips": 0,
+                        "dynamic_prefixes": 0, "ases": 0}
+        lists = 0
+        for payload in shard_stats:
+            if not payload:
+                continue
+            sizes = payload.get("index", {})
+            for key in index_totals:
+                index_totals[key] += sizes.get(key, 0)
+            lists = max(lists, sizes.get("lists", 0))
+        index_totals["lists"] = lists
+        with self._lock:
+            router_counters = dict(self._counters)
+        router_counters["failovers"] = sum(
+            slot.failovers for slot in self._slots
+        )
+        return {
+            "cluster": summary,
+            "router": router_counters,
+            "partition": self.partition.to_wire(),
+            "index": index_totals,
+            "shards": [
+                {
+                    "shard": slot.shard_id,
+                    "range": self.partition.range_of(
+                        slot.shard_id
+                    ).to_wire(),
+                    "backends": [
+                        {
+                            "address": list(backend.address),
+                            "healthy": backend.healthy,
+                        }
+                        for backend in slot.backends
+                    ],
+                    "stats": shard_stats[slot.shard_id],
+                }
+                for slot in self._slots
+            ],
+        }

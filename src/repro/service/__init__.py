@@ -22,7 +22,7 @@ it?". This package turns the study's batch artefact
 command line.
 """
 
-from .client import ReputationClient, ServiceError
+from .client import ReputationClient, ServiceError, TransportError
 from .engine import QueryEngine, Verdict
 from .index import ReputationIndex, SnapshotError
 from .server import PROTOCOL_VERSION, ReputationServer
@@ -38,5 +38,6 @@ __all__ = [
     "ReputationServer",
     "ServiceError",
     "SnapshotError",
+    "TransportError",
     "Verdict",
 ]

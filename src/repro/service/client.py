@@ -15,13 +15,23 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 from ..net.ipv4 import int_to_ip
 from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
 
-__all__ = ["ReputationClient", "ServiceError"]
+__all__ = ["ReputationClient", "ServiceError", "TransportError"]
 
 IpLike = Union[int, str]
 
 
 class ServiceError(RuntimeError):
     """The server answered with an error, or the connection failed."""
+
+
+class TransportError(ServiceError):
+    """The connection itself failed (refused, cut, garbled framing).
+
+    Distinct from a server-sent error reply: the cluster router treats
+    a :class:`TransportError` as "this backend is down — fail over",
+    while a plain :class:`ServiceError` means the backend is alive and
+    rejected the request.
+    """
 
 
 class ReputationClient:
@@ -46,7 +56,7 @@ class ReputationClient:
                 (host, port), timeout=timeout
             )
         except OSError as exc:
-            raise ServiceError(
+            raise TransportError(
                 f"cannot connect to {host}:{port}: {exc}"
             ) from None
 
@@ -55,19 +65,27 @@ class ReputationClient:
     def _rpc(self, request: Dict[str, Any]) -> Any:
         with self._lock:
             if self._sock is None:
-                raise ServiceError("client is closed")
+                raise TransportError("client is closed")
             try:
                 send_frame(self._sock, request, max_size=self._max_frame)
                 reply = recv_frame(self._sock, max_size=self._max_frame)
             except (FrameError, OSError) as exc:
-                raise ServiceError(f"transport failure: {exc}") from None
+                raise TransportError(f"transport failure: {exc}") from None
         if reply is None:
-            raise ServiceError("server closed the connection")
+            raise TransportError("server closed the connection")
         if not isinstance(reply, dict):
-            raise ServiceError(f"malformed reply: {reply!r}")
+            raise TransportError(f"malformed reply: {reply!r}")
         if not reply.get("ok"):
             raise ServiceError(str(reply.get("error", "unknown error")))
         return reply.get("result")
+
+    def call(self, request: Dict[str, Any]) -> Any:
+        """Send one already-shaped request object, return its result.
+
+        The typed helpers below cover normal use; the cluster router
+        uses this passthrough to forward validated requests verbatim.
+        """
+        return self._rpc(request)
 
     @staticmethod
     def _wire_ip(ip: IpLike) -> str:

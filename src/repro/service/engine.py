@@ -96,6 +96,12 @@ class QueryEngine:
         )
         self._lock = threading.Lock()
         self._counters: Dict[str, Dict[str, float]] = {}
+        # Counters since the last observed epoch swap. Mixing epochs in
+        # one hit-rate number hides the post-swap cold start (every
+        # cached verdict stops matching), so stats() reports this table
+        # next to the cumulative one and resets it on each swap.
+        self._epoch_counters: Dict[str, Dict[str, float]] = {}
+        self._counter_epoch = 0
 
     @property
     def index(self) -> ReputationIndex:
@@ -218,31 +224,52 @@ class QueryEngine:
         *,
         queries_run: int = 1,
     ) -> None:
+        epoch = self._resolve()[1]
         with self._lock:
-            row = self._counters.setdefault(
-                kind,
-                {"calls": 0, "queries": 0, "cache_hits": 0, "seconds": 0.0},
-            )
-            row["calls"] += 1
-            row["queries"] += queries_run
-            row["cache_hits"] += cache_hits
-            row["seconds"] += seconds
+            if epoch != self._counter_epoch:
+                # An epoch swap happened since the last counted query:
+                # the per-epoch table starts over (cumulative keeps
+                # accumulating).
+                self._counter_epoch = epoch
+                self._epoch_counters = {}
+            for table in (self._counters, self._epoch_counters):
+                row = table.setdefault(
+                    kind,
+                    {
+                        "calls": 0,
+                        "queries": 0,
+                        "cache_hits": 0,
+                        "seconds": 0.0,
+                    },
+                )
+                row["calls"] += 1
+                row["queries"] += queries_run
+                row["cache_hits"] += cache_hits
+                row["seconds"] += seconds
+
+    @staticmethod
+    def _render_counters(
+        table: Dict[str, Dict[str, float]]
+    ) -> Dict[str, Dict[str, Any]]:
+        return {
+            kind: {
+                **{k: row[k] for k in ("calls", "queries", "cache_hits")},
+                "seconds": round(row["seconds"], 6),
+                "hit_rate": (
+                    row["cache_hits"] / row["queries"]
+                    if row["queries"]
+                    else 0.0
+                ),
+            }
+            for kind, row in table.items()
+        }
 
     def stats(self) -> Dict[str, Any]:
         """Counters plus index sizes — the ``stats`` op's payload."""
         with self._lock:
-            counters = {
-                kind: {
-                    **{k: row[k] for k in ("calls", "queries", "cache_hits")},
-                    "seconds": round(row["seconds"], 6),
-                    "hit_rate": (
-                        row["cache_hits"] / row["queries"]
-                        if row["queries"]
-                        else 0.0
-                    ),
-                }
-                for kind, row in self._counters.items()
-            }
+            counters = self._render_counters(self._counters)
+            epoch_counters = self._render_counters(self._epoch_counters)
+            counter_epoch = self._counter_epoch
             cached = len(self._cache)
         index, epoch, seq = self._resolve()
         epoch_info: Dict[str, Any] = {"epoch": epoch, "seq": seq}
@@ -250,6 +277,10 @@ class QueryEngine:
             epoch_info = {**self._source.stats(), **epoch_info}
         return {
             "queries": counters,
+            "queries_this_epoch": {
+                "epoch": counter_epoch,
+                "counters": epoch_counters,
+            },
             "cache": {"entries": cached, "capacity": self._cache_size},
             "index": index.stats(),
             "epoch": epoch_info,

@@ -38,7 +38,7 @@ from ..blocklists.catalog import BlocklistInfo
 from ..blocklists.timeline import Window
 from ..core.reuse import ReuseAnalysis
 from ..internet.abuse import AbuseCategory
-from ..net.ipv4 import Prefix
+from ..net.ipv4 import Prefix, is_valid_ip_int
 from ..net.prefixtrie import PrefixSet
 
 __all__ = ["ASRollup", "ReputationIndex", "SnapshotError"]
@@ -186,6 +186,48 @@ class ReputationIndex:
         """Iterate ``(ip, intervals)`` pairs (streaming/compare paths)."""
         for ip, spans in self._intervals.items():
             yield ip, tuple(spans)
+
+    def restrict(self, lo: int, hi: int) -> "ReputationIndex":
+        """Project the index onto the address range ``lo..hi``.
+
+        The cluster layer shards the IPv4 space by handing each worker
+        ``full_index.restrict(range.lo, range.hi)``: per-IP tables
+        (intervals, NAT set, user counts, AS origins) keep only
+        addresses inside the range, dynamic prefixes keep those
+        overlapping it, and run-wide products (windows, list
+        categories) are kept whole so per-shard verdicts are
+        field-for-field identical to the full index for every in-range
+        address. Callers must align range edges so no dynamic /24
+        straddles two shards (the partitioner guarantees this); an
+        overlapping prefix is kept whole on every shard it touches.
+        """
+        if not (is_valid_ip_int(lo) and is_valid_ip_int(hi)) or lo > hi:
+            raise ValueError(f"bad address range: {lo!r}..{hi!r}")
+        return type(self)(
+            windows=self._windows,
+            intervals={
+                ip: spans
+                for ip, spans in self._intervals.items()
+                if lo <= ip <= hi
+            },
+            nated={ip for ip in self._nated if lo <= ip <= hi},
+            users={
+                ip: users
+                for ip, users in self._users.items()
+                if lo <= ip <= hi
+            },
+            dynamic_prefixes=[
+                prefix
+                for prefix in self._dynamic_prefixes
+                if prefix.first() <= hi and prefix.last() >= lo
+            ],
+            categories=self._categories,
+            asn_by_ip={
+                ip: asn
+                for ip, asn in self._asn_by_ip.items()
+                if lo <= ip <= hi
+            },
+        )
 
     # -- copy-on-write successors --------------------------------------
 

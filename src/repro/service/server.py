@@ -40,7 +40,14 @@ from ..net.ipv4 import ip_to_int, is_valid_ip_int
 from .engine import QueryEngine
 from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
 
-__all__ = ["MAX_BATCH", "PROTOCOL_VERSION", "ReputationServer"]
+__all__ = [
+    "MAX_BATCH",
+    "PROTOCOL_VERSION",
+    "ReputationServer",
+    "RequestError",
+    "parse_ip",
+    "parse_day",
+]
 
 #: Upper bound on queries in one batch frame.
 MAX_BATCH = 10_000
@@ -52,30 +59,30 @@ PROTOCOL_VERSION = 1
 DEFAULT_CONNECTION_TIMEOUT = 30.0
 
 
-class _RequestError(ValueError):
+class RequestError(ValueError):
     """A structurally valid frame asking something unanswerable."""
 
 
-def _parse_ip(value: Any) -> int:
+def parse_ip(value: Any) -> int:
     if isinstance(value, bool):
-        raise _RequestError(f"bad ip: {value!r}")
+        raise RequestError(f"bad ip: {value!r}")
     if isinstance(value, int):
         if not is_valid_ip_int(value):
-            raise _RequestError(f"ip integer out of range: {value!r}")
+            raise RequestError(f"ip integer out of range: {value!r}")
         return value
     if isinstance(value, str):
         try:
             return ip_to_int(value)
         except ValueError as exc:
-            raise _RequestError(str(exc)) from None
-    raise _RequestError(f"bad ip: {value!r}")
+            raise RequestError(str(exc)) from None
+    raise RequestError(f"bad ip: {value!r}")
 
 
-def _parse_day(value: Any) -> Optional[int]:
+def parse_day(value: Any) -> Optional[int]:
     if value is None:
         return None
     if isinstance(value, bool) or not isinstance(value, int):
-        raise _RequestError(f"bad day: {value!r}")
+        raise RequestError(f"bad day: {value!r}")
     return value
 
 
@@ -101,7 +108,7 @@ class _Handler(socketserver.BaseRequestHandler):
                 return  # clean EOF between frames
             try:
                 reply = self._dispatch(request)
-            except _RequestError as exc:
+            except RequestError as exc:
                 reply = {"ok": False, "error": str(exc)}
             except Exception as exc:  # never let a bug kill the worker
                 reply = {"ok": False, "error": f"internal error: {exc}"}
@@ -119,7 +126,7 @@ class _Handler(socketserver.BaseRequestHandler):
 
     def _dispatch(self, request: Any) -> Dict[str, Any]:
         if not isinstance(request, dict):
-            raise _RequestError(
+            raise RequestError(
                 f"request must be a JSON object, got "
                 f"{type(request).__name__}"
             )
@@ -127,25 +134,25 @@ class _Handler(socketserver.BaseRequestHandler):
         engine = self.server.engine
         if op == "query":
             verdict = engine.query(
-                _parse_ip(request.get("ip")),
-                _parse_day(request.get("day")),
+                parse_ip(request.get("ip")),
+                parse_day(request.get("day")),
             )
             return {"ok": True, "result": verdict.to_wire()}
         if op == "batch":
             queries = request.get("queries")
             if not isinstance(queries, list):
-                raise _RequestError("batch needs a 'queries' array")
+                raise RequestError("batch needs a 'queries' array")
             if len(queries) > MAX_BATCH:
-                raise _RequestError(
+                raise RequestError(
                     f"batch of {len(queries)} exceeds the "
                     f"{MAX_BATCH}-query limit"
                 )
             parsed = []
             for item in queries:
                 if not isinstance(item, dict):
-                    raise _RequestError("each batch query must be an object")
+                    raise RequestError("each batch query must be an object")
                 parsed.append(
-                    (_parse_ip(item.get("ip")), _parse_day(item.get("day")))
+                    (parse_ip(item.get("ip")), parse_day(item.get("day")))
                 )
             verdicts = engine.query_batch(parsed)
             return {
@@ -168,7 +175,7 @@ class _Handler(socketserver.BaseRequestHandler):
             }
         if op == "ping":
             return {"ok": True, "result": "pong"}
-        raise _RequestError(f"unknown op: {op!r}")
+        raise RequestError(f"unknown op: {op!r}")
 
 
 class _TcpServer(socketserver.ThreadingTCPServer):
@@ -179,6 +186,32 @@ class _TcpServer(socketserver.ThreadingTCPServer):
     connection_timeout: float
     max_frame: int
     streaming: bool
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # Live per-connection sockets, so a hard stop can sever
+        # keepalive clients that would otherwise outlive the listener.
+        self._active: set = set()
+        self._active_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._active_lock:
+            self._active.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._active_lock:
+            self._active.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        with self._active_lock:
+            active = list(self._active)
+        for sock in active:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already gone
 
 
 class ReputationServer:
@@ -237,6 +270,11 @@ class ReputationServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def close_connections(self) -> None:
+        """Sever every live client connection (a hard stop — what a
+        crashed process would do to its peers)."""
+        self._server.close_all_connections()
 
     def __enter__(self) -> "ReputationServer":
         return self

@@ -17,6 +17,7 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
+from .delta import DeltaBatch
 from .epoch import Epoch, EpochIndex
 from .log import UpdateLogError, UpdateLogReader
 
@@ -24,7 +25,14 @@ __all__ = ["LogFollower"]
 
 
 class LogFollower:
-    """Tails one update log into one epoch index."""
+    """Tails one update log into one epoch index.
+
+    ``batch_filter`` lets a consumer that owns only part of the keyed
+    space (a cluster shard) rewrite each batch before it is applied —
+    typically dropping out-of-range deltas while keeping the batch's
+    sequence number, so every follower of one log stays in epoch
+    lockstep regardless of which slice it holds.
+    """
 
     def __init__(
         self,
@@ -33,11 +41,13 @@ class LogFollower:
         *,
         poll_interval: float = 0.1,
         on_batch: Optional[Callable[[Epoch, int], None]] = None,
+        batch_filter: Optional[Callable[[DeltaBatch], DeltaBatch]] = None,
     ) -> None:
         self._reader = UpdateLogReader(path)
         self._epochs = epochs
         self._poll_interval = poll_interval
         self._on_batch = on_batch
+        self._batch_filter = batch_filter
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._batches = 0
@@ -62,6 +72,8 @@ class LogFollower:
             for batch in self._reader.follow(
                 poll_interval=self._poll_interval, stop=self._stop
             ):
+                if self._batch_filter is not None:
+                    batch = self._batch_filter(batch)
                 epoch = self._epochs.apply(batch)
                 self._batches += 1
                 if self._on_batch is not None:

@@ -150,3 +150,71 @@ class TestPrefixSet:
         ps.add(P("10.0.0.0/8"))
         assert ps.contains_ip(ip_to_int("10.200.1.1"))
         assert not ps.contains_exact(P("10.0.0.0/16"))
+
+
+class TestRangeBoundaries:
+    """Edge-of-range behaviour the cluster partitioner leans on: a /24
+    must cover exactly its 256 addresses — first and last included,
+    neighbours excluded — or restricted shard slices would disagree
+    about dynamic-block membership at shard boundaries."""
+
+    def test_first_and_last_ip_of_slash24(self):
+        ps = PrefixSet([P("192.0.2.0/24")])
+        assert ps.contains_ip(ip_to_int("192.0.2.0"))
+        assert ps.contains_ip(ip_to_int("192.0.2.255"))
+        assert not ps.contains_ip(ip_to_int("192.0.1.255"))
+        assert not ps.contains_ip(ip_to_int("192.0.3.0"))
+
+    def test_prefix_first_last_bracket_membership(self):
+        prefix = P("198.51.100.0/24")
+        ps = PrefixSet([prefix])
+        assert prefix.first() == ip_to_int("198.51.100.0")
+        assert prefix.last() == ip_to_int("198.51.100.255")
+        assert ps.contains_ip(prefix.first())
+        assert ps.contains_ip(prefix.last())
+        assert not ps.contains_ip(prefix.first() - 1)
+        assert not ps.contains_ip(prefix.last() + 1)
+
+    def test_adjacent_slash24s_do_not_bleed(self):
+        left, right = P("10.0.0.0/24"), P("10.0.1.0/24")
+        only_left = PrefixSet([left])
+        only_right = PrefixSet([right])
+        boundary = ip_to_int("10.0.0.255")
+        assert only_left.contains_ip(boundary)
+        assert not only_right.contains_ip(boundary)
+        assert only_right.contains_ip(boundary + 1)
+        assert not only_left.contains_ip(boundary + 1)
+
+    def test_adjacent_slash24s_at_shard_boundaries(self):
+        from repro.cluster import PartitionMap
+
+        partition = PartitionMap(7)
+        for shard_range in partition.ranges[1:]:
+            below = Prefix((shard_range.lo >> 8 << 8) - 256, 24)
+            above = Prefix(shard_range.lo, 24)
+            trie = PrefixTrie()
+            trie.insert(below, "below")
+            trie.insert(above, "above")
+            # The last IP below the cut and the first IP above it
+            # resolve to different /24s — and to different shards.
+            assert trie.lookup_value(shard_range.lo - 1) == "below"
+            assert trie.lookup_value(shard_range.lo) == "above"
+            assert partition.shard_of(shard_range.lo - 1) != (
+                partition.shard_of(shard_range.lo)
+            )
+            # Every address of each /24 stays on one shard.
+            for prefix in (below, above):
+                owners = {
+                    partition.shard_of(prefix.first()),
+                    partition.shard_of(prefix.last()),
+                }
+                assert len(owners) == 1
+
+    def test_covers_at_extremes_of_space(self):
+        ps = PrefixSet([Prefix(0, 24), Prefix(MAX_IPV4 - 255, 24)])
+        assert ps.contains_ip(0)
+        assert ps.contains_ip(255)
+        assert not ps.contains_ip(256)
+        assert ps.contains_ip(MAX_IPV4)
+        assert ps.contains_ip(MAX_IPV4 - 255)
+        assert not ps.contains_ip(MAX_IPV4 - 256)

@@ -183,6 +183,61 @@ class TestEngineCache:
             QueryEngine(index, cache_size=-1)
 
 
+class TestEpochCounters:
+    """Per-epoch vs cumulative counters: an epoch swap restarts the
+    per-epoch table (exposing the post-swap cold start) while the
+    cumulative table keeps accumulating."""
+
+    def _streamed_engine(self, index):
+        from repro.stream.epoch import EpochIndex
+
+        epochs = EpochIndex(index, day=index.default_day())
+        return epochs, QueryEngine(epochs)
+
+    def test_static_engine_tables_agree(self, index):
+        engine = QueryEngine(index)
+        ip = next(iter(index._intervals))
+        engine.query(ip, 230)
+        engine.query(ip, 230)
+        stats = engine.stats()
+        assert stats["queries_this_epoch"]["epoch"] == 0
+        assert (
+            stats["queries_this_epoch"]["counters"] == stats["queries"]
+        )
+
+    def test_swap_resets_per_epoch_not_cumulative(self, index):
+        from repro.stream.delta import DeltaBatch
+
+        epochs, engine = self._streamed_engine(index)
+        ip = next(iter(index._intervals))
+        engine.query(ip, 230)
+        engine.query(ip, 230)  # cumulative: 2 queries, 1 hit
+        epochs.apply(DeltaBatch(1, 231, ()))
+        engine.query(ip, 230)  # epoch 1's first query: a cache miss
+        stats = engine.stats()
+        assert stats["queries"]["point"]["queries"] == 3
+        assert stats["queries"]["point"]["cache_hits"] == 1
+        this_epoch = stats["queries_this_epoch"]
+        assert this_epoch["epoch"] == 1
+        assert this_epoch["counters"]["point"]["queries"] == 1
+        assert this_epoch["counters"]["point"]["cache_hits"] == 0
+
+    def test_fresh_epoch_table_starts_empty(self, index):
+        from repro.stream.delta import DeltaBatch
+
+        epochs, engine = self._streamed_engine(index)
+        ip = next(iter(index._intervals))
+        engine.query(ip, 230)
+        epochs.apply(DeltaBatch(1, 231, ()))
+        # No queries since the swap: stats still shows the old table
+        # (the reset happens lazily on the next counted query).
+        engine.query(ip, 230)
+        engine.query(ip, 230)
+        this_epoch = engine.stats()["queries_this_epoch"]
+        assert this_epoch["counters"]["point"]["queries"] == 2
+        assert this_epoch["counters"]["point"]["cache_hits"] == 1
+
+
 class TestSnapshots:
     def test_roundtrip_preserves_verdicts(
         self, small_full_run, index, tmp_path
