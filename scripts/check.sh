@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-command verify: everything a PR must pass, in the order the
+# failures are cheapest to hit.
+#
+#   scripts/check.sh                      # full gate
+#   REPRO_CHECK_SKIP_PERF=1 scripts/check.sh   # skip the (slow) perf gate
+#
+# Steps:
+#   1. tier-1 pytest suite
+#   2. reprolint baseline gate (scripts/lint_gate.py)
+#   3. mypy --strict over the tracked module list in pyproject.toml
+#      (skipped with a notice when mypy isn't installed — it is a
+#      dev-only extra: pip install -e '.[dev]')
+#   4. perf regression gate (benchmarks vs BENCH_baseline.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== [1/4] tier-1 tests =="
+python -m pytest -x -q
+
+echo "== [2/4] reprolint baseline gate =="
+python scripts/lint_gate.py
+
+echo "== [3/4] mypy --strict (tracked modules) =="
+if python -c "import mypy" >/dev/null 2>&1; then
+    # Module list and strictness live in [tool.mypy] in pyproject.toml.
+    python -m mypy
+else
+    echo "mypy not installed — skipped (pip install -e '.[dev]')"
+fi
+
+echo "== [4/4] perf regression gate =="
+if [ "${REPRO_CHECK_SKIP_PERF:-0}" = "1" ]; then
+    echo "skipped (REPRO_CHECK_SKIP_PERF=1)"
+else
+    BENCH_JSON="$(mktemp /tmp/bench_current.XXXXXX.json)"
+    trap 'rm -f "$BENCH_JSON"' EXIT
+    python -m pytest \
+        benchmarks/bench_perf_primitives.py \
+        benchmarks/bench_perf_runner.py \
+        benchmarks/bench_service.py \
+        benchmarks/bench_stream.py \
+        benchmarks/bench_cluster.py \
+        --benchmark-json="$BENCH_JSON" -q
+    python scripts/perf_regress.py "$BENCH_JSON"
+fi
+
+echo "check.sh: all gates passed"

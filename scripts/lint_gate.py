@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Static-analysis regression gate (the lint twin of perf_regress.py).
+
+Runs ``reprolint`` (:mod:`repro.devtools`) over the source tree and
+fails when the working tree has a violation the committed
+``LINT_baseline.json`` does not cover. Waived findings (inline
+``# reprolint: disable=RULE`` with a justifying comment) never reach
+the gate; baseline entries exist so the bar can be adopted while a
+legacy finding is still being burned down.
+
+Workflow::
+
+    python scripts/lint_gate.py              # gate: fail on new findings
+    python scripts/lint_gate.py --update     # re-freeze the baseline
+
+Refreshing the baseline after deliberately accepting a finding is a
+reviewed change — the baseline file is committed, so the acceptance
+shows up in the diff just like a waiver does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import devtools  # noqa: E402  (path bootstrap above)
+
+DEFAULT_BASELINE = REPO_ROOT / "LINT_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or trees to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory violation paths are relative to",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="freeze the current findings as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    targets = args.paths or [args.root / "src" / "repro"]
+    violations = devtools.lint_paths(targets, args.root)
+
+    if args.update:
+        devtools.save_baseline(args.baseline, violations)
+        print(
+            f"lint baseline updated -> {args.baseline} "
+            f"({len(violations)} accepted violation(s))"
+        )
+        return 0
+
+    try:
+        accepted = devtools.load_baseline(args.baseline)
+    except devtools.BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    new = devtools.compare(violations, accepted)
+    stale = devtools.stale_entries(violations, accepted)
+
+    if new:
+        print(devtools.render_text(new))
+        print(
+            f"\nFAIL: {len(new)} violation(s) not covered by "
+            f"{args.baseline.name} — fix them, waive them with a "
+            f"justified '# reprolint: disable=RULE', or (for an "
+            f"accepted legacy finding) --update the baseline"
+        )
+        return 1
+    covered = len(violations) - len(new)
+    print(
+        f"OK: no new lint violations ({covered} baseline-covered, "
+        f"{stale} stale baseline entr{'y' if stale == 1 else 'ies'})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@ Subcommands:
   protocol is the same) for per-address verdicts.
 * ``stream``   — emit a run's listing churn as an append-only update
   log (whole-window, or paced with ``--replay-days``).
+* ``lint``     — run ``reprolint``, the AST-based invariant linter
+  (determinism in simulation paths, bounded wire reads, lock
+  discipline in threaded serving code), optionally gated against the
+  committed ``LINT_baseline.json``.
 
 Failures exit non-zero with one ``error:`` line on stderr — a bad
 preset, port, snapshot or an unreachable server never escapes as a
@@ -294,6 +298,53 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="workers for the pipeline run on a cache miss",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant linter (reprolint)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or trees to lint (default: the repo's src/repro)",
+    )
+    lint_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print findings as JSON instead of one line per finding",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        action="store_true",
+        help=(
+            "gate mode: fail only on violations not covered by the "
+            "committed baseline file"
+        ),
+    )
+    lint_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="freeze the current findings as the new baseline and exit",
+    )
+    lint_p.add_argument(
+        "--baseline-file",
+        metavar="PATH",
+        help="baseline location (default: <repo>/LINT_baseline.json)",
+    )
+    lint_p.add_argument(
+        "--root",
+        metavar="DIR",
+        help=(
+            "directory violation paths are reported relative to "
+            "(default: the repo checkout root)"
+        ),
+    )
+    lint_p.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule table and exit",
     )
 
     query_p = sub.add_parser(
@@ -696,6 +747,78 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_root(args: argparse.Namespace) -> Path:
+    if args.root:
+        root = Path(args.root)
+        if not root.is_dir():
+            raise CliError(f"--root is not a directory: {root}")
+        return root
+    # src/repro/cli.py -> the checkout root two levels above src/.
+    return Path(__file__).resolve().parents[2]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from . import devtools
+
+    if args.rules:
+        for lint_rule in devtools.all_rules():
+            print(
+                f"{lint_rule.code:6} [{lint_rule.severity}] "
+                f"{lint_rule.summary}"
+            )
+        return 0
+    root = _lint_root(args)
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+        for target in targets:
+            if not target.exists():
+                raise CliError(f"no such path: {target}")
+    else:
+        targets = [root / "src" / "repro"]
+        if not targets[0].is_dir():
+            raise CliError(
+                f"default lint target {targets[0]} not found (installed "
+                f"without sources?) — pass explicit paths"
+            )
+    baseline_file = Path(
+        args.baseline_file
+        if args.baseline_file
+        else root / "LINT_baseline.json"
+    )
+    violations = devtools.lint_paths(targets, root)
+    if args.update_baseline:
+        devtools.save_baseline(baseline_file, violations)
+        print(
+            f"lint baseline -> {baseline_file} "
+            f"({len(violations)} accepted violation(s))"
+        )
+        return 0
+    if args.baseline:
+        try:
+            accepted = devtools.load_baseline(baseline_file)
+        except devtools.BaselineError as exc:
+            raise CliError(str(exc)) from None
+        failures = devtools.compare(violations, accepted)
+        stale = devtools.stale_entries(violations, accepted)
+    else:
+        failures = violations
+        stale = 0
+    if args.json:
+        print(devtools.render_json(failures))
+    elif failures:
+        print(devtools.render_text(failures))
+    if args.baseline and not args.json:
+        covered = len(violations) - len(failures)
+        print(
+            f"lint gate: {len(failures)} new violation(s), "
+            f"{covered} baseline-covered, {stale} stale baseline "
+            f"entr{'y' if stale == 1 else 'ies'}"
+        )
+    elif not failures and not args.json:
+        print("lint: clean")
+    return 1 if failures else 0
+
+
 def _render_verdict(verdict: dict) -> str:
     lists = ",".join(verdict["lists"]) or "-"
     return (
@@ -771,6 +894,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "query": _cmd_query,
         "stream": _cmd_stream,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

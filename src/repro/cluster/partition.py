@@ -88,7 +88,7 @@ class PartitionMap:
         starts = [
             (i * _TOTAL_BLOCKS) // shards for i in range(shards)
         ]
-        ranges = []
+        ranges: List[ShardRange] = []
         for i, start_block in enumerate(starts):
             end_block = (
                 starts[i + 1] if i + 1 < shards else _TOTAL_BLOCKS

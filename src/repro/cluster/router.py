@@ -100,6 +100,7 @@ class Backend:
     def _drop_client(self) -> None:
         if self._client is not None:
             self._client.close()
+            # reprolint: disable=CONC — every caller holds self._lock
             self._client = None
 
     def probe(self) -> bool:
@@ -107,7 +108,10 @@ class Backend:
         try:
             self.call({"op": "ping"})
         except (TransportError, ServiceError):
-            self.healthy = False
+            # The heartbeat thread and the request path both write
+            # this flag; call() marks it under the lock, so must we.
+            with self._lock:
+                self.healthy = False
         return self.healthy
 
     def close(self) -> None:
@@ -132,6 +136,9 @@ class ShardSlot:
             Backend(address, timeout=timeout) for address in addresses
         ]
         self.failovers = 0
+        # Scatter threads call into one slot concurrently; the
+        # failover counter is read-modify-write shared state.
+        self._lock = threading.Lock()
 
     def call(self, request: Dict[str, Any]) -> Any:
         """Forward with failover: healthy backends first (primary
@@ -150,7 +157,8 @@ class ShardSlot:
                 failed += 1
                 continue
             if failed:
-                self.failovers += 1
+                with self._lock:
+                    self.failovers += 1
             return result
         raise ShardUnavailable(self.shard_id, cause)
 
@@ -262,48 +270,56 @@ class Router:
 
     def start(self) -> Tuple[str, int]:
         """Serve and heartbeat from daemon threads."""
-        if self._serve_thread is not None:
-            raise RuntimeError("router already started")
-        self._serving = True
-        self._serve_thread = threading.Thread(
-            target=lambda: self._server.serve_forever(poll_interval=0.1),
-            name="repro-cluster-router",
-            daemon=True,
-        )
-        self._serve_thread.start()
-        self._heartbeat = threading.Thread(
-            target=self._heartbeat_loop,
-            name="repro-cluster-heartbeat",
-            daemon=True,
-        )
-        self._heartbeat.start()
+        with self._lock:
+            if self._serve_thread is not None:
+                raise RuntimeError("router already started")
+            serve_thread = threading.Thread(
+                target=lambda: self._server.serve_forever(
+                    poll_interval=0.1
+                ),
+                name="repro-cluster-router",
+                daemon=True,
+            )
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-cluster-heartbeat",
+                daemon=True,
+            )
+            self._serving = True
+            self._serve_thread = serve_thread
+            self._heartbeat = heartbeat
+        serve_thread.start()
+        heartbeat.start()
         return self.address
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI's foreground mode)."""
-        self._heartbeat = threading.Thread(
+        heartbeat = threading.Thread(
             target=self._heartbeat_loop,
             name="repro-cluster-heartbeat",
             daemon=True,
         )
-        self._heartbeat.start()
-        self._serving = True
+        with self._lock:
+            self._heartbeat = heartbeat
+            self._serving = True
+        heartbeat.start()
         self._server.serve_forever(poll_interval=0.1)
 
     def shutdown(self) -> None:
         """Stop serving and close every backend connection."""
         self._stop.set()
-        if self._serving:
+        with self._lock:
+            serving, self._serving = self._serving, False
+            serve_thread, self._serve_thread = self._serve_thread, None
+            heartbeat, self._heartbeat = self._heartbeat, None
+        if serving:
             # BaseServer.shutdown hangs unless serve_forever ran.
             self._server.shutdown()
-            self._serving = False
         self._server.server_close()
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-            self._serve_thread = None
-        if self._heartbeat is not None:
-            self._heartbeat.join(timeout=5.0)
-            self._heartbeat = None
+        if serve_thread is not None:
+            serve_thread.join(timeout=5.0)
+        if heartbeat is not None:
+            heartbeat.join(timeout=5.0)
         for slot in self._slots:
             slot.close()
 

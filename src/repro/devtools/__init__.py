@@ -1,0 +1,47 @@
+"""Developer tooling: the ``reprolint`` static-analysis gate.
+
+``repro lint`` (and ``scripts/lint_gate.py``) run the AST-based
+invariant checks in :mod:`repro.devtools.rules` over the source tree:
+determinism in simulation paths, bounded reads on the wire path,
+lock discipline in threaded serving code, scoped resources, and no
+silently-swallowed exceptions. See :mod:`repro.devtools.lint` for the
+framework (rule registry, waivers, baseline).
+"""
+
+from .baseline import (
+    BaselineError,
+    compare,
+    load_baseline,
+    save_baseline,
+    stale_entries,
+)
+from .lint import (
+    LintModule,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    render_json,
+    render_text,
+    rule,
+)
+
+__all__ = [
+    "BaselineError",
+    "LintModule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "compare",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule",
+    "save_baseline",
+    "stale_entries",
+]

@@ -1,0 +1,118 @@
+"""Lint baseline: freeze today's findings, fail only on new ones.
+
+Mirrors ``BENCH_baseline.json``'s role for the perf gate: the
+committed ``LINT_baseline.json`` records the accepted violations (by
+content fingerprint, so unrelated line drift doesn't invalidate it),
+and the gate fails when the working tree has a violation the baseline
+does not cover. Fixing a finding leaves a stale baseline entry behind
+— harmless, and ``--update-baseline`` re-freezes the shrunken set.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .lint import Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "compare",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(RuntimeError):
+    """The baseline file is missing or malformed."""
+
+
+def save_baseline(
+    path: "Path | str", violations: Sequence[Violation]
+) -> Path:
+    """Write the accepted-violation set for ``violations``."""
+    target = Path(path)
+    payload = {
+        "version": BASELINE_VERSION,
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "message": violation.message,
+                "fingerprint": violation.fingerprint,
+            }
+            for violation in violations
+        ],
+    }
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_baseline(path: "Path | str") -> "Counter[str]":
+    """The baseline's fingerprint multiset (same finding twice on two
+    lines of one file needs two entries to stay covered)."""
+    target = Path(path)
+    try:
+        raw = json.loads(target.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BaselineError(
+            f"lint baseline not found: {target} "
+            f"(create it with 'repro lint --update-baseline')"
+        ) from None
+    except ValueError as exc:
+        raise BaselineError(
+            f"lint baseline {target} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"lint baseline {target} has unsupported version "
+            f"{raw.get('version') if isinstance(raw, dict) else raw!r}"
+        )
+    rows = raw.get("violations")
+    if not isinstance(rows, list):
+        raise BaselineError(f"lint baseline {target} has no violations list")
+    fingerprints: "Counter[str]" = Counter()
+    for row in rows:
+        if not isinstance(row, dict) or "fingerprint" not in row:
+            raise BaselineError(
+                f"lint baseline {target} has a malformed entry: {row!r}"
+            )
+        fingerprints[str(row["fingerprint"])] += 1
+    return fingerprints
+
+
+def compare(
+    violations: Sequence[Violation], baseline: "Counter[str]"
+) -> List[Violation]:
+    """Violations not covered by the baseline (the gate's failures)."""
+    budget = Counter(baseline)
+    new: List[Violation] = []
+    for violation in violations:
+        if budget[violation.fingerprint] > 0:
+            budget[violation.fingerprint] -= 1
+        else:
+            new.append(violation)
+    return new
+
+
+def stale_entries(
+    violations: Sequence[Violation], baseline: "Counter[str]"
+) -> int:
+    """Baseline entries no current violation consumes (fixed findings
+    whose entries can be dropped with ``--update-baseline``)."""
+    current: Dict[str, int] = Counter(
+        violation.fingerprint for violation in violations
+    )
+    return sum(
+        max(0, count - current.get(fingerprint, 0))
+        for fingerprint, count in baseline.items()
+    )

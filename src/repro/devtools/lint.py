@@ -1,0 +1,397 @@
+"""`reprolint` — the repo's AST-based invariant linter.
+
+The reproduction's headline guarantees (bit-identical parallel runs,
+lock-free epoch swaps, cluster/single-process equality) rest on
+invariants no test can economically enforce file-by-file: simulation
+code must draw time and randomness from injected ``sim.clock`` /
+``sim.rng`` streams, wire-facing code must bound every read, and
+threaded serving code must mutate shared state under a lock. This
+module is the framework; :mod:`repro.devtools.rules` holds the rules
+themselves.
+
+Three pieces:
+
+* a **rule registry** — each rule is a function over a parsed
+  :class:`LintModule`, registered with :func:`rule` under a short code
+  (``DET``, ``WIRE``, ...) and a severity;
+* **waivers** — ``# reprolint: disable=CODE[,CODE]`` on (or on the
+  comment line directly above) a violating line suppresses it, and
+  ``# reprolint: disable-file=CODE`` near the top of a file waives the
+  whole module: intentional exceptions are visible in the diff, not in
+  reviewer memory;
+* a **baseline** (:mod:`repro.devtools.baseline`) mirroring
+  ``BENCH_baseline.json``: the gate fails on violations *new* since
+  the committed ``LINT_baseline.json``, so the bar can be adopted
+  before the last legacy finding is burned down.
+
+Stdlib only — ``ast`` does the parsing; nothing here imports outside
+the standard library, so the gate runs wherever the repo does.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "LintModule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "rule",
+]
+
+#: Severities a rule may carry (order = display order).
+SEVERITIES = ("error", "warning")
+
+_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z0-9_,\s]+)"
+)
+_FILE_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*disable-file=([A-Z0-9_,\s]+)"
+)
+#: File-level waivers must appear in the first N lines.
+_FILE_WAIVER_WINDOW = 12
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One finding: a rule tripped at a source location."""
+
+    rule: str
+    severity: str
+    path: str  # posix path relative to the lint root
+    line: int
+    col: int
+    message: str
+    #: The stripped source line — the baseline fingerprint ingredient,
+    #: so findings survive unrelated line-number drift.
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (rule + file + code)."""
+        basis = f"{self.rule}\x1f{self.path}\x1f{self.snippet}"
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_wire(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["fingerprint"] = self.fingerprint
+        return data
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """A registered invariant check."""
+
+    code: str
+    severity: str
+    summary: str
+    check: Callable[["LintModule"], Iterable[Violation]]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    code: str, *, severity: str, summary: str
+) -> Callable[
+    [Callable[["LintModule"], Iterable[Violation]]],
+    Callable[["LintModule"], Iterable[Violation]],
+]:
+    """Register ``check`` under ``code``; used as a decorator."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity: {severity!r}")
+
+    def register(
+        check: Callable[["LintModule"], Iterable[Violation]]
+    ) -> Callable[["LintModule"], Iterable[Violation]]:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code: {code}")
+        _REGISTRY[code] = Rule(code, severity, summary, check)
+        return check
+
+    return register
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, code-ordered (imports the rule set)."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    all_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code: {code}") from None
+
+
+class LintModule:
+    """One parsed source file plus the lookups every rule needs."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.parts = tuple(Path(relpath).parts)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._line_waivers = self._collect_line_waivers()
+        self.file_waivers = self._collect_file_waivers()
+        self.import_aliases = self._collect_import_aliases()
+
+    # -- layout ---------------------------------------------------------
+
+    def in_dirs(self, *names: str) -> bool:
+        """True when any path segment (not the filename) matches."""
+        return any(part in names for part in self.parts[:-1])
+
+    def imports(self, module: str) -> bool:
+        """True when the file imports ``module`` (any alias/form)."""
+        return module in self.import_aliases.values() or any(
+            canonical == module or canonical.startswith(module + ".")
+            for canonical in self.import_aliases.values()
+        )
+
+    # -- AST helpers ----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return ancestor
+        return None
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for Name/Attribute chains, else None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """The canonical dotted target of ``call``, import-aliases
+        resolved (``import time as t; t.time()`` → ``time.time``)."""
+        dotted = self.dotted_name(call.func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        canonical = self.import_aliases.get(head)
+        if canonical is not None:
+            return canonical + ("." + rest if rest else "")
+        return dotted
+
+    def _collect_import_aliases(self) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    aliases[name.asname or name.name.split(".")[0]] = (
+                        name.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for name in node.names:
+                    aliases[name.asname or name.name] = (
+                        f"{node.module}.{name.name}"
+                    )
+        return aliases
+
+    # -- waivers --------------------------------------------------------
+
+    def _collect_line_waivers(self) -> Dict[int, Set[str]]:
+        waivers: Dict[int, Set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _WAIVER_RE.search(text)
+            if not match:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            waivers.setdefault(number, set()).update(codes)
+            # A waiver on a pure comment line covers the next line,
+            # so long justifications don't force long code lines.
+            if text.lstrip().startswith("#"):
+                waivers.setdefault(number + 1, set()).update(codes)
+        return waivers
+
+    def _collect_file_waivers(self) -> Set[str]:
+        waived: Set[str] = set()
+        for text in self.lines[:_FILE_WAIVER_WINDOW]:
+            match = _FILE_WAIVER_RE.search(text)
+            if match:
+                waived.update(
+                    code.strip()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                )
+        return waived
+
+    def waived(self, line: int, code: str) -> bool:
+        if code in self.file_waivers:
+            return True
+        return code in self._line_waivers.get(line, set())
+
+    # -- violation factory ---------------------------------------------
+
+    def violation(
+        self, rule_code: str, node: ast.AST, message: str
+    ) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = (
+            self.lines[line - 1].strip()
+            if 0 < line <= len(self.lines)
+            else ""
+        )
+        return Violation(
+            rule=rule_code,
+            severity=_REGISTRY[rule_code].severity,
+            path=self.relpath,
+            line=line,
+            col=col + 1,
+            message=message,
+            snippet=snippet,
+        )
+
+
+def _iter_python_files(target: Path) -> Iterator[Path]:
+    if target.is_file():
+        if target.suffix == ".py":
+            yield target
+        return
+    for path in sorted(target.rglob("*.py")):
+        if any(part.startswith(".") for part in path.parts):
+            continue
+        yield path
+
+
+def lint_file(
+    path: Path,
+    root: Path,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """All (un-waived) violations in one file."""
+    active = tuple(rules) if rules is not None else all_rules()
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        module = LintModule(path, relpath, source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="PARSE",
+                severity="error",
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                snippet="",
+            )
+        ]
+    found: List[Violation] = []
+    for active_rule in active:
+        for violation in active_rule.check(module):
+            if not module.waived(violation.line, violation.rule):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def lint_paths(
+    targets: Iterable[Path],
+    root: Path,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint every ``.py`` file under ``targets`` (files or trees)."""
+    active = tuple(rules) if rules is not None else all_rules()
+    seen: Set[Path] = set()
+    found: List[Violation] = []
+    for target in targets:
+        for path in _iter_python_files(Path(target)):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            found.extend(lint_file(path, root, active))
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [violation.render() for violation in violations]
+    by_rule: Dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    if violations:
+        summary = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_rule.items())
+        )
+        lines.append(f"{len(violations)} violation(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report (what ``repro lint --json`` prints)."""
+    return json.dumps(
+        {
+            "violations": [v.to_wire() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,508 @@
+"""The repo's invariant rules.
+
+Each rule guards an invariant a shipped guarantee rests on:
+
+``DET``
+    Simulation paths (``sim/``, ``internet/``, ``bittorrent/``,
+    ``experiments/``) must not read the wall clock or unseeded
+    randomness — bit-identical parallel runs (the PR 1 guarantee) die
+    the moment one does. Time comes from ``sim.clock``, randomness
+    from injected ``sim.rng`` streams.
+
+``WIRE``
+    Wire-facing code (``service/``, ``cluster/``, ``stream/``) must
+    bound what it reads and guard what it decodes: no zero-argument
+    ``sock.recv()``/``.read()``, no ``json.loads``/``struct.unpack``
+    in a function that shows no size bound (a ``len()`` comparison or
+    a ``MAX_*``/``*limit*`` constant).
+
+``CONC``
+    In threaded serving modules, shared instance state must be
+    mutated under ``self.*lock*``: read-modify-write (``+=``) outside
+    a lock is always flagged; a plain attribute written from several
+    methods is flagged at each unguarded write site.
+
+``RES``
+    Sockets and file handles must be scoped: opened in a ``with``,
+    owned by ``self`` (a close-managed object), created under a
+    ``try``/``finally``, or returned to the caller.
+
+``EXC``
+    Serving paths must not swallow exceptions silently: an
+    ``except Exception``/bare ``except`` whose body is only ``pass``
+    or ``continue`` hides the pipeline defects blocklist
+    false-positive studies trace outages to.
+
+False positives are expected occasionally — that is what inline
+``# reprolint: disable=CODE`` waivers (with a justifying comment) are
+for; the waiver shows up in review, silent drift does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .lint import LintModule, Violation, rule
+
+__all__ = ["DETERMINISM_DIRS", "SERVING_DIRS"]
+
+#: Directories whose code must be deterministic (DET scope).
+DETERMINISM_DIRS = ("sim", "internet", "bittorrent", "experiments")
+
+#: Directories on the serving/wire path (WIRE / CONC / EXC scope).
+SERVING_DIRS = ("service", "cluster", "stream")
+
+# -- DET ---------------------------------------------------------------
+
+#: Canonical call targets that read the wall clock or process entropy.
+_DET_BANNED = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.sleep": "wall-clock wait",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid4": "OS entropy",
+    "random.SystemRandom": "OS entropy",
+}
+
+#: Module-level ``random.*`` functions (the shared unseeded stream).
+_DET_RANDOM_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+
+@rule(
+    "DET",
+    severity="error",
+    summary=(
+        "no wall-clock or unseeded randomness in simulation paths "
+        "(inject sim.rng streams / sim.clock)"
+    ),
+)
+def check_determinism(module: LintModule) -> Iterator[Violation]:
+    if not module.in_dirs(*DETERMINISM_DIRS):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = module.resolve_call(node)
+        if target is None:
+            continue
+        reason = _DET_BANNED.get(target)
+        if reason is None and target.startswith("secrets."):
+            reason = "OS entropy"
+        if reason is None:
+            head, _, tail = target.partition(".")
+            if head == "random" and tail in _DET_RANDOM_FUNCS:
+                reason = "module-level random stream"
+        if reason is not None:
+            yield module.violation(
+                "DET",
+                node,
+                f"{target}() is {reason} — simulation paths must use "
+                f"an injected sim.rng stream or sim.clock",
+            )
+
+
+# -- WIRE --------------------------------------------------------------
+
+
+def _has_size_evidence(scope: ast.AST) -> bool:
+    """A ``len()`` comparison or a ``MAX_*``/``*limit*`` reference
+    anywhere in ``scope`` counts as evidence the data is bounded."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                if (
+                    isinstance(operand, ast.Call)
+                    and isinstance(operand.func, ast.Name)
+                    and operand.func.id == "len"
+                ):
+                    return True
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None:
+            lowered = name.lower()
+            if "max" in lowered or "limit" in lowered:
+                return True
+    return False
+
+
+def _catches_struct_error(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.ExceptHandler) and node.type is not None:
+            names = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for name in names:
+                if (
+                    isinstance(name, ast.Attribute)
+                    and name.attr == "error"
+                ):
+                    return True
+    return False
+
+
+@rule(
+    "WIRE",
+    severity="error",
+    summary=(
+        "bounded reads and guarded decodes on the wire path "
+        "(no naked recv()/read()/json.loads/struct.unpack)"
+    ),
+)
+def check_wire(module: LintModule) -> Iterator[Violation]:
+    if not module.in_dirs(*SERVING_DIRS):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        scope = module.enclosing_function(node) or module.tree
+        if isinstance(func, ast.Attribute):
+            receiver = module.dotted_name(func.value) or ""
+            if (
+                func.attr in ("recv", "recvfrom")
+                and not node.args
+                and "sock" in receiver.lower()
+            ):
+                yield module.violation(
+                    "WIRE",
+                    node,
+                    f"unbounded {receiver}.{func.attr}() — pass an "
+                    f"explicit byte limit",
+                )
+                continue
+            if func.attr == "read" and not node.args:
+                yield module.violation(
+                    "WIRE",
+                    node,
+                    f"unbounded {receiver or '<expr>'}.read() — pass "
+                    f"a byte limit or read in bounded chunks",
+                )
+                continue
+        target = module.resolve_call(node)
+        if target == "json.loads" and not _has_size_evidence(scope):
+            yield module.violation(
+                "WIRE",
+                node,
+                "json.loads() of unbounded input — check the payload "
+                "against an explicit size limit first",
+            )
+        elif (
+            target is not None
+            and (
+                target in ("struct.unpack", "struct.unpack_from")
+                or (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("unpack", "unpack_from")
+                )
+            )
+            and not _has_size_evidence(scope)
+            and not _catches_struct_error(scope)
+        ):
+            yield module.violation(
+                "WIRE",
+                node,
+                "struct unpack without a length guard — compare "
+                "len() against the format size (or catch struct.error)",
+            )
+
+
+# -- CONC --------------------------------------------------------------
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    """``self._lock`` / ``self._write_lock`` / anything named *lock*."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and "lock" in node.attr.lower()
+    )
+
+
+def _under_lock(module: LintModule, node: ast.AST) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.With) and any(
+            _is_lockish(item.context_expr)
+            or (
+                isinstance(item.context_expr, ast.Call)
+                and any(
+                    _is_lockish(arg) for arg in item.context_expr.args
+                )
+            )
+            for item in ancestor.items
+        ):
+            return True
+    return False
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _method_mutations(
+    method: ast.FunctionDef,
+) -> Iterator[Tuple[str, ast.stmt, bool]]:
+    """Yields ``(attr, node, is_augmented)`` for self-attribute writes."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr_target(target)
+                if attr is not None:
+                    yield attr, node, False
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            attr = _self_attr_target(node.target)
+            if attr is not None:
+                yield attr, node, False
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr_target(node.target)
+            if attr is not None:
+                yield attr, node, True
+
+
+@rule(
+    "CONC",
+    severity="error",
+    summary=(
+        "shared instance state in threaded serving code must be "
+        "mutated under self.*lock*"
+    ),
+)
+def check_concurrency(module: LintModule) -> Iterator[Violation]:
+    if not module.in_dirs(*SERVING_DIRS):
+        return
+    if not module.imports("threading"):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = [
+            item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        ]
+        # attr -> {method name -> [(node, augmented, guarded)]}
+        writes: Dict[str, Dict[str, List[Tuple[ast.stmt, bool, bool]]]]
+        writes = {}
+        for method in methods:
+            for attr, site, augmented in _method_mutations(method):
+                writes.setdefault(attr, {}).setdefault(
+                    method.name, []
+                ).append((site, augmented, _under_lock(module, site)))
+        for attr, by_method in writes.items():
+            for method_name, sites in by_method.items():
+                if method_name == "__init__":
+                    continue
+                for site, augmented, guarded in sites:
+                    if guarded:
+                        continue
+                    if augmented:
+                        yield module.violation(
+                            "CONC",
+                            site,
+                            f"read-modify-write of self.{attr} in "
+                            f"{node.name}.{method_name} without "
+                            f"holding self._lock",
+                        )
+                        continue
+                    mutators = sorted(
+                        name
+                        for name in by_method
+                        if name != "__init__"
+                    )
+                    if len(mutators) > 1:
+                        yield module.violation(
+                            "CONC",
+                            site,
+                            f"self.{attr} is written by multiple "
+                            f"{node.name} methods "
+                            f"({', '.join(mutators)}) but this write "
+                            f"in {method_name} does not hold "
+                            f"self._lock",
+                        )
+
+
+# -- RES ---------------------------------------------------------------
+
+#: Canonical calls that hand back a resource needing a close().
+_RES_OPENERS = {
+    "open",
+    "gzip.open",
+    "bz2.open",
+    "lzma.open",
+    "os.fdopen",
+    "socket.socket",
+    "socket.create_connection",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+}
+
+
+def _in_with_context(module: LintModule, node: ast.AST) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                for sub in ast.walk(item.context_expr):
+                    if sub is node:
+                        return True
+    return False
+
+
+def _assigned_to_self(module: LintModule, node: ast.AST) -> bool:
+    parent = module.parent(node)
+    if isinstance(parent, ast.Assign):
+        return any(
+            _self_attr_target(target) is not None
+            for target in parent.targets
+        )
+    if isinstance(parent, ast.AnnAssign):
+        return _self_attr_target(parent.target) is not None
+    return False
+
+
+def _in_try_finally(module: LintModule, node: ast.AST) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Try) and ancestor.finalbody:
+            return True
+        if isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            break
+    # The common idiom opens *before* the try so the name is bound for
+    # the finally: ``h = open(p)`` immediately followed by
+    # ``try: ... finally: ...`` counts as scoped.
+    parent = module.parent(node)
+    if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+        grandparent = module.parent(parent)
+        for body in (
+            getattr(grandparent, "body", None),
+            getattr(grandparent, "orelse", None),
+            getattr(grandparent, "finalbody", None),
+        ):
+            if body and parent in body:
+                index = body.index(parent)
+                if index + 1 < len(body):
+                    follower = body[index + 1]
+                    if (
+                        isinstance(follower, ast.Try)
+                        and follower.finalbody
+                    ):
+                        return True
+    return False
+
+
+def _is_returned(module: LintModule, node: ast.AST) -> bool:
+    parent = module.parent(node)
+    return isinstance(parent, ast.Return)
+
+
+@rule(
+    "RES",
+    severity="warning",
+    summary=(
+        "files/sockets must be scoped: with-block, self-owned, "
+        "try/finally, or returned to the caller"
+    ),
+)
+def check_resources(module: LintModule) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = module.resolve_call(node)
+        if target not in _RES_OPENERS:
+            continue
+        if (
+            _in_with_context(module, node)
+            or _assigned_to_self(module, node)
+            or _in_try_finally(module, node)
+            or _is_returned(module, node)
+        ):
+            continue
+        yield module.violation(
+            "RES",
+            node,
+            f"{target}() outside a with-block/try-finally — the "
+            f"handle leaks on the first exception",
+        )
+
+
+# -- EXC ---------------------------------------------------------------
+
+
+def _broad_handler(node: ast.ExceptHandler) -> bool:
+    if node.type is None:
+        return True
+    names = (
+        list(node.type.elts)
+        if isinstance(node.type, ast.Tuple)
+        else [node.type]
+    )
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in (
+            "Exception",
+            "BaseException",
+        ):
+            return True
+    return False
+
+
+@rule(
+    "EXC",
+    severity="warning",
+    summary=(
+        "serving paths must not silently swallow Exception "
+        "(count it, log it, or narrow the except)"
+    ),
+)
+def check_silent_except(module: LintModule) -> Iterator[Violation]:
+    if not module.in_dirs(*SERVING_DIRS):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _broad_handler(node):
+            continue
+        body = [
+            stmt
+            for stmt in node.body
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            )
+        ]
+        if all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in body
+        ):
+            yield module.violation(
+                "EXC",
+                node,
+                "except Exception with a pass-only body swallows "
+                "failures silently — count/log it or narrow the type",
+            )

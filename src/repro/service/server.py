@@ -239,6 +239,9 @@ class ReputationServer:
         self._server.connection_timeout = connection_timeout
         self._server.max_frame = max_frame
         self._server.streaming = streaming
+        # Guards the serve-thread handle: start() and shutdown() may
+        # legitimately race (a test tearing down a just-started server).
+        self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -253,23 +256,26 @@ class ReputationServer:
 
     def start(self) -> Tuple[str, int]:
         """Serve from a background daemon thread; returns the address."""
-        if self._thread is not None:
-            raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self.serve_forever,
-            name="repro-reputation-server",
-            daemon=True,
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("server already started")
+            thread = threading.Thread(
+                target=self.serve_forever,
+                name="repro-reputation-server",
+                daemon=True,
+            )
+            self._thread = thread
+        thread.start()
         return self.address
 
     def shutdown(self) -> None:
         """Stop accepting, finish in-flight requests, close the socket."""
         self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def close_connections(self) -> None:
         """Sever every live client connection (a hard stop — what a

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Protocol, Tuple
 
 __all__ = [
     "FrameError",
     "MAX_FRAME_BYTES",
+    "WireSocket",
     "encode_frame",
     "decode_frame",
     "send_frame",
@@ -38,6 +39,15 @@ __all__ = [
 MAX_FRAME_BYTES = 1 << 20
 
 _HEADER = struct.Struct(">I")
+
+
+class WireSocket(Protocol):
+    """The slice of the socket API the codec needs — real sockets and
+    test doubles both satisfy it structurally."""
+
+    def sendall(self, data: bytes) -> None: ...
+
+    def recv(self, bufsize: int) -> bytes: ...
 
 
 class FrameError(ValueError):
@@ -69,7 +79,14 @@ def encode_frame(obj: Any, *, max_size: int = MAX_FRAME_BYTES) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
-def _decode_payload(payload: bytes) -> Any:
+def _decode_payload(payload: bytes, max_size: int) -> Any:
+    # Both callers check the declared length before reading; this bound
+    # keeps the decoder safe even if a new call site forgets to.
+    if len(payload) > max_size:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_size}-byte limit"
+        )
     try:
         return json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -94,7 +111,7 @@ def decode_frame(
     end = _HEADER.size + length
     if len(buffer) < end:
         return None
-    return _decode_payload(buffer[_HEADER.size : end]), end
+    return _decode_payload(buffer[_HEADER.size : end], max_size), end
 
 
 def _check_length(length: int, max_size: int) -> None:
@@ -107,14 +124,16 @@ def _check_length(length: int, max_size: int) -> None:
         )
 
 
-def send_frame(sock: Any, obj: Any, *, max_size: int = MAX_FRAME_BYTES) -> None:
+def send_frame(
+    sock: WireSocket, obj: Any, *, max_size: int = MAX_FRAME_BYTES
+) -> None:
     """Encode ``obj`` and write the full frame to ``sock``."""
     sock.sendall(encode_frame(obj, max_size=max_size))
 
 
-def _recv_exact(sock: Any, count: int) -> bytes:
+def _recv_exact(sock: WireSocket, count: int) -> bytes:
     """Read exactly ``count`` bytes; short result means EOF hit."""
-    chunks = []
+    chunks: List[bytes] = []
     remaining = count
     while remaining > 0:
         chunk = sock.recv(min(remaining, 1 << 16))
@@ -125,7 +144,9 @@ def _recv_exact(sock: Any, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: Any, *, max_size: int = MAX_FRAME_BYTES) -> Optional[Any]:
+def recv_frame(
+    sock: WireSocket, *, max_size: int = MAX_FRAME_BYTES
+) -> Optional[Any]:
     """Read one frame from ``sock``.
 
     Returns the decoded message, or ``None`` on a clean EOF at a frame
@@ -146,4 +167,4 @@ def recv_frame(sock: Any, *, max_size: int = MAX_FRAME_BYTES) -> Optional[Any]:
             f"connection closed {length - len(payload)} bytes short of "
             "a full frame"
         )
-    return _decode_payload(payload)
+    return _decode_payload(payload, max_size)

