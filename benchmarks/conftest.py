@@ -10,6 +10,7 @@ run (pytest captures stdout).
 Set ``REPRO_BENCH_PRESET=small`` to iterate quickly at test scale.
 """
 
+import gc
 import os
 from pathlib import Path
 
@@ -18,6 +19,25 @@ import pytest
 from repro.experiments.runner import cached_run
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture()
+def gc_frozen():
+    """Park the heap the rest of the suite accumulated (session-cached
+    runs, rendered artefacts) in the GC's permanent generation for the
+    duration of one throughput bench.
+
+    The pipelined serving benches allocate enough per round to trigger
+    repeated full collections, and each of those scans every live
+    object in the process — so without this, a floor-gated bench run
+    after the figure benches measures the test process's heap size,
+    not the serving plane (observed 4-5x swings on the same code)."""
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 
 @pytest.fixture(scope="session")

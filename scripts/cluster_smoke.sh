@@ -4,6 +4,11 @@
 # process, and assert the service keeps answering (failover), then
 # tear everything down. Exits non-zero on any failed step.
 #
+# The kill-a-primary pass runs once per wire protocol: the JSON codec
+# against shard 0's outage, then the binary codec (forced with
+# --codec binary, so a silent JSON fallback fails the smoke) against
+# shard 1's.
+#
 # Usage: scripts/cluster_smoke.sh  (from the repo root)
 
 set -euo pipefail
@@ -54,7 +59,6 @@ python -m repro query --hello --port "$PORT" | grep -q '"shards": 3' || {
     exit 1
 }
 
-echo "== 100 queries through the router"
 IPS=$(python - <<'EOF'
 import random
 rng = random.Random(7)
@@ -63,30 +67,47 @@ print(" ".join(
 ))
 EOF
 )
-# shellcheck disable=SC2086
-ANSWERS=$(python -m repro query --port "$PORT" $IPS | grep -c "listed=")
-[[ "$ANSWERS" -eq 100 ]] || {
-    echo "FAIL: expected 100 verdicts, got $ANSWERS" >&2
-    exit 1
-}
-echo "   100/100 answered"
 
-echo "== killing shard 0's primary worker"
-SHARD_PID=$(grep "^shard 0 primary" "$LOG" | sed -n 's/.*pid=\([0-9]*\).*/\1/p')
-[[ -n "$SHARD_PID" ]] || {
-    echo "FAIL: could not find shard 0 primary pid in output" >&2
-    exit 1
+# run_queries <codec>: 100 queries through the router, echoing the
+# verdict count.
+run_queries() {
+    # shellcheck disable=SC2086
+    python -m repro query --codec "$1" --port "$PORT" $IPS | grep -c "listed="
 }
-kill -9 "$SHARD_PID"
-sleep 1
 
-echo "== 100 queries with a dead primary (replica must answer)"
-# shellcheck disable=SC2086
-ANSWERS=$(python -m repro query --port "$PORT" $IPS | grep -c "listed=")
-[[ "$ANSWERS" -eq 100 ]] || {
-    echo "FAIL: expected 100 verdicts after shard kill, got $ANSWERS" >&2
-    exit 1
+# kill_primary <shard>: SIGKILL that shard's primary worker process.
+kill_primary() {
+    local pid
+    pid=$(grep "^shard $1 primary" "$LOG" | sed -n 's/.*pid=\([0-9]*\).*/\1/p')
+    [[ -n "$pid" ]] || {
+        echo "FAIL: could not find shard $1 primary pid in output" >&2
+        exit 1
+    }
+    kill -9 "$pid"
+    sleep 1
 }
-echo "   100/100 answered through failover"
 
-echo "OK: cluster served through a shard failure"
+for PASS in "json 0" "binary 1"; do
+    read -r CODEC SHARD <<<"$PASS"
+
+    echo "== [$CODEC] 100 queries through the router"
+    ANSWERS=$(run_queries "$CODEC")
+    [[ "$ANSWERS" -eq 100 ]] || {
+        echo "FAIL: [$CODEC] expected 100 verdicts, got $ANSWERS" >&2
+        exit 1
+    }
+    echo "   100/100 answered"
+
+    echo "== [$CODEC] killing shard $SHARD's primary worker"
+    kill_primary "$SHARD"
+
+    echo "== [$CODEC] 100 queries with a dead primary (replica must answer)"
+    ANSWERS=$(run_queries "$CODEC")
+    [[ "$ANSWERS" -eq 100 ]] || {
+        echo "FAIL: [$CODEC] expected 100 verdicts after shard kill, got $ANSWERS" >&2
+        exit 1
+    }
+    echo "   100/100 answered through failover"
+done
+
+echo "OK: cluster served through a shard failure on both codecs"

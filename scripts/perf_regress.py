@@ -15,9 +15,11 @@ Workflow::
 
 The gated set covers the batch pipeline (primitives + runner), the
 online service's query path (index build, in-process and over-the-wire
-queries/sec), the streaming ingestion path (delta apply throughput,
-update-log roundtrip, query p99 under epoch hot swap), and the sharded
-cluster (scatter-gather batch throughput vs single-process, point p99
+queries/sec on both the pinned JSON codec and the pipelined binary
+codec, plus the 1000-client fan-in), the streaming ingestion path
+(delta apply throughput, update-log roundtrip, query p99 under epoch
+hot swap), and the sharded cluster (scatter-gather batch throughput vs
+single-process on JSON, pipelined binary batches end to end, point p99
 during shard failover), so a slowdown on any side of the serving story
 fails the same gate.
 

@@ -369,6 +369,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print raw JSON verdicts instead of one-line summaries",
     )
     query_p.add_argument(
+        "--codec",
+        choices=("auto", "json", "binary"),
+        default="auto",
+        help=(
+            "wire framing: auto negotiates binary and falls back to "
+            "JSON, json forces the legacy framing, binary fails the "
+            "handshake loudly if the server cannot speak it"
+        ),
+    )
+    query_p.add_argument(
         "--stats",
         action="store_true",
         help="print server-side engine/index stats and exit",
@@ -837,7 +847,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise CliError(
             "no addresses given (and --stats/--hello not requested)"
         )
-    with ReputationClient(args.host, port) as client:
+    with ReputationClient(args.host, port, codec=args.codec) as client:
+        if args.codec == "binary" and client.codec != "binary":
+            raise CliError(
+                f"server at {args.host}:{port} did not accept the "
+                "binary codec (use --codec auto to fall back to JSON)"
+            )
         if args.hello:
             print(json.dumps(client.hello(), indent=2, sort_keys=True))
             return 0

@@ -61,6 +61,7 @@ class LocalCluster:
         backend_timeout: float = DEFAULT_BACKEND_TIMEOUT,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         poll_interval: float = 0.05,
+        backend_codec: str = "binary",
     ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown cluster mode: {mode!r}")
@@ -116,6 +117,7 @@ class LocalCluster:
             connection_timeout=connection_timeout,
             backend_timeout=backend_timeout,
             heartbeat_interval=heartbeat_interval,
+            backend_codec=backend_codec,
         )
         self.router: Optional[Router] = None
 

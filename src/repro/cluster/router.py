@@ -2,12 +2,13 @@
 
 A :class:`Router` binds one TCP socket speaking the *existing* service
 wire protocol — a client cannot tell a router from a single-process
-server — and fans requests out over the shard fleet:
+server, including the binary-codec ``hello`` negotiation — and fans
+requests out over the shard fleet:
 
 * point queries route by the partition map to the owning shard's
   active backend (primary, else the first healthy replica);
-* batch queries are split by shard, scattered concurrently, and the
-  per-shard replies merged back into request order;
+* batch queries are split by shard, scattered, and the per-shard
+  replies merged back into request order;
 * ``stats``/``hello`` scatter to every shard and merge, reporting the
   fleet's ``min``/``max`` epoch and seq so cross-shard staleness is
   visible to the client;
@@ -15,30 +16,65 @@ server — and fans requests out over the shard fleet:
   unhealthy (and retried each beat, so a restarted shard rejoins
   without operator action).
 
+Everything rides one event loop: the downstream listener is a
+pipelined :class:`~repro.service.aio.WireServer`, and each shard
+backend gets one *persistent pipelined* upstream connection registered
+on the same reactor — no per-batch threads, no per-request connects.
+When the fleet speaks the binary codec, a routed batch is pure
+plumbing: packed request records scatter out, packed reply records
+merge back by position, and no verdict dict is ever materialised in
+the router.
+
 Failure degrades, never cascades: when every backend of a shard is
 down, a point query gets an explicit ``SHARD_UNAVAILABLE`` error
 reply and a batch reply carries per-IP ``{"error":
 "SHARD_UNAVAILABLE"}`` entries in the dead shard's positions — the
-other shards' verdicts still flow.
+other shards' verdicts still flow. A backend connection that dies
+with requests in flight fails those requests over to the next
+candidate backend; an idle EOF just closes the pooled connection (the
+backend may simply have timed us out), leaving its health standing so
+the next request probes it first.
 """
 
 from __future__ import annotations
 
-import socketserver
+import selectors
+import socket
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..net.ipv4 import int_to_ip
-from ..service.client import ReputationClient, ServiceError, TransportError
+from ..service.aio import Conn, Slot, WireServer
 from ..service.server import (
     DEFAULT_CONNECTION_TIMEOUT,
     MAX_BATCH,
     PROTOCOL_VERSION,
     RequestError,
+    negotiate_hello,
+    parse_batch,
     parse_day,
     parse_ip,
 )
-from ..service.wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
+from ..service.wire import (
+    FT_BATCH_REP,
+    FT_MSG,
+    MAX_FRAME_BYTES,
+    WireError,
+    decode_binary_frame,
+    decode_frame,
+    decode_msg_payload,
+    decode_record,
+    encode_batch_request,
+    encode_frame,
+    encode_msg_frame,
+    pack_degraded,
+    pack_verdict_wire,
+    recv_frame,
+    send_frame,
+    split_batch_reply,
+)
 from .partition import PartitionMap
 
 __all__ = ["Backend", "Router", "ShardSlot", "SHARD_UNAVAILABLE"]
@@ -52,6 +88,12 @@ DEFAULT_HEARTBEAT_INTERVAL = 1.0
 #: Connect/IO timeout the router uses towards shard backends.
 DEFAULT_BACKEND_TIMEOUT = 5.0
 
+_READ = selectors.EVENT_READ
+_WRITE = selectors.EVENT_WRITE
+
+#: Bytes asked from the kernel per upstream readable event.
+_RECV_CHUNK = 1 << 18
+
 
 class ShardUnavailable(RuntimeError):
     """Every backend of one shard failed at the transport level."""
@@ -64,8 +106,45 @@ class ShardUnavailable(RuntimeError):
         self.shard_id = shard_id
 
 
+class _Sub:
+    """One upstream request in flight (or queued for failover).
+
+    ``finish(status, value)`` fires exactly once with one of:
+    ``("records", [raw record bytes])`` — binary batch reply;
+    ``("verdicts", [verdict dicts])`` — JSON batch reply;
+    ``("result", payload)`` — any ``ok`` message reply;
+    ``("reject", error string)`` — the backend answered ``ok: false``;
+    ``("unavailable", cause)`` — every candidate backend failed.
+    """
+
+    __slots__ = ("kind", "request", "pairs", "rid", "candidates",
+                 "failed", "shard_slot", "deadline", "finish")
+
+    def __init__(
+        self,
+        kind: str,
+        shard_slot: "ShardSlot",
+        finish: Callable[[str, Any], None],
+        *,
+        request: Optional[Dict[str, Any]] = None,
+        pairs: Optional[List[Tuple[int, Optional[int]]]] = None,
+    ) -> None:
+        self.kind = kind  # "batch" (packed pairs) or "msg" (request)
+        self.request = request
+        self.pairs = pairs
+        self.rid = 0
+        self.candidates: Deque["Backend"] = deque(
+            shard_slot.ordered_backends()
+        )
+        self.failed = 0
+        self.shard_slot = shard_slot
+        self.deadline = 0.0
+        self.finish = finish
+
+
 class Backend:
-    """One shard server address plus its pooled connection + health."""
+    """One shard server address: its health flag plus the router's
+    persistent pipelined connection state (loop-thread owned)."""
 
     def __init__(
         self,
@@ -74,49 +153,41 @@ class Backend:
         timeout: float = DEFAULT_BACKEND_TIMEOUT,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
-        self._timeout = timeout
-        self._client: Optional[ReputationClient] = None
-        self._lock = threading.Lock()
-        self.healthy = True  # optimistic until a call says otherwise
-
-    def call(self, request: Dict[str, Any]) -> Any:
-        """Forward one request; :class:`TransportError` marks us down."""
-        with self._lock:
-            if self._client is None:
-                self._client = ReputationClient(
-                    *self.address, timeout=self._timeout
-                )
-            try:
-                result = self._client.call(request)
-            except TransportError:
-                self._drop_client()
-                self.healthy = False
-                raise
-            except ServiceError:
-                raise  # backend is alive; the request was the problem
-            self.healthy = True
-            return result
-
-    def _drop_client(self) -> None:
-        if self._client is not None:
-            self._client.close()
-            # reprolint: disable=CONC — every caller holds self._lock
-            self._client = None
+        self.timeout = timeout
+        self.healthy = True  # optimistic until a connect/call fails
+        # Loop-owned pipelined connection state.
+        self.sock: Optional[socket.socket] = None
+        self.codec = "json"
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.pending: Deque[_Sub] = deque()
+        self.rid = 0
+        self.registered = False
+        self.events = 0
+        self.callback: Any = None
 
     def probe(self) -> bool:
-        """One heartbeat: ping, update ``healthy``, report it."""
-        try:
-            self.call({"op": "ping"})
-        except (TransportError, ServiceError):
-            # The heartbeat thread and the request path both write
-            # this flag; call() marks it under the lock, so must we.
-            with self._lock:
-                self.healthy = False
-        return self.healthy
+        """One blocking liveness ping over a throwaway connection.
 
-    def close(self) -> None:
-        with self._lock:
-            self._drop_client()
+        The heartbeat thread and :meth:`Router.wait_healthy` run off
+        the loop thread, so they never touch the loop's pipelined
+        connection — a fresh socket per probe keeps the threads apart.
+        """
+        try:
+            with socket.create_connection(
+                self.address, timeout=self.timeout
+            ) as sock:
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                send_frame(sock, {"op": "ping"})
+                reply = recv_frame(sock)
+        except (WireError, OSError):
+            self.healthy = False
+            return False
+        ok = isinstance(reply, dict) and bool(reply.get("ok"))
+        self.healthy = ok
+        return ok
 
 
 class ShardSlot:
@@ -135,84 +206,20 @@ class ShardSlot:
         self.backends = [
             Backend(address, timeout=timeout) for address in addresses
         ]
+        #: Requests that succeeded only after at least one backend
+        #: failed; written on the loop thread only.
         self.failovers = 0
-        # Scatter threads call into one slot concurrently; the
-        # failover counter is read-modify-write shared state.
-        self._lock = threading.Lock()
 
-    def call(self, request: Dict[str, Any]) -> Any:
-        """Forward with failover: healthy backends first (primary
-        before replicas), then unhealthy ones as a last resort so a
-        just-restarted shard answers before the next heartbeat."""
-        ordered = [b for b in self.backends if b.healthy] + [
+    def ordered_backends(self) -> List[Backend]:
+        """Healthy backends first (primary before replicas), then
+        unhealthy ones as a last resort so a just-restarted shard
+        answers before the next heartbeat."""
+        return [b for b in self.backends if b.healthy] + [
             b for b in self.backends if not b.healthy
         ]
-        cause = "no backends"
-        failed = 0
-        for backend in ordered:
-            try:
-                result = backend.call(request)
-            except TransportError as exc:
-                cause = str(exc)
-                failed += 1
-                continue
-            if failed:
-                with self._lock:
-                    self.failovers += 1
-            return result
-        raise ShardUnavailable(self.shard_id, cause)
 
     def healthy_count(self) -> int:
         return sum(backend.healthy for backend in self.backends)
-
-    def close(self) -> None:
-        for backend in self.backends:
-            backend.close()
-
-
-class _RouterHandler(socketserver.BaseRequestHandler):
-    server: "_RouterTcpServer"
-
-    def handle(self) -> None:
-        sock = self.request
-        sock.settimeout(self.server.router.connection_timeout)
-        router = self.server.router
-        while True:
-            try:
-                request = recv_frame(sock, max_size=MAX_FRAME_BYTES)
-            except FrameError as exc:
-                self._reply(sock, {"ok": False, "error": str(exc)})
-                if exc.recoverable:
-                    continue
-                return
-            except OSError:
-                return
-            if request is None:
-                return
-            try:
-                reply = router.dispatch(request)
-            except RequestError as exc:
-                reply = {"ok": False, "error": str(exc)}
-            except ShardUnavailable as exc:
-                reply = {"ok": False, "error": str(exc)}
-            except Exception as exc:  # never let a bug kill the worker
-                reply = {"ok": False, "error": f"internal error: {exc}"}
-            if not self._reply(sock, reply):
-                return
-
-    @staticmethod
-    def _reply(sock, message: Dict[str, Any]) -> bool:
-        try:
-            send_frame(sock, message)
-            return True
-        except (FrameError, OSError):
-            return False
-
-
-class _RouterTcpServer(socketserver.ThreadingTCPServer):
-    daemon_threads = True
-    allow_reuse_address = True
-    router: "Router"
 
 
 class Router:
@@ -221,7 +228,10 @@ class Router:
     ``backends`` maps shard id (list position) to that shard's backend
     addresses, primary first. The partition map must be the one the
     shard indexes were restricted with — the router cannot check that,
-    only the fidelity tests can.
+    only the fidelity tests can. ``backend_codec="binary"`` (default)
+    makes the router offer the binary codec on its upstream
+    connections; a shard that doesn't speak it just stays on JSON, so
+    mixed fleets work during a rollout.
     """
 
     def __init__(
@@ -234,14 +244,19 @@ class Router:
         connection_timeout: float = DEFAULT_CONNECTION_TIMEOUT,
         backend_timeout: float = DEFAULT_BACKEND_TIMEOUT,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        backend_codec: str = "binary",
     ) -> None:
         if len(backends) != len(partition):
             raise ValueError(
                 f"{len(partition)} shards need {len(partition)} backend "
                 f"lists, got {len(backends)}"
             )
+        if backend_codec not in ("json", "binary"):
+            raise ValueError(f"unknown backend codec {backend_codec!r}")
         self.partition = partition
         self.connection_timeout = connection_timeout
+        self._backend_timeout = backend_timeout
+        self._backend_codec = backend_codec
         self._slots = [
             ShardSlot(shard_id, list(addresses), timeout=backend_timeout)
             for shard_id, addresses in enumerate(backends)
@@ -249,79 +264,70 @@ class Router:
         self._heartbeat_interval = heartbeat_interval
         self._stop = threading.Event()
         self._heartbeat: Optional[threading.Thread] = None
-        self._serve_thread: Optional[threading.Thread] = None
-        self._serving = False
         self._lock = threading.Lock()
+        # Mutated on the loop thread only (dict-subscript updates).
         self._counters = {
             "point": 0,
             "batch": 0,
             "batch_queries": 0,
             "degraded": 0,
         }
-        self._server = _RouterTcpServer((host, port), _RouterHandler)
-        self._server.router = self
+        self._server = WireServer(
+            self._handle,
+            host,
+            port,
+            connection_timeout=connection_timeout,
+            max_frame=MAX_FRAME_BYTES,
+        )
+        self._reactor = self._server.reactor
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def address(self) -> Tuple[str, int]:
-        host, port = self._server.server_address[:2]
-        return str(host), int(port)
+        return self._server.address
 
-    def start(self) -> Tuple[str, int]:
-        """Serve and heartbeat from daemon threads."""
+    def _start_background(self) -> None:
         with self._lock:
-            if self._serve_thread is not None:
+            if self._heartbeat is not None:
                 raise RuntimeError("router already started")
-            serve_thread = threading.Thread(
-                target=lambda: self._server.serve_forever(
-                    poll_interval=0.1
-                ),
-                name="repro-cluster-router",
-                daemon=True,
-            )
             heartbeat = threading.Thread(
                 target=self._heartbeat_loop,
                 name="repro-cluster-heartbeat",
                 daemon=True,
             )
-            self._serving = True
-            self._serve_thread = serve_thread
             self._heartbeat = heartbeat
-        serve_thread.start()
         heartbeat.start()
-        return self.address
+        self._reactor.call_soon(self._arm_backend_sweep)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve and heartbeat from daemon threads."""
+        self._start_background()
+        return self._server.start()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI's foreground mode)."""
-        heartbeat = threading.Thread(
-            target=self._heartbeat_loop,
-            name="repro-cluster-heartbeat",
-            daemon=True,
-        )
-        with self._lock:
-            self._heartbeat = heartbeat
-            self._serving = True
-        heartbeat.start()
-        self._server.serve_forever(poll_interval=0.1)
+        self._start_background()
+        self._server.serve_forever()
 
     def shutdown(self) -> None:
         """Stop serving and close every backend connection."""
         self._stop.set()
         with self._lock:
-            serving, self._serving = self._serving, False
-            serve_thread, self._serve_thread = self._serve_thread, None
             heartbeat, self._heartbeat = self._heartbeat, None
-        if serving:
-            # BaseServer.shutdown hangs unless serve_forever ran.
-            self._server.shutdown()
-        self._server.server_close()
-        if serve_thread is not None:
-            serve_thread.join(timeout=5.0)
+        self._server.shutdown()
         if heartbeat is not None:
             heartbeat.join(timeout=5.0)
-        for slot in self._slots:
-            slot.close()
+        # The loop has exited; the pooled upstream sockets are ours to
+        # close directly now.
+        for shard_slot in self._slots:
+            for backend in shard_slot.backends:
+                sock, backend.sock = backend.sock, None
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
 
     def __enter__(self) -> "Router":
         return self
@@ -333,8 +339,8 @@ class Router:
 
     def _heartbeat_loop(self) -> None:
         while not self._stop.is_set():
-            for slot in self._slots:
-                for backend in slot.backends:
+            for shard_slot in self._slots:
+                for backend in shard_slot.backends:
                     if self._stop.is_set():
                         return
                     backend.probe()
@@ -343,161 +349,225 @@ class Router:
     def health(self) -> List[List[bool]]:
         """Per-shard, per-backend health flags (tests/observability)."""
         return [
-            [backend.healthy for backend in slot.backends]
-            for slot in self._slots
+            [backend.healthy for backend in shard_slot.backends]
+            for shard_slot in self._slots
         ]
 
     def wait_healthy(self, timeout: float = 10.0) -> bool:
         """Block until every backend probes healthy (bootstrap/tests)."""
-        deadline = threading.Event()
+        sleeper = threading.Event()
         waited = 0.0
         step = 0.05
         while waited <= timeout:
             if all(
                 backend.probe()
-                for slot in self._slots
-                for backend in slot.backends
+                for shard_slot in self._slots
+                for backend in shard_slot.backends
             ):
                 return True
-            deadline.wait(step)
+            sleeper.wait(step)
             waited += step
         return False
 
-    # -- dispatch ------------------------------------------------------
+    # -- downstream request handling (loop thread) ---------------------
 
-    def dispatch(self, request: Any) -> Dict[str, Any]:
-        """Answer one already-decoded request frame."""
+    def _handle(self, conn: Conn, slot: Slot, kind: str, data: Any) -> None:
+        if kind == "batch":
+            if len(data) > MAX_BATCH:
+                slot.fail(
+                    f"batch of {len(data)} exceeds the "
+                    f"{MAX_BATCH}-query limit"
+                )
+                return
+            self._route_batch(slot, data)
+            return
+        request = data
         if not isinstance(request, dict):
-            raise RequestError(
+            slot.fail(
                 f"request must be a JSON object, got "
                 f"{type(request).__name__}"
             )
+            return
         op = request.get("op")
         if op == "ping":
-            return {"ok": True, "result": "pong"}
-        if op == "query":
-            return self._dispatch_query(request)
-        if op == "batch":
-            return self._dispatch_batch(request)
-        if op == "stats":
-            return {"ok": True, "result": self.stats()}
-        if op == "hello":
-            return {"ok": True, "result": self.hello()}
-        raise RequestError(f"unknown op: {op!r}")
+            slot.complete({"ok": True, "result": "pong"})
+        elif op == "query":
+            self._route_query(slot, request)
+        elif op == "batch":
+            try:
+                pairs = parse_batch(request.get("queries"))
+            except RequestError as exc:
+                slot.fail(str(exc))
+                return
+            self._route_batch(slot, pairs)
+        elif op == "stats":
+            self._route_stats(slot)
+        elif op == "hello":
+            self._route_hello(conn, slot, request)
+        else:
+            slot.fail(f"unknown op: {op!r}")
 
-    def _count(self, key: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[key] += amount
-
-    def _slot_for(self, ip: int) -> ShardSlot:
-        return self._slots[self.partition.shard_of(ip)]
-
-    def _dispatch_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        ip = parse_ip(request.get("ip"))
-        day = parse_day(request.get("day"))
-        self._count("point")
-        slot = self._slot_for(ip)
+    def _route_query(self, slot: Slot, request: Dict[str, Any]) -> None:
+        try:
+            ip = parse_ip(request.get("ip"))
+            day = parse_day(request.get("day"))
+        except RequestError as exc:
+            slot.fail(str(exc))
+            return
+        self._counters["point"] += 1
+        shard_slot = self._slots[self.partition.shard_of(ip)]
         forward: Dict[str, Any] = {"op": "query", "ip": ip}
         if day is not None:
             forward["day"] = day
-        try:
-            result = slot.call(forward)
-        except ShardUnavailable:
-            self._count("degraded")
-            raise
-        return {"ok": True, "result": result}
 
-    def _dispatch_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        queries = request.get("queries")
-        if not isinstance(queries, list):
-            raise RequestError("batch needs a 'queries' array")
-        if len(queries) > MAX_BATCH:
-            raise RequestError(
-                f"batch of {len(queries)} exceeds the "
-                f"{MAX_BATCH}-query limit"
+        def finish(status: str, value: Any) -> None:
+            if status == "result":
+                slot.complete({"ok": True, "result": value})
+            elif status == "reject":
+                # The shard rejected a request the router already
+                # validated — our bug, surfaced like any other.
+                slot.fail(f"internal error: {value}")
+            else:
+                self._counters["degraded"] += 1
+                slot.fail(
+                    str(ShardUnavailable(shard_slot.shard_id, str(value)))
+                )
+
+        self._submit(
+            _Sub("msg", shard_slot, finish, request=forward)
+        )
+
+    def _route_batch(
+        self, slot: Slot, pairs: List[Tuple[int, Optional[int]]]
+    ) -> None:
+        self._counters["batch"] += 1
+        self._counters["batch_queries"] += len(pairs)
+        total = len(pairs)
+        by_shard: Dict[int, List[int]] = {}
+        for position, (ip, _day) in enumerate(pairs):
+            by_shard.setdefault(
+                self.partition.shard_of(ip), []
+            ).append(position)
+
+        # Per-position reply: raw record bytes, a verdict dict, or the
+        # shard id of a degraded position (int).
+        entries: List[Any] = [None] * total
+        remaining = [len(by_shard)]
+
+        def shard_done(
+            shard_id: int, positions: List[int], status: str, value: Any
+        ) -> None:
+            if status == "records" and len(value) == len(positions):
+                for position, record in zip(positions, value):
+                    entries[position] = record
+            elif (
+                status == "verdicts"
+                and isinstance(value, list)
+                and len(value) == len(positions)
+            ):
+                for position, verdict in zip(positions, value):
+                    entries[position] = verdict
+            else:
+                # Unavailable shard, error reply, or a malformed batch
+                # reply: degrade this shard's positions, keep the rest.
+                self._counters["degraded"] += len(positions)
+                for position in positions:
+                    entries[position] = shard_id
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._finish_batch(slot, pairs, entries)
+
+        for shard_id, positions in by_shard.items():
+            shard_pairs = [pairs[position] for position in positions]
+            self._submit(
+                _Sub(
+                    "batch",
+                    self._slots[shard_id],
+                    lambda status, value, s=shard_id, p=positions: (
+                        shard_done(s, p, status, value)
+                    ),
+                    pairs=shard_pairs,
+                )
             )
-        parsed: List[Tuple[int, Optional[int]]] = []
-        for item in queries:
-            if not isinstance(item, dict):
-                raise RequestError("each batch query must be an object")
-            parsed.append(
-                (parse_ip(item.get("ip")), parse_day(item.get("day")))
-            )
-        self._count("batch")
-        self._count("batch_queries", len(parsed))
 
-        by_slot: Dict[int, List[Tuple[int, int, Optional[int]]]] = {}
-        for position, (ip, day) in enumerate(parsed):
-            shard_id = self.partition.shard_of(ip)
-            by_slot.setdefault(shard_id, []).append((position, ip, day))
-
-        results: List[Optional[Dict[str, Any]]] = [None] * len(parsed)
-
-        def fetch(shard_id: int, items) -> None:
-            slot = self._slots[shard_id]
-            sub = [
-                {"ip": ip, "day": day} if day is not None else {"ip": ip}
-                for _, ip, day in items
-            ]
+    def _finish_batch(
+        self,
+        slot: Slot,
+        pairs: List[Tuple[int, Optional[int]]],
+        entries: List[Any],
+    ) -> None:
+        if slot.codec == "binary":
             try:
-                verdicts = slot.call({"op": "batch", "queries": sub})
-                if (
-                    not isinstance(verdicts, list)
-                    or len(verdicts) != len(items)
-                ):
-                    raise ShardUnavailable(
-                        shard_id, "malformed shard batch reply"
-                    )
-            except (ShardUnavailable, ServiceError):
-                self._count("degraded", len(items))
-                for position, ip, day in items:
-                    results[position] = {
+                records = []
+                for (ip, day), entry in zip(pairs, entries):
+                    if isinstance(entry, bytes):
+                        records.append(entry)
+                    elif isinstance(entry, int):
+                        records.append(
+                            pack_degraded(ip, day, entry, SHARD_UNAVAILABLE)
+                        )
+                    else:
+                        records.append(pack_verdict_wire(entry))
+                slot.complete_records(records)
+                return
+            except WireError:
+                pass  # a verdict escaped the packed layout: JSON reply
+        result: List[Dict[str, Any]] = []
+        for (ip, day), entry in zip(pairs, entries):
+            if isinstance(entry, bytes):
+                try:
+                    entry = decode_record(entry)
+                except WireError:
+                    entry = None
+            if isinstance(entry, dict):
+                result.append(entry)
+            else:
+                shard_id = (
+                    entry
+                    if isinstance(entry, int)
+                    else self.partition.shard_of(ip)
+                )
+                result.append(
+                    {
                         "ip": int_to_ip(ip),
                         "day": day,
                         "error": SHARD_UNAVAILABLE,
                         "shard": shard_id,
                     }
-                return
-            for (position, _, _), verdict in zip(items, verdicts):
-                results[position] = verdict
-
-        shard_ids = list(by_slot)
-        if len(shard_ids) == 1:
-            fetch(shard_ids[0], by_slot[shard_ids[0]])
-        else:
-            threads = [
-                threading.Thread(
-                    target=fetch, args=(shard_id, by_slot[shard_id])
                 )
-                for shard_id in shard_ids
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        return {"ok": True, "result": results}
+        slot.complete({"ok": True, "result": result})
 
     # -- fleet views ---------------------------------------------------
 
-    def _gather(self, op: str) -> List[Optional[Any]]:
-        """One ``op`` per shard (active backend), None where down."""
-        replies: List[Optional[Any]] = [None] * len(self._slots)
+    def _gather(
+        self,
+        op: str,
+        done: Callable[[List[Optional[Dict[str, Any]]]], None],
+    ) -> None:
+        """One ``op`` per shard (with failover); ``done`` receives the
+        per-shard results, ``None`` where the whole shard is down."""
+        replies: List[Optional[Dict[str, Any]]] = [None] * len(self._slots)
+        remaining = [len(self._slots)]
 
-        def fetch(position: int, slot: ShardSlot) -> None:
-            try:
-                replies[position] = slot.call({"op": op})
-            except (ShardUnavailable, ServiceError):
-                replies[position] = None
+        def make_finish(position: int) -> Callable[[str, Any], None]:
+            def finish(status: str, value: Any) -> None:
+                if status == "result" and isinstance(value, dict):
+                    replies[position] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done(replies)
 
-        threads = [
-            threading.Thread(target=fetch, args=(i, slot))
-            for i, slot in enumerate(self._slots)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        return replies
+            return finish
+
+        for position, shard_slot in enumerate(self._slots):
+            self._submit(
+                _Sub(
+                    "msg",
+                    shard_slot,
+                    make_finish(position),
+                    request={"op": op},
+                )
+            )
 
     def _fleet_summary(
         self, hellos: List[Optional[Dict[str, Any]]]
@@ -517,28 +587,61 @@ class Router:
             "seq_max": max(seqs) if seqs else 0,
         }
 
-    def hello(self) -> Dict[str, Any]:
+    def _route_hello(
+        self, conn: Conn, slot: Slot, request: Dict[str, Any]
+    ) -> None:
         """The merged handshake. Top-level ``epoch``/``seq`` report the
         fleet *minimum* — the only freshness a cross-shard consumer may
-        assume — while the ``cluster`` block exposes the spread."""
-        hellos = self._gather("hello")
-        summary = self._fleet_summary(hellos)
-        streaming = any(
-            h.get("streaming", False) for h in hellos if h is not None
-        )
-        return {
-            "service": "repro-reputation",
-            "protocol": PROTOCOL_VERSION,
-            "streaming": streaming,
-            "epoch": summary["epoch_min"],
-            "seq": summary["seq_min"],
-            "cluster": summary,
-        }
+        assume — while the ``cluster`` block exposes the spread. Codec
+        negotiation works exactly as on a single server."""
 
-    def stats(self) -> Dict[str, Any]:
+        def done(hellos: List[Optional[Dict[str, Any]]]) -> None:
+            summary = self._fleet_summary(hellos)
+            streaming = any(
+                h.get("streaming", False)
+                for h in hellos
+                if h is not None
+            )
+            result = {
+                "service": "repro-reputation",
+                "protocol": PROTOCOL_VERSION,
+                "streaming": streaming,
+                "epoch": summary["epoch_min"],
+                "seq": summary["seq_min"],
+                "cluster": summary,
+            }
+            new_codec = negotiate_hello(request, result)
+            slot.complete({"ok": True, "result": result})
+            if new_codec is not None:
+                conn.codec = new_codec
+
+        self._gather("hello", done)
+
+    def _route_stats(self, slot: Slot) -> None:
         """Merged fleet stats: per-shard payloads plus cluster rollup."""
-        shard_stats = self._gather("stats")
-        hellos = self._gather("hello")
+
+        def stats_done(
+            shard_stats: List[Optional[Dict[str, Any]]]
+        ) -> None:
+            def hello_done(
+                hellos: List[Optional[Dict[str, Any]]]
+            ) -> None:
+                slot.complete(
+                    {
+                        "ok": True,
+                        "result": self._build_stats(shard_stats, hellos),
+                    }
+                )
+
+            self._gather("hello", hello_done)
+
+        self._gather("stats", stats_done)
+
+    def _build_stats(
+        self,
+        shard_stats: List[Optional[Dict[str, Any]]],
+        hellos: List[Optional[Dict[str, Any]]],
+    ) -> Dict[str, Any]:
         summary = self._fleet_summary(hellos)
         index_totals = {"ips": 0, "intervals": 0, "nated_ips": 0,
                         "dynamic_prefixes": 0, "ases": 0}
@@ -551,10 +654,9 @@ class Router:
                 index_totals[key] += sizes.get(key, 0)
             lists = max(lists, sizes.get("lists", 0))
         index_totals["lists"] = lists
-        with self._lock:
-            router_counters = dict(self._counters)
+        router_counters = dict(self._counters)
         router_counters["failovers"] = sum(
-            slot.failovers for slot in self._slots
+            shard_slot.failovers for shard_slot in self._slots
         )
         return {
             "cluster": summary,
@@ -563,19 +665,320 @@ class Router:
             "index": index_totals,
             "shards": [
                 {
-                    "shard": slot.shard_id,
+                    "shard": shard_slot.shard_id,
                     "range": self.partition.range_of(
-                        slot.shard_id
+                        shard_slot.shard_id
                     ).to_wire(),
                     "backends": [
                         {
                             "address": list(backend.address),
                             "healthy": backend.healthy,
                         }
-                        for backend in slot.backends
+                        for backend in shard_slot.backends
                     ],
-                    "stats": shard_stats[slot.shard_id],
+                    "stats": shard_stats[shard_slot.shard_id],
                 }
-                for slot in self._slots
+                for shard_slot in self._slots
             ],
         }
+
+    # -- upstream connections (loop thread) ----------------------------
+
+    def _submit(self, sub: _Sub, cause: str = "no backends") -> None:
+        """Send ``sub`` to its first live candidate backend."""
+        while sub.candidates:
+            backend = sub.candidates.popleft()
+            if self._send_sub(backend, sub):
+                return
+            sub.failed += 1
+            cause = f"cannot reach {backend.address[0]}:{backend.address[1]}"
+        sub.finish("unavailable", cause)
+
+    def _open_backend_socket(
+        self, backend: Backend
+    ) -> Tuple[socket.socket, str]:
+        """Connect + optional codec negotiation; returns the socket
+        (nonblocking) and the codec the connection settled on."""
+        sock = socket.create_connection(
+            backend.address, timeout=self._backend_timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            codec = "json"
+            if self._backend_codec == "binary":
+                send_frame(
+                    sock, {"op": "hello", "accept_codecs": ["binary"]}
+                )
+                reply = recv_frame(sock)
+                result = (
+                    reply.get("result")
+                    if isinstance(reply, dict)
+                    else None
+                )
+                if (
+                    isinstance(result, dict)
+                    and result.get("codec") == "binary"
+                ):
+                    codec = "binary"
+            sock.setblocking(False)
+            opened, sock = sock, None
+            return opened, codec
+        finally:
+            if sock is not None:
+                sock.close()
+
+    def _ensure_backend_conn(self, backend: Backend) -> bool:
+        if backend.sock is not None:
+            return True
+        try:
+            sock, codec = self._open_backend_socket(backend)
+        except (WireError, OSError):
+            backend.healthy = False
+            return False
+        backend.sock = sock
+        backend.codec = codec
+        backend.inbuf.clear()
+        backend.outbuf.clear()
+        backend.pending.clear()
+        backend.registered = False
+        backend.events = 0
+        backend.callback = (
+            lambda mask, b=backend: self._on_backend_event(b, mask)
+        )
+        backend.healthy = True
+        self._watch_backend(backend, _READ)
+        return True
+
+    def _send_sub(self, backend: Backend, sub: _Sub) -> bool:
+        if not self._ensure_backend_conn(backend):
+            return False
+        backend.rid = (backend.rid + 1) & 0xFFFFFFFF
+        sub.rid = backend.rid
+        try:
+            backend.outbuf += self._encode_sub(sub, backend.codec)
+        except WireError:
+            # Unserialisable forward — nothing another backend could
+            # do better; report the shard as the problem.
+            return False
+        sub.deadline = time.monotonic() + self._backend_timeout
+        backend.pending.append(sub)
+        # If this write kills the connection, _backend_lost fails the
+        # pending subs over (re-entering _submit with the remaining
+        # candidates) — either way the sub is handled, so: done here.
+        self._flush_backend(backend)
+        return True
+
+    def _encode_sub(self, sub: _Sub, codec: str) -> bytes:
+        if sub.kind == "batch":
+            assert sub.pairs is not None
+            if codec == "binary":
+                try:
+                    return encode_batch_request(
+                        sub.pairs, sub.rid, max_size=MAX_FRAME_BYTES
+                    )
+                except WireError:
+                    pass  # day outside the packed layout: JSON shape
+            request: Dict[str, Any] = {
+                "op": "batch",
+                "queries": [
+                    {"ip": ip, "day": day} if day is not None else {"ip": ip}
+                    for ip, day in sub.pairs
+                ],
+            }
+        else:
+            assert sub.request is not None
+            request = sub.request
+        if codec == "binary":
+            return encode_msg_frame(
+                request, sub.rid, max_size=MAX_FRAME_BYTES
+            )
+        return encode_frame(request, max_size=MAX_FRAME_BYTES)
+
+    def _watch_backend(self, backend: Backend, events: int) -> None:
+        if backend.sock is None:
+            return
+        if events == backend.events and backend.registered == bool(events):
+            return
+        if not events:
+            if backend.registered:
+                backend.registered = False
+                try:
+                    self._reactor.unregister(backend.sock)
+                except (KeyError, ValueError, OSError):
+                    pass
+        elif backend.registered:
+            self._reactor.modify(backend.sock, events, backend.callback)
+        else:
+            self._reactor.register(
+                backend.sock, events, backend.callback
+            )
+            backend.registered = True
+        backend.events = events
+
+    def _close_backend(self, backend: Backend) -> None:
+        sock, backend.sock = backend.sock, None
+        if sock is None:
+            return
+        if backend.registered:
+            backend.registered = False
+            try:
+                self._reactor.unregister(sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        backend.events = 0
+        try:
+            sock.close()
+        except OSError:
+            pass
+        backend.inbuf.clear()
+        backend.outbuf.clear()
+
+    def _backend_lost(
+        self, backend: Backend, cause: str, *, idle_eof: bool = False
+    ) -> None:
+        """The pooled connection died: fail its in-flight requests over
+        to the next candidates. A clean EOF with nothing in flight is
+        just the backend recycling an idle connection — health stands,
+        the next request reconnects."""
+        pending = list(backend.pending)
+        backend.pending.clear()
+        self._close_backend(backend)
+        if pending or not idle_eof:
+            backend.healthy = False
+        for sub in pending:
+            sub.failed += 1
+            self._submit(sub, cause)
+
+    def _on_backend_event(self, backend: Backend, mask: int) -> None:
+        try:
+            if mask & _WRITE:
+                self._flush_backend(backend)
+            if mask & _READ and backend.sock is not None:
+                self._backend_readable(backend)
+        # Containment: a router bug on one upstream must not take the
+        # loop (and the whole cluster's front door) down.
+        # reprolint: disable=EXC
+        except Exception as exc:
+            self._backend_lost(backend, f"internal router error: {exc}")
+
+    def _flush_backend(self, backend: Backend) -> None:
+        if backend.sock is None:
+            return
+        out = backend.outbuf
+        if out:
+            try:
+                sent = backend.sock.send(out)
+            except (BlockingIOError, InterruptedError):
+                sent = 0
+            except OSError as exc:
+                self._backend_lost(backend, f"send failed: {exc}")
+                return
+            if sent:
+                del out[:sent]
+        self._watch_backend(
+            backend, _READ | (_WRITE if out else 0)
+        )
+
+    def _backend_readable(self, backend: Backend) -> None:
+        assert backend.sock is not None
+        try:
+            data = backend.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self._backend_lost(backend, f"recv failed: {exc}")
+            return
+        if not data:
+            self._backend_lost(
+                backend,
+                "connection closed",
+                idle_eof=not backend.pending,
+            )
+            return
+        backend.inbuf += data
+        try:
+            self._parse_backend(backend)
+        except WireError as exc:
+            self._backend_lost(backend, f"garbled reply: {exc}")
+
+    def _parse_backend(self, backend: Backend) -> None:
+        while backend.sock is not None:
+            if backend.codec == "binary":
+                decoded = decode_binary_frame(
+                    backend.inbuf, max_size=MAX_FRAME_BYTES
+                )
+                if decoded is None:
+                    return
+                ftype, rid, payload, consumed = decoded
+                del backend.inbuf[:consumed]
+                if not backend.pending:
+                    raise WireError("reply with nothing in flight")
+                sub = backend.pending.popleft()
+                if sub.rid != rid:
+                    raise WireError(
+                        f"reply for request {rid}, expected {sub.rid}"
+                    )
+                if ftype == FT_BATCH_REP:
+                    self._sub_success(
+                        sub, "records", split_batch_reply(payload)
+                    )
+                elif ftype == FT_MSG:
+                    self._deliver_reply(
+                        sub,
+                        decode_msg_payload(
+                            payload, max_size=MAX_FRAME_BYTES
+                        ),
+                    )
+                else:
+                    raise WireError(f"unexpected frame type {ftype}")
+            else:
+                decoded = decode_frame(
+                    backend.inbuf, max_size=MAX_FRAME_BYTES
+                )
+                if decoded is None:
+                    return
+                reply, consumed = decoded
+                del backend.inbuf[:consumed]
+                if not backend.pending:
+                    raise WireError("reply with nothing in flight")
+                self._deliver_reply(backend.pending.popleft(), reply)
+
+    def _deliver_reply(self, sub: _Sub, reply: Any) -> None:
+        if not isinstance(reply, dict):
+            raise WireError(f"malformed reply: {reply!r}")
+        if not reply.get("ok"):
+            sub.finish(
+                "reject", str(reply.get("error", "unknown error"))
+            )
+            return
+        result = reply.get("result")
+        if sub.kind == "batch":
+            self._sub_success(sub, "verdicts", result)
+        else:
+            self._sub_success(sub, "result", result)
+
+    def _sub_success(self, sub: _Sub, status: str, value: Any) -> None:
+        if sub.failed:
+            sub.shard_slot.failovers += 1
+        sub.finish(status, value)
+
+    # -- upstream deadlines --------------------------------------------
+
+    def _arm_backend_sweep(self) -> None:
+        if not self._reactor.is_running():
+            return
+        self._reactor.call_later(
+            max(0.05, min(1.0, self._backend_timeout / 4.0)),
+            self._backend_sweep,
+        )
+
+    def _backend_sweep(self) -> None:
+        now = time.monotonic()
+        for shard_slot in self._slots:
+            for backend in shard_slot.backends:
+                if (
+                    backend.pending
+                    and backend.pending[0].deadline < now
+                ):
+                    self._backend_lost(backend, "backend timed out")
+        self._arm_backend_sweep()

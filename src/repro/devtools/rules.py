@@ -12,9 +12,10 @@ Each rule guards an invariant a shipped guarantee rests on:
 ``WIRE``
     Wire-facing code (``service/``, ``cluster/``, ``stream/``) must
     bound what it reads and guard what it decodes: no zero-argument
-    ``sock.recv()``/``.read()``, no ``json.loads``/``struct.unpack``
-    in a function that shows no size bound (a ``len()`` comparison or
-    a ``MAX_*``/``*limit*`` constant).
+    ``sock.recv()``/``.read()``, no ``json.loads`` or
+    ``struct.unpack``/``unpack_from``/``iter_unpack`` in a function
+    that shows no size bound (a ``len()`` comparison or a
+    ``MAX_*``/``*limit*`` constant).
 
 ``CONC``
     In threaded serving modules, shared instance state must be
@@ -124,12 +125,14 @@ def _has_size_evidence(scope: ast.AST) -> bool:
     anywhere in ``scope`` counts as evidence the data is bounded."""
     for node in ast.walk(scope):
         if isinstance(node, ast.Compare):
-            operands = [node.left, *node.comparators]
-            for operand in operands:
+            # A len() anywhere inside the comparison counts — bounds
+            # often arrive arithmetically (``len(b) % rec.size != 0``,
+            # ``pos + need > len(buf)``), not as a bare operand.
+            for sub in ast.walk(node):
                 if (
-                    isinstance(operand, ast.Call)
-                    and isinstance(operand.func, ast.Name)
-                    and operand.func.id == "len"
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "len"
                 ):
                     return True
         name: Optional[str] = None
@@ -210,10 +213,15 @@ def check_wire(module: LintModule) -> Iterator[Violation]:
         elif (
             target is not None
             and (
-                target in ("struct.unpack", "struct.unpack_from")
+                target in (
+                    "struct.unpack",
+                    "struct.unpack_from",
+                    "struct.iter_unpack",
+                )
                 or (
                     isinstance(func, ast.Attribute)
-                    and func.attr in ("unpack", "unpack_from")
+                    and func.attr
+                    in ("unpack", "unpack_from", "iter_unpack")
                 )
             )
             and not _has_size_evidence(scope)

@@ -1,23 +1,47 @@
 """Blocking client for the reputation service.
 
 Speaks the wire protocol of :mod:`repro.service.server` over one TCP
-connection; requests are strictly sequential (one frame out, one frame
-back), which is all a per-connection blocklist check needs. Server-side
-error replies surface as :class:`ServiceError`.
+connection. Requests default to strictly sequential (one frame out,
+one frame back), which is all a per-connection blocklist check needs;
+:meth:`ReputationClient.query_batch_pipelined` keeps a window of
+batches in flight for bulk consumers. Server-side error replies
+surface as :class:`ServiceError`.
+
+The client starts every connection on the length-prefixed JSON codec.
+With ``codec="auto"`` (the default) or ``codec="binary"`` it offers
+the binary framing in its ``hello`` handshake and switches when the
+server accepts; against an older server the offer is ignored and the
+connection simply stays on JSON, so one client build works across a
+mixed fleet.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..net.ipv4 import int_to_ip
-from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
+from ..net.ipv4 import int_to_ip, ip_to_int
+from .wire import (
+    MAX_FRAME_BYTES,
+    FT_BATCH_REP,
+    FT_MSG,
+    FrameError,
+    decode_batch_reply,
+    decode_msg_payload,
+    encode_batch_request,
+    encode_frame,
+    encode_msg_frame,
+    recv_binary_frame,
+    recv_frame,
+    send_frame,
+)
 
 __all__ = ["ReputationClient", "ServiceError", "TransportError"]
 
 IpLike = Union[int, str]
+Query = Tuple[IpLike, Optional[int]]
 
 
 class ServiceError(RuntimeError):
@@ -34,6 +58,33 @@ class TransportError(ServiceError):
     """
 
 
+def _int_pairs(queries: List[Query]) -> Optional[List[Tuple[int, Optional[int]]]]:
+    """Convert queries to the packed-batch layout, or ``None`` when any
+    value needs the JSON path (unparseable ip, out-of-range day) so the
+    server — not the codec — produces the error."""
+    pairs: List[Tuple[int, Optional[int]]] = []
+    for ip, day in queries:
+        if isinstance(ip, int):
+            ip_int = int(ip)
+        elif isinstance(ip, str):
+            try:
+                ip_int = ip_to_int(ip)
+            except ValueError:
+                return None
+        else:
+            return None
+        if not 0 <= ip_int <= 0xFFFFFFFF:
+            return None
+        if day is not None and (
+            isinstance(day, bool)
+            or not isinstance(day, int)
+            or not -(1 << 31) <= day < (1 << 31)
+        ):
+            return None
+        pairs.append((ip_int, day))
+    return pairs
+
+
 class ReputationClient:
     """One connection to a :class:`~repro.service.server.ReputationServer`.
 
@@ -48,9 +99,14 @@ class ReputationClient:
         *,
         timeout: float = 10.0,
         max_frame: int = MAX_FRAME_BYTES,
+        codec: str = "auto",
     ) -> None:
+        if codec not in ("auto", "json", "binary"):
+            raise ValueError(f"unknown codec {codec!r}")
         self._max_frame = max_frame
         self._lock = threading.Lock()
+        self._codec = "json"
+        self._rid = 0
         try:
             self._sock: Optional[socket.socket] = socket.create_connection(
                 (host, port), timeout=timeout
@@ -59,18 +115,48 @@ class ReputationClient:
             raise TransportError(
                 f"cannot connect to {host}:{port}: {exc}"
             ) from None
+        try:
+            # Small request/reply frames must not sit in Nagle's buffer.
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            if codec != "json":
+                self._negotiate_binary()
+        except (ServiceError, OSError):
+            self.close()
+            raise
+
+    @property
+    def codec(self) -> str:
+        """The negotiated framing: ``"json"`` or ``"binary"``."""
+        return self._codec
 
     # -- plumbing ------------------------------------------------------
 
-    def _rpc(self, request: Dict[str, Any]) -> Any:
-        with self._lock:
-            if self._sock is None:
-                raise TransportError("client is closed")
-            try:
-                send_frame(self._sock, request, max_size=self._max_frame)
-                reply = recv_frame(self._sock, max_size=self._max_frame)
-            except (FrameError, OSError) as exc:
-                raise TransportError(f"transport failure: {exc}") from None
+    def _negotiate_binary(self) -> None:
+        """Offer the binary codec; stay on JSON when refused/ignored."""
+        try:
+            result = self._rpc(
+                {"op": "hello", "accept_codecs": ["binary"]}
+            )
+        except TransportError:
+            raise
+        except ServiceError:
+            return  # pre-negotiation server: keep speaking JSON
+        if isinstance(result, dict) and result.get("codec") == "binary":
+            self._codec = "binary"
+
+    def _checked_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise TransportError("client is closed")
+        return self._sock
+
+    def _next_rid(self) -> int:
+        self._rid = (self._rid + 1) & 0xFFFFFFFF
+        return self._rid
+
+    @staticmethod
+    def _check_reply(reply: Any) -> Any:
         if reply is None:
             raise TransportError("server closed the connection")
         if not isinstance(reply, dict):
@@ -78,6 +164,37 @@ class ReputationClient:
         if not reply.get("ok"):
             raise ServiceError(str(reply.get("error", "unknown error")))
         return reply.get("result")
+
+    def _read_msg_reply(self, sock: socket.socket, rid: int) -> Any:
+        got = recv_binary_frame(sock, max_size=self._max_frame)
+        if got is None:
+            return None
+        ftype, got_rid, payload = got
+        if ftype != FT_MSG or got_rid != rid:
+            raise FrameError(
+                f"reply frame mismatch: type {ftype}, request id "
+                f"{got_rid} (expected {rid})"
+            )
+        return decode_msg_payload(payload, max_size=self._max_frame)
+
+    def _rpc(self, request: Dict[str, Any]) -> Any:
+        with self._lock:
+            sock = self._checked_sock()
+            try:
+                if self._codec == "binary":
+                    rid = self._next_rid()
+                    sock.sendall(
+                        encode_msg_frame(
+                            request, rid, max_size=self._max_frame
+                        )
+                    )
+                    reply = self._read_msg_reply(sock, rid)
+                else:
+                    send_frame(sock, request, max_size=self._max_frame)
+                    reply = recv_frame(sock, max_size=self._max_frame)
+            except (FrameError, OSError) as exc:
+                raise TransportError(f"transport failure: {exc}") from None
+        return self._check_reply(reply)
 
     def call(self, request: Dict[str, Any]) -> Any:
         """Send one already-shaped request object, return its result.
@@ -91,6 +208,75 @@ class ReputationClient:
     def _wire_ip(ip: IpLike) -> str:
         return int_to_ip(ip) if isinstance(ip, int) else str(ip)
 
+    # -- batch plumbing ------------------------------------------------
+
+    def _read_batch_reply(
+        self, sock: socket.socket, rid: int
+    ) -> List[Dict[str, Any]]:
+        if self._codec == "binary":
+            got = recv_binary_frame(sock, max_size=self._max_frame)
+            if got is None:
+                raise TransportError("server closed the connection")
+            ftype, got_rid, payload = got
+            if got_rid != rid:
+                raise TransportError(
+                    f"reply for request {got_rid}, expected {rid}"
+                )
+            if ftype == FT_BATCH_REP:
+                return decode_batch_reply(payload)
+            if ftype == FT_MSG:
+                return self._check_reply(
+                    decode_msg_payload(payload, max_size=self._max_frame)
+                )
+            raise TransportError(f"unexpected reply frame type {ftype}")
+        return self._check_reply(
+            recv_frame(sock, max_size=self._max_frame)
+        )
+
+    def _batch_binary(
+        self, pairs: List[Tuple[int, Optional[int]]]
+    ) -> Optional[List[Dict[str, Any]]]:
+        with self._lock:
+            sock = self._checked_sock()
+            rid = self._next_rid()
+            try:
+                frame = encode_batch_request(
+                    pairs, rid, max_size=self._max_frame
+                )
+            except FrameError:
+                return None  # a value escaped the packed layout
+            try:
+                sock.sendall(frame)
+                return self._read_batch_reply(sock, rid)
+            except (FrameError, OSError) as exc:
+                raise TransportError(f"transport failure: {exc}") from None
+
+    def _encode_batch(self, queries: List[Query], rid: int) -> bytes:
+        if self._codec == "binary":
+            pairs = _int_pairs(queries)
+            if pairs is not None:
+                try:
+                    return encode_batch_request(
+                        pairs, rid, max_size=self._max_frame
+                    )
+                except FrameError:
+                    pass
+            payload = [
+                {"ip": self._wire_ip(ip), "day": day}
+                for ip, day in queries
+            ]
+            return encode_msg_frame(
+                {"op": "batch", "queries": payload},
+                rid,
+                max_size=self._max_frame,
+            )
+        payload = [
+            {"ip": self._wire_ip(ip), "day": day} for ip, day in queries
+        ]
+        return encode_frame(
+            {"op": "batch", "queries": payload}, max_size=self._max_frame
+        )
+
     # -- operations ----------------------------------------------------
 
     def query(self, ip: IpLike, day: Optional[int] = None) -> Dict[str, Any]:
@@ -103,11 +289,80 @@ class ReputationClient:
     def query_batch(
         self, queries: Iterable[Tuple[IpLike, Optional[int]]]
     ) -> List[Dict[str, Any]]:
-        """Batch query; verdicts come back in request order."""
+        """Batch query; verdicts come back in request order.
+
+        On a binary connection, clean batches travel as packed
+        ``FT_BATCH_REQ`` frames; anything the packed layout cannot
+        carry falls back to the JSON request shape so the server's
+        validation errors stay identical across codecs.
+        """
+        batch = list(queries)
+        if self._codec == "binary":
+            pairs = _int_pairs(batch)
+            if pairs is not None:
+                reply = self._batch_binary(pairs)
+                if reply is not None:
+                    return reply
         payload = [
-            {"ip": self._wire_ip(ip), "day": day} for ip, day in queries
+            {"ip": self._wire_ip(ip), "day": day} for ip, day in batch
         ]
         return self._rpc({"op": "batch", "queries": payload})
+
+    def query_batch_pipelined(
+        self,
+        batches: Iterable[Iterable[Tuple[IpLike, Optional[int]]]],
+        *,
+        window: int = 16,
+    ) -> List[List[Dict[str, Any]]]:
+        """Send many batches with up to ``window`` in flight.
+
+        Writes are coalesced — a window's worth of request frames goes
+        out in one ``sendall`` — and replies are matched back in FIFO
+        order (the server guarantees reply order per connection), so
+        the round-trip latency is paid once per window instead of once
+        per batch. Works on both codecs.
+
+        Returns one verdict list per batch, in request order. If the
+        server rejects a batch, the remaining in-flight replies are
+        drained first (keeping the connection usable) and the first
+        error is raised.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        batch_list = [list(b) for b in batches]
+        with self._lock:
+            sock = self._checked_sock()
+            results: List[List[Dict[str, Any]]] = [[] for _ in batch_list]
+            pending: Deque[Tuple[int, int]] = deque()
+            first_error: Optional[ServiceError] = None
+            next_send = 0
+            try:
+                while next_send < len(batch_list) or pending:
+                    out = bytearray()
+                    while (
+                        next_send < len(batch_list)
+                        and len(pending) < window
+                    ):
+                        index = next_send
+                        next_send += 1
+                        rid = self._next_rid()
+                        out += self._encode_batch(batch_list[index], rid)
+                        pending.append((index, rid))
+                    if out:
+                        sock.sendall(out)
+                    index, rid = pending.popleft()
+                    try:
+                        results[index] = self._read_batch_reply(sock, rid)
+                    except TransportError:
+                        raise
+                    except ServiceError as exc:
+                        if first_error is None:
+                            first_error = exc
+            except (FrameError, OSError) as exc:
+                raise TransportError(f"transport failure: {exc}") from None
+        if first_error is not None:
+            raise first_error
+        return results
 
     def stats(self) -> Dict[str, Any]:
         """Server-side engine/index counters."""

@@ -123,6 +123,12 @@ class QueryEngine:
         _, epoch, seq = self._resolve()
         return epoch, seq
 
+    def resolve_state(self) -> Tuple[ReputationIndex, int, int]:
+        """One consistent ``(index, epoch, seq)`` snapshot. Servers
+        keying caches by epoch take the snapshot here, then attribute
+        entries to the epoch each verdict actually came from."""
+        return self._resolve()
+
     # -- query paths ---------------------------------------------------
 
     def query(self, ip: int, day: Optional[int] = None) -> Verdict:

@@ -1,7 +1,13 @@
-"""Stdlib-only threaded TCP server for the reputation service.
+"""Event-loop TCP server for the reputation service.
 
 One connection carries any number of request frames
-(:mod:`repro.service.wire`); each gets exactly one reply frame:
+(:mod:`repro.service.wire`), *pipelined* — a client may keep many
+requests in flight; replies come back in request order. Two codecs
+share the port: every connection starts on length-prefixed JSON, and a
+``hello`` carrying ``accept_codecs`` may negotiate the binary framing
+(old clients never send the key and keep speaking JSON byte-for-byte).
+
+The JSON request surface is unchanged:
 
 ``{"op": "query", "ip": "1.2.3.4", "day": 17}``
     → ``{"ok": true, "result": {<verdict>}}`` — ``ip`` may also be an
@@ -16,29 +22,34 @@ One connection carries any number of request frames
 ``{"op": "hello"}``
     → the handshake: service name, protocol version, whether the
     server follows an update log, and the current index ``epoch`` +
-    last-applied ``seq`` — what a client checks before trusting
-    verdict freshness.
-``{"op": "ping"}``
-    → ``{"ok": true, "result": "pong"}`` — liveness probe.
+    last-applied ``seq``; with ``"accept_codecs": ["binary"]`` the
+    reply adds ``codecs``/``codec`` and the connection switches to the
+    binary framing for all later frames.
 
-Robustness contract: a malformed frame or request gets an error reply
-(``{"ok": false, "error": ...}``), never a crash; only a broken frame
-*boundary* (oversized length, peer cut mid-frame) or an idle timeout
-closes the connection, because there is no way to resynchronise the
-stream. Shutdown is graceful — in-flight requests finish, the listener
-stops accepting.
+Binary connections may additionally send packed ``FT_BATCH_REQ``
+frames — the hot path. Those are answered from a packed-verdict cache
+keyed ``(epoch, ip, day)``: a cache hit copies pre-encoded record
+bytes without touching a dict, which is where the serving plane's
+throughput lives. Entries are stored under the verdict's *own* epoch,
+so a hot swap mid-frame can never poison the cache.
+
+Robustness contract (unchanged from the threaded server): a malformed
+frame or request gets an error reply (``{"ok": false, "error":
+...}``), never a crash; only a broken frame *boundary* (oversized
+length, bad magic) or an idle timeout closes the connection, because
+there is no way to resynchronise the stream. Shutdown is graceful —
+queued replies drain, the listener stops accepting.
 """
 
 from __future__ import annotations
 
-import socket
-import socketserver
-import threading
-from typing import Any, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..net.ipv4 import ip_to_int, is_valid_ip_int
+from .aio import Conn, Slot, WireServer
 from .engine import QueryEngine
-from .wire import MAX_FRAME_BYTES, FrameError, recv_frame, send_frame
+from .wire import MAX_FRAME_BYTES, pack_verdict
 
 __all__ = [
     "MAX_BATCH",
@@ -52,11 +63,16 @@ __all__ = [
 #: Upper bound on queries in one batch frame.
 MAX_BATCH = 10_000
 
-#: Wire protocol version reported by the ``hello`` handshake.
+#: Wire protocol version reported by the ``hello`` handshake. The
+#: binary codec is a framing negotiation, not a new request surface,
+#: so it does not bump the version.
 PROTOCOL_VERSION = 1
 
 #: Seconds a connection may sit idle before the server drops it.
 DEFAULT_CONNECTION_TIMEOUT = 30.0
+
+#: Packed-verdict cache capacity (records, not bytes).
+PACKED_CACHE_SIZE = 1 << 15
 
 
 class RequestError(ValueError):
@@ -86,132 +102,43 @@ def parse_day(value: Any) -> Optional[int]:
     return value
 
 
-class _Handler(socketserver.BaseRequestHandler):
-    server: "_TcpServer"
-
-    def handle(self) -> None:
-        sock = self.request
-        sock.settimeout(self.server.connection_timeout)
-        while True:
-            try:
-                request = recv_frame(
-                    sock, max_size=self.server.max_frame
-                )
-            except FrameError as exc:
-                self._reply_error(sock, str(exc))
-                if exc.recoverable:
-                    continue
-                return  # framing broke: no next boundary to find
-            except (socket.timeout, OSError):
-                return
-            if request is None:
-                return  # clean EOF between frames
-            try:
-                reply = self._dispatch(request)
-            except RequestError as exc:
-                reply = {"ok": False, "error": str(exc)}
-            except Exception as exc:  # never let a bug kill the worker
-                reply = {"ok": False, "error": f"internal error: {exc}"}
-            try:
-                send_frame(sock, reply, max_size=self.server.max_frame)
-            except (FrameError, OSError):
-                return
-
-    @staticmethod
-    def _reply_error(sock: socket.socket, message: str) -> None:
-        try:
-            send_frame(sock, {"ok": False, "error": message})
-        except (FrameError, OSError):
-            pass
-
-    def _dispatch(self, request: Any) -> Dict[str, Any]:
-        if not isinstance(request, dict):
-            raise RequestError(
-                f"request must be a JSON object, got "
-                f"{type(request).__name__}"
-            )
-        op = request.get("op")
-        engine = self.server.engine
-        if op == "query":
-            verdict = engine.query(
-                parse_ip(request.get("ip")),
-                parse_day(request.get("day")),
-            )
-            return {"ok": True, "result": verdict.to_wire()}
-        if op == "batch":
-            queries = request.get("queries")
-            if not isinstance(queries, list):
-                raise RequestError("batch needs a 'queries' array")
-            if len(queries) > MAX_BATCH:
-                raise RequestError(
-                    f"batch of {len(queries)} exceeds the "
-                    f"{MAX_BATCH}-query limit"
-                )
-            parsed = []
-            for item in queries:
-                if not isinstance(item, dict):
-                    raise RequestError("each batch query must be an object")
-                parsed.append(
-                    (parse_ip(item.get("ip")), parse_day(item.get("day")))
-                )
-            verdicts = engine.query_batch(parsed)
-            return {
-                "ok": True,
-                "result": [v.to_wire() for v in verdicts],
-            }
-        if op == "stats":
-            return {"ok": True, "result": engine.stats()}
-        if op == "hello":
-            epoch, seq = engine.epoch_state()
-            return {
-                "ok": True,
-                "result": {
-                    "service": "repro-reputation",
-                    "protocol": PROTOCOL_VERSION,
-                    "streaming": self.server.streaming,
-                    "epoch": epoch,
-                    "seq": seq,
-                },
-            }
-        if op == "ping":
-            return {"ok": True, "result": "pong"}
-        raise RequestError(f"unknown op: {op!r}")
+def parse_batch(queries: Any) -> List[Tuple[int, Optional[int]]]:
+    """Validate a JSON ``batch`` request's ``queries`` array."""
+    if not isinstance(queries, list):
+        raise RequestError("batch needs a 'queries' array")
+    if len(queries) > MAX_BATCH:
+        raise RequestError(
+            f"batch of {len(queries)} exceeds the "
+            f"{MAX_BATCH}-query limit"
+        )
+    parsed = []
+    for item in queries:
+        if not isinstance(item, dict):
+            raise RequestError("each batch query must be an object")
+        parsed.append(
+            (parse_ip(item.get("ip")), parse_day(item.get("day")))
+        )
+    return parsed
 
 
-class _TcpServer(socketserver.ThreadingTCPServer):
-    daemon_threads = True
-    allow_reuse_address = True
-    # Set by ReputationServer before serving:
-    engine: QueryEngine
-    connection_timeout: float
-    max_frame: int
-    streaming: bool
+def negotiate_hello(
+    request: Dict[str, Any], result: Dict[str, Any]
+) -> Optional[str]:
+    """Apply codec negotiation to a ``hello`` ``result`` in place.
 
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
-        super().__init__(*args, **kwargs)
-        # Live per-connection sockets, so a hard stop can sever
-        # keepalive clients that would otherwise outlive the listener.
-        self._active: set = set()
-        self._active_lock = threading.Lock()
-
-    def process_request(self, request, client_address) -> None:
-        with self._active_lock:
-            self._active.add(request)
-        super().process_request(request, client_address)
-
-    def shutdown_request(self, request) -> None:
-        with self._active_lock:
-            self._active.discard(request)
-        super().shutdown_request(request)
-
-    def close_all_connections(self) -> None:
-        with self._active_lock:
-            active = list(self._active)
-        for sock in active:
-            try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass  # already gone
+    Returns the codec the connection must switch to (or ``None``).
+    Requests without ``accept_codecs`` leave the reply untouched, so
+    pre-negotiation clients see byte-identical hello replies.
+    """
+    accepts = request.get("accept_codecs")
+    if not isinstance(accepts, list):
+        return None
+    result["codecs"] = ["binary", "json"]
+    if "binary" in accepts:
+        result["codec"] = "binary"
+        return "binary"
+    result["codec"] = "json"
+    return None
 
 
 class ReputationServer:
@@ -234,56 +161,151 @@ class ReputationServer:
         max_frame: int = MAX_FRAME_BYTES,
         streaming: bool = False,
     ) -> None:
-        self._server = _TcpServer((host, port), _Handler)
-        self._server.engine = engine
-        self._server.connection_timeout = connection_timeout
-        self._server.max_frame = max_frame
-        self._server.streaming = streaming
-        # Guards the serve-thread handle: start() and shutdown() may
-        # legitimately race (a test tearing down a just-started server).
-        self._lock = threading.Lock()
-        self._thread: Optional[threading.Thread] = None
+        self._engine = engine
+        self._streaming = streaming
+        # Packed reply records keyed (epoch, ip, resolved day); the
+        # loop thread is the only toucher.
+        self._packed: "OrderedDict[Tuple[int, int, int], bytes]" = (
+            OrderedDict()
+        )
+        self._server = WireServer(
+            self._handle,
+            host,
+            port,
+            connection_timeout=connection_timeout,
+            max_frame=max_frame,
+        )
+
+    # -- lifecycle (delegated to the WireServer) -----------------------
 
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)``."""
-        host, port = self._server.server_address[:2]
-        return str(host), int(port)
+        return self._server.address
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
-        self._server.serve_forever(poll_interval=0.1)
+        self._server.serve_forever()
 
     def start(self) -> Tuple[str, int]:
         """Serve from a background daemon thread; returns the address."""
-        with self._lock:
-            if self._thread is not None:
-                raise RuntimeError("server already started")
-            thread = threading.Thread(
-                target=self.serve_forever,
-                name="repro-reputation-server",
-                daemon=True,
-            )
-            self._thread = thread
-        thread.start()
-        return self.address
+        return self._server.start()
 
     def shutdown(self) -> None:
-        """Stop accepting, finish in-flight requests, close the socket."""
+        """Stop accepting, flush queued replies, close the socket."""
         self._server.shutdown()
-        self._server.server_close()
-        with self._lock:
-            thread, self._thread = self._thread, None
-        if thread is not None:
-            thread.join(timeout=5.0)
 
     def close_connections(self) -> None:
         """Sever every live client connection (a hard stop — what a
         crashed process would do to its peers)."""
-        self._server.close_all_connections()
+        self._server.close_connections()
 
     def __enter__(self) -> "ReputationServer":
         return self
 
     def __exit__(self, *_: Any) -> None:
         self.shutdown()
+
+    # -- request handling (loop thread) --------------------------------
+
+    def _handle(
+        self, conn: Conn, slot: Slot, kind: str, data: Any
+    ) -> None:
+        if kind == "batch":
+            self._handle_packed_batch(slot, data)
+            return
+        try:
+            reply, new_codec = self._dispatch(data)
+        except RequestError as exc:
+            slot.fail(str(exc))
+            return
+        slot.complete(reply)
+        if new_codec is not None:
+            # After the (pre-switch-codec) reply: every later frame on
+            # this connection uses the negotiated framing.
+            conn.codec = new_codec
+
+    def _dispatch(
+        self, request: Any
+    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        if not isinstance(request, dict):
+            raise RequestError(
+                f"request must be a JSON object, got "
+                f"{type(request).__name__}"
+            )
+        op = request.get("op")
+        engine = self._engine
+        if op == "query":
+            verdict = engine.query(
+                parse_ip(request.get("ip")),
+                parse_day(request.get("day")),
+            )
+            return {"ok": True, "result": verdict.to_wire()}, None
+        if op == "batch":
+            parsed = parse_batch(request.get("queries"))
+            verdicts = engine.query_batch(parsed)
+            return {
+                "ok": True,
+                "result": [v.to_wire() for v in verdicts],
+            }, None
+        if op == "stats":
+            return {"ok": True, "result": engine.stats()}, None
+        if op == "hello":
+            epoch, seq = engine.epoch_state()
+            result = {
+                "service": "repro-reputation",
+                "protocol": PROTOCOL_VERSION,
+                "streaming": self._streaming,
+                "epoch": epoch,
+                "seq": seq,
+            }
+            new_codec = negotiate_hello(request, result)
+            return {"ok": True, "result": result}, new_codec
+        if op == "ping":
+            return {"ok": True, "result": "pong"}, None
+        raise RequestError(f"unknown op: {op!r}")
+
+    def _handle_packed_batch(
+        self, slot: Slot, pairs: List[Tuple[int, Optional[int]]]
+    ) -> None:
+        """The binary hot path: answer an ``FT_BATCH_REQ`` from the
+        packed-record cache, touching the engine only for misses."""
+        if len(pairs) > MAX_BATCH:
+            slot.fail(
+                f"batch of {len(pairs)} exceeds the "
+                f"{MAX_BATCH}-query limit"
+            )
+            return
+        engine = self._engine
+        index, epoch, _seq = engine.resolve_state()
+        default_day = index.default_day()
+        cache = self._packed
+        cache_get = cache.get
+        records: List[Optional[bytes]] = []
+        append = records.append
+        miss_positions: List[int] = []
+        miss_pairs: List[Tuple[int, Optional[int]]] = []
+        for ip, day in pairs:
+            record = cache_get(
+                (epoch, ip, default_day if day is None else day)
+            )
+            if record is None:
+                miss_positions.append(len(records))
+                miss_pairs.append((ip, day))
+            append(record)
+        if miss_pairs:
+            try:
+                verdicts = engine.query_batch(miss_pairs)
+            except ValueError as exc:
+                slot.fail(str(exc))
+                return
+            for position, verdict in zip(miss_positions, verdicts):
+                record = pack_verdict(verdict)
+                records[position] = record
+                # Keyed under the verdict's *own* epoch: if a hot swap
+                # landed mid-batch, the entry must not shadow the new
+                # epoch's answer.
+                cache[(verdict.epoch, verdict.ip, verdict.day)] = record
+            while len(cache) > PACKED_CACHE_SIZE:
+                cache.popitem(last=False)
+        slot.complete_records(records)  # type: ignore[arg-type]

@@ -244,6 +244,44 @@ class TestWireRule:
         )
         assert len(found) == 1
 
+    def test_iter_unpack_unguarded_flagged(self, tmp_path):
+        # The binary batch decoders walk network bytes record-by-record
+        # with Struct.iter_unpack; an unguarded walk is the same torn-
+        # input crash as a bare unpack.
+        found = lint_tree(
+            tmp_path,
+            "service/bad4.py",
+            """
+            import struct
+
+            REC = struct.Struct(">IBi")
+
+            def parse(blob):
+                return list(REC.iter_unpack(blob))
+            """,
+            codes={"WIRE"},
+        )
+        assert len(found) == 1
+        assert "unpack" in found[0].message
+
+    def test_iter_unpack_with_len_check_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            "service/good4.py",
+            """
+            import struct
+
+            REC = struct.Struct(">IBi")
+
+            def parse(blob):
+                if len(blob) % REC.size != 0:
+                    raise ValueError("short record")
+                return list(REC.iter_unpack(blob))
+            """,
+            codes={"WIRE"},
+        )
+        assert found == []
+
     def test_out_of_scope_dir_not_flagged(self, tmp_path):
         found = lint_tree(
             tmp_path,

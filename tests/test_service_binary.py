@@ -1,0 +1,406 @@
+"""Binary wire codec: fuzzing, negotiation matrix, codec equality.
+
+Three layers, mirroring the upgrade's compatibility promise:
+
+* codec level — the tagged binary value encoding and the packed batch
+  records round-trip everything the JSON codec carries (same
+  ``json_values`` corpus as :mod:`tests.test_service_wire`), and
+  hostile bytes fail as :class:`WireError`, never an unhandled crash;
+* connection level — the ``hello`` negotiation matrix: a JSON-only
+  client sees byte-identical replies from an upgraded server, an
+  offering client gets the binary codec, and verdicts are
+  field-for-field equal across codecs;
+* fleet level — mixed router deployments (binary or JSON upstream ×
+  binary or JSON downstream) all return the same verdicts.
+"""
+
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.local import LocalCluster
+from repro.net.ipv4 import int_to_ip
+from repro.service.client import ReputationClient, ServiceError
+from repro.service.engine import QueryEngine, Verdict
+from repro.service.index import ReputationIndex
+from repro.service.server import ReputationServer
+from repro.service.wire import (
+    BIN_HEADER_SIZE,
+    FT_BATCH_REP,
+    FT_MSG,
+    MAX_FRAME_BYTES,
+    WireError,
+    decode_batch_request,
+    decode_binary_frame,
+    decode_msg_payload,
+    decode_record,
+    encode_batch_request,
+    encode_msg_frame,
+    pack_degraded,
+    pack_verdict,
+    pack_verdict_wire,
+    recv_binary_frame,
+    recv_frame,
+    send_frame,
+    split_batch_reply,
+)
+from tests.test_service_wire import FakeSocket, json_values
+
+
+def _verdict(**overrides):
+    base = dict(
+        ip=0x01020304,
+        day=17,
+        listed=True,
+        lists=("dnsbl-alpha", "dnsbl-beta"),
+        nated=True,
+        dynamic=False,
+        unjust=True,
+        reuse_kind="nat",
+        users=37,
+        asn=64500,
+        action="greylist",
+        epoch=3,
+        seq=41,
+    )
+    base.update(overrides)
+    return Verdict(**base)
+
+
+class TestBinaryCodecRoundtrip:
+    @settings(max_examples=150, deadline=None)
+    @given(json_values)
+    def test_msg_roundtrip_matches_json_model(self, value):
+        """Anything the JSON codec carries, the tagged binary encoding
+        carries identically — same corpus, same decoded value."""
+        frame = encode_msg_frame(value, 7)
+        decoded = decode_binary_frame(frame)
+        assert decoded is not None
+        ftype, rid, payload, consumed = decoded
+        assert (ftype, rid, consumed) == (FT_MSG, 7, len(frame))
+        assert decode_msg_payload(payload) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.none()
+                | st.integers(min_value=-(2**31), max_value=2**31 - 1),
+            ),
+            max_size=50,
+        ),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_batch_request_roundtrip(self, pairs, rid):
+        frame = encode_batch_request(pairs, rid)
+        decoded = decode_binary_frame(frame)
+        assert decoded is not None
+        _ftype, got_rid, payload, _ = decoded
+        assert got_rid == rid
+        assert decode_batch_request(payload) == pairs
+
+    def test_verdict_record_roundtrip_is_field_for_field(self):
+        """The pinned cross-codec contract: a packed verdict decodes
+        to exactly ``Verdict.to_wire()`` — every field, not a
+        projection."""
+        for verdict in (
+            _verdict(),
+            _verdict(listed=False, lists=(), unjust=False,
+                     action="ignore", reuse_kind=""),
+            _verdict(day=-3, users=0, asn=0, epoch=0, seq=0,
+                     dynamic=True),
+        ):
+            record = pack_verdict(verdict)
+            assert decode_record(record) == verdict.to_wire()
+            # And the wire-dict repack (the router's JSON-upstream →
+            # binary-downstream path) hits the same bytes.
+            assert pack_verdict_wire(verdict.to_wire()) == record
+
+    def test_degraded_record_roundtrip(self):
+        record = pack_degraded(0x0A000001, 12, 2, "SHARD_UNAVAILABLE")
+        assert decode_record(record) == {
+            "ip": "10.0.0.1",
+            "day": 12,
+            "error": "SHARD_UNAVAILABLE",
+            "shard": 2,
+        }
+        record = pack_degraded(1, None, 0, "SHARD_UNAVAILABLE")
+        assert decode_record(record)["day"] is None
+
+
+class TestBinaryFrameFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_decode_binary_frame_never_crashes(self, blob):
+        try:
+            decode_binary_frame(blob)
+        except WireError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=7))
+    def test_recv_binary_frame_never_crashes(self, blob, chunk):
+        try:
+            recv_binary_frame(FakeSocket(blob, chunk=chunk))
+        except WireError:
+            pass
+
+    def test_torn_header_is_recoverable(self):
+        """EOF inside the 10-byte header is end-of-stream, not a
+        framing crime — the error must say so."""
+        frame = encode_msg_frame({"op": "ping"}, 1)
+        for cut in range(1, BIN_HEADER_SIZE):
+            with pytest.raises(WireError) as excinfo:
+                recv_binary_frame(FakeSocket(frame[:cut]))
+            assert excinfo.value.recoverable
+
+    def test_torn_payload_is_fatal(self):
+        frame = encode_msg_frame({"op": "ping"}, 1)
+        with pytest.raises(WireError) as excinfo:
+            recv_binary_frame(FakeSocket(frame[: len(frame) - 2]))
+        assert not excinfo.value.recoverable
+
+    def test_bad_magic_is_fatal(self):
+        frame = bytearray(encode_msg_frame({"op": "ping"}, 1))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireError) as excinfo:
+            recv_binary_frame(FakeSocket(bytes(frame)))
+        assert not excinfo.value.recoverable
+
+    def test_eintr_mid_frame_is_retried(self):
+        """A signal landing mid-read must not be confused with EOF."""
+
+        class InterruptingSocket(FakeSocket):
+            def __init__(self, data):
+                super().__init__(data, chunk=3)
+                self._interrupts = 2
+
+            def recv(self, size):
+                if self._interrupts:
+                    self._interrupts -= 1
+                    raise InterruptedError
+                return super().recv(size)
+
+        frame = encode_msg_frame({"op": "ping"}, 9)
+        got = recv_binary_frame(InterruptingSocket(frame))
+        assert got is not None
+        assert decode_msg_payload(got[2]) == {"op": "ping"}
+
+    def test_declared_length_over_limit_rejected(self):
+        header = struct.pack(">BBII", 0xB1, FT_MSG, 0, MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireError) as excinfo:
+            recv_binary_frame(FakeSocket(header))
+        assert not excinfo.value.recoverable
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=80))
+    def test_record_decoders_never_crash(self, blob):
+        try:
+            for record in split_batch_reply(blob):
+                decode_record(record)
+        except WireError:
+            pass
+
+
+@pytest.fixture(scope="module")
+def index(small_full_run):
+    return ReputationIndex.from_run(small_full_run)
+
+
+@pytest.fixture()
+def server(index):
+    srv = ReputationServer(QueryEngine(index), connection_timeout=5.0)
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+class TestNegotiation:
+    def test_json_client_sees_pre_upgrade_hello(self, server):
+        """A pre-negotiation client's hello must come back without any
+        codec keys — the reply an old server would have sent."""
+        with socket.create_connection(server.address, timeout=5.0) as s:
+            send_frame(s, {"op": "hello"})
+            reply = recv_frame(s)
+        assert reply["ok"] is True
+        assert "codec" not in reply["result"]
+        assert "codecs" not in reply["result"]
+
+    def test_offering_client_switches_to_binary(self, server):
+        with ReputationClient(*server.address) as client:
+            assert client.codec == "binary"
+            # A plain hello (no offer) stays clean of codec keys even
+            # on an upgraded connection.
+            assert "codec" not in client.hello()
+            hello = client.call(
+                {"op": "hello", "accept_codecs": ["binary"]}
+            )
+            assert hello["codec"] == "binary"
+            assert set(hello["codecs"]) == {"binary", "json"}
+
+    def test_pinned_json_client_stays_on_json(self, server):
+        with ReputationClient(*server.address, codec="json") as client:
+            assert client.codec == "json"
+            assert client.ping() is True
+
+    def test_json_offer_without_binary_keeps_json(self, server):
+        """``accept_codecs`` listing only json: reply carries the codec
+        keys but the connection stays on the JSON framing."""
+        with socket.create_connection(server.address, timeout=5.0) as s:
+            send_frame(s, {"op": "hello", "accept_codecs": ["json"]})
+            reply = recv_frame(s)
+            assert reply["result"]["codec"] == "json"
+            send_frame(s, {"op": "ping"})
+            assert recv_frame(s)["result"] == "pong"
+
+    def test_frames_after_switch_are_binary(self, server):
+        """The hello reply itself is still JSON-framed; the very next
+        frame speaks binary."""
+        with socket.create_connection(server.address, timeout=5.0) as s:
+            send_frame(s, {"op": "hello", "accept_codecs": ["binary"]})
+            reply = recv_frame(s)
+            assert reply["result"]["codec"] == "binary"
+            s.sendall(encode_msg_frame({"op": "ping"}, 5))
+            ftype, rid, payload = recv_binary_frame(s)
+            assert (ftype, rid) == (FT_MSG, 5)
+            assert decode_msg_payload(payload)["result"] == "pong"
+
+
+class TestCodecEquality:
+    def _sample_queries(self, index):
+        ips = sorted(ip for ip, _ in index.interval_items())[:50] or [
+            0x01020304
+        ]
+        day = index.default_day()
+        queries = [(ip, None) for ip in ips]
+        queries += [(ip, day) for ip in ips[:10]]
+        queries += [(0xDEADBEEF, None), (0, day)]
+        return queries
+
+    def test_batch_verdicts_identical_across_codecs(self, server, index):
+        queries = self._sample_queries(index)
+        with ReputationClient(*server.address, codec="json") as jc, \
+                ReputationClient(*server.address, codec="binary") as bc:
+            assert bc.codec == "binary"
+            json_verdicts = jc.query_batch(queries)
+            binary_verdicts = bc.query_batch(queries)
+        assert json_verdicts == binary_verdicts
+
+    def test_point_verdicts_identical_across_codecs(self, server, index):
+        ip = next(
+            iter(sorted(ip for ip, _ in index.interval_items())),
+            0x01020304,
+        )
+        with ReputationClient(*server.address, codec="json") as jc, \
+                ReputationClient(*server.address, codec="binary") as bc:
+            assert jc.query(ip) == bc.query(ip)
+            assert jc.query(int_to_ip(ip)) == bc.query(int_to_ip(ip))
+
+    def test_pipelined_equals_sequential_on_both_codecs(
+        self, server, index
+    ):
+        queries = self._sample_queries(index)
+        batches = [queries[i::4] for i in range(4)]
+        for codec in ("json", "binary"):
+            with ReputationClient(*server.address, codec=codec) as c:
+                sequential = [c.query_batch(b) for b in batches]
+                pipelined = c.query_batch_pipelined(batches, window=3)
+            assert pipelined == sequential
+
+    def test_error_strings_identical_across_codecs(self, server):
+        errors = {}
+        for codec in ("json", "binary"):
+            with ReputationClient(*server.address, codec=codec) as c:
+                got = []
+                for bad in (
+                    {"op": "nope"},
+                    {"op": "query", "ip": "not-an-ip"},
+                    {"op": "query", "ip": "1.2.3.4", "day": "x"},
+                    {"op": "batch", "queries": "zz"},
+                ):
+                    with pytest.raises(ServiceError) as excinfo:
+                        c.call(bad)
+                    got.append(str(excinfo.value))
+                errors[codec] = got
+        assert errors["json"] == errors["binary"]
+
+    def test_binary_batch_fallback_for_unpackable_values(self, server):
+        """A query the packed layout cannot carry (a day outside i32)
+        must travel the JSON shape transparently — same verdict as a
+        JSON connection, not a client-side error."""
+        queries = [("1.2.3.4", 2**40), ("1.2.3.4", None)]
+        with ReputationClient(*server.address, codec="json") as jc, \
+                ReputationClient(*server.address, codec="binary") as bc:
+            assert jc.query_batch(queries) == bc.query_batch(queries)
+
+
+class TestMixedFleets:
+    @pytest.fixture(scope="class")
+    def fleet_index(self, small_full_run):
+        return ReputationIndex.from_run(small_full_run)
+
+    @pytest.mark.parametrize("backend_codec", ["json", "binary"])
+    def test_router_matrix_serves_identical_verdicts(
+        self, fleet_index, backend_codec
+    ):
+        """binary/JSON downstream × binary/JSON upstream: all four
+        paths yield the same verdicts as a direct single server."""
+        ips = sorted(
+            ip for ip, _ in fleet_index.interval_items()
+        )[:40] or [0x01020304]
+        queries = [(ip, None) for ip in ips]
+        with ReputationServer(QueryEngine(fleet_index)) as direct:
+            direct.start()
+            with ReputationClient(
+                *direct.address, codec="json"
+            ) as reference_client:
+                reference = reference_client.query_batch(queries)
+        with LocalCluster(
+            fleet_index,
+            shards=3,
+            heartbeat_interval=0.2,
+            backend_codec=backend_codec,
+        ) as cluster:
+            assert cluster.router.wait_healthy(timeout=10.0)
+            for codec in ("json", "binary"):
+                with ReputationClient(
+                    *cluster.address, codec=codec
+                ) as client:
+                    assert client.codec == codec
+                    assert client.query_batch(queries) == reference
+                    assert (
+                        client.query(ips[0]) == reference[0]
+                    )
+
+    def test_json_fleet_degrades_identically(self, fleet_index):
+        """Shard-down degradation has the same wire shape whatever the
+        upstream codec speaks."""
+        ips = sorted(
+            ip for ip, _ in fleet_index.interval_items()
+        )[:20] or [0x01020304]
+        queries = [(ip, None) for ip in ips]
+        shapes = {}
+        for backend_codec in ("json", "binary"):
+            with LocalCluster(
+                fleet_index,
+                shards=3,
+                heartbeat_interval=0.2,
+                backend_codec=backend_codec,
+            ) as cluster:
+                assert cluster.router.wait_healthy(timeout=10.0)
+                cluster.kill_primary(1)
+                with ReputationClient(
+                    *cluster.address, codec="binary"
+                ) as client:
+                    shapes[backend_codec] = client.query_batch(queries)
+        assert shapes["json"] == shapes["binary"]
+        degraded = [
+            v for v in shapes["binary"] if v.get("error")
+        ]
+        assert all(v["error"] == "SHARD_UNAVAILABLE" for v in degraded)
+        assert all(v["shard"] == 1 for v in degraded)
