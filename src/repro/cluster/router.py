@@ -38,6 +38,8 @@ the next request probes it first.
 
 from __future__ import annotations
 
+import errno
+import os
 import selectors
 import socket
 import threading
@@ -144,7 +146,15 @@ class _Sub:
 
 class Backend:
     """One shard server address: its health flag plus the router's
-    persistent pipelined connection state (loop-thread owned)."""
+    persistent pipelined connection state (loop-thread owned).
+
+    The connection advances through ``state``: ``"idle"`` (no socket)
+    → ``"connecting"`` (non-blocking connect in flight) →
+    ``"hello"`` (codec negotiation sent, awaiting the reply) →
+    ``"ready"`` (subs flow). Until ``"ready"`` the codec is unknown,
+    so submitted subs queue in ``waiting`` and are encoded when the
+    handshake settles; every transition happens on the loop thread,
+    which never blocks on upstream I/O."""
 
     def __init__(
         self,
@@ -157,10 +167,12 @@ class Backend:
         self.healthy = True  # optimistic until a connect/call fails
         # Loop-owned pipelined connection state.
         self.sock: Optional[socket.socket] = None
+        self.state = "idle"
         self.codec = "json"
         self.inbuf = bytearray()
         self.outbuf = bytearray()
         self.pending: Deque[_Sub] = deque()
+        self.waiting: Deque[_Sub] = deque()
         self.rid = 0
         self.registered = False
         self.events = 0
@@ -452,6 +464,12 @@ class Router:
         # Per-position reply: raw record bytes, a verdict dict, or the
         # shard id of a degraded position (int).
         entries: List[Any] = [None] * total
+        if not by_shard:
+            # Empty batch: zero shard fan-outs means shard_done would
+            # never fire, so answer directly (an empty result is what
+            # a single-process server returns).
+            self._finish_batch(slot, pairs, entries)
+            return
         remaining = [len(by_shard)]
 
         def shard_done(
@@ -694,64 +712,87 @@ class Router:
             cause = f"cannot reach {backend.address[0]}:{backend.address[1]}"
         sub.finish("unavailable", cause)
 
-    def _open_backend_socket(
-        self, backend: Backend
-    ) -> Tuple[socket.socket, str]:
-        """Connect + optional codec negotiation; returns the socket
-        (nonblocking) and the codec the connection settled on."""
-        sock = socket.create_connection(
-            backend.address, timeout=self._backend_timeout
-        )
+    def _start_connect(self, backend: Backend) -> bool:
+        """Begin a non-blocking connect; the loop thread never blocks
+        on an upstream, so an unreachable (SYN-dropping) shard cannot
+        stall traffic to the rest of the fleet."""
+        started = False
+        err = -1
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            codec = "json"
-            if self._backend_codec == "binary":
-                send_frame(
-                    sock, {"op": "hello", "accept_codecs": ["binary"]}
-                )
-                reply = recv_frame(sock)
-                result = (
-                    reply.get("result")
-                    if isinstance(reply, dict)
-                    else None
-                )
-                if (
-                    isinstance(result, dict)
-                    and result.get("codec") == "binary"
-                ):
-                    codec = "binary"
             sock.setblocking(False)
-            opened, sock = sock, None
-            return opened, codec
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            err = sock.connect_ex(backend.address)
+            started = err in (0, errno.EINPROGRESS, errno.EWOULDBLOCK)
+        except OSError:
+            started = False
         finally:
-            if sock is not None:
+            if not started:
                 sock.close()
-
-    def _ensure_backend_conn(self, backend: Backend) -> bool:
-        if backend.sock is not None:
-            return True
-        try:
-            sock, codec = self._open_backend_socket(backend)
-        except (WireError, OSError):
+        if not started:
             backend.healthy = False
             return False
         backend.sock = sock
-        backend.codec = codec
+        backend.state = "connecting"
+        backend.codec = "json"
         backend.inbuf.clear()
         backend.outbuf.clear()
         backend.pending.clear()
+        backend.waiting.clear()
         backend.registered = False
         backend.events = 0
         backend.callback = (
             lambda mask, b=backend: self._on_backend_event(b, mask)
         )
+        if err == 0:
+            self._connect_done(backend)
+        else:
+            self._watch_backend(backend, _WRITE)
+        return backend.sock is not None
+
+    def _connect_done(self, backend: Backend) -> None:
+        """The non-blocking connect resolved: fail, or start the codec
+        handshake (pipelined — the hello is just the first frame)."""
+        assert backend.sock is not None
+        err = backend.sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+        if err:
+            self._backend_lost(
+                backend, f"connect failed: {os.strerror(err)}"
+            )
+            return
         backend.healthy = True
-        self._watch_backend(backend, _READ)
-        return True
+        if self._backend_codec == "binary":
+            backend.state = "hello"
+            backend.outbuf += encode_frame(
+                {"op": "hello", "accept_codecs": ["binary"]},
+                max_size=MAX_FRAME_BYTES,
+            )
+        else:
+            self._backend_ready(backend)
+        self._flush_backend(backend)
+
+    def _backend_ready(self, backend: Backend) -> None:
+        """The codec settled: encode and send every waiting sub."""
+        backend.state = "ready"
+        while backend.waiting and backend.sock is not None:
+            sub = backend.waiting.popleft()
+            if not self._enqueue_sub(backend, sub):
+                sub.failed += 1
+                self._submit(sub, "unserialisable request")
 
     def _send_sub(self, backend: Backend, sub: _Sub) -> bool:
-        if not self._ensure_backend_conn(backend):
+        if backend.sock is None and not self._start_connect(backend):
             return False
+        sub.deadline = time.monotonic() + self._backend_timeout
+        if backend.state != "ready":
+            # Connect/handshake still in flight; the sub goes out the
+            # moment the codec settles, and its deadline (swept on the
+            # loop) bounds a backend that never becomes ready.
+            backend.waiting.append(sub)
+            return True
+        return self._enqueue_sub(backend, sub)
+
+    def _enqueue_sub(self, backend: Backend, sub: _Sub) -> bool:
         backend.rid = (backend.rid + 1) & 0xFFFFFFFF
         sub.rid = backend.rid
         try:
@@ -760,7 +801,6 @@ class Router:
             # Unserialisable forward — nothing another backend could
             # do better; report the shard as the problem.
             return False
-        sub.deadline = time.monotonic() + self._backend_timeout
         backend.pending.append(sub)
         # If this write kills the connection, _backend_lost fails the
         # pending subs over (re-entering _submit with the remaining
@@ -817,6 +857,7 @@ class Router:
 
     def _close_backend(self, backend: Backend) -> None:
         sock, backend.sock = backend.sock, None
+        backend.state = "idle"
         if sock is None:
             return
         if backend.registered:
@@ -840,8 +881,9 @@ class Router:
         to the next candidates. A clean EOF with nothing in flight is
         just the backend recycling an idle connection — health stands,
         the next request reconnects."""
-        pending = list(backend.pending)
+        pending = list(backend.pending) + list(backend.waiting)
         backend.pending.clear()
+        backend.waiting.clear()
         self._close_backend(backend)
         if pending or not idle_eof:
             backend.healthy = False
@@ -851,6 +893,12 @@ class Router:
 
     def _on_backend_event(self, backend: Backend, mask: int) -> None:
         try:
+            if backend.state == "connecting":
+                # Only _WRITE is watched while connecting; an error
+                # also surfaces here (selectors maps it to readiness)
+                # and _connect_done reads it from SO_ERROR.
+                self._connect_done(backend)
+                return
             if mask & _WRITE:
                 self._flush_backend(backend)
             if mask & _READ and backend.sock is not None:
@@ -892,7 +940,7 @@ class Router:
             self._backend_lost(
                 backend,
                 "connection closed",
-                idle_eof=not backend.pending,
+                idle_eof=not backend.pending and not backend.waiting,
             )
             return
         backend.inbuf += data
@@ -903,7 +951,30 @@ class Router:
 
     def _parse_backend(self, backend: Backend) -> None:
         while backend.sock is not None:
-            if backend.codec == "binary":
+            if backend.state == "hello":
+                # First frame on a negotiating connection is the hello
+                # reply, always in JSON framing (the server switches
+                # codecs only for frames after it).
+                decoded = decode_frame(
+                    backend.inbuf, max_size=MAX_FRAME_BYTES
+                )
+                if decoded is None:
+                    return
+                reply, consumed = decoded
+                del backend.inbuf[:consumed]
+                result = (
+                    reply.get("result")
+                    if isinstance(reply, dict)
+                    else None
+                )
+                backend.codec = (
+                    "binary"
+                    if isinstance(result, dict)
+                    and result.get("codec") == "binary"
+                    else "json"
+                )
+                self._backend_ready(backend)
+            elif backend.codec == "binary":
                 decoded = decode_binary_frame(
                     backend.inbuf, max_size=MAX_FRAME_BYTES
                 )
@@ -914,23 +985,34 @@ class Router:
                 if not backend.pending:
                     raise WireError("reply with nothing in flight")
                 sub = backend.pending.popleft()
-                if sub.rid != rid:
-                    raise WireError(
-                        f"reply for request {rid}, expected {sub.rid}"
-                    )
-                if ftype == FT_BATCH_REP:
-                    self._sub_success(
-                        sub, "records", split_batch_reply(payload)
-                    )
-                elif ftype == FT_MSG:
-                    self._deliver_reply(
-                        sub,
-                        decode_msg_payload(
-                            payload, max_size=MAX_FRAME_BYTES
-                        ),
-                    )
-                else:
-                    raise WireError(f"unexpected frame type {ftype}")
+                # A garbled reply past this point must not orphan the
+                # popped sub: put it back so _backend_lost (reached
+                # via the caller's WireError handler) fails it over
+                # with the rest of the pending queue.
+                try:
+                    if sub.rid != rid:
+                        raise WireError(
+                            f"reply for request {rid}, "
+                            f"expected {sub.rid}"
+                        )
+                    if ftype == FT_BATCH_REP:
+                        self._sub_success(
+                            sub, "records", split_batch_reply(payload)
+                        )
+                    elif ftype == FT_MSG:
+                        self._deliver_reply(
+                            sub,
+                            decode_msg_payload(
+                                payload, max_size=MAX_FRAME_BYTES
+                            ),
+                        )
+                    else:
+                        raise WireError(
+                            f"unexpected frame type {ftype}"
+                        )
+                except WireError:
+                    backend.pending.appendleft(sub)
+                    raise
             else:
                 decoded = decode_frame(
                     backend.inbuf, max_size=MAX_FRAME_BYTES
@@ -941,7 +1023,12 @@ class Router:
                 del backend.inbuf[:consumed]
                 if not backend.pending:
                     raise WireError("reply with nothing in flight")
-                self._deliver_reply(backend.pending.popleft(), reply)
+                sub = backend.pending.popleft()
+                try:
+                    self._deliver_reply(sub, reply)
+                except WireError:
+                    backend.pending.appendleft(sub)
+                    raise
 
     def _deliver_reply(self, sub: _Sub, reply: Any) -> None:
         if not isinstance(reply, dict):
@@ -976,9 +1063,10 @@ class Router:
         now = time.monotonic()
         for shard_slot in self._slots:
             for backend in shard_slot.backends:
-                if (
-                    backend.pending
-                    and backend.pending[0].deadline < now
-                ):
+                # Waiting subs cover connections stuck in the connect
+                # or hello phase — a backend that never becomes ready
+                # times out exactly like one that never replies.
+                queue = backend.pending or backend.waiting
+                if queue and queue[0].deadline < now:
                     self._backend_lost(backend, "backend timed out")
         self._arm_backend_sweep()

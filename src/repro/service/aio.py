@@ -67,6 +67,18 @@ _RECV_CHUNK = 1 << 18
 #: sockets in a tight loop, so the queue must absorb a burst.
 _BACKLOG = 1024
 
+#: Backpressure water marks, per connection. A peer that pipelines
+#: requests without draining replies stops being read once the queued
+#: output bytes or the in-flight slot count crosses a high mark, and
+#: is read again once both fall back under the low marks — the
+#: event-loop equivalent of the blocking ``sendall`` backpressure the
+#: threaded server had. Bounds may overshoot by at most one parsed
+#: recv chunk.
+_OUT_HIGH_WATER = 1 << 20
+_OUT_LOW_WATER = 1 << 16
+_SLOT_HIGH_WATER = 4096
+_SLOT_LOW_WATER = 1024
+
 Handler = Callable[["Conn", "Slot", str, Any], None]
 
 
@@ -281,8 +293,8 @@ class Conn:
     """Per-connection state, owned by the loop thread."""
 
     __slots__ = ("sock", "fd", "address", "codec", "inbuf", "outbuf",
-                 "slots", "closing", "registered", "events", "callback",
-                 "in_parse", "last_activity", "data")
+                 "slots", "closing", "paused", "registered", "events",
+                 "callback", "in_parse", "last_activity", "data")
 
     def __init__(self, sock: socket.socket, address: Any) -> None:
         self.sock: Optional[socket.socket] = sock
@@ -295,6 +307,8 @@ class Conn:
         self.outbuf = bytearray()
         self.slots: Deque[Slot] = deque()
         self.closing = False
+        #: True while reads are suspended for backpressure.
+        self.paused = False
         self.registered = False
         self.events = 0
         self.callback: Any = None
@@ -328,6 +342,12 @@ class WireServer:
         self._handler = handler
         self._connection_timeout = connection_timeout
         self.max_frame = max_frame
+        #: Per-connection backpressure bounds; instance attributes so
+        #: tests can tighten them.
+        self.out_high_water = _OUT_HIGH_WATER
+        self.out_low_water = _OUT_LOW_WATER
+        self.slot_high_water = _SLOT_HIGH_WATER
+        self.slot_low_water = _SLOT_LOW_WATER
         self.reactor = reactor if reactor is not None else Reactor()
         self._conns: Dict[int, Conn] = {}
         self._shutting_down = False  # written by _begin_shutdown only
@@ -667,18 +687,32 @@ class WireServer:
             if sent:
                 del out[:sent]
                 conn.last_activity = time.monotonic()
-        if out:
-            self._watch(
-                conn,
-                _WRITE | (0 if conn.closing else _READ),
-            )
-        elif conn.closing:
-            if conn.slots:
+        if conn.closing:
+            if out:
+                self._watch(conn, _WRITE)
+            elif conn.slots:
                 self._watch(conn, 0)  # await async completions
             else:
                 self._close_conn(conn)
-        else:
-            self._watch(conn, _READ)
+            return
+        # Backpressure: stop reading a peer that pipelines faster than
+        # it drains replies, so outbuf and the slot queue stay bounded;
+        # resume only once both are well below the pause point.
+        if conn.paused:
+            if (
+                len(out) <= self.out_low_water
+                and len(conn.slots) <= self.slot_low_water
+            ):
+                conn.paused = False
+        elif (
+            len(out) >= self.out_high_water
+            or len(conn.slots) >= self.slot_high_water
+        ):
+            conn.paused = True
+        self._watch(
+            conn,
+            (_WRITE if out else 0) | (0 if conn.paused else _READ),
+        )
 
     # -- idle timeout --------------------------------------------------
 

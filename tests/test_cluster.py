@@ -8,6 +8,7 @@ killed and restarted mid-run — the only tolerated deviation being
 explicit ``SHARD_UNAVAILABLE`` degradation during the outage window.
 """
 
+import socket
 import threading
 import time
 
@@ -27,6 +28,8 @@ from repro.cluster import (
 from repro.service.client import ReputationClient, ServiceError
 from repro.service.engine import QueryEngine
 from repro.service.index import ReputationIndex
+from repro.service.server import ReputationServer
+from repro.service.wire import WireError, recv_frame, send_frame
 from repro.stream.delta import day_advance_batches
 from repro.stream.epoch import EpochIndex, index_as_of
 from repro.stream.log import UpdateLogWriter
@@ -254,6 +257,17 @@ class TestRouterStatic:
         with pytest.raises(ValueError, match="backend"):
             Router(PartitionMap(3), [[("127.0.0.1", 1)]])
 
+    def test_empty_batch_returns_empty(self, cluster):
+        # Regression: zero shard fan-outs must still produce a reply
+        # (the merge counter starts at zero, so nothing else would
+        # ever complete the slot) — on both the packed-binary path
+        # (an FT_BATCH_REQ with count 0) and the JSON one.
+        for codec in ("binary", "json"):
+            with ReputationClient(
+                *cluster.address, codec=codec
+            ) as client:
+                assert client.query_batch([]) == []
+
 
 class TestFailover:
     def test_replica_answers_when_primary_dies(self, full_index, listed_ips):
@@ -338,6 +352,119 @@ class TestDegraded:
                     client.query(listed_ips[0])
                     == single.query(listed_ips[0]).to_wire()
                 )
+
+
+class _MisbehavingBackend:
+    """A fake shard backend that answers pings — so heartbeat probes
+    keep it looking healthy — but mistreats every real request:
+    ``garbled`` replies with a non-dict JSON frame, ``silent`` reads
+    the request and never answers (which also swallows the router's
+    binary-codec hello)."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.address = self._sock.getsockname()[:2]
+        self._accepting = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accepting.start()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                while True:
+                    request = recv_frame(conn)
+                    is_ping = (
+                        isinstance(request, dict)
+                        and request.get("op") == "ping"
+                    )
+                    if is_ping:
+                        send_frame(conn, {"ok": True, "result": "pong"})
+                    elif self.mode == "garbled":
+                        send_frame(conn, ["not", "a", "reply", "object"])
+            except (WireError, OSError):
+                return
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TestBackendMisbehavior:
+    @pytest.fixture()
+    def real_backend(self, full_index):
+        with ReputationServer(QueryEngine(full_index)) as server:
+            server.start()
+            yield server
+
+    def _router(self, fake, real_backend, codec):
+        router = Router(
+            PartitionMap(1),
+            [[tuple(fake.address), real_backend.address]],
+            backend_timeout=1.0,
+            heartbeat_interval=30.0,
+            backend_codec=codec,
+        )
+        router.start()
+        return router
+
+    def test_garbled_reply_fails_over_without_hanging(
+        self, full_index, listed_ips, real_backend
+    ):
+        # Regression: a reply that breaks decoding *after* its sub was
+        # popped from the pending queue must still fail that sub over
+        # — losing it would stall the downstream slot forever.
+        fake = _MisbehavingBackend("garbled")
+        router = self._router(fake, real_backend, "json")
+        try:
+            single = QueryEngine(full_index)
+            ip = listed_ips[0]
+            with ReputationClient(
+                *router.address, timeout=10.0
+            ) as client:
+                assert client.query(ip) == single.query(ip).to_wire()
+                assert client.stats()["router"]["failovers"] >= 1
+        finally:
+            router.shutdown()
+            fake.close()
+
+    def test_handshake_blackhole_times_out_and_fails_over(
+        self, full_index, listed_ips, real_backend
+    ):
+        # A backend that accepts connections and answers probes but
+        # never completes the codec handshake: the queued sub's
+        # deadline fires on the loop's sweep (the loop itself stays
+        # live) and the query fails over to the replica.
+        fake = _MisbehavingBackend("silent")
+        router = self._router(fake, real_backend, "binary")
+        try:
+            single = QueryEngine(full_index)
+            ip = listed_ips[0]
+            with ReputationClient(
+                *router.address, timeout=10.0
+            ) as client:
+                started = time.monotonic()
+                assert client.query(ip) == single.query(ip).to_wire()
+                assert time.monotonic() - started < 8.0
+        finally:
+            router.shutdown()
+            fake.close()
 
 
 class TestFilterBatch:

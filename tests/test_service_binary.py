@@ -404,3 +404,76 @@ class TestMixedFleets:
         ]
         assert all(v["error"] == "SHARD_UNAVAILABLE" for v in degraded)
         assert all(v["shard"] == 1 for v in degraded)
+
+
+class TestBackpressure:
+    """A peer that pipelines requests without draining replies must
+    not grow the server's buffers without bound: reads pause at the
+    high-water mark and resume once the queues drain, with no reply
+    lost either way."""
+
+    def test_flood_pauses_reads_then_resumes(self):
+        import selectors
+        import time
+
+        from repro.service.aio import WireServer
+        from repro.service.wire import decode_frame, encode_frame
+
+        held = []
+
+        def handler(conn, slot, kind, data):
+            held.append(slot)  # completed later, from the test
+
+        server = WireServer(handler)
+        server.slot_high_water = 8
+        server.slot_low_water = 2
+        address = server.start()
+        try:
+            with socket.create_connection(address, timeout=5.0) as sock:
+                frame = encode_frame({"op": "ping"})
+                sock.sendall(frame * 40)
+                deadline = time.monotonic() + 5.0
+                conn = None
+                while time.monotonic() < deadline:
+                    conns = list(server._conns.values())
+                    if conns and conns[0].paused:
+                        conn = conns[0]
+                        break
+                    time.sleep(0.01)
+                assert conn is not None, "server never paused reads"
+                assert not (conn.events & selectors.EVENT_READ)
+
+                # While paused, a second flood must sit unread in the
+                # kernel, not in server memory.
+                parsed = len(held)
+                assert parsed >= 8
+                sock.sendall(frame * 40)
+                time.sleep(0.3)
+                assert len(held) == parsed
+
+                # Draining the held slots resumes reads; every one of
+                # the 80 requests must eventually be answered.
+                def complete_all():
+                    for slot in list(held):
+                        slot.complete({"ok": True, "result": "pong"})
+                    held.clear()
+
+                sock.settimeout(5.0)
+                got = 0
+                buf = bytearray()
+                while got < 80:
+                    server.reactor.call_soon(complete_all)
+                    data = sock.recv(65536)
+                    assert data, "server closed mid-drain"
+                    buf += data
+                    while True:
+                        decoded = decode_frame(buf)
+                        if decoded is None:
+                            break
+                        reply, consumed = decoded
+                        del buf[:consumed]
+                        assert reply == {"ok": True, "result": "pong"}
+                        got += 1
+                assert got == 80
+        finally:
+            server.shutdown()
