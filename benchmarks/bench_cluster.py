@@ -25,6 +25,7 @@ import time
 
 from repro.cluster import LocalCluster
 from repro.experiments.runner import cached_run
+from repro.loadgen.stats import percentile, window_day_workload
 from repro.service.client import ReputationClient
 from repro.service.engine import QueryEngine
 from repro.service.index import ReputationIndex
@@ -43,29 +44,11 @@ FAILOVER_P99_EPSILON_S = 500e-6
 MIN_BINARY_ROUTED_QPS = 93_000
 
 
-def _workload(analysis, n):
-    """A deterministic (ip, day) stream over every blocklisted
-    address — spread across the whole space, so batches genuinely
-    scatter over all shards."""
-    ips = sorted(analysis.blocklisted_ips)
-    days = []
-    for start, end in analysis.windows:
-        days += [start, (start + end) // 2, end]
-    pairs = [(ip, day) for day in days for ip in ips]
-    repeats = -(-n // len(pairs))  # ceil
-    return (pairs * repeats)[:n]
-
-
-def _p99(samples):
-    ordered = sorted(samples)
-    return ordered[int(0.99 * (len(ordered) - 1))]
-
-
 def test_perf_cluster_scatter_gather_batches(benchmark):
     """Routed batch throughput vs the single-process baseline."""
     run = cached_run("small")
     index = ReputationIndex.from_run(run)
-    queries = _workload(run.analysis, 1000)
+    queries = window_day_workload(run.analysis, 1000)
 
     # Single-process baseline: same workload, same wire protocol
     # (JSON pinned on both sides, apples to apples).
@@ -113,7 +96,7 @@ def test_perf_cluster_binary_pipelined(benchmark, gc_frozen):
     merged back out."""
     run = cached_run("small")
     index = ReputationIndex.from_run(run)
-    queries = _workload(run.analysis, 1000)
+    queries = window_day_workload(run.analysis, 1000)
     batches = [queries] * 30
     total = sum(len(b) for b in batches)
 
@@ -154,7 +137,7 @@ def test_perf_cluster_failover_p99(benchmark):
     """Point-query p99 while a shard primary dies and comes back."""
     run = cached_run("small")
     index = ReputationIndex.from_run(run)
-    queries = _workload(run.analysis, 600)
+    queries = window_day_workload(run.analysis, 600)
 
     with LocalCluster(
         index, shards=3, replicas=1, mode="thread"
@@ -185,7 +168,8 @@ def test_perf_cluster_failover_p99(benchmark):
                 failover_round, rounds=3, iterations=1
             )
             failovers = client.stats()["router"]["failovers"]
-    p99_steady, p99_during = _p99(steady), _p99(during)
+    p99_steady = percentile(steady, 0.99)
+    p99_during = percentile(during, 0.99)
     benchmark.extra_info.update(
         p99_steady_us=round(p99_steady * 1e6, 1),
         p99_during_us=round(p99_during * 1e6, 1),

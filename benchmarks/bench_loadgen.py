@@ -1,0 +1,100 @@
+"""Performance of the load-generation subsystem.
+
+Two numbers gate the traffic generator's own cost story:
+
+* **schedule build rate** — turning a mix + population into a
+  pre-computed event schedule. The generator runs *before* a load
+  test; if building the schedule were slow it would bound the
+  offered-load ceiling, so events/sec is floored well above any rate
+  the harness replays;
+* **harness SLO against a live cluster** — a seeded hot-range mix
+  replayed open-loop against a 3-shard thread cluster. The gate is on
+  zero failed queries (the elasticity acceptance bar) plus the
+  measured p50/p99 recorded in ``extra_info`` — the numbers
+  EXPERIMENTS.md's SLO table quotes.
+"""
+
+import time
+
+from repro.cluster import LocalCluster
+from repro.experiments.runner import cached_run
+from repro.loadgen import (
+    LoadHarness,
+    TrafficGenerator,
+    get_mix,
+    population_from_analysis,
+)
+from repro.service.index import ReputationIndex
+
+#: Floor on schedule construction (events carry ~2 queries each, so
+#: this is ~100k queries/sec of planning — far above replay rates).
+MIN_SCHEDULE_EVENTS_PER_SEC = 50_000
+
+#: Ceiling on the harness's measured p99 for point queries against a
+#: healthy local cluster, generous for shared CI hardware.
+MAX_POINT_P99_S = 0.5
+
+
+def test_perf_loadgen_schedule_build(benchmark):
+    """Events/sec of deterministic schedule construction."""
+    run = cached_run("small")
+    mix = get_mix("hot-range")
+    ips, days = population_from_analysis(mix, run.analysis)
+    generator = TrafficGenerator(mix, ips, days, seed=0)
+    n_queries = 20_000
+
+    events = benchmark.pedantic(
+        lambda: generator.schedule(n_queries, 10_000.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert sum(e.queries() for e in events) == n_queries
+
+    started = time.perf_counter()
+    built = generator.schedule(n_queries, 10_000.0)
+    elapsed = time.perf_counter() - started
+    events_per_sec = len(built) / elapsed
+    benchmark.extra_info["events_per_sec"] = round(events_per_sec)
+    assert events_per_sec >= MIN_SCHEDULE_EVENTS_PER_SEC, (
+        f"schedule build sustained only {events_per_sec:.0f} "
+        f"events/sec (floor: {MIN_SCHEDULE_EVENTS_PER_SEC})"
+    )
+
+
+def test_perf_loadgen_cluster_slo(benchmark, gc_frozen):
+    """Hot-range mix against a live 3-shard cluster: the measured SLO.
+
+    The timed round is one full harness replay; ``extra_info`` records
+    the achieved qps and per-kind p50/p99 so the committed baseline
+    doubles as the SLO table's source of truth."""
+    run = cached_run("small")
+    index = ReputationIndex.from_run(run)
+    mix = get_mix("hot-range")
+    ips, days = population_from_analysis(mix, run.analysis)
+    generator = TrafficGenerator(mix, ips, days, seed=0)
+    events = generator.schedule(3000, 6000.0)
+
+    with LocalCluster(index, shards=3, mode="thread") as cluster:
+        assert cluster.router.wait_healthy(10.0)
+        harness = LoadHarness(*cluster.address, conns=3)
+
+        def load_round():
+            return harness.run(
+                events, mix=mix.name, target_qps=6000.0
+            )
+
+        report = benchmark.pedantic(load_round, rounds=2, iterations=1)
+
+    assert report.failed == 0, report.as_dict()
+    assert report.ok == 3000
+    benchmark.extra_info.update(
+        achieved_qps=round(report.achieved_qps()),
+        point_p50_us=round(report.point_latency["p50"] * 1e6, 1),
+        point_p99_us=round(report.point_latency["p99"] * 1e6, 1),
+        batch_p50_us=round(report.batch_latency["p50"] * 1e6, 1),
+        batch_p99_us=round(report.batch_latency["p99"] * 1e6, 1),
+    )
+    assert report.point_latency["p99"] <= MAX_POINT_P99_S, (
+        f"point p99 {report.point_latency['p99'] * 1e3:.1f}ms exceeds "
+        f"{MAX_POINT_P99_S * 1e3:.0f}ms against a healthy local cluster"
+    )

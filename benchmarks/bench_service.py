@@ -26,6 +26,7 @@ import socket
 import time
 
 from repro.experiments.runner import cached_run
+from repro.loadgen.stats import window_day_workload
 from repro.service.engine import QueryEngine
 from repro.service.index import ReputationIndex
 from repro.service.server import ReputationServer
@@ -48,18 +49,6 @@ MIN_BINARY_WIRE_QPS = 185_000
 MANY_CLIENTS = 1000
 
 
-def _workload(index, analysis, n):
-    """A deterministic (ip, day) stream skewed like real traffic:
-    every blocklisted address across window edges and midpoints."""
-    ips = sorted(analysis.blocklisted_ips)
-    days = []
-    for start, end in analysis.windows:
-        days += [start, (start + end) // 2, end]
-    pairs = [(ip, day) for day in days for ip in ips]
-    repeats = -(-n // len(pairs))  # ceil
-    return (pairs * repeats)[:n]
-
-
 def test_perf_service_index_build(benchmark):
     """Compiling a full run into the immutable index."""
     run = cached_run("small")
@@ -76,7 +65,7 @@ def test_perf_service_point_queries(benchmark):
     """In-process point-query throughput (cold LRU each round)."""
     run = cached_run("small")
     index = ReputationIndex.from_run(run)
-    queries = _workload(index, run.analysis, 5000)
+    queries = window_day_workload(run.analysis, 5000)
 
     def run_queries():
         engine = QueryEngine(index)
@@ -124,7 +113,7 @@ def test_perf_service_over_wire(benchmark):
     pinned — the compatibility path every old client still takes)."""
     run = cached_run("small")
     engine = QueryEngine(ReputationIndex.from_run(run))
-    queries = _workload(engine.index, run.analysis, 1000)
+    queries = window_day_workload(run.analysis, 1000)
     wire_queries = [(ip, day) for ip, day in queries]
 
     with ReputationServer(engine) as server:
@@ -152,7 +141,7 @@ def test_perf_service_binary_pipelined(benchmark, gc_frozen):
     plane's hot path, asserted at :data:`MIN_BINARY_WIRE_QPS`."""
     run = cached_run("small")
     engine = QueryEngine(ReputationIndex.from_run(run))
-    queries = _workload(engine.index, run.analysis, 1000)
+    queries = window_day_workload(run.analysis, 1000)
     batches = [queries] * 50
     total = sum(len(b) for b in batches)
 
@@ -195,7 +184,7 @@ def test_perf_service_many_clients(benchmark, gc_frozen):
     this fd budget."""
     run = cached_run("small")
     engine = QueryEngine(ReputationIndex.from_run(run))
-    queries = _workload(engine.index, run.analysis, MANY_CLIENTS)
+    queries = window_day_workload(run.analysis, MANY_CLIENTS)
 
     with ReputationServer(engine) as server:
         host, port = server.start()

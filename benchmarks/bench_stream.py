@@ -19,6 +19,7 @@ the gate also catches a slowdown in the persistence layer.
 import time
 
 from repro.experiments.runner import cached_run
+from repro.loadgen.stats import percentile
 from repro.service.engine import QueryEngine
 from repro.service.index import ReputationIndex
 from repro.stream.delta import day_advance_batches
@@ -47,11 +48,6 @@ def _query_pairs(analysis, n):
     return [
         (ips[(3 * i) % len(ips)], days[i % len(days)]) for i in range(n)
     ]
-
-
-def _p99(samples):
-    ordered = sorted(samples)
-    return ordered[int(0.99 * (len(ordered) - 1))]
 
 
 def test_perf_stream_delta_apply(benchmark):
@@ -142,7 +138,8 @@ def test_perf_stream_query_p99_under_hot_swap(benchmark):
         return samples
 
     during = benchmark.pedantic(churn_round, rounds=3, iterations=1)
-    p99_steady, p99_during = _p99(steady), _p99(during)
+    p99_steady = percentile(steady, 0.99)
+    p99_during = percentile(during, 0.99)
     benchmark.extra_info.update(
         p99_steady_us=round(p99_steady * 1e6, 1),
         p99_during_us=round(p99_during * 1e6, 1),

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Load + elasticity smoke test: boot a 3-shard cluster via the CLI
+# with auto-split enabled (aggressive knobs so heat is detected within
+# seconds), replay ~10s of the hot-range mix through `repro load`, and
+# assert that (a) the router split at least one shard online and
+# (b) not a single query failed while it did. Exits non-zero on any
+# failed step.
+#
+# Usage: scripts/load_smoke.sh  (from the repo root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+PORT="${LOAD_SMOKE_PORT:-7351}"
+LOG="$(mktemp /tmp/load_smoke.XXXXXX.log)"
+REPORT="$(mktemp /tmp/load_smoke.XXXXXX.report.json)"
+CLUSTER_PID=""
+
+cleanup() {
+    if [[ -n "$CLUSTER_PID" ]] && kill -0 "$CLUSTER_PID" 2>/dev/null; then
+        # Kill the whole process group: router plus shard workers.
+        kill -- -"$CLUSTER_PID" 2>/dev/null || kill "$CLUSTER_PID" 2>/dev/null || true
+        wait "$CLUSTER_PID" 2>/dev/null || true
+    fi
+    rm -f "$LOG" "$REPORT"
+}
+trap cleanup EXIT
+
+echo "== booting cluster (3 shards, auto-split on) on port $PORT"
+setsid python -m repro cluster \
+    --shards 3 --port "$PORT" \
+    --auto-split --split-interval 0.3 --split-factor 1.8 \
+    --split-sustain 2 --split-min-hits 50 --max-shards 8 \
+    >"$LOG" 2>&1 &
+CLUSTER_PID=$!
+
+for _ in $(seq 1 120); do
+    if grep -q "cluster serving on" "$LOG"; then
+        break
+    fi
+    if ! kill -0 "$CLUSTER_PID" 2>/dev/null; then
+        echo "FAIL: cluster process died during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+grep -q "cluster serving on" "$LOG" || {
+    echo "FAIL: cluster never reported serving" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+grep -q "auto-split on" "$LOG" || {
+    echo "FAIL: cluster did not report auto-split enabled" >&2
+    exit 1
+}
+
+echo "== ~10s of the hot-range mix through the router"
+python -m repro load \
+    --mix hot-range --port "$PORT" \
+    --queries 20000 --target-qps 2000 --conns 4 \
+    --out "$REPORT" || {
+    echo "FAIL: repro load exited non-zero" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "== asserting zero failed queries"
+python - "$REPORT" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["sent"] == 20000, f"sent {report['sent']} != 20000"
+assert report["failed"] == 0, f"{report['failed']} queries failed: {report}"
+assert report["ok"] == 20000, f"only {report['ok']} ok"
+print(f"   20000/20000 ok, p99(point)={report['point_latency_s']['p99']*1e3:.2f}ms")
+EOF
+
+echo "== asserting the hot range was split online"
+grep "auto-split:" "$LOG" || {
+    echo "FAIL: no auto-split happened during the run" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+SHARDS_NOW=$(python -m repro query --hello --port "$PORT" \
+    | python -c 'import json,sys; print(json.load(sys.stdin)["cluster"]["shards"])')
+[[ "$SHARDS_NOW" -gt 3 ]] || {
+    echo "FAIL: hello still reports $SHARDS_NOW shards (expected > 3)" >&2
+    exit 1
+}
+echo "   cluster grew to $SHARDS_NOW shards with zero failed queries"
+
+echo "OK: hot-range load split the cluster online, zero queries lost"

@@ -10,6 +10,7 @@ Workflow::
     PYTHONPATH=src python -m pytest benchmarks/bench_perf_primitives.py \
         benchmarks/bench_perf_runner.py benchmarks/bench_service.py \
         benchmarks/bench_stream.py benchmarks/bench_cluster.py \
+        benchmarks/bench_loadgen.py \
         --benchmark-json=/tmp/bench_current.json -q
     python scripts/perf_regress.py /tmp/bench_current.json
 
@@ -18,10 +19,11 @@ online service's query path (index build, in-process and over-the-wire
 queries/sec on both the pinned JSON codec and the pipelined binary
 codec, plus the 1000-client fan-in), the streaming ingestion path
 (delta apply throughput, update-log roundtrip, query p99 under epoch
-hot swap), and the sharded cluster (scatter-gather batch throughput vs
+hot swap), the sharded cluster (scatter-gather batch throughput vs
 single-process on JSON, pipelined binary batches end to end, point p99
-during shard failover), so a slowdown on any side of the serving story
-fails the same gate.
+during shard failover), and the load-generation subsystem (schedule
+build rate, harness SLO against a live cluster), so a slowdown on any
+side of the serving story fails the same gate.
 
 Refreshing the baseline after an intentional perf change::
 

@@ -19,6 +19,9 @@ Subcommands:
   update log independently).
 * ``query``    — ask a running server (or cluster router — the
   protocol is the same) for per-address verdicts.
+* ``load``     — replay a named, seeded traffic mix against a running
+  server or cluster (open-loop pacing, pipelined batches) and report
+  the measured SLO (p50/p99 latency, error ledger) as text or JSON.
 * ``stream``   — emit a run's listing churn as an append-only update
   log (whole-window, or paced with ``--replay-days``).
 * ``lint``     — run ``reprolint``, the AST-based invariant linter
@@ -52,6 +55,7 @@ from .service import (
     ServiceError,
     SnapshotError,
 )
+from .loadgen.mixes import mix_names
 from .service.server import DEFAULT_CONNECTION_TIMEOUT
 from .stream import UpdateLogError
 from .survey.analyze import figure9_usage, render_table1, summarize
@@ -254,6 +258,147 @@ def _build_parser() -> argparse.ArgumentParser:
             "per-connection idle timeout on the router and every "
             f"shard (default {DEFAULT_CONNECTION_TIMEOUT:g}s)"
         ),
+    )
+    cluster_p.add_argument(
+        "--auto-split",
+        action="store_true",
+        help=(
+            "watch per-shard load and split a sustained hot range "
+            "online (new half-range shards boot, traffic cuts over, "
+            "no in-flight query fails)"
+        ),
+    )
+    cluster_p.add_argument(
+        "--split-factor",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help=(
+            "a shard is hot when it takes X times its fair share of "
+            "a poll window's traffic (default 2.0)"
+        ),
+    )
+    cluster_p.add_argument(
+        "--split-sustain",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive hot windows before splitting (default 3)",
+    )
+    cluster_p.add_argument(
+        "--split-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between load polls (default 1.0)",
+    )
+    cluster_p.add_argument(
+        "--split-min-hits",
+        type=int,
+        default=100,
+        metavar="N",
+        help=(
+            "ignore poll windows with fewer than N routed queries "
+            "(default 100)"
+        ),
+    )
+    cluster_p.add_argument(
+        "--max-shards",
+        type=int,
+        default=64,
+        metavar="N",
+        help="stop auto-splitting at N shards (default 64)",
+    )
+
+    load_p = sub.add_parser(
+        "load",
+        help=(
+            "replay a deterministic traffic mix against a running "
+            "server/cluster and report the SLO"
+        ),
+    )
+    load_p.add_argument(
+        "--mix",
+        choices=mix_names(),
+        default="steady",
+        help="named query mix (default steady)",
+    )
+    load_p.add_argument("--host", default="127.0.0.1")
+    load_p.add_argument(
+        "--port", type=int, default=DEFAULT_SERVICE_PORT
+    )
+    load_p.add_argument(
+        "--queries",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="total queries to offer (default 20000)",
+    )
+    load_p.add_argument(
+        "--target-qps",
+        type=float,
+        default=5_000.0,
+        metavar="QPS",
+        help="open-loop offered rate (default 5000)",
+    )
+    load_p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="small",
+        help=(
+            "run the address population is drawn from (must match "
+            "what the server was built with)"
+        ),
+    )
+    load_p.add_argument("--seed", type=int, default=2020)
+    load_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the pipeline run on a cache miss",
+    )
+    load_p.add_argument(
+        "--load-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "traffic-schedule seed (same mix + population + seed "
+            "replays the identical query stream; default 0)"
+        ),
+    )
+    load_p.add_argument(
+        "--conns",
+        type=int,
+        default=4,
+        metavar="N",
+        help="client connections driving the schedule (default 4)",
+    )
+    load_p.add_argument(
+        "--window",
+        type=int,
+        default=16,
+        metavar="N",
+        help="pipelined batches in flight per connection (default 16)",
+    )
+    load_p.add_argument(
+        "--codec",
+        choices=("auto", "json", "binary"),
+        default="auto",
+        help="wire framing towards the server (default auto)",
+    )
+    load_p.add_argument(
+        "--churn-log",
+        metavar="PATH",
+        help=(
+            "update log to append churn-storm day batches to (mixes "
+            "with storms need the target cluster following this log)"
+        ),
+    )
+    load_p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the report as JSON here",
     )
 
     stream_p = sub.add_parser(
@@ -652,7 +797,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from .cluster import MAX_SHARDS, LocalCluster
+    from .cluster import MAX_SHARDS, AutoSplitter, LocalCluster
 
     port = _checked_port(args.port)
     conn_timeout = _checked_conn_timeout(args.conn_timeout)
@@ -662,6 +807,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     if args.replicas < 0:
         raise CliError(f"--replicas must be >= 0: {args.replicas}")
+    if args.auto_split:
+        if not args.shards < args.max_shards <= MAX_SHARDS:
+            raise CliError(
+                f"--max-shards must be in {args.shards + 1}.."
+                f"{MAX_SHARDS}: {args.max_shards}"
+            )
+        if args.split_factor <= 1.0:
+            raise CliError(
+                f"--split-factor must exceed 1.0: {args.split_factor}"
+            )
+        if args.split_sustain < 1:
+            raise CliError(
+                f"--split-sustain must be >= 1: {args.split_sustain}"
+            )
+        if args.split_interval <= 0:
+            raise CliError(
+                f"--split-interval must be positive: "
+                f"{args.split_interval}"
+            )
+        if args.split_min_hits < 1:
+            raise CliError(
+                f"--split-min-hits must be >= 1: {args.split_min_hits}"
+            )
     follow = None
     start_day = None
     if args.follow:
@@ -699,13 +867,148 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"shards x {1 + args.replicas} backends, {sizes['ips']} "
             f"addresses, {sizes['intervals']} listing intervals"
             + (f", following {follow}" if follow else "")
+            + (", auto-split on" if args.auto_split else "")
         )
+        splitter = None
+        if args.auto_split:
+
+            def announce_split(info: dict) -> None:
+                print(
+                    f"auto-split: shard {info['shard']} -> shards "
+                    f"{info['new_shards'][0]}+{info['new_shards'][1]} "
+                    f"({info['ranges'][0]} | {info['ranges'][1]}), "
+                    f"now {info['shards']} shards",
+                    flush=True,
+                )
+
+            splitter = AutoSplitter(
+                cluster,
+                interval=args.split_interval,
+                factor=args.split_factor,
+                sustain=args.split_sustain,
+                min_hits=args.split_min_hits,
+                max_shards=args.max_shards,
+                on_split=announce_split,
+            )
+            splitter.start()
         try:
             router.serve_forever()
         except KeyboardInterrupt:
             print("shutting down")
+        finally:
+            if splitter is not None:
+                splitter.stop()
     finally:
         cluster.close()
+    return 0
+
+
+def _build_storm_hook(args: argparse.Namespace, run):
+    """Churn storms for ``repro load``: each storm appends the next
+    not-yet-logged day batch to ``--churn-log``, so a ``--follow``
+    cluster swaps epochs while the harness is mid-schedule. Returns
+    ``(storm_fn, pending_count)``."""
+    from .stream import (
+        UpdateLogReader,
+        UpdateLogWriter,
+        day_advance_batches,
+    )
+
+    log_path = Path(args.churn_log)
+    if not log_path.exists():
+        raise CliError(f"--churn-log does not exist: {log_path}")
+    reader = UpdateLogReader(log_path)
+    logged = reader.poll()
+    last_seq = logged[-1].seq if logged else 0
+    start_day = reader.header.get("start_day", 0)
+    pending = [
+        batch
+        for batch in day_advance_batches(
+            run.analysis.observed, start_day=start_day
+        )
+        if batch.seq > last_seq
+    ]
+    writer = UpdateLogWriter(log_path)
+
+    def storm(index: int) -> None:
+        if index < len(pending):
+            writer.append(pending[index])
+
+    return storm, len(pending)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .loadgen import (
+        LoadHarness,
+        TrafficGenerator,
+        get_mix,
+        population_from_analysis,
+        render_report,
+    )
+
+    port = _checked_port(args.port)
+    mix = get_mix(args.mix)
+    if args.queries < 1:
+        raise CliError(f"--queries must be >= 1: {args.queries}")
+    if args.target_qps <= 0:
+        raise CliError(
+            f"--target-qps must be positive: {args.target_qps}"
+        )
+    if args.conns < 1:
+        raise CliError(f"--conns must be >= 1: {args.conns}")
+    if args.window < 1:
+        raise CliError(f"--window must be >= 1: {args.window}")
+    run = _cached_preset_run(args.preset, args.seed, args.workers)
+    ips, days = population_from_analysis(mix, run.analysis)
+    generator = TrafficGenerator(mix, ips, days, seed=args.load_seed)
+    events = generator.schedule(args.queries, args.target_qps)
+    storm_times: list = []
+    on_storm = None
+    if mix.churn_storms:
+        if args.churn_log:
+            on_storm, pending = _build_storm_hook(args, run)
+            storm_times = generator.storm_times(events[-1].at)
+            if pending < len(storm_times):
+                print(
+                    f"note: log has only {pending} unwritten day "
+                    f"batch(es) for {len(storm_times)} storms"
+                )
+        else:
+            print(
+                "note: mix schedules churn storms but --churn-log "
+                "was not given; storms skipped"
+            )
+    print(
+        f"load: mix={mix.name} — {args.queries} queries at "
+        f"{args.target_qps:g} q/s over {args.conns} connection(s) "
+        f"against {args.host}:{port}"
+    )
+    harness = LoadHarness(
+        args.host,
+        port,
+        conns=args.conns,
+        codec=args.codec,
+        window=args.window,
+    )
+    report = harness.run(
+        events,
+        mix=mix.name,
+        seed=args.load_seed,
+        target_qps=args.target_qps,
+        storm_times=storm_times,
+        on_storm=on_storm,
+    )
+    print(render_report(report))
+    if args.out:
+        Path(args.out).write_text(
+            report.to_json() + "\n", encoding="utf-8"
+        )
+        print(f"report -> {args.out}")
+    if report.ok == 0:
+        raise CliError(
+            f"no queries succeeded against {args.host}:{port} "
+            f"({report.transport_errors} transport errors)"
+        )
     return 0
 
 
@@ -908,6 +1211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
         "query": _cmd_query,
+        "load": _cmd_load,
         "stream": _cmd_stream,
         "lint": _cmd_lint,
     }

@@ -19,16 +19,23 @@ in front:
   min/max epoch, heartbeats, replica failover, and explicit
   ``SHARD_UNAVAILABLE`` degradation instead of failed batches;
 * :mod:`repro.cluster.local` — :class:`LocalCluster`, the one-machine
-  bootstrapper behind ``repro cluster`` and the tests.
+  bootstrapper behind ``repro cluster`` and the tests, including
+  :meth:`LocalCluster.split_shard`, the online shard split;
+* :mod:`repro.cluster.elastic` — :class:`HotRangeDetector` /
+  :class:`AutoSplitter`, the closed loop that watches the router's
+  per-shard load and splits sustained hot ranges automatically.
 """
 
+from .elastic import AutoSplitter, HotRangeDetector
 from .local import LocalCluster
 from .partition import MAX_SHARDS, PartitionMap, ShardRange
 from .router import SHARD_UNAVAILABLE, Backend, Router, ShardSlot
 from .shard import ShardProcess, ShardServer, filter_batch
 
 __all__ = [
+    "AutoSplitter",
     "Backend",
+    "HotRangeDetector",
     "LocalCluster",
     "MAX_SHARDS",
     "PartitionMap",

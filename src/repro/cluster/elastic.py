@@ -1,0 +1,211 @@
+"""Close the loop: watch routed load, split sustained hot ranges.
+
+Two pieces, split so the policy is unit-testable without a cluster:
+
+* :class:`HotRangeDetector` is a pure decision function over
+  successive :meth:`~repro.cluster.router.Router.load_snapshot`
+  payloads. It works on per-window *deltas* (counters are cumulative),
+  resets its baseline whenever the router's ``partition_epoch`` moves
+  (fresh slots mean fresh counters — not a traffic collapse), and
+  nominates a shard only after it has taken at least ``factor`` times
+  its fair share of the window's traffic for ``sustain`` consecutive
+  windows. Quiet windows (below ``min_hits`` total) break the streak:
+  skew over a handful of queries is noise, not heat.
+
+* :class:`AutoSplitter` is the controller thread: poll the router,
+  feed the detector, and on a nomination drive
+  :meth:`~repro.cluster.local.LocalCluster.split_shard` — boot the two
+  half-range backends, cut routing over, drain, retire. Every
+  decision (split, skip, failure) lands in ``events`` so tests and the
+  CLI can show exactly what the loop did and why.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .partition import MAX_SHARDS
+
+__all__ = ["AutoSplitter", "HotRangeDetector"]
+
+
+class HotRangeDetector:
+    """Streak detector over per-shard load deltas.
+
+    ``observe`` consumes one load snapshot and returns the shard id to
+    split, or ``None``. Deterministic: the same snapshot sequence
+    always yields the same nominations.
+    """
+
+    def __init__(
+        self,
+        *,
+        factor: float = 2.0,
+        sustain: int = 3,
+        min_hits: int = 100,
+    ) -> None:
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1.0: {factor}")
+        if sustain < 1:
+            raise ValueError(f"sustain must be >= 1: {sustain}")
+        if min_hits < 1:
+            raise ValueError(f"min_hits must be >= 1: {min_hits}")
+        self.factor = factor
+        self.sustain = sustain
+        self.min_hits = min_hits
+        self._lock = threading.Lock()
+        self._epoch: Optional[int] = None
+        self._last: List[int] = []
+        self._candidate: Optional[int] = None
+        self._streak = 0
+
+    def observe(self, snapshot: Dict[str, Any]) -> Optional[int]:
+        """Feed one ``load_snapshot`` payload; maybe nominate a shard."""
+        with self._lock:
+            epoch = snapshot["partition_epoch"]
+            hits = [row["hits"] for row in snapshot["shards"]]
+            if self._epoch != epoch or len(hits) != len(self._last):
+                # Layout changed under us: counters restarted, every
+                # earlier streak is about a shard id that may not even
+                # mean the same range any more.
+                self._epoch = epoch
+                self._last = hits
+                self._candidate = None
+                self._streak = 0
+                return None
+            deltas = [
+                now - before for now, before in zip(hits, self._last)
+            ]
+            self._last = hits
+            total = sum(deltas)
+            if total < self.min_hits or len(deltas) < 2:
+                self._candidate = None
+                self._streak = 0
+                return None
+            fair = total / len(deltas)
+            hottest = max(range(len(deltas)), key=lambda i: deltas[i])
+            if deltas[hottest] < self.factor * fair:
+                self._candidate = None
+                self._streak = 0
+                return None
+            if hottest == self._candidate:
+                self._streak += 1
+            else:
+                self._candidate = hottest
+                self._streak = 1
+            if self._streak >= self.sustain:
+                self._streak = 0
+                self._candidate = None
+                return hottest
+            return None
+
+
+class AutoSplitter:
+    """Background controller: detector nominations become live splits.
+
+    ``cluster`` must be a started
+    :class:`~repro.cluster.local.LocalCluster` (its ``router`` is
+    polled). ``on_split`` (if given) fires after each successful split
+    with the split-info dict ``split_shard`` returned.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        *,
+        interval: float = 1.0,
+        factor: float = 2.0,
+        sustain: int = 3,
+        min_hits: int = 100,
+        max_shards: int = MAX_SHARDS,
+        on_split: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"poll interval must be positive: {interval}")
+        if not 1 <= max_shards <= MAX_SHARDS:
+            raise ValueError(
+                f"max_shards out of 1..{MAX_SHARDS}: {max_shards}"
+            )
+        self._cluster = cluster
+        self._interval = interval
+        self._max_shards = max_shards
+        self._on_split = on_split
+        self._detector = HotRangeDetector(
+            factor=factor, sustain=sustain, min_hits=min_hits
+        )
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Decision log: dicts with an ``action`` key (``split`` /
+        #: ``skip`` / ``error``); appended by the controller thread,
+        #: read by tests and the CLI after (or during) a run.
+        self.events: List[Dict[str, Any]] = []
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("auto-splitter already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-auto-split", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def splits(self) -> List[Dict[str, Any]]:
+        """Just the successful splits from the decision log."""
+        return [e for e in self.events if e["action"] == "split"]
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            router = self._cluster.router
+            if router is None:
+                continue
+            hot = self._detector.observe(router.load_snapshot())
+            if hot is None:
+                continue
+            if len(self._cluster.partition) >= self._max_shards:
+                self.events.append(
+                    {
+                        "action": "skip",
+                        "shard": hot,
+                        "reason": f"at max_shards={self._max_shards}",
+                        "at": time.time(),
+                    }
+                )
+                continue
+            try:
+                info = self._cluster.split_shard(hot)
+            except ValueError as exc:
+                # Unsplittable (single-/24) shard: remember why, keep
+                # watching — another shard may heat up instead.
+                self.events.append(
+                    {
+                        "action": "skip",
+                        "shard": hot,
+                        "reason": str(exc),
+                        "at": time.time(),
+                    }
+                )
+                continue
+            # A controller crash must not kill the serving plane; the
+            # event log carries the failure to the operator/test.
+            # reprolint: disable=EXC
+            except Exception as exc:
+                self.events.append(
+                    {
+                        "action": "error",
+                        "shard": hot,
+                        "reason": f"{type(exc).__name__}: {exc}",
+                        "at": time.time(),
+                    }
+                )
+                continue
+            event = {"action": "split", "at": time.time(), **info}
+            self.events.append(event)
+            if self._on_split is not None:
+                self._on_split(info)

@@ -15,13 +15,14 @@ outage, not just before and after one.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..service.index import ReputationIndex
 from ..service.server import DEFAULT_CONNECTION_TIMEOUT
 from ..stream.epoch import index_as_of
-from .partition import PartitionMap
+from .partition import PartitionMap, ShardRange
 from .router import (
     DEFAULT_BACKEND_TIMEOUT,
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -71,9 +72,19 @@ class LocalCluster:
         self.mode = mode
         self._follow = follow
         self._start_day = start_day
+        self._host = host
+        self._replicas = replicas
+        self._poll_interval = poll_interval
+        self._connection_timeout = connection_timeout
         base = full_index
         if follow is not None and start_day is not None:
             base = index_as_of(full_index, start_day)
+        # The unrestricted (day-rolled) base is kept beyond __init__:
+        # an online split restricts fresh half-range slices from it.
+        self._base = base
+        # One split at a time; the router swap itself is atomic, this
+        # lock just serialises controller decisions.
+        self._split_lock = threading.Lock()
         # backends[shard_id][0] is the primary, the rest replicas.
         # The pristine restricted bases are kept: a restarted follower
         # shard must replay the log from this state, not from whatever
@@ -83,34 +94,12 @@ class LocalCluster:
         for shard_id, shard_range in enumerate(self.partition.ranges):
             restricted = base.restrict(shard_range.lo, shard_range.hi)
             self._bases.append(restricted)
-            slot: List[_ShardHost] = []
-            for _ in range(1 + replicas):
-                if mode == "process":
-                    slot.append(
-                        ShardProcess(
-                            restricted,
-                            shard_id,
-                            shard_range,
-                            follow=follow,
-                            start_day=start_day,
-                            host=host,
-                            connection_timeout=connection_timeout,
-                        )
-                    )
-                else:
-                    slot.append(
-                        ShardServer(
-                            restricted,
-                            shard_id,
-                            shard_range,
-                            follow=follow,
-                            start_day=start_day,
-                            host=host,
-                            connection_timeout=connection_timeout,
-                            poll_interval=poll_interval,
-                        )
-                    )
-            self._backends.append(slot)
+            self._backends.append(
+                [
+                    self._make_backend(restricted, shard_id, shard_range)
+                    for _ in range(1 + replicas)
+                ]
+            )
         self._router_args = dict(
             host=host,
             port=router_port,
@@ -120,6 +109,33 @@ class LocalCluster:
             backend_codec=backend_codec,
         )
         self.router: Optional[Router] = None
+
+    def _make_backend(
+        self,
+        restricted: ReputationIndex,
+        shard_id: int,
+        shard_range: ShardRange,
+    ) -> _ShardHost:
+        if self.mode == "process":
+            return ShardProcess(
+                restricted,
+                shard_id,
+                shard_range,
+                follow=self._follow,
+                start_day=self._start_day,
+                host=self._host,
+                connection_timeout=self._connection_timeout,
+            )
+        return ShardServer(
+            restricted,
+            shard_id,
+            shard_range,
+            follow=self._follow,
+            start_day=self._start_day,
+            host=self._host,
+            connection_timeout=self._connection_timeout,
+            poll_interval=self._poll_interval,
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -135,20 +151,25 @@ class LocalCluster:
     ) -> Router:
         """Construct (but don't start) the router over ``addresses``;
         registered on ``self.router`` so :meth:`close` tears it down."""
-        self.router = Router(
-            self.partition, addresses, **self._router_args
-        )
-        return self.router
+        with self._split_lock:
+            self.router = Router(
+                self.partition, addresses, **self._router_args
+            )
+            return self.router
 
     def start(self) -> Tuple[str, int]:
         """Start every backend, then the router; returns its address."""
         return self.build_router(self.start_backends()).start()
 
     def close(self) -> None:
-        """Shut the router and every backend down (idempotent)."""
-        if self.router is not None:
-            self.router.shutdown()
-            self.router = None
+        """Shut the router and every backend down (idempotent).
+
+        Takes the split lock first, so teardown waits for any
+        in-progress :meth:`split_shard` rather than racing it."""
+        with self._split_lock:
+            router, self.router = self.router, None
+        if router is not None:
+            router.shutdown()
         for slot in self._backends:
             for backend in slot:
                 try:
@@ -227,3 +248,113 @@ class LocalCluster:
                     if not backend.wait_for_seq(seq, timeout=timeout):
                         return False
         return True
+
+    # -- elasticity ----------------------------------------------------
+
+    def split_shard(
+        self,
+        shard_id: int,
+        *,
+        catchup_timeout: float = 30.0,
+        drain_timeout: float = 10.0,
+    ) -> Dict[str, Any]:
+        """Split one shard's range in half, online, zero lost queries.
+
+        The sequence keeps every in-flight and future query answerable
+        at all times:
+
+        1. restrict two half-range slices from the kept base index and
+           boot their backends (old shard still serving everything);
+        2. in follow mode, wait for the new backends to replay the log
+           to at least the old primary's applied seq;
+        3. :meth:`Router.apply_partition` — new traffic routes to the
+           halves; requests already in flight complete against the old
+           backends, whose index covers both halves (``restrict`` is
+           verdict-preserving in range, so those answers are correct);
+        4. drain the retired connections, then stop the old backends.
+
+        Raises :class:`ValueError` (from ``PartitionMap.split``) when
+        the shard covers a single /24 and cannot split. Returns a
+        summary dict (the auto-splitter's event payload).
+        """
+        with self._split_lock:
+            if self.router is None:
+                raise RuntimeError("cluster not started")
+            new_partition = self.partition.split(shard_id)
+            old_slot = self._backends[shard_id]
+            halves = (
+                new_partition.range_of(shard_id),
+                new_partition.range_of(shard_id + 1),
+            )
+            new_bases: List[ReputationIndex] = []
+            new_slots: List[List[_ShardHost]] = []
+            for offset, shard_range in enumerate(halves):
+                restricted = self._base.restrict(
+                    shard_range.lo, shard_range.hi
+                )
+                new_bases.append(restricted)
+                new_slots.append(
+                    [
+                        self._make_backend(
+                            restricted, shard_id + offset, shard_range
+                        )
+                        for _ in range(1 + self._replicas)
+                    ]
+                )
+            try:
+                for slot in new_slots:
+                    for backend in slot:
+                        backend.start()
+                if self._follow is not None:
+                    target = old_slot[0].applied_seq()
+                    for slot in new_slots:
+                        for backend in slot:
+                            if not backend.wait_for_seq(
+                                target, timeout=catchup_timeout
+                            ):
+                                raise RuntimeError(
+                                    f"half-range shard did not reach "
+                                    f"seq {target} within "
+                                    f"{catchup_timeout:g}s"
+                                )
+            except BaseException:
+                # Boot/catch-up failed: the old shard keeps serving;
+                # tear the half-built replacements down and report.
+                for slot in new_slots:
+                    for backend in slot:
+                        try:
+                            if isinstance(backend, ShardProcess):
+                                backend.kill()
+                            else:
+                                backend.stop()
+                        except (OSError, RuntimeError):
+                            pass
+                raise
+            addresses = [
+                [tuple(backend.address) for backend in slot]
+                for slot in self._backends
+            ]
+            addresses[shard_id:shard_id + 1] = [
+                [tuple(backend.address) for backend in slot]
+                for slot in new_slots
+            ]
+            self.router.apply_partition(new_partition, addresses)
+            drained = self.router.drain_retired(drain_timeout)
+            for backend in old_slot:
+                try:
+                    if isinstance(backend, ShardProcess):
+                        backend.kill()
+                    else:
+                        backend.stop()
+                except (OSError, RuntimeError):
+                    pass
+            self.partition = new_partition
+            self._backends[shard_id:shard_id + 1] = new_slots
+            self._bases[shard_id:shard_id + 1] = new_bases
+            return {
+                "shard": shard_id,
+                "new_shards": [shard_id, shard_id + 1],
+                "ranges": [str(r) for r in halves],
+                "shards": len(new_partition),
+                "drained": drained,
+            }

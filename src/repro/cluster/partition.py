@@ -7,12 +7,17 @@ dynamic detections to their covering /24, Section 3.2), so the
 partitioner splits the space at /24 boundaries — every /24, and with
 it every dynamic-prefix decision, lives wholly inside one shard.
 
-A :class:`PartitionMap` is a pure function of the shard count: the
-2^24 /24-blocks are split into ``shards`` contiguous, balanced ranges
-(block ``b`` goes to shard ``floor(b * shards / 2^24)``), so a router
-and any number of shard bootstrappers agree on the layout without
-coordination, and the same map can be recomputed from the ``stats``
-payload alone.
+A :class:`PartitionMap` starts as a pure function of the shard count:
+the 2^24 /24-blocks are split into ``shards`` contiguous, balanced
+ranges (block ``b`` goes to shard ``floor(b * shards / 2^24)``), so a
+router and any number of shard bootstrappers agree on the layout
+without coordination. Online elasticity then generalises the layout:
+:meth:`PartitionMap.split` halves one shard's range at a /24-aligned
+midpoint, producing a *non-uniform* map, and
+:meth:`PartitionMap.from_ranges` / :meth:`PartitionMap.from_wire`
+validate and rebuild any such layout (the ``stats`` payload carries
+it), keeping the single invariant — contiguous, gap-free, /24-aligned
+coverage of the whole space — regardless of how the map was grown.
 """
 
 from __future__ import annotations
@@ -96,9 +101,95 @@ class PartitionMap:
             ranges.append(
                 ShardRange(start_block << 8, (end_block << 8) - 1)
             )
-        self._ranges: Tuple[ShardRange, ...] = tuple(ranges)
+        self._set_ranges(tuple(ranges))
+
+    def _set_ranges(self, ranges: Tuple[ShardRange, ...]) -> None:
+        self._ranges: Tuple[ShardRange, ...] = ranges
         # Parallel start-block array: the bisect key for shard_of.
-        self._block_starts = starts
+        self._block_starts = [r.lo >> 8 for r in ranges]
+
+    @classmethod
+    def from_ranges(cls, ranges: Sequence[ShardRange]) -> "PartitionMap":
+        """A map over an explicit (possibly non-uniform) range list.
+
+        The ranges must cover the whole IPv4 space contiguously in
+        order — no gaps, no overlaps — because ``shard_of`` must have
+        exactly one answer for every address.
+        """
+        rows = tuple(ranges)
+        if not rows:
+            raise ValueError("a partition needs at least one range")
+        if len(rows) > MAX_SHARDS:
+            raise ValueError(
+                f"{len(rows)} ranges exceed the {MAX_SHARDS}-shard cap"
+            )
+        for row in rows:
+            if not isinstance(row, ShardRange):
+                raise ValueError(f"not a ShardRange: {row!r}")
+        if rows[0].lo != 0:
+            raise ValueError(
+                f"coverage must start at 0.0.0.0, not {int_to_ip(rows[0].lo)}"
+            )
+        if rows[-1].hi != MAX_IPV4:
+            raise ValueError(
+                f"coverage must end at {int_to_ip(MAX_IPV4)}, "
+                f"not {int_to_ip(rows[-1].hi)}"
+            )
+        for left, right in zip(rows, rows[1:]):
+            if right.lo != left.hi + 1:
+                raise ValueError(
+                    f"ranges must be contiguous: {left} then {right}"
+                )
+        pm = cls.__new__(cls)
+        pm._set_ranges(rows)
+        return pm
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "PartitionMap":
+        """Rebuild a map from its :meth:`to_wire` payload."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"partition payload must be an object: {payload!r}")
+        rows = payload.get("ranges")
+        if not isinstance(rows, list):
+            raise ValueError(f"partition payload has no range list: {payload!r}")
+        pm = cls.from_ranges([ShardRange.from_wire(row) for row in rows])
+        declared = payload.get("shards")
+        if declared is not None and declared != len(pm):
+            raise ValueError(
+                f"partition payload declares {declared} shards but "
+                f"carries {len(pm)} ranges"
+            )
+        return pm
+
+    def split(self, shard_id: int) -> "PartitionMap":
+        """A new map with shard ``shard_id`` halved at a /24-aligned
+        midpoint; shards after it shift up by one id.
+
+        Raises :class:`ValueError` when the shard covers a single /24
+        (the partitioning unit — splitting it would strand a dynamic
+        prefix across shards) or the map is already at the shard cap.
+        """
+        if not 0 <= shard_id < len(self._ranges):
+            raise ValueError(
+                f"no shard {shard_id} in a {len(self._ranges)}-shard map"
+            )
+        rng = self._ranges[shard_id]
+        blocks = (rng.hi + 1 - rng.lo) >> 8
+        if blocks < 2:
+            raise ValueError(
+                f"shard {shard_id} covers a single /24 ({rng}); "
+                f"cannot split further"
+            )
+        if len(self._ranges) >= MAX_SHARDS:
+            raise ValueError(
+                f"map already at the {MAX_SHARDS}-shard cap"
+            )
+        mid = rng.lo + ((blocks // 2) << 8)
+        return PartitionMap.from_ranges(
+            self._ranges[:shard_id]
+            + (ShardRange(rng.lo, mid - 1), ShardRange(mid, rng.hi))
+            + self._ranges[shard_id + 1:]
+        )
 
     @property
     def ranges(self) -> Tuple[ShardRange, ...]:

@@ -77,7 +77,7 @@ from ..service.wire import (
     send_frame,
     split_batch_reply,
 )
-from .partition import PartitionMap
+from .partition import PartitionMap, ShardRange
 
 __all__ = ["Backend", "Router", "ShardSlot", "SHARD_UNAVAILABLE"]
 
@@ -211,16 +211,22 @@ class ShardSlot:
         addresses: Sequence[Tuple[str, int]],
         *,
         timeout: float = DEFAULT_BACKEND_TIMEOUT,
+        shard_range: Optional[ShardRange] = None,
     ) -> None:
         if not addresses:
             raise ValueError(f"shard {shard_id} has no backends")
         self.shard_id = shard_id
+        self.shard_range = shard_range
         self.backends = [
             Backend(address, timeout=timeout) for address in addresses
         ]
         #: Requests that succeeded only after at least one backend
         #: failed; written on the loop thread only.
         self.failovers = 0
+        #: Queries routed to this shard (points + batch positions);
+        #: written on the loop thread only — the load signal the
+        #: hot-range detector reads.
+        self.hits = 0
 
     def ordered_backends(self) -> List[Backend]:
         """Healthy backends first (primary before replicas), then
@@ -270,9 +276,22 @@ class Router:
         self._backend_timeout = backend_timeout
         self._backend_codec = backend_codec
         self._slots = [
-            ShardSlot(shard_id, list(addresses), timeout=backend_timeout)
+            ShardSlot(
+                shard_id,
+                list(addresses),
+                timeout=backend_timeout,
+                shard_range=partition.range_of(shard_id),
+            )
             for shard_id, addresses in enumerate(backends)
         ]
+        #: Bumped on every apply_partition, so a load observer can
+        #: tell "counters reset because the layout changed" from
+        #: "counters wrapped"; written on the loop thread only.
+        self._partition_epoch = 0
+        #: Backends dropped by a partition swap that may still carry
+        #: in-flight requests; loop-thread owned, drained and closed
+        #: by :meth:`drain_retired`.
+        self._retired: List[Backend] = []
         self._heartbeat_interval = heartbeat_interval
         self._stop = threading.Event()
         self._heartbeat: Optional[threading.Thread] = None
@@ -330,16 +349,20 @@ class Router:
         self._server.shutdown()
         if heartbeat is not None:
             heartbeat.join(timeout=5.0)
-        # The loop has exited; the pooled upstream sockets are ours to
-        # close directly now.
-        for shard_slot in self._slots:
-            for backend in shard_slot.backends:
-                sock, backend.sock = backend.sock, None
-                if sock is not None:
-                    try:
-                        sock.close()
-                    except OSError:
-                        pass
+        # The loop has exited; the pooled upstream sockets (including
+        # any retired-but-undrained ones) are ours to close directly.
+        for backend in [
+            backend
+            for shard_slot in self._slots
+            for backend in shard_slot.backends
+        ] + self._retired:
+            sock, backend.sock = backend.sock, None
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._retired = []
 
     def __enter__(self) -> "Router":
         return self
@@ -380,6 +403,120 @@ class Router:
             sleeper.wait(step)
             waited += step
         return False
+
+    # -- elasticity (partition swap + load accounting) -----------------
+
+    def load_snapshot(self) -> Dict[str, Any]:
+        """Per-shard routed-query counters, callable from any thread.
+
+        The slot list reference is read once, so the rows are
+        internally consistent; ``partition_epoch`` bumps on every
+        layout swap, telling an observer to reset its delta baseline
+        rather than misread the fresh counters as a traffic collapse.
+        """
+        slots = self._slots
+        return {
+            "partition_epoch": self._partition_epoch,
+            "shards": [
+                {
+                    "shard": slot.shard_id,
+                    "range": (
+                        slot.shard_range.to_wire()
+                        if slot.shard_range is not None
+                        else None
+                    ),
+                    "hits": slot.hits,
+                }
+                for slot in slots
+            ],
+        }
+
+    def apply_partition(
+        self,
+        partition: PartitionMap,
+        backends: Sequence[Sequence[Tuple[str, int]]],
+        *,
+        timeout: float = 10.0,
+    ) -> None:
+        """Cut routing over to a new layout, atomically, online.
+
+        Thread-safe: the actual swap runs as one callback on the loop
+        thread, so no request ever observes a partition/slot mismatch.
+        Backends whose address survives into the new layout keep their
+        live pipelined connection (and health); backends that drop out
+        are *retired*, not closed — requests already in flight on them
+        complete normally (during a split the old shard's index covers
+        both halves, so its verdicts stay correct), and
+        :meth:`drain_retired` reaps them once quiet.
+        """
+        if len(backends) != len(partition):
+            raise ValueError(
+                f"{len(partition)} shards need {len(partition)} backend "
+                f"lists, got {len(backends)}"
+            )
+
+        def swap() -> None:
+            old_by_address: Dict[Tuple[str, int], Backend] = {}
+            for slot in self._slots:
+                for backend in slot.backends:
+                    old_by_address[backend.address] = backend
+            new_slots = [
+                ShardSlot(
+                    shard_id,
+                    list(addresses),
+                    timeout=self._backend_timeout,
+                    shard_range=partition.range_of(shard_id),
+                )
+                for shard_id, addresses in enumerate(backends)
+            ]
+            reused = set()
+            for slot in new_slots:
+                for position, backend in enumerate(slot.backends):
+                    kept = old_by_address.get(backend.address)
+                    if kept is not None:
+                        slot.backends[position] = kept
+                        reused.add(id(kept))
+            self._retired.extend(
+                backend
+                for backend in old_by_address.values()
+                if id(backend) not in reused
+            )
+            self._slots = new_slots
+            self.partition = partition
+            # swap() runs via run_sync as one callback on the loop
+            # thread — the only writer of this counter.
+            # reprolint: disable=CONC
+            self._partition_epoch += 1
+
+        self._reactor.run_sync(swap, timeout)
+
+    def drain_retired(self, timeout: float = 10.0) -> bool:
+        """Wait for retired backends to fall idle, then close them.
+
+        Returns ``True`` when every retired connection drained inside
+        the timeout; on ``False`` the stragglers are torn down anyway
+        (their in-flight requests fail over through the normal path).
+        """
+        deadline = time.monotonic() + timeout
+        drained = True
+        while any(b.pending or b.waiting for b in self._retired):
+            if time.monotonic() >= deadline:
+                drained = False
+                break
+            time.sleep(0.01)
+
+        def reap() -> None:
+            retired, self._retired = self._retired, []
+            for backend in retired:
+                if backend.pending or backend.waiting:
+                    self._backend_lost(
+                        backend, "retired by partition swap"
+                    )
+                else:
+                    self._close_backend(backend)
+
+        self._reactor.run_sync(reap, timeout)
+        return drained
 
     # -- downstream request handling (loop thread) ---------------------
 
@@ -428,6 +565,7 @@ class Router:
             return
         self._counters["point"] += 1
         shard_slot = self._slots[self.partition.shard_of(ip)]
+        shard_slot.hits += 1
         forward: Dict[str, Any] = {"op": "query", "ip": ip}
         if day is not None:
             forward["day"] = day
@@ -496,6 +634,7 @@ class Router:
                 self._finish_batch(slot, pairs, entries)
 
         for shard_id, positions in by_shard.items():
+            self._slots[shard_id].hits += len(positions)
             shard_pairs = [pairs[position] for position in positions]
             self._submit(
                 _Sub(
@@ -676,6 +815,7 @@ class Router:
         router_counters["failovers"] = sum(
             shard_slot.failovers for shard_slot in self._slots
         )
+        router_counters["partition_epoch"] = self._partition_epoch
         return {
             "cluster": summary,
             "router": router_counters,
@@ -684,9 +824,17 @@ class Router:
             "shards": [
                 {
                     "shard": shard_slot.shard_id,
-                    "range": self.partition.range_of(
-                        shard_slot.shard_id
-                    ).to_wire(),
+                    # The slot's own range, not partition.range_of: a
+                    # partition swap between the stats and hello
+                    # gathers must not mislabel (or over-index) rows.
+                    "range": (
+                        shard_slot.shard_range.to_wire()
+                        if shard_slot.shard_range is not None
+                        else self.partition.range_of(
+                            shard_slot.shard_id
+                        ).to_wire()
+                    ),
+                    "hits": shard_slot.hits,
                     "backends": [
                         {
                             "address": list(backend.address),
@@ -694,7 +842,11 @@ class Router:
                         }
                         for backend in shard_slot.backends
                     ],
-                    "stats": shard_stats[shard_slot.shard_id],
+                    "stats": (
+                        shard_stats[shard_slot.shard_id]
+                        if shard_slot.shard_id < len(shard_stats)
+                        else None
+                    ),
                 }
                 for shard_slot in self._slots
             ],
@@ -1061,12 +1213,18 @@ class Router:
 
     def _backend_sweep(self) -> None:
         now = time.monotonic()
-        for shard_slot in self._slots:
-            for backend in shard_slot.backends:
-                # Waiting subs cover connections stuck in the connect
-                # or hello phase — a backend that never becomes ready
-                # times out exactly like one that never replies.
-                queue = backend.pending or backend.waiting
-                if queue and queue[0].deadline < now:
-                    self._backend_lost(backend, "backend timed out")
+        live = [
+            backend
+            for shard_slot in self._slots
+            for backend in shard_slot.backends
+        ]
+        # Retired backends left the slot table but may still hold
+        # in-flight requests; their deadlines are enforced the same.
+        for backend in live + self._retired:
+            # Waiting subs cover connections stuck in the connect
+            # or hello phase — a backend that never becomes ready
+            # times out exactly like one that never replies.
+            queue = backend.pending or backend.waiting
+            if queue and queue[0].deadline < now:
+                self._backend_lost(backend, "backend timed out")
         self._arm_backend_sweep()

@@ -23,6 +23,7 @@ import multiprocessing
 import signal
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
@@ -120,6 +121,14 @@ class ShardServer:
         if self._follower is None:
             return True
         return self._follower.wait_for_seq(seq, timeout=timeout)
+
+    def applied_seq(self) -> int:
+        """Last log sequence applied (0 when not following) — the
+        catch-up target a freshly booted half-range shard must reach
+        before a split cuts traffic over to it."""
+        if self._follower is None:
+            return 0
+        return self._follower.epochs.current.seq
 
     def __enter__(self) -> "ShardServer":
         self.start()
@@ -263,6 +272,39 @@ class ShardProcess:
         """Kill (if alive) and re-fork on the same port."""
         self.kill()
         return self.start(timeout=timeout)
+
+    def _hello_seq(self) -> Optional[int]:
+        """The worker's applied seq via its own wire protocol, or
+        ``None`` when it cannot be reached — the only view the parent
+        has into a forked shard's streaming progress."""
+        from ..service.client import ReputationClient, TransportError
+
+        try:
+            with ReputationClient(
+                *self.address, timeout=self._connection_timeout
+            ) as client:
+                seq = client.hello().get("seq", 0)
+                return seq if isinstance(seq, int) else 0
+        except (TransportError, OSError):
+            return None
+
+    def applied_seq(self) -> int:
+        """Last log sequence the worker applied (0 when unreachable
+        or not following)."""
+        return self._hello_seq() or 0
+
+    def wait_for_seq(self, seq: int, timeout: float = 30.0) -> bool:
+        """Poll the worker until its applied seq reaches ``seq``."""
+        if self._follow is None:
+            return True
+        deadline = time.monotonic() + timeout
+        while True:
+            applied = self._hello_seq()
+            if applied is not None and applied >= seq:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
 
     def __enter__(self) -> "ShardProcess":
         self.start()

@@ -1,0 +1,184 @@
+"""Deterministic open-loop traffic schedules.
+
+The generator turns a :class:`~repro.loadgen.mixes.MixSpec` plus an
+address population into a complete, *pre-computed* schedule: a list of
+:class:`Event` rows, each with an absolute due time (seconds from run
+start), a kind (point or batch), and its (ip, day) pairs. Everything
+is drawn from one ``random.Random(seed)`` — the same mix, population
+and seed always produce the identical schedule, so a load result is
+reproducible and two harness runs are comparable query-for-query.
+
+Arrivals are open-loop (Poisson inter-arrivals at the target rate,
+optionally modulated by burst phases): due times never depend on how
+fast the system under test answers, so a slow server accumulates
+measured backlog instead of silently receiving less load — the
+coordinated-omission-honest way to measure latency.
+
+The zipfian rank weights model the paper's reuse skew: a small hot
+head of addresses takes most of the traffic, and with
+``hot_block=True`` the head shares one /24, concentrating the skew on
+a single shard.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..net.ipv4 import MAX_IPV4
+from .mixes import MixSpec
+
+__all__ = [
+    "Event",
+    "TrafficGenerator",
+    "population_from_analysis",
+]
+
+#: Burst phases carve each run into this many equal segments; the
+#: tail of every segment (the mix's ``burst_fraction``) runs hot.
+_BURST_SEGMENTS = 4
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled request: due ``at`` seconds after run start."""
+
+    at: float
+    kind: str  # "point" | "batch"
+    pairs: Tuple[Tuple[int, Optional[int]], ...]
+
+    def queries(self) -> int:
+        return len(self.pairs)
+
+
+def population_from_analysis(
+    mix: MixSpec, analysis: Any
+) -> Tuple[List[int], List[int]]:
+    """The (ips, days) population a mix draws from, ranked hot-first.
+
+    ``ips`` is ordered by intended popularity (zipf rank 0 first).
+    With ``hot_block`` the head is the blocklisted /24 with the most
+    listed addresses — padded with synthetic neighbours from the same
+    block up to ``hot_ips`` so the hot set is dense enough to dominate
+    one shard — followed by every other blocklisted address.
+    """
+    ips = sorted(analysis.blocklisted_ips)
+    if not ips:
+        raise ValueError("analysis has no blocklisted addresses")
+    days: List[int] = []
+    for start, end in analysis.windows:
+        days += [start, (start + end) // 2, end]
+    if not days:
+        raise ValueError("analysis has no collection windows")
+    if not mix.hot_block:
+        return ips, days
+    by_block: dict = {}
+    for ip in ips:
+        by_block.setdefault(ip >> 8, []).append(ip)
+    # Most-listed block wins; ties go to the lowest block, so the
+    # choice is a pure function of the listing set.
+    block = min(by_block, key=lambda b: (-len(by_block[b]), b))
+    hot = list(by_block[block])
+    for offset in range(256):
+        if len(hot) >= mix.hot_ips:
+            break
+        candidate = (block << 8) | offset
+        if candidate not in by_block[block] and candidate <= MAX_IPV4:
+            hot.append(candidate)
+    rest = [ip for ip in ips if (ip >> 8) != block]
+    return hot + rest, days
+
+
+class TrafficGenerator:
+    """Seeded schedule builder over a ranked address population."""
+
+    def __init__(
+        self,
+        mix: MixSpec,
+        ips: Sequence[int],
+        days: Sequence[int],
+        *,
+        seed: int = 0,
+    ) -> None:
+        if not ips:
+            raise ValueError("empty address population")
+        if not days:
+            raise ValueError("empty day population")
+        self.mix = mix
+        self.seed = seed
+        self._ips = list(ips)
+        self._days = list(days)
+        # Cumulative zipf weights over the rank order; sampling is a
+        # uniform draw + bisect, so cost per query is O(log n).
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(len(self._ips)):
+            total += 1.0 / ((rank + 1) ** mix.zipf_s)
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total_weight = total
+
+    def _draw_ip(self, rng: random.Random) -> int:
+        point = rng.random() * self._total_weight
+        return self._ips[bisect_right(self._cumulative, point)]
+
+    def _draw_pair(self, rng: random.Random) -> Tuple[int, Optional[int]]:
+        return self._draw_ip(rng), rng.choice(self._days)
+
+    def _rate_at(self, t: float, duration: float, base: float) -> float:
+        mix = self.mix
+        if mix.burst_fraction <= 0.0 or mix.burst_factor <= 1.0:
+            return base
+        segment = (t / duration) * _BURST_SEGMENTS
+        in_burst = (segment % 1.0) >= (1.0 - mix.burst_fraction)
+        return base * mix.burst_factor if in_burst else base
+
+    def schedule(
+        self, n_queries: int, target_qps: float
+    ) -> List[Event]:
+        """The full run plan: ``n_queries`` queries paced open-loop at
+        ``target_qps`` (mean), packed into point and batch events per
+        the mix's ratio. Deterministic for a given generator."""
+        if n_queries < 1:
+            raise ValueError(f"need at least one query: {n_queries}")
+        if target_qps <= 0:
+            raise ValueError(f"target qps must be positive: {target_qps}")
+        mix = self.mix
+        rng = random.Random(self.seed)
+        batch_queries = int(round(mix.batch_fraction * n_queries))
+        n_batches = -(-batch_queries // mix.batch_size) if batch_queries else 0
+        n_points = n_queries - batch_queries
+        kinds = ["point"] * n_points + ["batch"] * n_batches
+        rng.shuffle(kinds)
+        duration = n_queries / target_qps
+        # Event rate that lands n_events over the duration given the
+        # burst modulation (bursts steal rate from steady phases).
+        n_events = len(kinds)
+        f, k = mix.burst_fraction, mix.burst_factor
+        base_rate = n_events / (duration * ((1.0 - f) + k * f))
+        events: List[Event] = []
+        t = 0.0
+        remaining_batch = batch_queries
+        for kind in kinds:
+            rate = self._rate_at(t, duration, base_rate)
+            t += rng.expovariate(rate)
+            if kind == "point":
+                pairs = (self._draw_pair(rng),)
+            else:
+                size = min(mix.batch_size, remaining_batch)
+                remaining_batch -= size
+                pairs = tuple(
+                    self._draw_pair(rng) for _ in range(size)
+                )
+            events.append(Event(t, kind, pairs))
+        return events
+
+    def storm_times(self, duration: float) -> List[float]:
+        """When churn storms fire: evenly spread through the run so at
+        least one lands while epochs are swapping under load."""
+        storms = self.mix.churn_storms
+        return [
+            duration * (i + 1) / (storms + 1) for i in range(storms)
+        ]

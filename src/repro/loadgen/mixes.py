@@ -1,0 +1,124 @@
+"""Named query mixes: the knobs that shape generated traffic.
+
+A :class:`MixSpec` is a frozen bundle of distribution parameters — the
+zipf skew over the address population, how concentrated the hot set
+is, the point-vs-batch split, burstiness, and how many churn storms to
+land mid-run. The registry gives every experiment, bench and smoke
+script the same vocabulary (``repro load --mix hot-range`` and a test
+asserting on the same name exercise byte-identical schedules for a
+given seed).
+
+The paper's core observation motivates the defaults: address reuse
+concentrates many users behind few addresses, so realistic traffic is
+zipfian over IPs — and when the hot set additionally shares one /24
+(``hot_block=True``), the skew lands on a single shard, which is
+exactly the load pattern a static partition cannot absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["MixSpec", "MIXES", "get_mix", "mix_names"]
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One named traffic shape (all knobs deterministic given a seed)."""
+
+    name: str
+    description: str
+    #: Zipf exponent over the ranked address population (0 = uniform).
+    zipf_s: float = 1.1
+    #: Size of the hot head of the population ranking.
+    hot_ips: int = 64
+    #: Concentrate the hot head inside one /24 block, so the skew
+    #: lands on a single shard.
+    hot_block: bool = False
+    #: Fraction of *queries* carried by batch requests (the rest are
+    #: point queries).
+    batch_fraction: float = 0.5
+    #: Queries per batch request.
+    batch_size: int = 32
+    #: Arrival-rate multiplier during burst phases (1.0 = no bursts).
+    burst_factor: float = 1.0
+    #: Fraction of wall-clock spent inside burst phases.
+    burst_fraction: float = 0.0
+    #: Churn storms to schedule across the run (delta-batch appends
+    #: timed to land during ``--follow`` epoch swaps).
+    churn_storms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.zipf_s < 0:
+            raise ValueError(f"negative zipf exponent: {self.zipf_s}")
+        if self.hot_ips < 1:
+            raise ValueError(f"hot set must hold >= 1 ip: {self.hot_ips}")
+        if not 0.0 <= self.batch_fraction <= 1.0:
+            raise ValueError(
+                f"batch fraction out of 0..1: {self.batch_fraction}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch size must be >= 1: {self.batch_size}")
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst factor must be >= 1: {self.burst_factor}"
+            )
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise ValueError(
+                f"burst fraction out of 0..1: {self.burst_fraction}"
+            )
+        if self.churn_storms < 0:
+            raise ValueError(f"negative storm count: {self.churn_storms}")
+
+
+MIXES: Dict[str, MixSpec] = {
+    spec.name: spec
+    for spec in (
+        MixSpec(
+            "steady",
+            "mildly skewed open-loop traffic, half points half batches",
+        ),
+        MixSpec(
+            "hot-range",
+            "zipfian hot set concentrated in one /24 — drives one "
+            "shard hot so auto-split has something to react to",
+            zipf_s=1.4,
+            hot_ips=48,
+            hot_block=True,
+            batch_fraction=0.4,
+            burst_factor=3.0,
+            burst_fraction=0.25,
+        ),
+        MixSpec(
+            "batch-heavy",
+            "pipelined bulk lookups: nearly everything travels in "
+            "large batches",
+            zipf_s=0.8,
+            batch_fraction=0.95,
+            batch_size=128,
+        ),
+        MixSpec(
+            "churn-storm",
+            "steady traffic with delta-batch storms appended to the "
+            "followed log mid-run, so epoch swaps land under load",
+            zipf_s=1.2,
+            batch_fraction=0.5,
+            churn_storms=3,
+        ),
+    )
+}
+
+
+def get_mix(name: str) -> MixSpec:
+    """The registered mix, or :class:`KeyError` listing the options."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {name!r} (choose from {', '.join(sorted(MIXES))})"
+        ) from None
+
+
+def mix_names() -> Tuple[str, ...]:
+    return tuple(sorted(MIXES))

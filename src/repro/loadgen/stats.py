@@ -1,0 +1,74 @@
+"""Shared latency/throughput statistics for benches and the harness.
+
+One definition of a percentile for the whole repo: the benchmark
+modules and the load harness must report *identical* semantics or an
+SLO measured by one cannot gate the other. The estimator is the
+nearest-rank-on-sorted-samples form the benches always used
+(``ordered[int(q * (len - 1))]``) — deterministic, no interpolation,
+exact for the small sample counts CI runs produce.
+
+``window_day_workload`` is the equally-shared workload shape: every
+blocklisted address crossed with each collection window's edges and
+midpoint, the deterministic (ip, day) stream the service and cluster
+benches replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["percentile", "summarize", "window_day_workload"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples``; ``q`` in ``[0, 1]``."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range 0..1: {q}")
+    ordered = sorted(samples)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """The SLO digest of one latency sample set (seconds in, seconds
+    out): count plus mean/p50/p90/p99/max. Empty input yields a
+    zeroed digest so a report over a phase that saw no traffic still
+    serialises."""
+    if not samples:
+        return {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": ordered[int(0.50 * last)],
+        "p90": ordered[int(0.90 * last)],
+        "p99": ordered[int(0.99 * last)],
+        "max": ordered[-1],
+    }
+
+
+def window_day_workload(
+    analysis: Any, n: int
+) -> List[Tuple[int, Optional[int]]]:
+    """A deterministic (ip, day) stream over every blocklisted
+    address — spread across the whole space, so batches genuinely
+    scatter over all shards — at each collection window's edges and
+    midpoint, repeated/truncated to exactly ``n`` pairs."""
+    ips = sorted(analysis.blocklisted_ips)
+    days: List[int] = []
+    for start, end in analysis.windows:
+        days += [start, (start + end) // 2, end]
+    pairs = [(ip, day) for day in days for ip in ips]
+    if not pairs:
+        raise ValueError("analysis has no blocklisted addresses")
+    repeats = -(-n // len(pairs))  # ceil
+    return (pairs * repeats)[:n]

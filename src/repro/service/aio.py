@@ -105,6 +105,7 @@ class Reactor:
         self._stopped = threading.Event()
         self._stop_requested = False
         self._state = "new"  # -> "running" -> "stopped"; run() writes it
+        self._thread: Optional[threading.Thread] = None
 
     # -- cross-thread entry points -------------------------------------
 
@@ -133,6 +134,41 @@ class Reactor:
     def wait_stopped(self, timeout: float) -> bool:
         return self._stopped.wait(timeout)
 
+    def run_sync(
+        self, callback: Callable[[], None], timeout: float = 10.0
+    ) -> None:
+        """Run ``callback`` on the loop thread and wait for it.
+
+        The primitive behind atomic cross-thread state swaps (the
+        router's online partition cutover): loop-owned structures are
+        only ever touched between I/O callbacks. Runs inline when
+        called from the loop thread itself (waiting would deadlock) or
+        when the loop isn't running yet (single-threaded setup).
+        Raises :class:`RuntimeError` when the loop doesn't get to the
+        callback within ``timeout`` — the callback may still run
+        later, so callers treating this as fatal should stop the loop.
+        """
+        if (
+            not self.is_running()
+            or self._thread is threading.current_thread()
+        ):
+            callback()
+            return
+        done = threading.Event()
+
+        def wrapped() -> None:
+            try:
+                callback()
+            finally:
+                done.set()
+
+        self.call_soon(wrapped)
+        if not done.wait(timeout):
+            raise RuntimeError(
+                f"event loop did not run a synchronous callback "
+                f"within {timeout:g}s"
+            )
+
     # -- loop-thread API -----------------------------------------------
 
     def call_later(
@@ -155,6 +191,7 @@ class Reactor:
 
     def run(self) -> None:
         """The loop; returns after :meth:`stop`."""
+        self._thread = threading.current_thread()
         self._state = "running"
         try:
             while not self._stop_requested:

@@ -1,0 +1,186 @@
+"""PartitionMap at split boundaries: non-uniform range sets, the
+single-/24 floor, wire roundtrips, and shard_of agreement across a
+split for every boundary address.
+
+The split invariants are the cluster's correctness story in miniature:
+a split must change *routing* without changing *coverage* — every
+address keeps exactly one owner, /24s never straddle shards, and a map
+serialised mid-growth rebuilds identically on the other side of the
+wire.
+"""
+
+import pytest
+
+from repro.cluster import MAX_SHARDS, PartitionMap, ShardRange
+from repro.net.ipv4 import MAX_IPV4
+
+
+def boundary_ips(partition):
+    """Every range edge plus its /24 neighbours (clamped): the
+    addresses where an off-by-one in shard_of would show."""
+    ips = set()
+    for shard_range in partition.ranges:
+        for edge in (shard_range.lo, shard_range.hi):
+            for ip in (edge - 1, edge, edge + 1, edge - 256, edge + 256):
+                if 0 <= ip <= MAX_IPV4:
+                    ips.add(ip)
+    return sorted(ips)
+
+
+class TestFromRanges:
+    def test_uniform_map_roundtrips_through_its_own_ranges(self):
+        for shards in (1, 2, 3, 7, 64):
+            uniform = PartitionMap(shards)
+            rebuilt = PartitionMap.from_ranges(uniform.ranges)
+            assert rebuilt == uniform
+            assert len(rebuilt) == shards
+
+    def test_non_uniform_ranges_route_correctly(self):
+        mid = 1 << 24  # 1.0.0.0 — a deliberately lopsided cut
+        partition = PartitionMap.from_ranges(
+            [ShardRange(0, mid - 1), ShardRange(mid, MAX_IPV4)]
+        )
+        assert partition.shard_of(0) == 0
+        assert partition.shard_of(mid - 1) == 0
+        assert partition.shard_of(mid) == 1
+        assert partition.shard_of(MAX_IPV4) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one range"):
+            PartitionMap.from_ranges([])
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            PartitionMap.from_ranges(
+                [
+                    ShardRange(0, (1 << 16) - 1),
+                    ShardRange(2 << 16, MAX_IPV4),
+                ]
+            )
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            PartitionMap.from_ranges(
+                [
+                    ShardRange(0, (2 << 16) - 1),
+                    ShardRange(1 << 16, MAX_IPV4),
+                ]
+            )
+
+    def test_rejects_partial_coverage(self):
+        with pytest.raises(ValueError, match="must start"):
+            PartitionMap.from_ranges([ShardRange(1 << 8, MAX_IPV4)])
+        with pytest.raises(ValueError, match="must end"):
+            PartitionMap.from_ranges([ShardRange(0, (1 << 16) - 1)])
+
+    def test_rejects_non_shardrange_rows(self):
+        with pytest.raises(ValueError, match="not a ShardRange"):
+            PartitionMap.from_ranges([(0, MAX_IPV4)])
+
+    def test_misaligned_range_rejected_at_construction(self):
+        # /24 alignment is ShardRange's own invariant; from_ranges
+        # can never even be handed a misaligned row.
+        with pytest.raises(ValueError, match="not /24-aligned"):
+            ShardRange(1, MAX_IPV4)
+        with pytest.raises(ValueError, match="not /24-aligned"):
+            ShardRange(0, MAX_IPV4 - 1)
+
+
+class TestSplit:
+    def test_split_halves_at_a_slash24_boundary(self):
+        partition = PartitionMap(3)
+        grown = partition.split(1)
+        assert len(grown) == 4
+        old = partition.range_of(1)
+        left, right = grown.range_of(1), grown.range_of(2)
+        assert left.lo == old.lo and right.hi == old.hi
+        assert right.lo == left.hi + 1
+        assert left.lo & 0xFF == 0 and right.lo & 0xFF == 0
+        # Halves are balanced to within one /24.
+        assert abs(left.size() - right.size()) <= 256
+
+    def test_split_preserves_other_shards(self):
+        partition = PartitionMap(4)
+        grown = partition.split(2)
+        assert grown.range_of(0) == partition.range_of(0)
+        assert grown.range_of(1) == partition.range_of(1)
+        assert grown.range_of(4) == partition.range_of(3)
+
+    def test_shard_of_agreement_across_a_split_at_every_boundary(self):
+        partition = PartitionMap(3)
+        grown = partition.split(1)
+        for ip in boundary_ips(partition) + boundary_ips(grown):
+            before = partition.shard_of(ip)
+            after = grown.shard_of(ip)
+            # The owning *range* must agree: the address stays inside
+            # whatever slice of the old shard now owns it.
+            assert partition.range_of(before).contains(ip)
+            assert grown.range_of(after).contains(ip)
+            old_range = partition.range_of(before)
+            new_range = grown.range_of(after)
+            assert new_range.lo >= old_range.lo
+            assert new_range.hi <= old_range.hi
+
+    def test_repeated_splits_keep_every_invariant(self):
+        partition = PartitionMap(2)
+        for _ in range(8):
+            partition = partition.split(0)
+            ranges = partition.ranges
+            assert ranges[0].lo == 0
+            assert ranges[-1].hi == MAX_IPV4
+            for left, right in zip(ranges, ranges[1:]):
+                assert right.lo == left.hi + 1
+            for shard_range in ranges:
+                assert shard_range.lo & 0xFF == 0
+                assert shard_range.hi & 0xFF == 0xFF
+
+    def test_single_slash24_cannot_split(self):
+        # Shrink shard 0 down to one /24 by splitting it repeatedly.
+        partition = PartitionMap(1)
+        while partition.range_of(0).size() > 256:
+            partition = partition.split(0)
+        assert partition.range_of(0).size() == 256
+        with pytest.raises(ValueError, match="single /24"):
+            partition.split(0)
+        # The rest of the map is still splittable (the tail shard
+        # holds nearly the whole space).
+        last = len(partition) - 1
+        assert len(partition.split(last)) == len(partition) + 1
+
+    def test_split_out_of_range_shard_rejected(self):
+        partition = PartitionMap(3)
+        with pytest.raises(ValueError, match="no shard"):
+            partition.split(3)
+        with pytest.raises(ValueError, match="no shard"):
+            partition.split(-1)
+
+    def test_split_respects_shard_cap(self):
+        ranges = PartitionMap(MAX_SHARDS).ranges
+        full = PartitionMap.from_ranges(ranges)
+        with pytest.raises(ValueError, match="cap"):
+            full.split(0)
+
+
+class TestWireRoundtrip:
+    def test_split_to_wire_from_wire_equality(self):
+        partition = PartitionMap(3).split(1).split(0).split(3)
+        rebuilt = PartitionMap.from_wire(partition.to_wire())
+        assert rebuilt == partition
+        assert rebuilt.ranges == partition.ranges
+        for ip in boundary_ips(partition):
+            assert rebuilt.shard_of(ip) == partition.shard_of(ip)
+
+    def test_from_wire_rejects_malformed_payloads(self):
+        good = PartitionMap(2).to_wire()
+        with pytest.raises(ValueError):
+            PartitionMap.from_wire(None)
+        with pytest.raises(ValueError):
+            PartitionMap.from_wire({"shards": 2})
+        with pytest.raises(ValueError, match="declares"):
+            PartitionMap.from_wire(
+                {"shards": 3, "ranges": good["ranges"]}
+            )
+        with pytest.raises(ValueError):
+            PartitionMap.from_wire(
+                {"shards": 1, "ranges": [[0, 12345]]}
+            )
