@@ -1,0 +1,69 @@
+"""Performance of the adversary lab.
+
+Two numbers keep the lab usable as a routine check rather than an
+overnight job:
+
+* **scenario build rate** — simulating a full 60-day evasion campaign
+  (world churn, event emission, ledger bookkeeping). Floored in
+  events/sec so adding world detail can't silently turn ``repro
+  scenarios run`` into a minutes-long command;
+* **end-to-end scoring** — feed sampling over the 151-list catalog,
+  index compilation and the full verdict sweep for one scenario. The
+  timed round is exactly what the CLI does per scenario (minus the
+  streaming fidelity check, which is I/O-bound and benched by the
+  stream suite).
+"""
+
+import time
+
+from repro.adversary import get_adversary, score_scenario
+
+#: Floor on scenario construction throughput. The heaviest scenario
+#: emits ~1.4k events over 60 simulated days; building it should stay
+#: comfortably in interactive territory.
+MIN_BUILD_EVENTS_PER_SEC = 2_000
+
+#: Floor on scored eval-points/sec for the full pipeline (listings +
+#: index + verdict per ip-day), generous for shared CI hardware.
+MIN_SCORE_POINTS_PER_SEC = 5_000
+
+
+def test_perf_adversary_scenario_build(benchmark):
+    """Events/sec of deterministic scenario construction."""
+    model = get_adversary("campaign-hop")
+
+    scenario = benchmark.pedantic(
+        lambda: model.build(2020), rounds=3, iterations=1
+    )
+    assert scenario.events
+
+    started = time.perf_counter()
+    built = model.build(2020)
+    elapsed = time.perf_counter() - started
+    events_per_sec = len(built.events) / elapsed
+    benchmark.extra_info["events_per_sec"] = round(events_per_sec)
+    assert events_per_sec >= MIN_BUILD_EVENTS_PER_SEC, (
+        f"scenario build sustained only {events_per_sec:.0f} "
+        f"events/sec (floor: {MIN_BUILD_EVENTS_PER_SEC})"
+    )
+
+
+def test_perf_adversary_scoring(benchmark):
+    """One full scoring pass: listings, index, verdict sweep, metrics."""
+    scenario = get_adversary("fast-flux").build(2020)
+    eval_points = len(scenario.ledger.eval_points())
+
+    score = benchmark.pedantic(
+        lambda: score_scenario(scenario), rounds=3, iterations=1
+    )
+    assert len(score.verdicts) == eval_points
+
+    started = time.perf_counter()
+    score_scenario(scenario)
+    elapsed = time.perf_counter() - started
+    points_per_sec = eval_points / elapsed
+    benchmark.extra_info["eval_points_per_sec"] = round(points_per_sec)
+    assert points_per_sec >= MIN_SCORE_POINTS_PER_SEC, (
+        f"scoring sustained only {points_per_sec:.0f} eval-points/sec "
+        f"(floor: {MIN_SCORE_POINTS_PER_SEC})"
+    )

@@ -10,7 +10,7 @@ Workflow::
     PYTHONPATH=src python -m pytest benchmarks/bench_perf_primitives.py \
         benchmarks/bench_perf_runner.py benchmarks/bench_service.py \
         benchmarks/bench_stream.py benchmarks/bench_cluster.py \
-        benchmarks/bench_loadgen.py \
+        benchmarks/bench_loadgen.py benchmarks/bench_adversary.py \
         --benchmark-json=/tmp/bench_current.json -q
     python scripts/perf_regress.py /tmp/bench_current.json
 
@@ -21,9 +21,10 @@ codec, plus the 1000-client fan-in), the streaming ingestion path
 (delta apply throughput, update-log roundtrip, query p99 under epoch
 hot swap), the sharded cluster (scatter-gather batch throughput vs
 single-process on JSON, pipelined binary batches end to end, point p99
-during shard failover), and the load-generation subsystem (schedule
-build rate, harness SLO against a live cluster), so a slowdown on any
-side of the serving story fails the same gate.
+during shard failover), the load-generation subsystem (schedule
+build rate, harness SLO against a live cluster), and the adversary
+lab (scenario build rate, end-to-end scenario scoring), so a slowdown
+on any side of the serving story fails the same gate.
 
 Refreshing the baseline after an intentional perf change::
 

@@ -1,0 +1,57 @@
+"""Adversary lab: evasive-abuse scenarios scored against the stack.
+
+``repro.adversary`` turns the reproduction's question around — instead
+of measuring what blocklisting *costs* under address reuse, it
+measures how well blocklists *work* when abusers exploit reuse to
+evade them. See :mod:`repro.adversary.models` for the scenario
+simulations, :mod:`repro.adversary.scoring` for the Deri &
+Fusco-style effectiveness metrics, and :mod:`repro.adversary.bridge`
+for the streaming-plane fidelity check. ``repro scenarios list/run``
+is the CLI front end.
+"""
+
+from .bridge import (
+    StreamFidelityError,
+    scenario_batches,
+    verify_stream_fidelity,
+    write_scenario_log,
+)
+from .models import (
+    AbuseScenario,
+    AbuseStint,
+    AdversaryModel,
+    GroundTruthLedger,
+    adversary_names,
+    get_adversary,
+    scenario_rng,
+)
+from .scoring import (
+    ScenarioScore,
+    render_score_table,
+    scenario_index,
+    scenario_listings,
+    score_scenario,
+    score_with_engine,
+    verdict_fields,
+)
+
+__all__ = [
+    "AbuseScenario",
+    "AbuseStint",
+    "AdversaryModel",
+    "GroundTruthLedger",
+    "ScenarioScore",
+    "StreamFidelityError",
+    "adversary_names",
+    "get_adversary",
+    "render_score_table",
+    "scenario_batches",
+    "scenario_index",
+    "scenario_listings",
+    "scenario_rng",
+    "score_scenario",
+    "score_with_engine",
+    "verdict_fields",
+    "verify_stream_fidelity",
+    "write_scenario_log",
+]

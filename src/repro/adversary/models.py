@@ -1,0 +1,642 @@
+"""Pluggable evasive-abuse models with ground-truth ledgers.
+
+The measurement pipeline asks what blocklisting *costs* under address
+reuse; this package asks how well it *works* when the abuser actively
+exploits reuse. Each :class:`AdversaryModel` simulates one evasion
+strategy day by day over a small, fully-controlled address world and
+returns an :class:`AbuseScenario`: the abuse-event stream the feeds
+observe, plus a :class:`GroundTruthLedger` recording what was *really*
+malicious — which ``(ip, day)`` pairs carried abuse, which innocent
+users held or shared those addresses, and the per-address tenure
+stints the time-to-detection curves are computed over.
+
+Four strategies ship (Deri & Fusco's effectiveness framing):
+
+* **fast-flux** — attackers redraw a fresh dynamic-pool address every
+  day, so listings chronically lag the abuse and land on the innocent
+  subscribers who inherit the address;
+* **cgn-shelter** — one abuser hides among hundreds of users behind a
+  carrier-grade-NAT gateway IP; listing the gateway is detection *and*
+  mass collateral damage at once;
+* **campaign-hop** — a coordinated botnet burns ~20 addresses of one
+  dynamic /24 for a few days, then hops to the next block, leaving a
+  trail of stale listings behind;
+* **slow-drip** — static-address attackers emit just often enough to
+  matter but rarely enough to stay under feed sensitivity and let
+  removal TTLs expire between events.
+
+Everything is a pure function of ``(scenario name, seed)``: every
+random draw comes from a stream derived by hashing both, so the same
+pair reproduces a byte-identical event stream and ledger (a pinned
+test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..blocklists.timeline import Window
+from ..internet.abuse import AbuseCategory, AbuseEvent, event_sort_key
+from ..net.ipv4 import Prefix, ip_to_int
+
+__all__ = [
+    "AbuseScenario",
+    "AbuseStint",
+    "AdversaryModel",
+    "GroundTruthLedger",
+    "adversary_names",
+    "get_adversary",
+    "scenario_rng",
+]
+
+#: Simulated days per scenario (one collection window covering all).
+HORIZON_DAYS = 60
+
+#: (ip, day) — the unit detection and false positives are scored on.
+IpDay = Tuple[int, int]
+
+
+def scenario_rng(name: str, seed: int, stream: str) -> random.Random:
+    """A named random stream for one ``(scenario, seed)`` pair.
+
+    Derivation by hash means streams are independent: adding draws to
+    one can never perturb another, which is what keeps the event
+    stream byte-identical across code that consumes the ledger
+    differently."""
+    digest = hashlib.sha256(
+        f"{name}:{seed}:{stream}".encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class AbuseStint:
+    """One attacker's continuous tenure on one address.
+
+    ``first_day``/``last_day`` bound the abuse activity during the
+    tenure (inclusive). Time-to-detection is measured from
+    ``first_day``; a stint whose address is never listed while (or
+    after) it runs has fully evaded."""
+
+    attacker: str
+    ip: int
+    first_day: int
+    last_day: int
+
+
+@dataclass
+class GroundTruthLedger:
+    """What actually happened — the scorer's answer key.
+
+    The feeds only ever see :class:`AbuseEvent` samples; the ledger
+    keeps the omniscient view: truly-malicious ip-days, the innocent
+    user population sharing each address each day (bystanders), and
+    the reuse facts (NAT gateways, dynamic pools) the reputation index
+    is built from."""
+
+    #: Every (ip, day) that carried real abuse.
+    malicious_ip_days: FrozenSet[IpDay] = frozenset()
+    #: (ip, day) -> number of innocent users on that address that day.
+    innocent_user_days: Dict[IpDay, int] = field(default_factory=dict)
+    #: Per-address attacker tenures, for time-to-detection curves.
+    stints: Tuple[AbuseStint, ...] = ()
+    #: CGN gateway address -> users behind it (feeds the NAT verdict).
+    nated_ips: Dict[int, int] = field(default_factory=dict)
+    #: Dynamically-reassigned pools (feeds the dynamic verdict).
+    dynamic_prefixes: Tuple[Prefix, ...] = ()
+    #: Origin AS of every address in play.
+    asn_by_ip: Dict[int, int] = field(default_factory=dict)
+
+    def benign_ip_days(self) -> List[IpDay]:
+        """Innocent-held ip-days that carried no abuse — the false-
+        positive denominator, sorted for deterministic iteration."""
+        return sorted(
+            key
+            for key in self.innocent_user_days
+            if key not in self.malicious_ip_days
+        )
+
+    def eval_points(self) -> List[IpDay]:
+        """Every ip-day the scorer queries, sorted."""
+        return sorted(
+            set(self.malicious_ip_days) | set(self.innocent_user_days)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready form (sorted, no sets)."""
+        return {
+            "malicious_ip_days": sorted(
+                list(pair) for pair in self.malicious_ip_days
+            ),
+            "innocent_user_days": [
+                [ip, day, users]
+                for (ip, day), users in sorted(
+                    self.innocent_user_days.items()
+                )
+            ],
+            "stints": [
+                [s.attacker, s.ip, s.first_day, s.last_day]
+                for s in self.stints
+            ],
+            "nated_ips": [
+                [ip, users] for ip, users in sorted(self.nated_ips.items())
+            ],
+            "dynamic_prefixes": [
+                str(prefix) for prefix in self.dynamic_prefixes
+            ],
+            "asn_by_ip": [
+                [ip, asn] for ip, asn in sorted(self.asn_by_ip.items())
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class AbuseScenario:
+    """One built scenario: the observable stream plus the answer key."""
+
+    name: str
+    seed: int
+    horizon_days: int
+    windows: Tuple[Window, ...]
+    events: Tuple[AbuseEvent, ...]
+    ledger: GroundTruthLedger
+
+    def to_json(self) -> str:
+        """Canonical serialization — byte-identical for one
+        ``(name, seed)`` pair, which is the determinism contract the
+        tests pin."""
+        return json.dumps(
+            {
+                "format": "repro-adversary-scenario",
+                "version": 1,
+                "name": self.name,
+                "seed": self.seed,
+                "horizon_days": self.horizon_days,
+                "windows": [list(window) for window in self.windows],
+                "events": [
+                    [e.day, e.ip, e.user_key, e.category]
+                    for e in self.events
+                ],
+                "ledger": self.ledger.as_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class AdversaryModel:
+    """One evasion strategy; ``build(seed)`` emits its scenario.
+
+    Implementations must be pure functions of the seed (all draws via
+    :func:`scenario_rng`) — the registry and the CLI treat them as
+    stateless singletons."""
+
+    name: str = ""
+    description: str = ""
+
+    def build(self, seed: int) -> AbuseScenario:
+        raise NotImplementedError
+
+
+class _DynamicPool:
+    """Per-day exclusive address assignment inside dynamic prefixes.
+
+    At most one holder per address at a time, so an innocent can only
+    inherit an attacker's address *after* the attacker released it —
+    exactly the reassignment sequence that turns a lagged listing into
+    a false positive."""
+
+    def __init__(
+        self, prefixes: Sequence[Prefix], rng: random.Random
+    ) -> None:
+        self._free: List[int] = [
+            ip
+            for prefix in prefixes
+            for ip in range(prefix.first(), prefix.last() + 1)
+        ]
+        self._rng = rng
+        self._held: Dict[str, int] = {}
+
+    def acquire(self, holder: str) -> int:
+        """Release the holder's current address and lease a fresh one."""
+        self.release(holder)
+        index = self._rng.randrange(len(self._free))
+        self._free[index], self._free[-1] = (
+            self._free[-1],
+            self._free[index],
+        )
+        ip = self._free.pop()
+        self._held[holder] = ip
+        return ip
+
+    def release(self, holder: str) -> None:
+        ip = self._held.pop(holder, None)
+        if ip is not None:
+            self._free.append(ip)
+
+    def address_of(self, holder: str) -> int:
+        return self._held[holder]
+
+
+class _StintTracker:
+    """Folds per-day attacker activity into per-address stints."""
+
+    def __init__(self) -> None:
+        self._open: Dict[str, List[int]] = {}  # attacker -> [ip, first, last]
+        self._closed: List[AbuseStint] = []
+
+    def record(self, attacker: str, ip: int, day: int) -> None:
+        current = self._open.get(attacker)
+        if current is not None and current[0] == ip:
+            current[2] = day
+            return
+        if current is not None:
+            self.close(attacker)
+        self._open[attacker] = [ip, day, day]
+
+    def close(self, attacker: str) -> None:
+        current = self._open.pop(attacker, None)
+        if current is not None:
+            self._closed.append(
+                AbuseStint(attacker, current[0], current[1], current[2])
+            )
+
+    def finish(self) -> Tuple[AbuseStint, ...]:
+        for attacker in sorted(self._open):
+            self.close(attacker)
+        return tuple(
+            sorted(
+                self._closed,
+                key=lambda s: (s.attacker, s.first_day, s.ip),
+            )
+        )
+
+
+def _build_scenario(
+    name: str,
+    seed: int,
+    events: List[AbuseEvent],
+    ledger: GroundTruthLedger,
+) -> AbuseScenario:
+    return AbuseScenario(
+        name=name,
+        seed=seed,
+        horizon_days=HORIZON_DAYS,
+        windows=((0, HORIZON_DAYS - 1),),
+        events=tuple(sorted(events, key=event_sort_key)),
+        ledger=ledger,
+    )
+
+
+class FastFluxModel(AdversaryModel):
+    """Daily address rotation inside dynamic pools.
+
+    Eight attackers redraw a fresh pool address every active day and
+    emit a burst of events from it; 120 innocent subscribers lease
+    addresses from the same pools for about a week at a time. Lagged
+    or TTL-extended listings therefore overwhelmingly land on whoever
+    holds the address *next* — the canonical dynamic-reuse injustice,
+    now driven by a deliberate evader."""
+
+    name = "fast-flux"
+    description = (
+        "attackers rotate to a fresh dynamic-pool address daily; "
+        "innocent subscribers inherit the listings"
+    )
+
+    POOLS = 4
+    ATTACKERS = 8
+    INNOCENTS = 180
+    ACTIVE = (4, 52)  # attacker activity span, inclusive
+
+    def build(self, seed: int) -> AbuseScenario:
+        rng = scenario_rng(self.name, seed, "world")
+        prefixes = tuple(
+            Prefix(ip_to_int(f"81.10.{block}.0"), 24)
+            for block in range(self.POOLS)
+        )
+        pool = _DynamicPool(prefixes, rng)
+        categories = {
+            f"ff-attacker-{i}": rng.choice(
+                (AbuseCategory.SPAM, AbuseCategory.MALWARE,
+                 AbuseCategory.BRUTEFORCE)
+            )
+            for i in range(self.ATTACKERS)
+        }
+        lease_until = {
+            f"ff-user-{i}": rng.randint(1, 8)
+            for i in range(self.INNOCENTS)
+        }
+        for user in sorted(lease_until):
+            pool.acquire(user)
+
+        events: List[AbuseEvent] = []
+        malicious: Set[IpDay] = set()
+        innocent: Dict[IpDay, int] = {}
+        stints = _StintTracker()
+        first_active, last_active = self.ACTIVE
+        for day in range(HORIZON_DAYS):
+            for user in sorted(lease_until):
+                if day >= lease_until[user]:
+                    pool.acquire(user)
+                    lease_until[user] = day + rng.randint(5, 9)
+                key = (pool.address_of(user), day)
+                innocent[key] = innocent.get(key, 0) + 1
+            for attacker in sorted(categories):
+                if not first_active <= day <= last_active:
+                    if day == last_active + 1:
+                        pool.release(attacker)
+                    continue
+                ip = pool.acquire(attacker)
+                malicious.add((ip, day))
+                stints.record(attacker, ip, day)
+                for _ in range(2):
+                    events.append(
+                        AbuseEvent(
+                            day=day,
+                            ip=ip,
+                            user_key=attacker,
+                            category=categories[attacker],
+                        )
+                    )
+        asn_by_ip = {
+            ip: 64500 + (ip >> 8) % self.POOLS
+            for (ip, _) in set(innocent) | malicious
+        }
+        ledger = GroundTruthLedger(
+            malicious_ip_days=frozenset(malicious),
+            innocent_user_days=innocent,
+            stints=stints.finish(),
+            dynamic_prefixes=prefixes,
+            asn_by_ip=asn_by_ip,
+        )
+        return _build_scenario(self.name, seed, events, ledger)
+
+
+class CgnShelterModel(AdversaryModel):
+    """Abusers sheltered behind carrier-grade NAT gateways.
+
+    Six gateway addresses each front hundreds of users; two of them
+    shelter one persistent abuser each. The gateway address is static,
+    so feeds detect it quickly and keep it listed — but every listed
+    day blocks the whole innocent population behind it. Detection and
+    collateral damage are the same act; only a reuse-aware policy can
+    split them."""
+
+    name = "cgn-shelter"
+    description = (
+        "persistent abusers hide among hundreds of users behind "
+        "static CGN gateway addresses"
+    )
+
+    GATEWAYS = 6
+    SHELTERED = 2  # gateways hosting one abuser each
+    ACTIVE = (5, 55)
+
+    def build(self, seed: int) -> AbuseScenario:
+        rng = scenario_rng(self.name, seed, "world")
+        gateways = [
+            ip_to_int(f"100.64.{block}.1") for block in range(self.GATEWAYS)
+        ]
+        users_behind = {
+            gateway: rng.randint(150, 400) for gateway in gateways
+        }
+        abuser_category = {
+            f"cgn-abuser-{i}": rng.choice(
+                (AbuseCategory.BRUTEFORCE, AbuseCategory.SPAM)
+            )
+            for i in range(self.SHELTERED)
+        }
+
+        events: List[AbuseEvent] = []
+        malicious: Set[IpDay] = set()
+        innocent: Dict[IpDay, int] = {}
+        stints = _StintTracker()
+        first_active, last_active = self.ACTIVE
+        for day in range(HORIZON_DAYS):
+            for index, gateway in enumerate(gateways):
+                sheltered = index < self.SHELTERED
+                innocent[(gateway, day)] = users_behind[gateway] - int(
+                    sheltered
+                )
+                if not sheltered:
+                    continue
+                abuser = f"cgn-abuser-{index}"
+                if first_active <= day <= last_active and (
+                    rng.random() < 0.85
+                ):
+                    malicious.add((gateway, day))
+                    stints.record(abuser, gateway, day)
+                    events.append(
+                        AbuseEvent(
+                            day=day,
+                            ip=gateway,
+                            user_key=abuser,
+                            category=abuser_category[abuser],
+                        )
+                    )
+        ledger = GroundTruthLedger(
+            malicious_ip_days=frozenset(malicious),
+            innocent_user_days=innocent,
+            stints=stints.finish(),
+            nated_ips=users_behind,
+            asn_by_ip={gateway: 64610 for gateway in gateways},
+        )
+        return _build_scenario(self.name, seed, events, ledger)
+
+
+class CampaignHopModel(AdversaryModel):
+    """A coordinated botnet hopping across dynamic /24s.
+
+    Eighteen bots burn addresses in one dynamic /24 for a few dwell
+    days — DDoS plus the bruteforce noise a botnet brings along — then
+    the whole campaign hops to the next block. The listings it leaves
+    behind keep covering the block while ordinary subscribers cycle
+    back onto the burned addresses."""
+
+    name = "campaign-hop"
+    description = (
+        "a DDoS botnet burns one dynamic /24 for a few days, then "
+        "hops to the next block, leaving stale listings behind"
+    )
+
+    BLOCKS = 10
+    BOTS = 18
+    INNOCENTS = 200
+    DWELL_DAYS = 4
+    START_DAY = 4
+
+    def build(self, seed: int) -> AbuseScenario:
+        rng = scenario_rng(self.name, seed, "world")
+        prefixes = tuple(
+            Prefix(ip_to_int(f"92.40.{block}.0"), 24)
+            for block in range(self.BLOCKS)
+        )
+        pool = _DynamicPool(prefixes, rng)
+        hop_order = list(range(self.BLOCKS))
+        rng.shuffle(hop_order)
+        bots = [f"hop-bot-{i}" for i in range(self.BOTS)]
+        lease_until = {
+            f"hop-user-{i}": rng.randint(1, 9)
+            for i in range(self.INNOCENTS)
+        }
+        for user in sorted(lease_until):
+            pool.acquire(user)
+
+        events: List[AbuseEvent] = []
+        malicious: Set[IpDay] = set()
+        innocent: Dict[IpDay, int] = {}
+        stints = _StintTracker()
+        for day in range(HORIZON_DAYS):
+            for user in sorted(lease_until):
+                if day >= lease_until[user]:
+                    pool.acquire(user)
+                    lease_until[user] = day + rng.randint(6, 10)
+                key = (pool.address_of(user), day)
+                innocent[key] = innocent.get(key, 0) + 1
+            dwell = (day - self.START_DAY) // self.DWELL_DAYS
+            if day < self.START_DAY or dwell >= len(hop_order):
+                if dwell == len(hop_order):
+                    for bot in bots:
+                        pool.release(bot)
+                continue
+            block = prefixes[hop_order[dwell]]
+            if (day - self.START_DAY) % self.DWELL_DAYS == 0:
+                # Hop day: the whole campaign re-homes into the block.
+                for bot in bots:
+                    ip = pool.acquire(bot)
+                    while not block.contains(ip):
+                        ip = pool.acquire(bot)
+            for bot in bots:
+                ip = pool.address_of(bot)
+                malicious.add((ip, day))
+                stints.record(bot, ip, day)
+                # The attack itself plus the credential-stuffing noise
+                # a botnet brings along: the DDoS event is nearly
+                # invisible to the damped feeds, but the bruteforce
+                # side draws listings whose *policy category* stays
+                # DDoS-free — only the rare direct DDoS pickup makes a
+                # reuse-aware operator hard-block the block.
+                for category in (
+                    AbuseCategory.DDOS, AbuseCategory.BRUTEFORCE
+                ):
+                    events.append(
+                        AbuseEvent(
+                            day=day,
+                            ip=ip,
+                            user_key=bot,
+                            category=category,
+                        )
+                    )
+        asn_by_ip = {
+            ip: 64550 + (ip >> 8) % self.BLOCKS
+            for (ip, _) in set(innocent) | malicious
+        }
+        ledger = GroundTruthLedger(
+            malicious_ip_days=frozenset(malicious),
+            innocent_user_days=innocent,
+            stints=stints.finish(),
+            dynamic_prefixes=prefixes,
+            asn_by_ip=asn_by_ip,
+        )
+        return _build_scenario(self.name, seed, events, ledger)
+
+
+class SlowDripModel(AdversaryModel):
+    """Static-address abuse paced to stay under feed sensitivity.
+
+    Twelve attackers on plain static addresses emit one event every
+    week or so — rare enough that most per-event sensitivity draws
+    miss, and any listing's removal TTL usually expires before the
+    next event lands. A clean static control population measures the
+    false-positive floor."""
+
+    name = "slow-drip"
+    description = (
+        "static attackers drip one event every ~week, under feed "
+        "sensitivity and across removal TTLs"
+    )
+
+    ATTACKERS = 12
+    CONTROLS = 30
+    ACTIVE = (2, 57)
+
+    def build(self, seed: int) -> AbuseScenario:
+        rng = scenario_rng(self.name, seed, "world")
+        events: List[AbuseEvent] = []
+        malicious: Set[IpDay] = set()
+        stints = _StintTracker()
+        first_active, last_active = self.ACTIVE
+        asn_by_ip: Dict[int, int] = {}
+        for index in range(self.ATTACKERS):
+            attacker = f"drip-attacker-{index}"
+            ip = ip_to_int(f"203.0.113.{10 + index}")
+            asn_by_ip[ip] = 64700
+            # Malware-heavy on purpose: the damped catalog watches
+            # those categories with its least sensitive feeds, which
+            # is exactly where a patient abuser hides.
+            category = rng.choice(
+                (
+                    AbuseCategory.SCAN,
+                    AbuseCategory.MALWARE,
+                    AbuseCategory.MALWARE,
+                )
+            )
+            day = rng.randint(first_active, first_active + 6)
+            while day <= last_active:
+                malicious.add((ip, day))
+                stints.record(attacker, ip, day)
+                events.append(
+                    AbuseEvent(
+                        day=day,
+                        ip=ip,
+                        user_key=attacker,
+                        category=category,
+                    )
+                )
+                day += rng.randint(7, 11)
+        innocent: Dict[IpDay, int] = {}
+        for index in range(self.CONTROLS):
+            ip = ip_to_int(f"198.51.100.{10 + index}")
+            asn_by_ip[ip] = 64701
+            for day in range(HORIZON_DAYS):
+                innocent[(ip, day)] = 1
+        ledger = GroundTruthLedger(
+            malicious_ip_days=frozenset(malicious),
+            innocent_user_days=innocent,
+            stints=stints.finish(),
+            asn_by_ip=asn_by_ip,
+        )
+        return _build_scenario(self.name, seed, events, ledger)
+
+
+#: Registry in presentation order (the CLI's listing order).
+_REGISTRY: Dict[str, AdversaryModel] = {
+    model.name: model
+    for model in (
+        FastFluxModel(),
+        CgnShelterModel(),
+        CampaignHopModel(),
+        SlowDripModel(),
+    )
+}
+
+
+def adversary_names() -> Tuple[str, ...]:
+    """Registered scenario names, registry-ordered."""
+    return tuple(_REGISTRY)
+
+
+def get_adversary(name: str) -> AdversaryModel:
+    """Look up a model; :class:`KeyError` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(
+            f"unknown adversary scenario {name!r} (known: {known})"
+        ) from None

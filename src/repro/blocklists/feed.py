@@ -80,19 +80,24 @@ def _merge_observations(
     ``removal_ttl_days`` after the most recent one; a quiet gap longer
     than the TTL splits the presence into separate listings
     (delist-then-relist).
+
+    An observation lagged past the horizon is dropped: the collection
+    ended before the report landed, so no listing can open for it (and
+    clamping such a start to the horizon would invert the interval).
     """
-    days = sorted(set(days))
+    horizon = int(horizon_days)
+    days = sorted({day for day in days if day <= horizon})
+    if not days:
+        return
     ttl = int(info.removal_ttl_days)
     start = days[0]
     last = days[0]
     for day in days[1:]:
         if day - last > ttl:
-            yield Listing(
-                info.list_id, ip, start, min(last + ttl, int(horizon_days))
-            )
+            yield Listing(info.list_id, ip, start, min(last + ttl, horizon))
             start = day
         last = day
-    yield Listing(info.list_id, ip, start, min(last + ttl, int(horizon_days)))
+    yield Listing(info.list_id, ip, start, min(last + ttl, horizon))
 
 
 def materialize_snapshot(

@@ -24,6 +24,11 @@ Subcommands:
   the measured SLO (p50/p99 latency, error ledger) as text or JSON.
 * ``stream``   — emit a run's listing churn as an append-only update
   log (whole-window, or paced with ``--replay-days``).
+* ``scenarios`` — the adversary lab: list the registered evasive-abuse
+  models, or run them end to end (events → feeds → index → verdicts →
+  effectiveness scores), writing versioned JSON artefacts plus each
+  scenario's churn log and verifying that a live log follower scores
+  field-for-field identically to the static index.
 * ``lint``     — run ``reprolint``, the AST-based invariant linter
   (determinism in simulation paths, bounded wire reads, lock
   discipline in threaded serving code), optionally gated against the
@@ -396,6 +401,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     load_p.add_argument(
+        "--churn-source",
+        metavar="LOG",
+        help=(
+            "take the storm day batches from this pre-generated "
+            "update log (e.g. an adversary scenario's churn log from "
+            "'repro scenarios run') instead of deriving them from the "
+            "preset run; requires --churn-log"
+        ),
+    )
+    load_p.add_argument(
         "--out",
         metavar="PATH",
         help="also write the report as JSON here",
@@ -443,6 +458,53 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="workers for the pipeline run on a cache miss",
+    )
+
+    scen_p = sub.add_parser(
+        "scenarios",
+        help=(
+            "adversary lab: run evasive-abuse scenarios and score "
+            "blocklist effectiveness"
+        ),
+    )
+    scen_sub = scen_p.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser(
+        "list", help="print the registered adversary scenarios"
+    )
+    scen_run_p = scen_sub.add_parser(
+        "run",
+        help=(
+            "build, score and verify scenarios; write JSON artefacts "
+            "and churn logs"
+        ),
+    )
+    scen_run_p.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help=(
+            "scenario to run (repeatable; default: every registered "
+            "scenario — see 'repro scenarios list')"
+        ),
+    )
+    scen_run_p.add_argument("--seed", type=int, default=2020)
+    scen_run_p.add_argument(
+        "--out",
+        metavar="DIR",
+        default="results/scenarios",
+        help=(
+            "directory for the per-scenario result JSON and churn "
+            "logs (default results/scenarios)"
+        ),
+    )
+    scen_run_p.add_argument(
+        "--skip-fidelity",
+        action="store_true",
+        help=(
+            "skip the live-follower fidelity check (it replays every "
+            "churn log through a real LogFollower; scoring output is "
+            "unchanged)"
+        ),
     )
 
     lint_p = sub.add_parser(
@@ -958,6 +1020,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         raise CliError(f"--conns must be >= 1: {args.conns}")
     if args.window < 1:
         raise CliError(f"--window must be >= 1: {args.window}")
+    if args.churn_source and not args.churn_log:
+        raise CliError("--churn-source requires --churn-log")
     run = _cached_preset_run(args.preset, args.seed, args.workers)
     ips, days = population_from_analysis(mix, run.analysis)
     generator = TrafficGenerator(mix, ips, days, seed=args.load_seed)
@@ -966,7 +1030,26 @@ def _cmd_load(args: argparse.Namespace) -> int:
     on_storm = None
     if mix.churn_storms:
         if args.churn_log:
-            on_storm, pending = _build_storm_hook(args, run)
+            if args.churn_source:
+                from .loadgen import storm_hook_from_log
+
+                source = Path(args.churn_source)
+                if not source.exists():
+                    raise CliError(
+                        f"--churn-source does not exist: {source}"
+                    )
+                if not Path(args.churn_log).exists():
+                    raise CliError(
+                        f"--churn-log does not exist: {args.churn_log}"
+                    )
+                try:
+                    on_storm, pending = storm_hook_from_log(
+                        source, args.churn_log
+                    )
+                except (ValueError, UpdateLogError) as exc:
+                    raise CliError(str(exc)) from None
+            else:
+                on_storm, pending = _build_storm_hook(args, run)
             storm_times = generator.storm_times(events[-1].at)
             if pending < len(storm_times):
                 print(
@@ -1057,6 +1140,73 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"update log -> {out}: {batches} day batches, "
         f"{total_deltas} deltas (start day {start_day})"
     )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .adversary import (
+        StreamFidelityError,
+        adversary_names,
+        get_adversary,
+        render_score_table,
+        score_scenario,
+        verify_stream_fidelity,
+        write_scenario_log,
+    )
+
+    if args.scenarios_command == "list":
+        rows = [
+            (name, get_adversary(name).description)
+            for name in adversary_names()
+        ]
+        print(
+            render_table(
+                ["scenario", "strategy"],
+                rows,
+                title="Adversary lab: registered scenarios",
+            )
+        )
+        return 0
+
+    names = list(args.scenario or adversary_names())
+    for name in names:
+        if name not in adversary_names():
+            known = ", ".join(adversary_names())
+            raise CliError(
+                f"unknown scenario {name!r} (known: {known})"
+            )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    results = []
+    for name in names:
+        scenario = get_adversary(name).build(args.seed)
+        score = score_scenario(scenario)
+        stem = f"{name}-seed{args.seed}"
+        log_path = write_scenario_log(score, out / f"{stem}.log")
+        if args.skip_fidelity:
+            fidelity = "skipped"
+        else:
+            try:
+                info = verify_stream_fidelity(score, log_path)
+            except StreamFidelityError as exc:
+                raise CliError(f"stream fidelity [{name}]: {exc}") from None
+            fidelity = (
+                f"ok ({info['batches']} batches, "
+                f"{info['verdicts_compared']} verdicts)"
+            )
+        result_path = out / f"{stem}.json"
+        result_path.write_text(
+            json.dumps(score.result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        results.append(score.result)
+        print(
+            f"{name}: {len(scenario.events)} events, "
+            f"{len(score.store)} listings -> {result_path} "
+            f"(churn log {log_path}, stream fidelity {fidelity})"
+        )
+    print()
+    print(render_score_table(results))
     return 0
 
 
@@ -1213,6 +1363,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "load": _cmd_load,
         "stream": _cmd_stream,
+        "scenarios": _cmd_scenarios,
         "lint": _cmd_lint,
     }
     try:

@@ -49,7 +49,13 @@ from .lint import LintModule, Violation, rule
 __all__ = ["DETERMINISM_DIRS", "SERVING_DIRS"]
 
 #: Directories whose code must be deterministic (DET scope).
-DETERMINISM_DIRS = ("sim", "internet", "bittorrent", "experiments")
+DETERMINISM_DIRS = (
+    "sim",
+    "internet",
+    "bittorrent",
+    "experiments",
+    "adversary",
+)
 
 #: Directories on the serving/wire path (WIRE / CONC / EXC scope).
 SERVING_DIRS = ("service", "cluster", "stream")

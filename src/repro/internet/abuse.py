@@ -24,7 +24,13 @@ from ..net.asdb import ASKind
 from ..sim.rng import zipf_weights
 from .groundtruth import ADDRESSING_DYNAMIC, GroundTruth, UserInfo
 
-__all__ = ["AbuseCategory", "AbuseEvent", "AbuseConfig", "generate_abuse"]
+__all__ = [
+    "AbuseCategory",
+    "AbuseEvent",
+    "AbuseConfig",
+    "event_sort_key",
+    "generate_abuse",
+]
 
 
 class AbuseCategory:
@@ -52,6 +58,16 @@ class AbuseEvent:
     def __post_init__(self) -> None:
         if self.category not in AbuseCategory.ALL:
             raise ValueError(f"unknown abuse category {self.category!r}")
+
+
+def event_sort_key(event: AbuseEvent) -> Tuple[int, int, str]:
+    """Canonical feed order for abuse-event streams.
+
+    Every producer (the calibrated model here, the adversary scenarios
+    in :mod:`repro.adversary`) sorts with this key so feed generation
+    sees one well-defined order regardless of how the events were
+    simulated."""
+    return (event.day, event.ip, event.category)
 
 
 @dataclass
@@ -138,7 +154,7 @@ def generate_abuse(
             continue
         user.compromised = True
         events.extend(_user_campaigns(truth, user, config, rng))
-    events.sort(key=lambda e: (e.day, e.ip, e.category))
+    events.sort(key=event_sort_key)
     return events
 
 

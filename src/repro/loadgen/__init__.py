@@ -15,7 +15,12 @@ latency percentiles, shared with the benchmark suite.
 """
 
 from .generator import Event, TrafficGenerator, population_from_analysis
-from .harness import LoadHarness, LoadReport, render_report
+from .harness import (
+    LoadHarness,
+    LoadReport,
+    render_report,
+    storm_hook_from_log,
+)
 from .mixes import MIXES, MixSpec, get_mix, mix_names
 from .stats import percentile, summarize, window_day_workload
 
@@ -31,6 +36,7 @@ __all__ = [
     "percentile",
     "population_from_analysis",
     "render_report",
+    "storm_hook_from_log",
     "summarize",
     "window_day_workload",
 ]

@@ -34,7 +34,12 @@ from ..service.client import ReputationClient, ServiceError, TransportError
 from .generator import Event
 from .stats import summarize
 
-__all__ = ["LoadHarness", "LoadReport", "render_report"]
+__all__ = [
+    "LoadHarness",
+    "LoadReport",
+    "render_report",
+    "storm_hook_from_log",
+]
 
 #: A verdict carrying this key is a degraded (shard-unavailable) row.
 _ERROR_KEY = "error"
@@ -347,6 +352,43 @@ class LoadHarness:
         report.point_latency = summarize(point_lat)
         report.batch_latency = summarize(batch_lat)
         return report
+
+
+def storm_hook_from_log(
+    source: Any, target: Any
+) -> Tuple[Callable[[int], None], int]:
+    """Churn storms replayed from a pre-generated update log.
+
+    ``source`` holds the full day-batch sequence (e.g. an adversary
+    scenario log written by ``repro scenarios run``); ``target`` is the
+    live log a ``--follow`` cluster tails. Each storm appends the next
+    source batch the target has not seen yet, so an adversary
+    scenario's churn drives the serving plane mid-load. Both logs must
+    share a ``start_day`` so sequence numbers line up. Returns
+    ``(storm_fn, pending_count)``.
+    """
+    from ..stream import UpdateLogReader, UpdateLogWriter
+
+    src = UpdateLogReader(source)
+    batches = src.poll()
+    dst = UpdateLogReader(target)
+    logged = dst.poll()
+    src_start = src.header.get("start_day", 0)
+    dst_start = dst.header.get("start_day", 0)
+    if src_start != dst_start:
+        raise ValueError(
+            f"churn source starts at day {src_start} but target log "
+            f"starts at day {dst_start}; seq numbers would not align"
+        )
+    last_seq = logged[-1].seq if logged else 0
+    pending = [batch for batch in batches if batch.seq > last_seq]
+    writer = UpdateLogWriter(target)
+
+    def storm(index: int) -> None:
+        if index < len(pending):
+            writer.append(pending[index])
+
+    return storm, len(pending)
 
 
 def render_report(report: LoadReport) -> str:

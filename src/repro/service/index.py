@@ -41,7 +41,12 @@ from ..internet.abuse import AbuseCategory
 from ..net.ipv4 import Prefix, is_valid_ip_int
 from ..net.prefixtrie import PrefixSet
 
-__all__ = ["ASRollup", "ReputationIndex", "SnapshotError"]
+__all__ = [
+    "ASRollup",
+    "ReputationIndex",
+    "SnapshotError",
+    "policy_category",
+]
 
 _SNAPSHOT_MAGIC = "repro-reputation-index"
 _SNAPSHOT_VERSION = 1
@@ -133,7 +138,7 @@ class ReputationIndex:
             },
             dynamic_prefixes=analysis.dynamic_prefixes,
             categories={
-                info.list_id: _policy_category(info) for info in catalog
+                info.list_id: policy_category(info) for info in catalog
             },
             asn_by_ip={
                 ip: analysis.asn_of(ip) for ip in analysis.blocklisted_ips
@@ -423,12 +428,15 @@ class ReputationIndex:
             ) from None
 
 
-def _policy_category(info: BlocklistInfo) -> str:
+def policy_category(info: BlocklistInfo) -> str:
     """The category the Section 6 action policy keys on.
 
     A list that reacts to DDoS at all is treated as a DDoS list (rate
     beats precision there, so those listings stay blocking); otherwise
-    its primary category applies.
+    its primary category applies. Public because every index builder —
+    :meth:`ReputationIndex.from_analysis` here, the adversary-lab
+    scorer building an index straight from a scenario ledger — must
+    derive the category map the same way for verdicts to agree.
     """
     if AbuseCategory.DDOS in info.categories:
         return AbuseCategory.DDOS

@@ -304,6 +304,60 @@ class TestFeedGeneration:
         )
         assert store.listings_of_list("spamlist")[0].last_day == 100
 
+    def test_lagged_observation_past_horizon_dropped(self):
+        """A report that lands after the collection horizon opens no
+        listing (regression: it used to build an inverted interval and
+        raise ValueError)."""
+        ip = ip_to_int("1.2.3.4")
+        events = [
+            AbuseEvent(day=d, ip=ip, user_key="u", category=AbuseCategory.SPAM)
+            for d in (98, 99)
+        ]
+        store = generate_listings(
+            events,
+            [self.spam_list(report_lag_days=5)],
+            random.Random(1),
+            horizon_days=100,
+        )
+        assert len(store) == 0
+
+    def test_lagged_horizon_mix_keeps_in_horizon_days(self):
+        """Observations split by the horizon: in-horizon days still
+        merge into their listing, late ones are dropped."""
+        ip = ip_to_int("1.2.3.4")
+        events = [
+            AbuseEvent(day=d, ip=ip, user_key="u", category=AbuseCategory.SPAM)
+            for d in (10, 11, 99)
+        ]
+        store = generate_listings(
+            events,
+            [self.spam_list(report_lag_days=5)],
+            random.Random(1),
+            horizon_days=100,
+        )
+        listings = store.listings_of_list("spamlist")
+        assert len(listings) == 1
+        assert listings[0].first_day == 15
+        assert listings[0].last_day == 19  # 16 + ttl 3
+
+    def test_observation_on_horizon_day_kept(self):
+        """An observation landing exactly on the horizon still opens a
+        one-day listing (<= boundary, not <)."""
+        ip = ip_to_int("1.2.3.4")
+        events = [
+            AbuseEvent(day=95, ip=ip, user_key="u", category=AbuseCategory.SPAM)
+        ]
+        store = generate_listings(
+            events,
+            [self.spam_list(report_lag_days=5)],
+            random.Random(1),
+            horizon_days=100,
+        )
+        listings = store.listings_of_list("spamlist")
+        assert len(listings) == 1
+        assert listings[0].first_day == 100
+        assert listings[0].last_day == 100
+
     def _noisy_events(self):
         """Enough events across categories that sub-1.0 sensitivity
         sampling actually exercises the RNG."""

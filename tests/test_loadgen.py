@@ -342,7 +342,75 @@ class TestHarness:
             LoadHarness("127.0.0.1", 1, window=0)
 
 
+class TestStormHookFromLog:
+    @pytest.fixture(scope="class")
+    def scenario_log(self, tmp_path_factory):
+        from repro.adversary import (
+            get_adversary,
+            score_scenario,
+            write_scenario_log,
+        )
+
+        score = score_scenario(get_adversary("slow-drip").build(2020))
+        path = tmp_path_factory.mktemp("churn") / "source.log"
+        return write_scenario_log(score, path)
+
+    def test_replays_source_batches_on_storms(
+        self, scenario_log, tmp_path
+    ):
+        from repro.loadgen import storm_hook_from_log
+        from repro.stream import UpdateLogReader, UpdateLogWriter
+
+        source_batches = UpdateLogReader(scenario_log).poll()
+        target = tmp_path / "live.log"
+        UpdateLogWriter(target, start_day=0)  # header-only live log
+        storm, pending = storm_hook_from_log(scenario_log, target)
+        assert pending == len(source_batches)
+        for index in range(3):
+            storm(index)
+        storm(len(source_batches) + 5)  # beyond pending: a no-op
+        replayed = UpdateLogReader(target).poll()
+        assert replayed == source_batches[:3]
+
+    def test_resumes_past_already_logged_batches(
+        self, scenario_log, tmp_path
+    ):
+        from repro.loadgen import storm_hook_from_log
+        from repro.stream import UpdateLogReader, UpdateLogWriter
+
+        source_batches = UpdateLogReader(scenario_log).poll()
+        target = tmp_path / "live.log"
+        writer = UpdateLogWriter(target, start_day=0)
+        for batch in source_batches[:4]:
+            writer.append(batch)
+        storm, pending = storm_hook_from_log(scenario_log, target)
+        assert pending == len(source_batches) - 4
+        storm(0)
+        replayed = UpdateLogReader(target).poll()
+        assert replayed == source_batches[:5]
+
+    def test_start_day_mismatch_rejected(self, scenario_log, tmp_path):
+        from repro.loadgen import storm_hook_from_log
+        from repro.stream import UpdateLogWriter
+
+        target = tmp_path / "live.log"
+        UpdateLogWriter(target, start_day=7)
+        with pytest.raises(ValueError, match="start"):
+            storm_hook_from_log(scenario_log, target)
+
+
 class TestLoadCli:
+    def test_churn_source_requires_churn_log(self, capsys):
+        code = main(
+            [
+                "load", "--port", "1",
+                "--churn-source", "whatever.log",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--churn-source requires --churn-log" in err
+
     def test_bad_queries_is_error(self, capsys):
         assert main(["load", "--queries", "0", "--port", "1"]) == 2
         assert "--queries" in capsys.readouterr().err
