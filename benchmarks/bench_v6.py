@@ -1,0 +1,118 @@
+"""Performance of the IPv6 serving path.
+
+The family generalization must not tax either family. Three numbers
+gate it:
+
+* **v6 survey build rate** — the full hitlist-v6 discovery half
+  (corpus generation, Entropy/IP structure learning, per-group target
+  generation, alias collapse, pool classification), floored in
+  hitlist-addresses/sec so the scenario stays an interactive command;
+* **128-bit trie lookups/sec** — point lookups against a
+  :class:`~repro.net.prefixtrie.PrefixTrie` parameterized over V6 and
+  loaded with the survey's /64 pools (16x the bit depth of the v4
+  trie, so this is the structure's worst case);
+* **routed v6 binary batches** — pipelined ``FT_BATCH_REQ6`` frames
+  through a 2-shard v6 cluster end to end, floored in queries/sec.
+"""
+
+import random
+import time
+
+from repro.adversary import scenario_index
+from repro.cluster import LocalCluster
+from repro.net.family import V6
+from repro.net.prefixtrie import PrefixTrie
+from repro.service.client import ReputationClient
+from repro.v6serve import HitlistV6Model
+
+#: Floor on survey construction throughput (hitlist addresses/sec).
+MIN_SURVEY_ADDRESSES_PER_SEC = 300
+
+#: Floor on 128-bit trie point lookups (lookups/sec).
+MIN_TRIE_LOOKUPS_PER_SEC = 100_000
+
+#: Floor on pipelined binary v6 batches through the router. The v6
+#: records are ~4x the v4 payload, so the floor sits below the v4
+#: cluster gate but must stay the same order of magnitude.
+MIN_V6_ROUTED_QPS = 20_000
+
+
+def test_perf_v6_survey_build(benchmark):
+    """Hitlist addresses/sec through the discovery pipeline."""
+    model = HitlistV6Model()
+
+    survey = benchmark.pedantic(
+        lambda: model.survey(2020), rounds=3, iterations=1
+    )
+    assert survey.facts.hitlist
+
+    started = time.perf_counter()
+    survey = model.survey(2021)
+    elapsed = time.perf_counter() - started
+    rate = len(survey.facts.hitlist) / elapsed
+    assert rate > MIN_SURVEY_ADDRESSES_PER_SEC, f"{rate:.0f} addrs/s"
+
+
+def test_perf_v6_trie_lookup(benchmark, gc_frozen):
+    """Point lookups/sec against a 128-bit prefix trie."""
+    survey = HitlistV6Model().survey(2020)
+    trie = PrefixTrie(V6)
+    for pool in survey.facts.pools:
+        trie.insert(pool.prefix, pool.risk)
+    rng = random.Random(7)
+    hitlist = survey.facts.hitlist
+    probes = [rng.choice(hitlist) for _ in range(20_000)]
+
+    def sweep():
+        hits = 0
+        for ip in probes:
+            if trie.lookup_value(ip) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert hits == len(probes)
+
+    started = time.perf_counter()
+    sweep()
+    elapsed = time.perf_counter() - started
+    rate = len(probes) / elapsed
+    assert rate > MIN_TRIE_LOOKUPS_PER_SEC, f"{rate:.0f} lookups/s"
+
+
+def test_perf_v6_routed_binary_batches(benchmark, gc_frozen):
+    """Pipelined FT_BATCH_REQ6 frames through a 2-shard v6 cluster."""
+    scenario = HitlistV6Model().build(2020)
+    index = scenario_index(scenario)
+    rng = random.Random(11)
+    population = sorted(
+        {ip for (ip, _day) in scenario.ledger.eval_points()}
+    )
+    queries = [
+        (rng.choice(population), rng.randrange(scenario.horizon_days))
+        for _ in range(8_000)
+    ]
+    batches = [
+        queries[start : start + 256]
+        for start in range(0, len(queries), 256)
+    ]
+
+    with LocalCluster(index, shards=2, mode="thread") as cluster:
+        assert cluster.router.wait_healthy(10.0)
+        with ReputationClient(
+            *cluster.address, codec="binary", family=V6
+        ) as client:
+            assert client.codec == "binary"
+
+            def pipelined():
+                replies = client.query_batch_pipelined(batches)
+                return sum(len(reply) for reply in replies)
+
+            total = benchmark.pedantic(pipelined, rounds=3, iterations=1)
+            assert total == len(queries)
+
+            started = time.perf_counter()
+            pipelined()
+            elapsed = time.perf_counter() - started
+    rate = len(queries) / elapsed
+    assert rate > MIN_V6_ROUTED_QPS, f"{rate:.0f} q/s"

@@ -14,18 +14,21 @@
 #   4. perf regression gate (benchmarks vs BENCH_baseline.json)
 #   5. adversary-lab smoke (scripts/scenarios_smoke.sh): every
 #      scenario end to end through the CLI, fidelity check included
+#   6. IPv6 serving smoke (scripts/v6_smoke.sh): hitlist-v6 scenario
+#      served by a live cluster and queried over the CLI, plus the
+#      v6-hitlist load mix
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== [1/5] tier-1 tests =="
+echo "== [1/6] tier-1 tests =="
 python -m pytest -x -q
 
-echo "== [2/5] reprolint baseline gate =="
+echo "== [2/6] reprolint baseline gate =="
 python scripts/lint_gate.py
 
-echo "== [3/5] mypy --strict (tracked modules) =="
+echo "== [3/6] mypy --strict (tracked modules) =="
 if python -c "import mypy" >/dev/null 2>&1; then
     # Module list and strictness live in [tool.mypy] in pyproject.toml.
     python -m mypy
@@ -33,7 +36,7 @@ else
     echo "mypy not installed — skipped (pip install -e '.[dev]')"
 fi
 
-echo "== [4/5] perf regression gate =="
+echo "== [4/6] perf regression gate =="
 if [ "${REPRO_CHECK_SKIP_PERF:-0}" = "1" ]; then
     echo "skipped (REPRO_CHECK_SKIP_PERF=1)"
 else
@@ -46,11 +49,15 @@ else
         benchmarks/bench_stream.py \
         benchmarks/bench_cluster.py \
         benchmarks/bench_adversary.py \
+        benchmarks/bench_v6.py \
         --benchmark-json="$BENCH_JSON" -q
     python scripts/perf_regress.py "$BENCH_JSON"
 fi
 
-echo "== [5/5] adversary scenarios smoke =="
+echo "== [5/6] adversary scenarios smoke =="
 bash scripts/scenarios_smoke.sh
+
+echo "== [6/6] IPv6 serving smoke =="
+bash scripts/v6_smoke.sh
 
 echo "check.sh: all gates passed"

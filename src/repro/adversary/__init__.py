@@ -35,6 +35,14 @@ from .scoring import (
     verdict_fields,
 )
 
+# Imported last, as a module rather than a name: the hitlist-v6 model
+# lives in repro.v6serve (it is the v6 serving pipeline's acceptance
+# scenario) and self-registers on import, which needs .models fully
+# initialised first. The module form keeps the import cycle harmless
+# when repro.v6serve is the entry point — at that moment the submodule
+# exists in sys.modules but its names are not yet bound.
+from ..v6serve import hitlist as _v6_hitlist  # noqa: F401
+
 __all__ = [
     "AbuseScenario",
     "AbuseStint",

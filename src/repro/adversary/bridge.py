@@ -68,18 +68,19 @@ def write_scenario_log(score: ScenarioScore, path: "Path | str") -> Path:
         for listing in score.store
         if listing.first_day <= LOG_START_DAY
     ]
-    writer = UpdateLogWriter(
-        target,
-        start_day=LOG_START_DAY,
-        meta={
-            "scenario": scenario.name,
-            "seed": scenario.seed,
-            "horizon_days": scenario.horizon_days,
-            "windows": [list(window) for window in scenario.windows],
-            "ips": len({listing.ip for listing in base}),
-            "intervals": len(base),
-        },
-    )
+    meta = {
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "horizon_days": scenario.horizon_days,
+        "windows": [list(window) for window in scenario.windows],
+        "ips": len({listing.ip for listing in base}),
+        "intervals": len(base),
+    }
+    if scenario.family != "ipv4":
+        # The family key widens the reader's delta-ip validation;
+        # leaving it off v4 logs keeps them byte-identical.
+        meta["family"] = scenario.family
+    writer = UpdateLogWriter(target, start_day=LOG_START_DAY, meta=meta)
     for batch in scenario_batches(score):
         writer.append(batch)
     return target

@@ -156,7 +156,11 @@ class GroundTruthLedger:
 
 @dataclass(frozen=True)
 class AbuseScenario:
-    """One built scenario: the observable stream plus the answer key."""
+    """One built scenario: the observable stream plus the answer key.
+
+    ``family`` names the address family of every ``ip`` in the events
+    and ledger (``"ipv4"`` unless a model says otherwise — the
+    hitlist-v6 model plays out over 128-bit addresses)."""
 
     name: str
     seed: int
@@ -164,25 +168,31 @@ class AbuseScenario:
     windows: Tuple[Window, ...]
     events: Tuple[AbuseEvent, ...]
     ledger: GroundTruthLedger
+    family: str = "ipv4"
 
     def to_json(self) -> str:
         """Canonical serialization — byte-identical for one
         ``(name, seed)`` pair, which is the determinism contract the
         tests pin."""
+        payload = {
+            "format": "repro-adversary-scenario",
+            "version": 1,
+            "name": self.name,
+            "seed": self.seed,
+            "horizon_days": self.horizon_days,
+            "windows": [list(window) for window in self.windows],
+            "events": [
+                [e.day, e.ip, e.user_key, e.category]
+                for e in self.events
+            ],
+            "ledger": self.ledger.as_dict(),
+        }
+        # Key present only off the v4 default, keeping pre-family v4
+        # scenario documents byte-identical.
+        if self.family != "ipv4":
+            payload["family"] = self.family
         return json.dumps(
-            {
-                "format": "repro-adversary-scenario",
-                "version": 1,
-                "name": self.name,
-                "seed": self.seed,
-                "horizon_days": self.horizon_days,
-                "windows": [list(window) for window in self.windows],
-                "events": [
-                    [e.day, e.ip, e.user_key, e.category]
-                    for e in self.events
-                ],
-                "ledger": self.ledger.as_dict(),
-            },
+            payload,
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -624,6 +634,18 @@ _REGISTRY: Dict[str, AdversaryModel] = {
         SlowDripModel(),
     )
 }
+
+
+def register_adversary(model: AdversaryModel) -> AdversaryModel:
+    """Add a model to the registry (idempotent per name).
+
+    Models living outside this module — the IPv6 hitlist scenario in
+    :mod:`repro.v6serve` — register themselves through here so the CLI
+    and tests see one registry."""
+    if not model.name:
+        raise ValueError("adversary model needs a name")
+    _REGISTRY[model.name] = model
+    return model
 
 
 def adversary_names() -> Tuple[str, ...]:

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..blocklists.catalog import BlocklistInfo, build_catalog
 from ..blocklists.timeline import ListingStore
 from ..core.greylist import BlockAction
+from ..net.family import family_named
 from ..service.engine import QueryEngine, Verdict
 from ..service.index import ReputationIndex, policy_category
 from .models import AbuseScenario, IpDay, scenario_rng
@@ -120,6 +121,7 @@ def scenario_index(
             info.list_id: policy_category(info) for info in catalog
         },
         asn_by_ip=dict(ledger.asn_by_ip),
+        family=family_named(scenario.family),
     )
 
 

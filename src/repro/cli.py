@@ -842,7 +842,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving on {host}:{bound_port} — {sizes['ips']} addresses, "
         f"{sizes['intervals']} listing intervals, {sizes['lists']} "
-        f"lists, {sizes['dynamic_prefixes']} dynamic /24s"
+        f"lists, {sizes['dynamic_prefixes']} dynamic "
+        f"/{index.family.atom_bits}s"
         + (f", following {args.follow}" if follower else "")
     )
     if follower is not None:
@@ -1005,8 +1006,10 @@ def _cmd_load(args: argparse.Namespace) -> int:
         TrafficGenerator,
         get_mix,
         population_from_analysis,
+        population_from_hitlist,
         render_report,
     )
+    from .net.family import V4, V6
 
     port = _checked_port(args.port)
     mix = get_mix(args.mix)
@@ -1022,8 +1025,20 @@ def _cmd_load(args: argparse.Namespace) -> int:
         raise CliError(f"--window must be >= 1: {args.window}")
     if args.churn_source and not args.churn_log:
         raise CliError("--churn-source requires --churn-log")
-    run = _cached_preset_run(args.preset, args.seed, args.workers)
-    ips, days = population_from_analysis(mix, run.analysis)
+    if mix.family == "ipv6":
+        # A v6 mix draws from the seeded hitlist-v6 survey instead of
+        # a preset run: same seed, same de-aliased hitlist the server
+        # side serves.
+        from .adversary.models import HORIZON_DAYS
+        from .v6serve import HitlistV6Model
+
+        survey = HitlistV6Model().survey(args.seed)
+        ips, days = population_from_hitlist(
+            mix, survey.facts.hitlist, horizon_days=HORIZON_DAYS
+        )
+    else:
+        run = _cached_preset_run(args.preset, args.seed, args.workers)
+        ips, days = population_from_analysis(mix, run.analysis)
     generator = TrafficGenerator(mix, ips, days, seed=args.load_seed)
     events = generator.schedule(args.queries, args.target_qps)
     storm_times: list = []
@@ -1072,6 +1087,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
         conns=args.conns,
         codec=args.codec,
         window=args.window,
+        family=V6 if mix.family == "ipv6" else V4,
     )
     report = harness.run(
         events,

@@ -45,6 +45,13 @@ class LocalCluster:
     ``serve --follow`` would). Replicas are independent backends over
     the same slice — in streaming mode each follows the shared log on
     its own, so a failover target is as fresh as its own tail.
+
+    The partition inherits ``full_index.family``, so handing a
+    compiled IPv6 index here boots a v6 cluster with no other knobs.
+    A v4 cluster may also host a *static* v6 plane alongside
+    (``v6_index`` + ``v6_shards``): the router then answers both
+    families on one port. Kill/restart/split hooks act on the primary
+    plane only.
     """
 
     def __init__(
@@ -63,12 +70,14 @@ class LocalCluster:
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         poll_interval: float = 0.05,
         backend_codec: str = "binary",
+        v6_index: Optional[ReputationIndex] = None,
+        v6_shards: int = 2,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown cluster mode: {mode!r}")
         if replicas < 0:
             raise ValueError(f"negative replica count: {replicas}")
-        self.partition = PartitionMap(shards)
+        self.partition = PartitionMap(shards, family=full_index.family)
         self.mode = mode
         self._follow = follow
         self._start_day = start_day
@@ -100,6 +109,37 @@ class LocalCluster:
                     for _ in range(1 + replicas)
                 ]
             )
+        # Optional static v6 plane next to a v4 primary: its shards
+        # never follow a log and never split — the dual-family front
+        # door is the point, not v6 elasticity.
+        self.partition6: Optional[PartitionMap] = None
+        self._backends6: List[List[_ShardHost]] = []
+        self._addresses6: List[List[Tuple[str, int]]] = []
+        if v6_index is not None:
+            if full_index.family is v6_index.family:
+                raise ValueError(
+                    "v6_index must carry the other address family; "
+                    f"both indexes are {full_index.family.name}"
+                )
+            self.partition6 = PartitionMap(
+                v6_shards, family=v6_index.family
+            )
+            for shard_id, shard_range in enumerate(
+                self.partition6.ranges
+            ):
+                restricted = v6_index.restrict(
+                    shard_range.lo, shard_range.hi
+                )
+                self._backends6.append(
+                    [
+                        self._make_backend(
+                            restricted,
+                            shard_id,
+                            shard_range,
+                            follow=None,
+                        )
+                    ]
+                )
         self._router_args = dict(
             host=host,
             port=router_port,
@@ -110,18 +150,24 @@ class LocalCluster:
         )
         self.router: Optional[Router] = None
 
+    #: Sentinel distinguishing "no follow" from "inherit the cluster's".
+    _INHERIT = object()
+
     def _make_backend(
         self,
         restricted: ReputationIndex,
         shard_id: int,
         shard_range: ShardRange,
+        follow: Any = _INHERIT,
     ) -> _ShardHost:
+        if follow is LocalCluster._INHERIT:
+            follow = self._follow
         if self.mode == "process":
             return ShardProcess(
                 restricted,
                 shard_id,
                 shard_range,
-                follow=self._follow,
+                follow=follow,
                 start_day=self._start_day,
                 host=self._host,
                 connection_timeout=self._connection_timeout,
@@ -130,7 +176,7 @@ class LocalCluster:
             restricted,
             shard_id,
             shard_range,
-            follow=self._follow,
+            follow=follow,
             start_day=self._start_day,
             host=self._host,
             connection_timeout=self._connection_timeout,
@@ -140,7 +186,12 @@ class LocalCluster:
     # -- lifecycle -----------------------------------------------------
 
     def start_backends(self) -> List[List[Tuple[str, int]]]:
-        """Start every shard backend; returns their bound addresses."""
+        """Start every primary-plane backend; returns their bound
+        addresses (v6-plane backends start here too, kept aside)."""
+        self._addresses6 = [
+            [backend.start() for backend in slot]
+            for slot in self._backends6
+        ]
         return [
             [backend.start() for backend in slot]
             for slot in self._backends
@@ -153,7 +204,11 @@ class LocalCluster:
         registered on ``self.router`` so :meth:`close` tears it down."""
         with self._split_lock:
             self.router = Router(
-                self.partition, addresses, **self._router_args
+                self.partition,
+                addresses,
+                v6_partition=self.partition6,
+                v6_backends=self._addresses6 or None,
+                **self._router_args,
             )
             return self.router
 
@@ -170,7 +225,7 @@ class LocalCluster:
             router, self.router = self.router, None
         if router is not None:
             router.shutdown()
-        for slot in self._backends:
+        for slot in self._backends + self._backends6:
             for backend in slot:
                 try:
                     if isinstance(backend, ShardProcess):

@@ -1,61 +1,70 @@
-"""Deterministic partitioning of the IPv4 space into shard ranges.
+"""Deterministic partitioning of an address space into shard ranges.
 
 The cluster's correctness hinges on one property: a verdict must never
 depend on *which* shard answered. The only cross-address state a
-verdict reads is the dynamic-/24 classification (the paper expands
-dynamic detections to their covering /24, Section 3.2), so the
-partitioner splits the space at /24 boundaries — every /24, and with
-it every dynamic-prefix decision, lives wholly inside one shard.
+verdict reads is the dynamic-prefix classification (the paper expands
+dynamic detections to their covering /24, Section 3.2; the IPv6
+analogue is the Entropy/IP /64 subnet), so the partitioner splits the
+space at the family's *atom* boundaries — every /24 (v4) or /64 (v6),
+and with it every dynamic-prefix decision, lives wholly inside one
+shard.
 
 A :class:`PartitionMap` starts as a pure function of the shard count:
-the 2^24 /24-blocks are split into ``shards`` contiguous, balanced
-ranges (block ``b`` goes to shard ``floor(b * shards / 2^24)``), so a
-router and any number of shard bootstrappers agree on the layout
+the family's atoms are split into ``shards`` contiguous, balanced
+ranges (atom ``b`` goes to shard ``floor(b * shards / total_atoms)``),
+so a router and any number of shard bootstrappers agree on the layout
 without coordination. Online elasticity then generalises the layout:
-:meth:`PartitionMap.split` halves one shard's range at a /24-aligned
+:meth:`PartitionMap.split` halves one shard's range at an atom-aligned
 midpoint, producing a *non-uniform* map, and
 :meth:`PartitionMap.from_ranges` / :meth:`PartitionMap.from_wire`
 validate and rebuild any such layout (the ``stats`` payload carries
-it), keeping the single invariant — contiguous, gap-free, /24-aligned
+it), keeping the single invariant — contiguous, gap-free, atom-aligned
 coverage of the whole space — regardless of how the map was grown.
+
+Validation errors render bounds in fixed-width hex alongside the
+dotted/colon form: 128-bit integers are unreadable in decimal, and hex
+makes an alignment slip (a low host bit set) visible at a glance.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
-from ..net.ipv4 import MAX_IPV4, int_to_ip, is_valid_ip_int
+from ..net.family import V4, AddressFamily, family_named
 
 __all__ = ["MAX_SHARDS", "PartitionMap", "ShardRange"]
 
-#: Number of /24 blocks in the IPv4 space — the partitioning unit.
-_TOTAL_BLOCKS = 1 << 24
-
-#: Upper bound on the shard count (one shard per /24 block at most is
+#: Upper bound on the shard count (one shard per atom at most is
 #: absurd; this bound just keeps a typo'd count from allocating wild).
 MAX_SHARDS = 4096
 
 
 @dataclass(frozen=True, order=True)
 class ShardRange:
-    """One shard's contiguous, /24-aligned slice ``lo..hi`` (inclusive)."""
+    """One shard's contiguous, atom-aligned slice ``lo..hi`` (inclusive)."""
 
     lo: int
     hi: int
+    family: AddressFamily = field(default=V4, compare=False)
 
     def __post_init__(self) -> None:
-        if not (is_valid_ip_int(self.lo) and is_valid_ip_int(self.hi)):
-            raise ValueError(f"bad range bounds: {self.lo!r}..{self.hi!r}")
+        fam = self.family
+        if not (fam.valid_ip(self.lo) and fam.valid_ip(self.hi)):
+            raise ValueError(
+                f"bad {fam.name} range bounds: {self.lo!r}..{self.hi!r}"
+            )
         if self.lo > self.hi:
             raise ValueError(
-                f"range ends before it starts: {self.lo}..{self.hi}"
+                f"range ends before it starts: "
+                f"{fam.hex(self.lo)}..{fam.hex(self.hi)}"
             )
-        if self.lo & 0xFF or (self.hi & 0xFF) != 0xFF:
+        if self.lo & fam.atom_mask or (self.hi & fam.atom_mask) != fam.atom_mask:
             raise ValueError(
-                f"range not /24-aligned: "
-                f"{int_to_ip(self.lo)}..{int_to_ip(self.hi)}"
+                f"range not /{fam.atom_bits}-aligned: "
+                f"{fam.format(self.lo)}..{fam.format(self.hi)} "
+                f"({fam.hex(self.lo)}..{fam.hex(self.hi)})"
             )
 
     def contains(self, ip: int) -> bool:
@@ -71,48 +80,59 @@ class ShardRange:
         return [self.lo, self.hi]
 
     @classmethod
-    def from_wire(cls, row: Sequence[int]) -> "ShardRange":
+    def from_wire(
+        cls, row: Sequence[int], family: AddressFamily = V4
+    ) -> "ShardRange":
         if not isinstance(row, (list, tuple)) or len(row) != 2:
             raise ValueError(f"range row must be [lo, hi]: {row!r}")
-        return cls(int(row[0]), int(row[1]))
+        return cls(int(row[0]), int(row[1]), family)
 
     def __str__(self) -> str:
-        return f"{int_to_ip(self.lo)}..{int_to_ip(self.hi)}"
+        return f"{self.family.format(self.lo)}..{self.family.format(self.hi)}"
 
 
 class PartitionMap:
     """The deterministic shard layout for a given shard count."""
 
-    def __init__(self, shards: int) -> None:
+    def __init__(self, shards: int, family: AddressFamily = V4) -> None:
         if not isinstance(shards, int) or isinstance(shards, bool):
             raise ValueError(f"shard count must be an integer: {shards!r}")
         if not 1 <= shards <= MAX_SHARDS:
             raise ValueError(
                 f"shard count out of range 1..{MAX_SHARDS}: {shards}"
             )
-        starts = [
-            (i * _TOTAL_BLOCKS) // shards for i in range(shards)
-        ]
+        total_atoms = family.total_atoms
+        host = family.atom_host_bits
+        starts = [(i * total_atoms) // shards for i in range(shards)]
         ranges: List[ShardRange] = []
-        for i, start_block in enumerate(starts):
-            end_block = (
-                starts[i + 1] if i + 1 < shards else _TOTAL_BLOCKS
-            )
+        for i, start_atom in enumerate(starts):
+            end_atom = starts[i + 1] if i + 1 < shards else total_atoms
             ranges.append(
-                ShardRange(start_block << 8, (end_block << 8) - 1)
+                ShardRange(
+                    start_atom << host, (end_atom << host) - 1, family
+                )
             )
+        self._family = family
         self._set_ranges(tuple(ranges))
 
     def _set_ranges(self, ranges: Tuple[ShardRange, ...]) -> None:
         self._ranges: Tuple[ShardRange, ...] = ranges
-        # Parallel start-block array: the bisect key for shard_of.
-        self._block_starts = [r.lo >> 8 for r in ranges]
+        # Parallel start-atom array: the bisect key for shard_of.
+        host = self._family.atom_host_bits
+        self._atom_starts = [r.lo >> host for r in ranges]
+
+    @property
+    def family(self) -> AddressFamily:
+        """The address family this map partitions."""
+        return self._family
 
     @classmethod
-    def from_ranges(cls, ranges: Sequence[ShardRange]) -> "PartitionMap":
+    def from_ranges(
+        cls, ranges: Sequence[ShardRange], family: AddressFamily = V4
+    ) -> "PartitionMap":
         """A map over an explicit (possibly non-uniform) range list.
 
-        The ranges must cover the whole IPv4 space contiguously in
+        The ranges must cover the whole address space contiguously in
         order — no gaps, no overlaps — because ``shard_of`` must have
         exactly one answer for every address.
         """
@@ -126,21 +146,28 @@ class PartitionMap:
         for row in rows:
             if not isinstance(row, ShardRange):
                 raise ValueError(f"not a ShardRange: {row!r}")
+            if row.family is not family:
+                raise ValueError(
+                    f"range {row} is {row.family.name}, map is {family.name}"
+                )
         if rows[0].lo != 0:
             raise ValueError(
-                f"coverage must start at 0.0.0.0, not {int_to_ip(rows[0].lo)}"
+                f"coverage must start at {family.format(0)}, not "
+                f"{family.format(rows[0].lo)} ({family.hex(rows[0].lo)})"
             )
-        if rows[-1].hi != MAX_IPV4:
+        if rows[-1].hi != family.max_int:
             raise ValueError(
-                f"coverage must end at {int_to_ip(MAX_IPV4)}, "
-                f"not {int_to_ip(rows[-1].hi)}"
+                f"coverage must end at {family.hex(family.max_int)}, "
+                f"not {family.hex(rows[-1].hi)}"
             )
         for left, right in zip(rows, rows[1:]):
             if right.lo != left.hi + 1:
                 raise ValueError(
-                    f"ranges must be contiguous: {left} then {right}"
+                    f"ranges must be contiguous: {left} then {right} "
+                    f"(gap after {family.hex(left.hi)})"
                 )
         pm = cls.__new__(cls)
+        pm._family = family
         pm._set_ranges(rows)
         return pm
 
@@ -149,10 +176,13 @@ class PartitionMap:
         """Rebuild a map from its :meth:`to_wire` payload."""
         if not isinstance(payload, dict):
             raise ValueError(f"partition payload must be an object: {payload!r}")
+        family = family_named(payload.get("family"))
         rows = payload.get("ranges")
         if not isinstance(rows, list):
             raise ValueError(f"partition payload has no range list: {payload!r}")
-        pm = cls.from_ranges([ShardRange.from_wire(row) for row in rows])
+        pm = cls.from_ranges(
+            [ShardRange.from_wire(row, family) for row in rows], family
+        )
         declared = payload.get("shards")
         if declared is not None and declared != len(pm):
             raise ValueError(
@@ -162,10 +192,10 @@ class PartitionMap:
         return pm
 
     def split(self, shard_id: int) -> "PartitionMap":
-        """A new map with shard ``shard_id`` halved at a /24-aligned
+        """A new map with shard ``shard_id`` halved at an atom-aligned
         midpoint; shards after it shift up by one id.
 
-        Raises :class:`ValueError` when the shard covers a single /24
+        Raises :class:`ValueError` when the shard covers a single atom
         (the partitioning unit — splitting it would strand a dynamic
         prefix across shards) or the map is already at the shard cap.
         """
@@ -173,22 +203,28 @@ class PartitionMap:
             raise ValueError(
                 f"no shard {shard_id} in a {len(self._ranges)}-shard map"
             )
+        fam = self._family
+        host = fam.atom_host_bits
         rng = self._ranges[shard_id]
-        blocks = (rng.hi + 1 - rng.lo) >> 8
-        if blocks < 2:
+        atoms = (rng.hi + 1 - rng.lo) >> host
+        if atoms < 2:
             raise ValueError(
-                f"shard {shard_id} covers a single /24 ({rng}); "
-                f"cannot split further"
+                f"shard {shard_id} covers a single /{fam.atom_bits} "
+                f"({rng}); cannot split further"
             )
         if len(self._ranges) >= MAX_SHARDS:
             raise ValueError(
                 f"map already at the {MAX_SHARDS}-shard cap"
             )
-        mid = rng.lo + ((blocks // 2) << 8)
+        mid = rng.lo + ((atoms // 2) << host)
         return PartitionMap.from_ranges(
             self._ranges[:shard_id]
-            + (ShardRange(rng.lo, mid - 1), ShardRange(mid, rng.hi))
-            + self._ranges[shard_id + 1:]
+            + (
+                ShardRange(rng.lo, mid - 1, fam),
+                ShardRange(mid, rng.hi, fam),
+            )
+            + self._ranges[shard_id + 1:],
+            fam,
         )
 
     @property
@@ -204,26 +240,37 @@ class PartitionMap:
 
     def shard_of(self, ip: int) -> int:
         """The shard id owning integer address ``ip``."""
-        if not is_valid_ip_int(ip):
+        if not self._family.valid_ip(ip):
             raise ValueError(f"bad address integer: {ip!r}")
-        return bisect_right(self._block_starts, ip >> 8) - 1
+        return (
+            bisect_right(self._atom_starts, ip >> self._family.atom_host_bits)
+            - 1
+        )
 
     def range_of(self, shard_id: int) -> ShardRange:
         """The range of one shard (:class:`IndexError` when absent)."""
         return self._ranges[shard_id]
 
     def to_wire(self) -> Dict[str, Any]:
-        """JSON-ready description (the ``stats`` op reports it)."""
-        return {
+        """JSON-ready description (the ``stats`` op reports it).
+
+        The ``family`` key is emitted only for non-v4 maps so v4
+        payloads stay byte-identical to the pre-family wire format.
+        """
+        payload: Dict[str, Any] = {
             "shards": len(self._ranges),
             "ranges": [r.to_wire() for r in self._ranges],
         }
+        if self._family is not V4:
+            payload["family"] = self._family.name
+        return payload
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, PartitionMap)
+            and self._family is other._family
             and self._ranges == other._ranges
         )
 
     def __hash__(self) -> int:
-        return hash(self._ranges)
+        return hash((self._family.name, self._ranges))

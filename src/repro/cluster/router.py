@@ -47,7 +47,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..net.ipv4 import int_to_ip
+from ..net.family import V4, V6, AddressFamily, family_of_ip
 from ..service.aio import Conn, Slot, WireServer
 from ..service.server import (
     DEFAULT_CONNECTION_TIMEOUT,
@@ -61,6 +61,7 @@ from ..service.server import (
 )
 from ..service.wire import (
     FT_BATCH_REP,
+    FT_BATCH_REP6,
     FT_MSG,
     MAX_FRAME_BYTES,
     WireError,
@@ -68,14 +69,19 @@ from ..service.wire import (
     decode_frame,
     decode_msg_payload,
     decode_record,
+    decode_record6,
     encode_batch_request,
+    encode_batch_request6,
     encode_frame,
     encode_msg_frame,
     pack_degraded,
+    pack_degraded6,
     pack_verdict_wire,
+    pack_verdict_wire6,
     recv_frame,
     send_frame,
     split_batch_reply,
+    split_batch_reply6,
 )
 from .partition import PartitionMap, ShardRange
 
@@ -120,7 +126,7 @@ class _Sub:
     """
 
     __slots__ = ("kind", "request", "pairs", "rid", "candidates",
-                 "failed", "shard_slot", "deadline", "finish")
+                 "failed", "shard_slot", "deadline", "finish", "v6")
 
     def __init__(
         self,
@@ -130,10 +136,12 @@ class _Sub:
         *,
         request: Optional[Dict[str, Any]] = None,
         pairs: Optional[List[Tuple[int, Optional[int]]]] = None,
+        v6: bool = False,
     ) -> None:
         self.kind = kind  # "batch" (packed pairs) or "msg" (request)
         self.request = request
         self.pairs = pairs
+        self.v6 = v6  # batch subs: which packed record layout applies
         self.rid = 0
         self.candidates: Deque["Backend"] = deque(
             shard_slot.ordered_backends()
@@ -250,6 +258,13 @@ class Router:
     makes the router offer the binary codec on its upstream
     connections; a shard that doesn't speak it just stays on JSON, so
     mixed fleets work during a rollout.
+
+    The partition's family decides which addresses the router answers
+    for; a v4 router may additionally host a v6 plane
+    (``v6_partition`` + ``v6_backends``) so one front door serves both
+    families — queries route to a plane by their address family
+    (string literals by syntax, packed frames by frame type), and a
+    query for a family with no plane gets a clean error reply.
     """
 
     def __init__(
@@ -263,6 +278,10 @@ class Router:
         backend_timeout: float = DEFAULT_BACKEND_TIMEOUT,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         backend_codec: str = "binary",
+        v6_partition: Optional[PartitionMap] = None,
+        v6_backends: Optional[
+            Sequence[Sequence[Tuple[str, int]]]
+        ] = None,
     ) -> None:
         if len(backends) != len(partition):
             raise ValueError(
@@ -272,6 +291,7 @@ class Router:
         if backend_codec not in ("json", "binary"):
             raise ValueError(f"unknown backend codec {backend_codec!r}")
         self.partition = partition
+        self._family = partition.family
         self.connection_timeout = connection_timeout
         self._backend_timeout = backend_timeout
         self._backend_codec = backend_codec
@@ -284,6 +304,32 @@ class Router:
             )
             for shard_id, addresses in enumerate(backends)
         ]
+        # Optional second routing plane for IPv6 next to a v4 primary.
+        self.partition6 = v6_partition
+        self._slots6: List[ShardSlot] = []
+        if v6_partition is not None:
+            if self._family is not V4 or v6_partition.family is not V6:
+                raise ValueError(
+                    "v6_partition needs a v4 primary partition and an "
+                    "ipv6 secondary one"
+                )
+            if v6_backends is None or len(v6_backends) != len(v6_partition):
+                raise ValueError(
+                    f"{len(v6_partition)} v6 shards need "
+                    f"{len(v6_partition)} backend lists, got "
+                    f"{0 if v6_backends is None else len(v6_backends)}"
+                )
+            self._slots6 = [
+                ShardSlot(
+                    shard_id,
+                    list(addresses),
+                    timeout=backend_timeout,
+                    shard_range=v6_partition.range_of(shard_id),
+                )
+                for shard_id, addresses in enumerate(v6_backends)
+            ]
+        elif v6_backends:
+            raise ValueError("v6_backends given without v6_partition")
         #: Bumped on every apply_partition, so a load observer can
         #: tell "counters reset because the layout changed" from
         #: "counters wrapped"; written on the loop thread only.
@@ -311,6 +357,28 @@ class Router:
             max_frame=MAX_FRAME_BYTES,
         )
         self._reactor = self._server.reactor
+
+    # -- routing planes ------------------------------------------------
+
+    def _all_slots(self) -> List[ShardSlot]:
+        """Every shard slot across both planes (primary first)."""
+        return self._slots + self._slots6
+
+    def _plane(
+        self, family: AddressFamily
+    ) -> Optional[Tuple[PartitionMap, List[ShardSlot]]]:
+        """The ``(partition, slots)`` plane answering ``family``."""
+        if family is self._family:
+            return self.partition, self._slots
+        if family is V6 and self.partition6 is not None:
+            return self.partition6, self._slots6
+        return None
+
+    def _served_families(self) -> str:
+        names = [self._family.name]
+        if self.partition6 is not None:
+            names.append(V6.name)
+        return "/".join(names)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -353,7 +421,7 @@ class Router:
         # any retired-but-undrained ones) are ours to close directly.
         for backend in [
             backend
-            for shard_slot in self._slots
+            for shard_slot in self._all_slots()
             for backend in shard_slot.backends
         ] + self._retired:
             sock, backend.sock = backend.sock, None
@@ -374,7 +442,7 @@ class Router:
 
     def _heartbeat_loop(self) -> None:
         while not self._stop.is_set():
-            for shard_slot in self._slots:
+            for shard_slot in self._all_slots():
                 for backend in shard_slot.backends:
                     if self._stop.is_set():
                         return
@@ -382,10 +450,11 @@ class Router:
             self._stop.wait(self._heartbeat_interval)
 
     def health(self) -> List[List[bool]]:
-        """Per-shard, per-backend health flags (tests/observability)."""
+        """Per-shard, per-backend health flags (tests/observability);
+        v6-plane shards follow the primary plane's rows."""
         return [
             [backend.healthy for backend in shard_slot.backends]
-            for shard_slot in self._slots
+            for shard_slot in self._all_slots()
         ]
 
     def wait_healthy(self, timeout: float = 10.0) -> bool:
@@ -396,7 +465,7 @@ class Router:
         while waited <= timeout:
             if all(
                 backend.probe()
-                for shard_slot in self._slots
+                for shard_slot in self._all_slots()
                 for backend in shard_slot.backends
             ):
                 return True
@@ -453,6 +522,11 @@ class Router:
             raise ValueError(
                 f"{len(partition)} shards need {len(partition)} backend "
                 f"lists, got {len(backends)}"
+            )
+        if partition.family is not self._family:
+            raise ValueError(
+                f"cannot swap a {partition.family.name} partition into "
+                f"a {self._family.name} routing plane"
             )
 
         def swap() -> None:
@@ -521,14 +595,22 @@ class Router:
     # -- downstream request handling (loop thread) ---------------------
 
     def _handle(self, conn: Conn, slot: Slot, kind: str, data: Any) -> None:
-        if kind == "batch":
+        if kind == "batch" or kind == "batch6":
+            family = V6 if kind == "batch6" else V4
+            plane = self._plane(family)
+            if plane is None:
+                slot.fail(
+                    f"{family.name} batch frame cannot be answered by "
+                    f"this {self._served_families()}-only cluster"
+                )
+                return
             if len(data) > MAX_BATCH:
                 slot.fail(
                     f"batch of {len(data)} exceeds the "
                     f"{MAX_BATCH}-query limit"
                 )
                 return
-            self._route_batch(slot, data)
+            self._route_batch(slot, data, family, *plane)
             return
         request = data
         if not isinstance(request, dict):
@@ -543,12 +625,20 @@ class Router:
         elif op == "query":
             self._route_query(slot, request)
         elif op == "batch":
+            family = self._json_family(request.get("queries"))
+            plane = self._plane(family)
+            if plane is None:
+                slot.fail(
+                    f"{family.name} queries cannot be answered by "
+                    f"this {self._served_families()}-only cluster"
+                )
+                return
             try:
-                pairs = parse_batch(request.get("queries"))
+                pairs = parse_batch(request.get("queries"), family)
             except RequestError as exc:
                 slot.fail(str(exc))
                 return
-            self._route_batch(slot, pairs)
+            self._route_batch(slot, pairs, family, *plane)
         elif op == "stats":
             self._route_stats(slot)
         elif op == "hello":
@@ -556,15 +646,42 @@ class Router:
         else:
             slot.fail(f"unknown op: {op!r}")
 
+    def _json_family(self, queries: Any) -> AddressFamily:
+        """The family a JSON request targets, judged by its first
+        string literal — integer addresses are ambiguous and stay on
+        the primary plane (mixed-family batches then fail parsing,
+        which is the answer a mixed batch deserves)."""
+        if isinstance(queries, list):
+            for item in queries:
+                ip = item.get("ip") if isinstance(item, dict) else None
+                if isinstance(ip, str):
+                    return family_of_ip(ip)
+                break
+        return self._family
+
     def _route_query(self, slot: Slot, request: Dict[str, Any]) -> None:
+        raw_ip = request.get("ip")
+        family = (
+            family_of_ip(raw_ip)
+            if isinstance(raw_ip, str)
+            else self._family
+        )
+        plane = self._plane(family)
+        if plane is None:
+            slot.fail(
+                f"{family.name} queries cannot be answered by this "
+                f"{self._served_families()}-only cluster"
+            )
+            return
+        partition, slots = plane
         try:
-            ip = parse_ip(request.get("ip"))
+            ip = parse_ip(raw_ip, family)
             day = parse_day(request.get("day"))
         except RequestError as exc:
             slot.fail(str(exc))
             return
         self._counters["point"] += 1
-        shard_slot = self._slots[self.partition.shard_of(ip)]
+        shard_slot = slots[partition.shard_of(ip)]
         shard_slot.hits += 1
         forward: Dict[str, Any] = {"op": "query", "ip": ip}
         if day is not None:
@@ -588,7 +705,12 @@ class Router:
         )
 
     def _route_batch(
-        self, slot: Slot, pairs: List[Tuple[int, Optional[int]]]
+        self,
+        slot: Slot,
+        pairs: List[Tuple[int, Optional[int]]],
+        family: AddressFamily,
+        partition: PartitionMap,
+        slots: List["ShardSlot"],
     ) -> None:
         self._counters["batch"] += 1
         self._counters["batch_queries"] += len(pairs)
@@ -596,7 +718,7 @@ class Router:
         by_shard: Dict[int, List[int]] = {}
         for position, (ip, _day) in enumerate(pairs):
             by_shard.setdefault(
-                self.partition.shard_of(ip), []
+                partition.shard_of(ip), []
             ).append(position)
 
         # Per-position reply: raw record bytes, a verdict dict, or the
@@ -606,7 +728,7 @@ class Router:
             # Empty batch: zero shard fan-outs means shard_done would
             # never fire, so answer directly (an empty result is what
             # a single-process server returns).
-            self._finish_batch(slot, pairs, entries)
+            self._finish_batch(slot, pairs, entries, family, partition)
             return
         remaining = [len(by_shard)]
 
@@ -631,19 +753,22 @@ class Router:
                     entries[position] = shard_id
             remaining[0] -= 1
             if remaining[0] == 0:
-                self._finish_batch(slot, pairs, entries)
+                self._finish_batch(
+                    slot, pairs, entries, family, partition
+                )
 
         for shard_id, positions in by_shard.items():
-            self._slots[shard_id].hits += len(positions)
+            slots[shard_id].hits += len(positions)
             shard_pairs = [pairs[position] for position in positions]
             self._submit(
                 _Sub(
                     "batch",
-                    self._slots[shard_id],
+                    slots[shard_id],
                     lambda status, value, s=shard_id, p=positions: (
                         shard_done(s, p, status, value)
                     ),
                     pairs=shard_pairs,
+                    v6=family is V6,
                 )
             )
 
@@ -652,8 +777,13 @@ class Router:
         slot: Slot,
         pairs: List[Tuple[int, Optional[int]]],
         entries: List[Any],
+        family: AddressFamily,
+        partition: PartitionMap,
     ) -> None:
+        v6 = family is V6
         if slot.codec == "binary":
+            pack_miss = pack_verdict_wire6 if v6 else pack_verdict_wire
+            degrade = pack_degraded6 if v6 else pack_degraded
             try:
                 records = []
                 for (ip, day), entry in zip(pairs, entries):
@@ -661,19 +791,23 @@ class Router:
                         records.append(entry)
                     elif isinstance(entry, int):
                         records.append(
-                            pack_degraded(ip, day, entry, SHARD_UNAVAILABLE)
+                            degrade(ip, day, entry, SHARD_UNAVAILABLE)
                         )
                     else:
-                        records.append(pack_verdict_wire(entry))
-                slot.complete_records(records)
+                        records.append(pack_miss(entry))
+                if v6:
+                    slot.complete_records6(records)
+                else:
+                    slot.complete_records(records)
                 return
             except WireError:
                 pass  # a verdict escaped the packed layout: JSON reply
+        decode = decode_record6 if v6 else decode_record
         result: List[Dict[str, Any]] = []
         for (ip, day), entry in zip(pairs, entries):
             if isinstance(entry, bytes):
                 try:
-                    entry = decode_record(entry)
+                    entry = decode(entry)
                 except WireError:
                     entry = None
             if isinstance(entry, dict):
@@ -682,11 +816,11 @@ class Router:
                 shard_id = (
                     entry
                     if isinstance(entry, int)
-                    else self.partition.shard_of(ip)
+                    else partition.shard_of(ip)
                 )
                 result.append(
                     {
-                        "ip": int_to_ip(ip),
+                        "ip": family.format(ip),
                         "day": day,
                         "error": SHARD_UNAVAILABLE,
                         "shard": shard_id,
@@ -701,10 +835,12 @@ class Router:
         op: str,
         done: Callable[[List[Optional[Dict[str, Any]]]], None],
     ) -> None:
-        """One ``op`` per shard (with failover); ``done`` receives the
-        per-shard results, ``None`` where the whole shard is down."""
-        replies: List[Optional[Dict[str, Any]]] = [None] * len(self._slots)
-        remaining = [len(self._slots)]
+        """One ``op`` per shard on *both* planes (with failover);
+        ``done`` receives the per-shard results aligned to
+        :meth:`_all_slots` order, ``None`` where a shard is down."""
+        slots = self._all_slots()
+        replies: List[Optional[Dict[str, Any]]] = [None] * len(slots)
+        remaining = [len(slots)]
 
         def make_finish(position: int) -> Callable[[str, Any], None]:
             def finish(status: str, value: Any) -> None:
@@ -716,7 +852,7 @@ class Router:
 
             return finish
 
-        for position, shard_slot in enumerate(self._slots):
+        for position, shard_slot in enumerate(slots):
             self._submit(
                 _Sub(
                     "msg",
@@ -729,13 +865,14 @@ class Router:
     def _fleet_summary(
         self, hellos: List[Optional[Dict[str, Any]]]
     ) -> Dict[str, Any]:
+        slots = self._all_slots()
         epochs = [h["epoch"] for h in hellos if h is not None]
         seqs = [h["seq"] for h in hellos if h is not None]
         return {
-            "shards": len(self._slots),
-            "backends": sum(len(s.backends) for s in self._slots),
+            "shards": len(slots),
+            "backends": sum(len(s.backends) for s in slots),
             "healthy_backends": sum(
-                s.healthy_count() for s in self._slots
+                s.healthy_count() for s in slots
             ),
             "shards_up": sum(1 for h in hellos if h is not None),
             "epoch_min": min(epochs) if epochs else 0,
@@ -815,42 +952,55 @@ class Router:
         router_counters["failovers"] = sum(
             shard_slot.failovers for shard_slot in self._slots
         )
+        router_counters["failovers"] += sum(
+            shard_slot.failovers for shard_slot in self._slots6
+        )
         router_counters["partition_epoch"] = self._partition_epoch
-        return {
+        primary = len(self._slots)
+        rows = []
+        for position, shard_slot in enumerate(self._all_slots()):
+            plane_partition = (
+                self.partition if position < primary else self.partition6
+            )
+            row = {
+                "shard": shard_slot.shard_id,
+                # The slot's own range, not partition.range_of: a
+                # partition swap between the stats and hello
+                # gathers must not mislabel (or over-index) rows.
+                "range": (
+                    shard_slot.shard_range.to_wire()
+                    if shard_slot.shard_range is not None
+                    else plane_partition.range_of(  # type: ignore[union-attr]
+                        shard_slot.shard_id
+                    ).to_wire()
+                ),
+                "hits": shard_slot.hits,
+                "backends": [
+                    {
+                        "address": list(backend.address),
+                        "healthy": backend.healthy,
+                    }
+                    for backend in shard_slot.backends
+                ],
+                "stats": (
+                    shard_stats[position]
+                    if position < len(shard_stats)
+                    else None
+                ),
+            }
+            if position >= primary:
+                row["family"] = V6.name
+            rows.append(row)
+        payload = {
             "cluster": summary,
             "router": router_counters,
             "partition": self.partition.to_wire(),
             "index": index_totals,
-            "shards": [
-                {
-                    "shard": shard_slot.shard_id,
-                    # The slot's own range, not partition.range_of: a
-                    # partition swap between the stats and hello
-                    # gathers must not mislabel (or over-index) rows.
-                    "range": (
-                        shard_slot.shard_range.to_wire()
-                        if shard_slot.shard_range is not None
-                        else self.partition.range_of(
-                            shard_slot.shard_id
-                        ).to_wire()
-                    ),
-                    "hits": shard_slot.hits,
-                    "backends": [
-                        {
-                            "address": list(backend.address),
-                            "healthy": backend.healthy,
-                        }
-                        for backend in shard_slot.backends
-                    ],
-                    "stats": (
-                        shard_stats[shard_slot.shard_id]
-                        if shard_slot.shard_id < len(shard_stats)
-                        else None
-                    ),
-                }
-                for shard_slot in self._slots
-            ],
+            "shards": rows,
         }
+        if self.partition6 is not None:
+            payload["partition6"] = self.partition6.to_wire()
+        return payload
 
     # -- upstream connections (loop thread) ----------------------------
 
@@ -964,8 +1114,11 @@ class Router:
         if sub.kind == "batch":
             assert sub.pairs is not None
             if codec == "binary":
+                encode = (
+                    encode_batch_request6 if sub.v6 else encode_batch_request
+                )
                 try:
-                    return encode_batch_request(
+                    return encode(
                         sub.pairs, sub.rid, max_size=MAX_FRAME_BYTES
                     )
                 except WireError:
@@ -1147,10 +1300,18 @@ class Router:
                             f"reply for request {rid}, "
                             f"expected {sub.rid}"
                         )
-                    if ftype == FT_BATCH_REP:
-                        self._sub_success(
-                            sub, "records", split_batch_reply(payload)
+                    if ftype == FT_BATCH_REP or ftype == FT_BATCH_REP6:
+                        if (ftype == FT_BATCH_REP6) != sub.v6:
+                            raise WireError(
+                                f"batch reply frame type {ftype} does "
+                                f"not match the request's family"
+                            )
+                        split = (
+                            split_batch_reply6
+                            if sub.v6
+                            else split_batch_reply
                         )
+                        self._sub_success(sub, "records", split(payload))
                     elif ftype == FT_MSG:
                         self._deliver_reply(
                             sub,
@@ -1215,7 +1376,7 @@ class Router:
         now = time.monotonic()
         live = [
             backend
-            for shard_slot in self._slots
+            for shard_slot in self._all_slots()
             for backend in shard_slot.backends
         ]
         # Retired backends left the slot table but may still hold

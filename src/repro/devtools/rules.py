@@ -55,6 +55,7 @@ DETERMINISM_DIRS = (
     "bittorrent",
     "experiments",
     "adversary",
+    "v6serve",
 )
 
 #: Directories on the serving/wire path (WIRE / CONC / EXC scope).

@@ -157,6 +157,22 @@ class Prefix6:
         """True when ``ip`` is inside this prefix."""
         return (ip & self.mask()) == self.network
 
+    def contains_prefix(self, other: "Prefix6") -> bool:
+        """True when ``other`` is equal to or nested inside self."""
+        return other.length >= self.length and self.contains(other.network)
+
+    def first(self) -> int:
+        """Lowest address in the block (the network address)."""
+        return self.network
+
+    def last(self) -> int:
+        """Highest address in the block."""
+        return self.network | (~self.mask() & MAX_IPV6)
+
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (128 - self.length)
+
     def __str__(self) -> str:
         return f"{int_to_ip6(self.network)}/{self.length}"
 

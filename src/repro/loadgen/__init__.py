@@ -14,7 +14,12 @@ The subsystem is three layers, composable from tests, benches and the
 latency percentiles, shared with the benchmark suite.
 """
 
-from .generator import Event, TrafficGenerator, population_from_analysis
+from .generator import (
+    Event,
+    TrafficGenerator,
+    population_from_analysis,
+    population_from_hitlist,
+)
 from .harness import (
     LoadHarness,
     LoadReport,
@@ -35,6 +40,7 @@ __all__ = [
     "mix_names",
     "percentile",
     "population_from_analysis",
+    "population_from_hitlist",
     "render_report",
     "storm_hook_from_log",
     "summarize",

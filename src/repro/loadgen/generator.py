@@ -64,6 +64,11 @@ def population_from_analysis(
     block up to ``hot_ips`` so the hot set is dense enough to dominate
     one shard — followed by every other blocklisted address.
     """
+    if mix.family != "ipv4":
+        raise ValueError(
+            f"mix {mix.name!r} draws an {mix.family} population; "
+            "use population_from_hitlist"
+        )
     ips = sorted(analysis.blocklisted_ips)
     if not ips:
         raise ValueError("analysis has no blocklisted addresses")
@@ -89,6 +94,35 @@ def population_from_analysis(
             hot.append(candidate)
     rest = [ip for ip in ips if (ip >> 8) != block]
     return hot + rest, days
+
+
+def population_from_hitlist(
+    mix: MixSpec,
+    hitlist: Sequence[int],
+    *,
+    horizon_days: int = 60,
+) -> Tuple[List[int], List[int]]:
+    """The (ips, days) population of a v6 mix.
+
+    ``hitlist`` is a de-aliased address corpus (e.g.
+    ``HitlistV6Model().survey(seed).facts.hitlist``); rank order is the
+    sorted address order, so the schedule is a pure function of the
+    hitlist and seed. Days sample the scenario horizon the same way
+    the v4 population samples its collection windows.
+    """
+    if mix.family != "ipv6":
+        raise ValueError(
+            f"mix {mix.name!r} draws an {mix.family} population; "
+            "use population_from_analysis"
+        )
+    if horizon_days < 1:
+        raise ValueError(f"horizon must be >= 1 day: {horizon_days}")
+    ips = sorted(set(hitlist))
+    if not ips:
+        raise ValueError("empty hitlist")
+    last = horizon_days - 1
+    days = sorted({0, last // 2, last})
+    return ips, days
 
 
 class TrafficGenerator:

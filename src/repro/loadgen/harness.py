@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..net.family import V4, AddressFamily
 from ..service.client import ReputationClient, ServiceError, TransportError
 from .generator import Event
 from .stats import summarize
@@ -131,6 +132,7 @@ class LoadHarness:
         window: int = 16,
         timeout: float = 10.0,
         capture: bool = False,
+        family: AddressFamily = V4,
     ) -> None:
         if conns < 1:
             raise ValueError(f"need at least one connection: {conns}")
@@ -143,6 +145,7 @@ class LoadHarness:
         self._window = window
         self._timeout = timeout
         self._capture = capture
+        self._family = family
         #: (ip, day, verdict) rows from the last run when ``capture``
         #: — what the fidelity tests replay against a static engine.
         self.captured: List[Tuple[int, Optional[int], Dict[str, Any]]] = []
@@ -155,6 +158,7 @@ class LoadHarness:
             self._port,
             timeout=self._timeout,
             codec=self._codec,
+            family=self._family,
         )
 
     def _account_verdicts(

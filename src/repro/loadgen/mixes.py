@@ -29,6 +29,10 @@ class MixSpec:
 
     name: str
     description: str
+    #: Address family of the drawn population (``"ipv4"``/``"ipv6"``).
+    #: A v6 mix draws from an Entropy/IP hitlist instead of a preset
+    #: run's blocklisted addresses and travels as v6 wire frames.
+    family: str = "ipv4"
     #: Zipf exponent over the ranked address population (0 = uniform).
     zipf_s: float = 1.1
     #: Size of the hot head of the population ranking.
@@ -50,6 +54,8 @@ class MixSpec:
     churn_storms: int = 0
 
     def __post_init__(self) -> None:
+        if self.family not in ("ipv4", "ipv6"):
+            raise ValueError(f"unknown mix family: {self.family!r}")
         if self.zipf_s < 0:
             raise ValueError(f"negative zipf exponent: {self.zipf_s}")
         if self.hot_ips < 1:
@@ -105,6 +111,16 @@ MIXES: Dict[str, MixSpec] = {
             zipf_s=1.2,
             batch_fraction=0.5,
             churn_storms=3,
+        ),
+        MixSpec(
+            "v6-hitlist",
+            "zipfian lookups over the seeded hitlist-v6 survey's "
+            "de-aliased hitlist, served as 128-bit wire frames",
+            family="ipv6",
+            zipf_s=1.2,
+            hot_ips=32,
+            batch_fraction=0.6,
+            batch_size=48,
         ),
     )
 }

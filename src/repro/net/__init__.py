@@ -1,5 +1,7 @@
-"""IPv4 networking primitives shared by every subsystem."""
+"""Networking primitives (IPv4 + address families) shared by every
+subsystem."""
 
+from .family import V4, V6, AddressFamily, family_named, family_of_ip
 from .ipv4 import (
     MAX_IPV4,
     Prefix,
@@ -45,4 +47,9 @@ __all__ = [
     "MIN_PORT",
     "PortAllocator",
     "is_valid_port",
+    "V4",
+    "V6",
+    "AddressFamily",
+    "family_named",
+    "family_of_ip",
 ]

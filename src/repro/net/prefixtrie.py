@@ -1,17 +1,19 @@
-"""Binary radix trie for longest-prefix matching over IPv4.
+"""Binary radix trie for longest-prefix matching over one address family.
 
 The AS database, the crawler's "blocklisted address space" restriction,
 and the RIPE /24 expansion all need fast membership and longest-prefix
 queries over large prefix sets. A path-compressed binary trie keyed on
-the bits of the network address gives O(32) lookups independent of set
-size.
+the bits of the network address gives O(bits) lookups independent of
+set size — O(32) for IPv4, O(128) for IPv6. The family
+(:data:`~repro.net.family.V4` by default) fixes the key width and which
+prefix type lookups return; a trie never mixes families.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
-from .ipv4 import MAX_IPV4, Prefix, is_valid_ip_int
+from .family import V4, AddressFamily, AnyPrefix
 
 __all__ = ["PrefixTrie", "PrefixSet"]
 
@@ -27,31 +29,44 @@ class _Node(Generic[V]):
         self.has_value = False
 
 
-def _bit(ip: int, depth: int) -> int:
-    """Bit of ``ip`` at ``depth`` (0 = most significant)."""
-    return (ip >> (31 - depth)) & 1
-
-
 class PrefixTrie(Generic[V]):
-    """Map from IPv4 prefixes to values with longest-prefix-match lookup.
+    """Map from prefixes to values with longest-prefix-match lookup.
 
     Inserting the same prefix twice overwrites the value (last write
     wins) — blocklist snapshots are replayed in time order and rely on
     this.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, family: AddressFamily = V4) -> None:
         self._root: _Node[V] = _Node()
         self._count = 0
+        self._family = family
+        self._bits = family.bits
+        self._max = family.max_int
+
+    @property
+    def family(self) -> AddressFamily:
+        """The address family this trie is keyed on."""
+        return self._family
 
     def __len__(self) -> int:
         return self._count
 
-    def insert(self, prefix: Prefix, value: V) -> None:
+    def _check_prefix(self, prefix: AnyPrefix) -> None:
+        if prefix.length > self._bits or prefix.network > self._max:
+            raise ValueError(
+                f"prefix {prefix} does not fit a "
+                f"{self._family.name} trie"
+            )
+
+    def insert(self, prefix: AnyPrefix, value: V) -> None:
         """Insert ``prefix`` mapping to ``value``."""
+        self._check_prefix(prefix)
+        top = self._bits - 1
+        network = prefix.network
         node = self._root
         for depth in range(prefix.length):
-            bit = _bit(prefix.network, depth)
+            bit = (network >> (top - depth)) & 1
             child = node.children[bit]
             if child is None:
                 child = _Node()
@@ -62,18 +77,20 @@ class PrefixTrie(Generic[V]):
         node.value = value
         node.has_value = True
 
-    def remove(self, prefix: Prefix) -> bool:
+    def remove(self, prefix: AnyPrefix) -> bool:
         """Remove an exact prefix. Returns True when it was present.
 
         Leaves empty interior nodes in place; the trie is build-heavy and
         query-heavy, not delete-heavy, so compaction is not worth the
         bookkeeping.
         """
+        self._check_prefix(prefix)
+        top = self._bits - 1
         node: Optional[_Node[V]] = self._root
         for depth in range(prefix.length):
             if node is None:
                 return False
-            node = node.children[_bit(prefix.network, depth)]
+            node = node.children[(prefix.network >> (top - depth)) & 1]
         if node is None or not node.has_value:
             return False
         node.has_value = False
@@ -81,48 +98,52 @@ class PrefixTrie(Generic[V]):
         self._count -= 1
         return True
 
-    def exact(self, prefix: Prefix) -> Optional[V]:
+    def exact(self, prefix: AnyPrefix) -> Optional[V]:
         """Return the value stored at exactly ``prefix``, or None."""
+        self._check_prefix(prefix)
+        top = self._bits - 1
         node: Optional[_Node[V]] = self._root
         for depth in range(prefix.length):
             if node is None:
                 return None
-            node = node.children[_bit(prefix.network, depth)]
+            node = node.children[(prefix.network >> (top - depth)) & 1]
         if node is not None and node.has_value:
             return node.value
         return None
 
-    def lookup(self, ip: int) -> Optional[Tuple[Prefix, V]]:
+    def lookup(self, ip: int) -> Optional[Tuple[AnyPrefix, V]]:
         """Longest-prefix match for integer address ``ip``.
 
         Returns the matching ``(prefix, value)`` pair or None.
         """
-        if not is_valid_ip_int(ip):
+        if not self._family.valid_ip(ip):
             raise ValueError(f"bad address integer: {ip!r}")
+        bits, top = self._bits, self._bits - 1
         node: Optional[_Node[V]] = self._root
         best: Optional[Tuple[int, V]] = None
         depth = 0
         while node is not None:
             if node.has_value:
                 best = (depth, node.value)  # type: ignore[arg-type]
-            if depth == 32:
+            if depth == bits:
                 break
-            node = node.children[_bit(ip, depth)]
+            node = node.children[(ip >> (top - depth)) & 1]
             depth += 1
         if best is None:
             return None
         length, value = best
-        mask = 0 if length == 0 else (MAX_IPV4 << (32 - length)) & MAX_IPV4
-        return Prefix(ip & mask, length), value
+        mask = 0 if length == 0 else (self._max << (bits - length)) & self._max
+        return self._family.make_prefix(ip & mask, length), value
 
     def lookup_value(self, ip: int) -> Optional[V]:
         """Longest-prefix match returning just the value (hot path).
 
         Walks the trie directly instead of delegating to :meth:`lookup`
-        so no result :class:`Prefix` is constructed per call.
+        so no result prefix object is constructed per call.
         """
-        if not is_valid_ip_int(ip):
+        if not self._family.valid_ip(ip):
             raise ValueError(f"bad address integer: {ip!r}")
+        bits, top = self._bits, self._bits - 1
         node: Optional[_Node[V]] = self._root
         best: Optional[V] = None
         found = False
@@ -131,51 +152,58 @@ class PrefixTrie(Generic[V]):
             if node.has_value:
                 best = node.value
                 found = True
-            if depth == 32:
+            if depth == bits:
                 break
-            node = node.children[(ip >> (31 - depth)) & 1]
+            node = node.children[(ip >> (top - depth)) & 1]
             depth += 1
         return best if found else None
 
     def covers(self, ip: int) -> bool:
         """Return True when any stored prefix contains ``ip``."""
-        if not is_valid_ip_int(ip):
+        if not self._family.valid_ip(ip):
             raise ValueError(f"bad address integer: {ip!r}")
+        bits, top = self._bits, self._bits - 1
         node: Optional[_Node[V]] = self._root
         depth = 0
         while node is not None:
             if node.has_value:
                 return True
-            if depth == 32:
+            if depth == bits:
                 break
-            node = node.children[(ip >> (31 - depth)) & 1]
+            node = node.children[(ip >> (top - depth)) & 1]
             depth += 1
         return False
 
-    def items(self) -> Iterator[Tuple[Prefix, V]]:
+    def items(self) -> Iterator[Tuple[AnyPrefix, V]]:
         """Iterate ``(prefix, value)`` pairs in address order."""
+        bits, top = self._bits, self._bits - 1
+        make = self._family.make_prefix
         stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
-        out: List[Tuple[Prefix, V]] = []
+        out: List[Tuple[AnyPrefix, V]] = []
         while stack:
             node, net, depth = stack.pop()
             if node.has_value:
-                mask = 0 if depth == 0 else (MAX_IPV4 << (32 - depth)) & MAX_IPV4
-                out.append((Prefix(net & mask, depth), node.value))  # type: ignore[arg-type]
+                mask = (
+                    0
+                    if depth == 0
+                    else (self._max << (bits - depth)) & self._max
+                )
+                out.append((make(net & mask, depth), node.value))  # type: ignore[arg-type]
             for bit in (0, 1):
                 child = node.children[bit]
                 if child is not None:
                     stack.append(
-                        (child, net | (bit << (31 - (depth))), depth + 1)
+                        (child, net | (bit << (top - depth)), depth + 1)
                     )
         out.sort(key=lambda item: (item[0].network, item[0].length))
         return iter(out)
 
-    def __iter__(self) -> Iterator[Prefix]:
+    def __iter__(self) -> Iterator[AnyPrefix]:
         return (prefix for prefix, _ in self.items())
 
 
 class PrefixSet:
-    """A set of IPv4 prefixes with containment queries.
+    """A set of same-family prefixes with containment queries.
 
     Thin wrapper over :class:`PrefixTrie` used wherever only membership
     matters (e.g. "is this address inside the crawl-allowed space?").
@@ -185,26 +213,35 @@ class PrefixSet:
     # thousand distinct addresses, so this never trips in practice.
     _MEMO_MAX = 1 << 20
 
-    def __init__(self, prefixes: Optional[Iterator[Prefix]] = None) -> None:
-        self._trie: PrefixTrie[bool] = PrefixTrie()
+    def __init__(
+        self,
+        prefixes: Optional[Iterator[AnyPrefix]] = None,
+        family: AddressFamily = V4,
+    ) -> None:
+        self._trie: PrefixTrie[bool] = PrefixTrie(family)
         # ip -> membership memo. The crawler asks contains_ip for every
         # sighting, and sightings repeat the same few thousand addresses
-        # millions of times; caching turns the O(32) walk into one dict
-        # hit. Any mutation invalidates the whole memo.
+        # millions of times; caching turns the O(bits) walk into one
+        # dict hit. Any mutation invalidates the whole memo.
         self._ip_memo: Dict[int, bool] = {}
         if prefixes is not None:
             for prefix in prefixes:
                 self.add(prefix)
 
+    @property
+    def family(self) -> AddressFamily:
+        """The address family of the member prefixes."""
+        return self._trie.family
+
     def __len__(self) -> int:
         return len(self._trie)
 
-    def add(self, prefix: Prefix) -> None:
+    def add(self, prefix: AnyPrefix) -> None:
         """Add ``prefix`` to the set."""
         self._trie.insert(prefix, True)
         self._ip_memo.clear()
 
-    def discard(self, prefix: Prefix) -> bool:
+    def discard(self, prefix: AnyPrefix) -> bool:
         """Remove an exact prefix; returns True when it was present."""
         self._ip_memo.clear()
         return self._trie.remove(prefix)
@@ -219,20 +256,20 @@ class PrefixSet:
             hit = memo[ip] = self._trie.covers(ip)
         return hit
 
-    def contains_exact(self, prefix: Prefix) -> bool:
+    def contains_exact(self, prefix: AnyPrefix) -> bool:
         """True when exactly ``prefix`` is a member."""
         return self._trie.exact(prefix) is not None
 
     def __contains__(self, item: object) -> bool:
-        if isinstance(item, Prefix):
-            return self.contains_exact(item)
         if isinstance(item, int):
             return self.contains_ip(item)
+        if hasattr(item, "network") and hasattr(item, "length"):
+            return self.contains_exact(item)  # type: ignore[arg-type]
         raise TypeError(f"cannot test membership of {type(item).__name__}")
 
-    def __iter__(self) -> Iterator[Prefix]:
+    def __iter__(self) -> Iterator[AnyPrefix]:
         return iter(self._trie)
 
-    def prefixes(self) -> List[Prefix]:
+    def prefixes(self) -> List[AnyPrefix]:
         """All member prefixes in address order."""
         return list(self._trie)

@@ -22,8 +22,9 @@ Three layers:
   :mod:`repro.service.wire`), the recoverable/fatal error split, idle
   timeouts, and graceful shutdown. Requests are handed to a
   ``handler(conn, slot, kind, data)`` callback; ``kind`` is ``"msg"``
-  (one decoded request object) or ``"batch"`` (packed
-  ``(ip, day)`` pairs from an ``FT_BATCH_REQ`` frame).
+  (one decoded request object), ``"batch"`` (packed ``(ip, day)``
+  pairs from an ``FT_BATCH_REQ`` frame) or ``"batch6"`` (the same
+  from an ``FT_BATCH_REQ6`` frame, 128-bit addresses).
 
 The handler runs on the loop thread and must not block; the
 reputation server answers inline, the cluster router completes slots
@@ -43,14 +44,17 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from .wire import (
     FT_BATCH_REQ,
+    FT_BATCH_REQ6,
     FT_MSG,
     MAX_FRAME_BYTES,
     WireError,
     decode_batch_request,
+    decode_batch_request6,
     decode_binary_frame,
     decode_frame,
     decode_msg_payload,
     encode_batch_reply_frame,
+    encode_batch_reply_frame6,
     encode_frame,
     encode_msg_frame,
 )
@@ -305,6 +309,20 @@ class Slot:
             return
         try:
             encoded = encode_batch_reply_frame(
+                records, self.request_id,
+                max_size=self._server.max_frame,
+            )
+        except WireError as exc:
+            self.fail(f"internal error: unserialisable reply: {exc}")
+            return
+        self._finish(encoded)
+
+    def complete_records6(self, records: List[bytes]) -> None:
+        """Answer a v6 binary batch with packed FT_BATCH_REP6 records."""
+        if self.done:
+            return
+        try:
+            encoded = encode_batch_reply_frame6(
                 records, self.request_id,
                 max_size=self._server.max_frame,
             )
@@ -681,6 +699,13 @@ class WireServer:
                 slot.fail(str(exc))
                 return True
             self._dispatch(conn, slot, "batch", pairs)
+        elif ftype == FT_BATCH_REQ6:
+            try:
+                pairs = decode_batch_request6(payload)
+            except WireError as exc:
+                slot.fail(str(exc))
+                return True
+            self._dispatch(conn, slot, "batch6", pairs)
         else:
             slot.fail(f"unexpected frame type {ftype}")
         return True

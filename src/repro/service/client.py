@@ -22,15 +22,18 @@ import threading
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..net.ipv4 import int_to_ip, ip_to_int
+from ..net.family import V4, V6, AddressFamily
 from .wire import (
     MAX_FRAME_BYTES,
     FT_BATCH_REP,
+    FT_BATCH_REP6,
     FT_MSG,
     FrameError,
     decode_batch_reply,
+    decode_batch_reply6,
     decode_msg_payload,
     encode_batch_request,
+    encode_batch_request6,
     encode_frame,
     encode_msg_frame,
     recv_binary_frame,
@@ -58,7 +61,9 @@ class TransportError(ServiceError):
     """
 
 
-def _int_pairs(queries: List[Query]) -> Optional[List[Tuple[int, Optional[int]]]]:
+def _int_pairs(
+    queries: List[Query], family: AddressFamily = V4
+) -> Optional[List[Tuple[int, Optional[int]]]]:
     """Convert queries to the packed-batch layout, or ``None`` when any
     value needs the JSON path (unparseable ip, out-of-range day) so the
     server — not the codec — produces the error."""
@@ -68,12 +73,12 @@ def _int_pairs(queries: List[Query]) -> Optional[List[Tuple[int, Optional[int]]]
             ip_int = int(ip)
         elif isinstance(ip, str):
             try:
-                ip_int = ip_to_int(ip)
+                ip_int = family.parse(ip)
             except ValueError:
                 return None
         else:
             return None
-        if not 0 <= ip_int <= 0xFFFFFFFF:
+        if not 0 <= ip_int <= family.max_int:
             return None
         if day is not None and (
             isinstance(day, bool)
@@ -100,10 +105,16 @@ class ReputationClient:
         timeout: float = 10.0,
         max_frame: int = MAX_FRAME_BYTES,
         codec: str = "auto",
+        family: AddressFamily = V4,
     ) -> None:
         if codec not in ("auto", "json", "binary"):
             raise ValueError(f"unknown codec {codec!r}")
         self._max_frame = max_frame
+        #: The address family queries are formatted/packed in. A v6
+        #: client sends FT_BATCH_REQ6 frames on the binary codec and
+        #: colon-hex literals on JSON; the JSON request shape itself is
+        #: family-agnostic.
+        self._family = family
         self._lock = threading.Lock()
         self._codec = "json"
         self._rid = 0
@@ -204,9 +215,13 @@ class ReputationClient:
         """
         return self._rpc(request)
 
-    @staticmethod
-    def _wire_ip(ip: IpLike) -> str:
-        return int_to_ip(ip) if isinstance(ip, int) else str(ip)
+    @property
+    def family(self) -> AddressFamily:
+        """The address family this client queries in."""
+        return self._family
+
+    def _wire_ip(self, ip: IpLike) -> str:
+        return self._family.format(ip) if isinstance(ip, int) else str(ip)
 
     # -- batch plumbing ------------------------------------------------
 
@@ -222,8 +237,10 @@ class ReputationClient:
                 raise TransportError(
                     f"reply for request {got_rid}, expected {rid}"
                 )
-            if ftype == FT_BATCH_REP:
+            if ftype == FT_BATCH_REP and self._family is V4:
                 return decode_batch_reply(payload)
+            if ftype == FT_BATCH_REP6 and self._family is V6:
+                return decode_batch_reply6(payload)
             if ftype == FT_MSG:
                 return self._check_reply(
                     decode_msg_payload(payload, max_size=self._max_frame)
@@ -239,10 +256,13 @@ class ReputationClient:
         with self._lock:
             sock = self._checked_sock()
             rid = self._next_rid()
+            encode = (
+                encode_batch_request6
+                if self._family is V6
+                else encode_batch_request
+            )
             try:
-                frame = encode_batch_request(
-                    pairs, rid, max_size=self._max_frame
-                )
+                frame = encode(pairs, rid, max_size=self._max_frame)
             except FrameError:
                 return None  # a value escaped the packed layout
             try:
@@ -253,12 +273,15 @@ class ReputationClient:
 
     def _encode_batch(self, queries: List[Query], rid: int) -> bytes:
         if self._codec == "binary":
-            pairs = _int_pairs(queries)
+            pairs = _int_pairs(queries, self._family)
             if pairs is not None:
+                encode = (
+                    encode_batch_request6
+                    if self._family is V6
+                    else encode_batch_request
+                )
                 try:
-                    return encode_batch_request(
-                        pairs, rid, max_size=self._max_frame
-                    )
+                    return encode(pairs, rid, max_size=self._max_frame)
                 except FrameError:
                     pass
             payload = [
@@ -298,7 +321,7 @@ class ReputationClient:
         """
         batch = list(queries)
         if self._codec == "binary":
-            pairs = _int_pairs(batch)
+            pairs = _int_pairs(batch, self._family)
             if pairs is not None:
                 reply = self._batch_binary(pairs)
                 if reply is not None:

@@ -31,11 +31,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.greylist import BlockAction, recommend_action
-from ..net.ipv4 import int_to_ip, is_valid_ip_int
+from ..net.family import V4, AddressFamily
 from ..stream.epoch import EpochIndex
 from .index import ReputationIndex
 
@@ -68,13 +68,31 @@ class Verdict:
     #: was computed against (both 0 for a static, non-streaming index).
     epoch: int = 0
     seq: int = 0
+    #: The address family of ``ip`` — formatting only, never compared,
+    #: so v4 verdict equality is exactly what it was pre-families.
+    family: AddressFamily = field(default=V4, compare=False, repr=False)
 
     def to_wire(self) -> Dict[str, Any]:
-        """JSON-ready dict (dotted-quad address, list as array)."""
-        data = asdict(self)
-        data["ip"] = int_to_ip(self.ip)
-        data["lists"] = list(self.lists)
-        return data
+        """JSON-ready dict (canonical-text address, list as array).
+
+        Key order and content are field-for-field identical to the
+        pre-family encoding for v4 verdicts.
+        """
+        return {
+            "ip": self.family.format(self.ip),
+            "day": self.day,
+            "listed": self.listed,
+            "lists": list(self.lists),
+            "nated": self.nated,
+            "dynamic": self.dynamic,
+            "unjust": self.unjust,
+            "reuse_kind": self.reuse_kind,
+            "users": self.users,
+            "asn": self.asn,
+            "action": self.action,
+            "epoch": self.epoch,
+            "seq": self.seq,
+        }
 
 
 class QueryEngine:
@@ -90,6 +108,11 @@ class QueryEngine:
             raise ValueError(f"negative cache size: {cache_size}")
         self._source = index
         self._streaming = isinstance(index, EpochIndex)
+        # The family never changes across epochs (one run, one family),
+        # so it is cached here instead of chased per lookup.
+        self._family = (
+            index.current.index.family if self._streaming else index.family
+        )
         self._cache_size = cache_size
         self._cache: "OrderedDict[Tuple[int, int, int], Verdict]" = (
             OrderedDict()
@@ -102,6 +125,11 @@ class QueryEngine:
         # next to the cumulative one and resets it on each swap.
         self._epoch_counters: Dict[str, Dict[str, float]] = {}
         self._counter_epoch = 0
+
+    @property
+    def family(self) -> AddressFamily:
+        """The address family this engine answers for."""
+        return self._family
 
     @property
     def index(self) -> ReputationIndex:
@@ -159,7 +187,7 @@ class QueryEngine:
         return verdicts
 
     def _lookup(self, ip: int, day: Optional[int]) -> Tuple[Verdict, bool]:
-        if not is_valid_ip_int(ip):
+        if not self._family.valid_ip(ip):
             raise ValueError(f"bad address integer: {ip!r}")
         index, epoch, seq = self._resolve()
         resolved = index.default_day() if day is None else int(day)
@@ -218,6 +246,7 @@ class QueryEngine:
             action=action,
             epoch=epoch,
             seq=seq,
+            family=self._family,
         )
 
     # -- counters ------------------------------------------------------

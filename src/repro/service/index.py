@@ -38,7 +38,7 @@ from ..blocklists.catalog import BlocklistInfo
 from ..blocklists.timeline import Window
 from ..core.reuse import ReuseAnalysis
 from ..internet.abuse import AbuseCategory
-from ..net.ipv4 import Prefix, is_valid_ip_int
+from ..net.family import V4, AddressFamily, AnyPrefix, family_named
 from ..net.prefixtrie import PrefixSet
 
 __all__ = [
@@ -87,10 +87,12 @@ class ReputationIndex:
         intervals: Dict[int, List[_Interval]],
         nated: Set[int],
         users: Dict[int, int],
-        dynamic_prefixes: Sequence[Prefix],
+        dynamic_prefixes: Sequence[AnyPrefix],
         categories: Dict[str, str],
         asn_by_ip: Dict[int, int],
+        family: AddressFamily = V4,
     ) -> None:
+        self._family = family
         self._windows: Tuple[Window, ...] = tuple(
             (int(start), int(end)) for start, end in windows
         )
@@ -105,7 +107,7 @@ class ReputationIndex:
         self._nated = frozenset(nated)
         self._users = dict(users)
         self._dynamic_prefixes = tuple(sorted(dynamic_prefixes))
-        self._dynamic_set = PrefixSet(iter(self._dynamic_prefixes))
+        self._dynamic_set = PrefixSet(iter(self._dynamic_prefixes), family)
         self._categories = dict(categories)
         self._asn_by_ip = dict(asn_by_ip)
         self._rollups = self._build_rollups()
@@ -151,6 +153,11 @@ class ReputationIndex:
         return cls.from_analysis(run.analysis, run.scenario.catalog)
 
     # -- point queries -------------------------------------------------
+
+    @property
+    def family(self) -> AddressFamily:
+        """The address family of every key in the index."""
+        return self._family
 
     @property
     def windows(self) -> Tuple[Window, ...]:
@@ -206,7 +213,8 @@ class ReputationIndex:
         straddles two shards (the partitioner guarantees this); an
         overlapping prefix is kept whole on every shard it touches.
         """
-        if not (is_valid_ip_int(lo) and is_valid_ip_int(hi)) or lo > hi:
+        fam = self._family
+        if not (fam.valid_ip(lo) and fam.valid_ip(hi)) or lo > hi:
             raise ValueError(f"bad address range: {lo!r}..{hi!r}")
         return type(self)(
             windows=self._windows,
@@ -232,6 +240,7 @@ class ReputationIndex:
                 for ip, asn in self._asn_by_ip.items()
                 if lo <= ip <= hi
             },
+            family=fam,
         )
 
     # -- copy-on-write successors --------------------------------------
@@ -362,6 +371,10 @@ class ReputationIndex:
                 "asn_by_ip": self._asn_by_ip,
             },
         }
+        # Family key only for non-v4 so pre-family v4 snapshots and
+        # fresh ones stay byte-identical; absent means v4 on load.
+        if self._family is not V4:
+            payload["state"]["family"] = self._family.name
         handle, temp_name = tempfile.mkstemp(
             dir=target.parent, prefix="tmp-index-"
         )
@@ -407,6 +420,7 @@ class ReputationIndex:
             )
         state = payload["state"]
         try:
+            family = family_named(state.get("family"))
             return cls(
                 windows=[tuple(w) for w in state["windows"]],
                 intervals={
@@ -416,11 +430,12 @@ class ReputationIndex:
                 nated=set(state["nated"]),
                 users=state["users"],
                 dynamic_prefixes=[
-                    Prefix(network, length)
+                    family.make_prefix(network, length)
                     for network, length in state["dynamic_prefixes"]
                 ],
                 categories=state["categories"],
                 asn_by_ip=state["asn_by_ip"],
+                family=family,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(

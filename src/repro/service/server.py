@@ -46,10 +46,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..net.ipv4 import ip_to_int, is_valid_ip_int
+from ..net.family import V4, V6, AddressFamily, family_of_ip
 from .aio import Conn, Slot, WireServer
 from .engine import QueryEngine
-from .wire import MAX_FRAME_BYTES, pack_verdict
+from .wire import MAX_FRAME_BYTES, pack_verdict, pack_verdict6
 
 __all__ = [
     "MAX_BATCH",
@@ -79,16 +79,24 @@ class RequestError(ValueError):
     """A structurally valid frame asking something unanswerable."""
 
 
-def parse_ip(value: Any) -> int:
+def parse_ip(value: Any, family: AddressFamily = V4) -> int:
     if isinstance(value, bool):
         raise RequestError(f"bad ip: {value!r}")
     if isinstance(value, int):
-        if not is_valid_ip_int(value):
+        if not family.valid_ip(value):
             raise RequestError(f"ip integer out of range: {value!r}")
         return value
     if isinstance(value, str):
+        literal = family_of_ip(value)
+        if literal is not family:
+            # The common operator slip — a v6 literal at a v4 index —
+            # gets a diagnosis, not a parse stack trace.
+            raise RequestError(
+                f"{literal.name} literal {value!r} cannot be answered "
+                f"by this {family.name}-only index"
+            )
         try:
-            return ip_to_int(value)
+            return family.parse(value)
         except ValueError as exc:
             raise RequestError(str(exc)) from None
     raise RequestError(f"bad ip: {value!r}")
@@ -102,7 +110,9 @@ def parse_day(value: Any) -> Optional[int]:
     return value
 
 
-def parse_batch(queries: Any) -> List[Tuple[int, Optional[int]]]:
+def parse_batch(
+    queries: Any, family: AddressFamily = V4
+) -> List[Tuple[int, Optional[int]]]:
     """Validate a JSON ``batch`` request's ``queries`` array."""
     if not isinstance(queries, list):
         raise RequestError("batch needs a 'queries' array")
@@ -116,7 +126,7 @@ def parse_batch(queries: Any) -> List[Tuple[int, Optional[int]]]:
         if not isinstance(item, dict):
             raise RequestError("each batch query must be an object")
         parsed.append(
-            (parse_ip(item.get("ip")), parse_day(item.get("day")))
+            (parse_ip(item.get("ip"), family), parse_day(item.get("day")))
         )
     return parsed
 
@@ -162,6 +172,7 @@ class ReputationServer:
         streaming: bool = False,
     ) -> None:
         self._engine = engine
+        self._family = engine.family
         self._streaming = streaming
         # Packed reply records keyed (epoch, ip, resolved day); the
         # loop thread is the only toucher.
@@ -211,8 +222,15 @@ class ReputationServer:
     def _handle(
         self, conn: Conn, slot: Slot, kind: str, data: Any
     ) -> None:
-        if kind == "batch":
-            self._handle_packed_batch(slot, data)
+        if kind == "batch" or kind == "batch6":
+            wants = V6 if kind == "batch6" else V4
+            if wants is not self._family:
+                slot.fail(
+                    f"{wants.name} batch frame cannot be answered by "
+                    f"this {self._family.name}-only index"
+                )
+                return
+            self._handle_packed_batch(slot, data, v6=wants is V6)
             return
         try:
             reply, new_codec = self._dispatch(data)
@@ -237,12 +255,12 @@ class ReputationServer:
         engine = self._engine
         if op == "query":
             verdict = engine.query(
-                parse_ip(request.get("ip")),
+                parse_ip(request.get("ip"), self._family),
                 parse_day(request.get("day")),
             )
             return {"ok": True, "result": verdict.to_wire()}, None
         if op == "batch":
-            parsed = parse_batch(request.get("queries"))
+            parsed = parse_batch(request.get("queries"), self._family)
             verdicts = engine.query_batch(parsed)
             return {
                 "ok": True,
@@ -266,10 +284,15 @@ class ReputationServer:
         raise RequestError(f"unknown op: {op!r}")
 
     def _handle_packed_batch(
-        self, slot: Slot, pairs: List[Tuple[int, Optional[int]]]
+        self,
+        slot: Slot,
+        pairs: List[Tuple[int, Optional[int]]],
+        *,
+        v6: bool = False,
     ) -> None:
-        """The binary hot path: answer an ``FT_BATCH_REQ`` from the
-        packed-record cache, touching the engine only for misses."""
+        """The binary hot path: answer an ``FT_BATCH_REQ`` (or
+        ``FT_BATCH_REQ6``) from the packed-record cache, touching the
+        engine only for misses."""
         if len(pairs) > MAX_BATCH:
             slot.fail(
                 f"batch of {len(pairs)} exceeds the "
@@ -299,8 +322,9 @@ class ReputationServer:
             except ValueError as exc:
                 slot.fail(str(exc))
                 return
+            pack = pack_verdict6 if v6 else pack_verdict
             for position, verdict in zip(miss_positions, verdicts):
-                record = pack_verdict(verdict)
+                record = pack(verdict)
                 records[position] = record
                 # Keyed under the verdict's *own* epoch: if a hot swap
                 # landed mid-batch, the entry must not shadow the new
@@ -308,4 +332,7 @@ class ReputationServer:
                 cache[(verdict.epoch, verdict.ip, verdict.day)] = record
             while len(cache) > PACKED_CACHE_SIZE:
                 cache.popitem(last=False)
-        slot.complete_records(records)  # type: ignore[arg-type]
+        if v6:
+            slot.complete_records6(records)  # type: ignore[arg-type]
+        else:
+            slot.complete_records(records)  # type: ignore[arg-type]

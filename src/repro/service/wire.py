@@ -14,11 +14,18 @@ offset bytes meaning
 ====== ===== ==========================================
 0      1     magic (:data:`BINARY_MAGIC`)
 1      1     frame type (:data:`FT_MSG` / :data:`FT_BATCH_REQ` /
-             :data:`FT_BATCH_REP`)
+             :data:`FT_BATCH_REP` / :data:`FT_BATCH_REQ6` /
+             :data:`FT_BATCH_REP6`)
 2      4     request id (big-endian u32; pipelined peers match
              replies to requests by this id)
 6      4     payload length (big-endian u32)
 ====== ===== ==========================================
+
+The frame type is the address-family tag: ``FT_BATCH_REQ``/``REP``
+carry 32-bit addresses exactly as they always did (old frames stay
+byte-compatible), while ``FT_BATCH_REQ6``/``REP6`` carry the same
+record layouts widened to 16-byte big-endian IPv6 addresses. A peer
+that never sends v6 frames never sees one back.
 
 — followed by the payload.  ``FT_MSG`` payloads carry one
 JSON-equivalent value in a compact tagged encoding (same data model as
@@ -57,32 +64,43 @@ import struct
 from functools import lru_cache
 from typing import Any, Dict, List, Optional, Protocol, Tuple
 
+from ..ipv6.addr6 import int_to_ip6
 from ..net.ipv4 import int_to_ip
 
 __all__ = [
     "BINARY_MAGIC",
     "FT_BATCH_REP",
+    "FT_BATCH_REP6",
     "FT_BATCH_REQ",
+    "FT_BATCH_REQ6",
     "FT_MSG",
     "FrameError",
     "MAX_FRAME_BYTES",
     "WireError",
     "WireSocket",
     "decode_batch_reply",
+    "decode_batch_reply6",
     "decode_batch_request",
+    "decode_batch_request6",
     "decode_binary_frame",
     "decode_frame",
     "decode_msg_payload",
     "decode_record",
+    "decode_record6",
     "encode_batch_reply_frame",
+    "encode_batch_reply_frame6",
     "encode_batch_request",
+    "encode_batch_request6",
     "encode_binary_frame",
     "encode_frame",
     "encode_msg_frame",
     "encode_msg_payload",
     "pack_degraded",
+    "pack_degraded6",
     "pack_verdict",
+    "pack_verdict6",
     "pack_verdict_wire",
+    "pack_verdict_wire6",
     "recv_binary_frame",
     "recv_frame",
     "send_frame",
@@ -264,10 +282,13 @@ def recv_frame(
 BINARY_MAGIC = 0xB1
 
 #: Frame types: a generic tagged message, a packed batch request, and
-#: a packed batch reply.
+#: a packed batch reply — the latter two in a 32-bit (v4) and a
+#: 128-bit (v6) flavour; the type doubles as the family tag.
 FT_MSG = 0
 FT_BATCH_REQ = 1
 FT_BATCH_REP = 2
+FT_BATCH_REQ6 = 3
+FT_BATCH_REP6 = 4
 
 _BIN_HEADER = struct.Struct(">BBII")  # magic, ftype, request_id, length
 BIN_HEADER_SIZE = _BIN_HEADER.size
@@ -958,6 +979,382 @@ def decode_batch_reply(payload: bytes) -> List[Dict[str, Any]]:
             entry, pos = _decode_verdict_record(payload, pos)
         elif kind == REC_DEGRADED:
             entry, pos = _decode_degraded_record(payload, pos)
+        else:
+            raise WireError(
+                f"unknown batch record kind {kind}", recoverable=True
+            )
+        entries.append(entry)
+    if pos != size:
+        raise WireError(
+            f"{size - pos} trailing bytes after batch reply",
+            recoverable=True,
+        )
+    return entries
+
+
+# -- v6 packed batch records ------------------------------------------------
+#
+# Same record shapes as the v4 batch path with the address field
+# widened to 16 big-endian bytes. Kept as parallel functions rather
+# than a width parameter: the v4 pack/unpack calls are the hottest
+# code in the serving plane and must not grow a branch.
+
+_BATCH_REQ6_REC = struct.Struct(">16sBi")  # ip, has_day, day
+
+_VERDICT6_FIXED = struct.Struct(">B16siBBBIIIQB")
+# kind, ip, day, flags, action, reuse_kind, users, asn, epoch, seq, n_lists
+_DEGRADED6_FIXED = struct.Struct(">B16sBiI")
+# kind, ip, has_day, day, shard
+
+_int_to_ip6_cached = lru_cache(maxsize=1 << 16)(int_to_ip6)
+
+
+def _ip6_raw(ip: int) -> bytes:
+    try:
+        return ip.to_bytes(16, "big")
+    except (AttributeError, OverflowError) as exc:
+        raise WireError(
+            f"not a v6-packable address: {ip!r} ({exc})", recoverable=True
+        ) from None
+
+
+def encode_batch_request6(
+    pairs: List[Tuple[int, Optional[int]]],
+    request_id: int,
+    *,
+    max_size: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Pack ``(ip6_int, day_or_None)`` pairs into one FT_BATCH_REQ6
+    frame.
+
+    Raises the recoverable :class:`WireError` when a value does not fit
+    the packed layout (caller falls back to an FT_MSG batch).
+    """
+    parts = [_U32.pack(len(pairs))]
+    pack = _BATCH_REQ6_REC.pack
+    try:
+        for ip, day in pairs:
+            if day is None:
+                parts.append(pack(_ip6_raw(ip), 0, 0))
+            else:
+                parts.append(pack(_ip6_raw(ip), 1, day))
+    except struct.error as exc:
+        raise WireError(
+            f"batch not binary-packable: {exc}", recoverable=True
+        ) from None
+    return encode_binary_frame(
+        FT_BATCH_REQ6, request_id, b"".join(parts), max_size=max_size
+    )
+
+
+def decode_batch_request6(payload: bytes) -> List[Tuple[int, Optional[int]]]:
+    """Unpack an FT_BATCH_REQ6 payload into ``(ip, day_or_None)`` pairs."""
+    if len(payload) < 4:
+        raise WireError("truncated batch request", recoverable=True)
+    (count,) = _U32.unpack_from(payload)
+    if len(payload) != 4 + count * _BATCH_REQ6_REC.size:
+        raise WireError(
+            "batch request length does not match its declared count",
+            recoverable=True,
+        )
+    pairs: List[Tuple[int, Optional[int]]] = []
+    append = pairs.append
+    from_bytes = int.from_bytes
+    for raw, has_day, day in _BATCH_REQ6_REC.iter_unpack(
+        memoryview(payload)[4:]
+    ):
+        if has_day > 1:
+            raise WireError(
+                f"bad has_day flag {has_day} in batch request",
+                recoverable=True,
+            )
+        append((from_bytes(raw, "big"), day if has_day else None))
+    return pairs
+
+
+def _pack_verdict_fields6(
+    ip: int,
+    day: int,
+    listed: bool,
+    lists: Any,
+    nated: bool,
+    dynamic: bool,
+    unjust: bool,
+    reuse_kind: str,
+    users: int,
+    asn: int,
+    action: str,
+    epoch: int,
+    seq: int,
+) -> bytes:
+    action_code = _ACTION_TO_CODE.get(action)
+    reuse_code = _REUSE_TO_CODE.get(reuse_kind)
+    if action_code is None or reuse_code is None:
+        raise WireError(
+            f"verdict not binary-packable: action={action!r} "
+            f"reuse_kind={reuse_kind!r}",
+            recoverable=True,
+        )
+    flags = (
+        (_FLAG_LISTED if listed else 0)
+        | (_FLAG_NATED if nated else 0)
+        | (_FLAG_DYNAMIC if dynamic else 0)
+        | (_FLAG_UNJUST if unjust else 0)
+    )
+    try:
+        head = _VERDICT6_FIXED.pack(
+            REC_VERDICT, _ip6_raw(ip), day, flags, action_code,
+            reuse_code, users, asn, epoch, seq, len(lists),
+        )
+    except struct.error as exc:
+        raise WireError(
+            f"verdict not binary-packable: {exc}", recoverable=True
+        ) from None
+    if not lists:
+        return head
+    parts = [head]
+    for list_id in lists:
+        raw = str(list_id).encode("utf-8")
+        if len(raw) > 255:
+            raise WireError(
+                f"verdict not binary-packable: list id of {len(raw)} bytes",
+                recoverable=True,
+            )
+        parts.append(bytes((len(raw),)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def pack_verdict6(verdict: Any) -> bytes:
+    """Pack one v6 engine verdict into an FT_BATCH_REP6 record."""
+    return _pack_verdict_fields6(
+        verdict.ip, verdict.day, verdict.listed, verdict.lists,
+        verdict.nated, verdict.dynamic, verdict.unjust,
+        verdict.reuse_kind, verdict.users, verdict.asn, verdict.action,
+        verdict.epoch, verdict.seq,
+    )
+
+
+def pack_verdict_wire6(entry: Dict[str, Any]) -> bytes:
+    """Pack a v6 verdict already in wire-dict form (text address) into
+    an FT_BATCH_REP6 record."""
+    from ..ipv6.addr6 import ip6_to_int
+
+    try:
+        return _pack_verdict_fields6(
+            ip6_to_int(entry["ip"]), entry["day"], bool(entry["listed"]),
+            entry["lists"], bool(entry["nated"]), bool(entry["dynamic"]),
+            bool(entry["unjust"]), entry["reuse_kind"], entry["users"],
+            entry["asn"], entry["action"], entry["epoch"], entry["seq"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, WireError):
+            raise
+        raise WireError(
+            f"verdict not binary-packable: {exc}", recoverable=True
+        ) from None
+
+
+def pack_degraded6(
+    ip: int, day: Optional[int], shard: int, error: str
+) -> bytes:
+    """Pack one degraded (shard-unavailable) FT_BATCH_REP6 record."""
+    raw = error.encode("utf-8")
+    if len(raw) > 255:
+        raw = raw[:255]
+    try:
+        head = _DEGRADED6_FIXED.pack(
+            REC_DEGRADED, _ip6_raw(ip), 0 if day is None else 1,
+            0 if day is None else day, shard,
+        )
+    except struct.error as exc:
+        raise WireError(
+            f"degraded entry not binary-packable: {exc}", recoverable=True
+        ) from None
+    return head + bytes((len(raw),)) + raw
+
+
+def encode_batch_reply_frame6(
+    records: List[bytes],
+    request_id: int,
+    *,
+    max_size: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Assemble packed v6 records into one FT_BATCH_REP6 frame."""
+    payload = _U32.pack(len(records)) + b"".join(records)
+    return encode_binary_frame(
+        FT_BATCH_REP6, request_id, payload, max_size=max_size
+    )
+
+
+def _record_span6(payload: bytes, pos: int, size: int) -> int:
+    """Return the end offset of the v6 record starting at ``pos``."""
+    kind = payload[pos]
+    if kind == REC_VERDICT:
+        end = pos + _VERDICT6_FIXED.size
+        _need(payload, pos, _VERDICT6_FIXED.size)
+        n_lists = payload[end - 1]
+        for _ in range(n_lists):
+            _need(payload, end, 1)
+            end += 1 + payload[end]
+    elif kind == REC_DEGRADED:
+        end = pos + _DEGRADED6_FIXED.size
+        _need(payload, pos, _DEGRADED6_FIXED.size)
+        _need(payload, end, 1)
+        end += 1 + payload[end]
+    else:
+        raise WireError(
+            f"unknown batch record kind {kind}", recoverable=True
+        )
+    if end > size:
+        raise WireError("truncated batch reply record", recoverable=True)
+    return end
+
+
+def split_batch_reply6(payload: bytes) -> List[bytes]:
+    """Slice an FT_BATCH_REP6 payload into its raw records, validated
+    but not decoded (the Router's merge path)."""
+    if len(payload) < 4:
+        raise WireError("truncated batch reply", recoverable=True)
+    (count,) = _U32.unpack_from(payload)
+    size = len(payload)
+    records: List[bytes] = []
+    pos = 4
+    for _ in range(count):
+        _need(payload, pos, 1)
+        end = _record_span6(payload, pos, size)
+        records.append(payload[pos:end])
+        pos = end
+    if pos != size:
+        raise WireError(
+            f"{size - pos} trailing bytes after batch reply",
+            recoverable=True,
+        )
+    return records
+
+
+def _decode_verdict_record6(
+    payload: bytes, pos: int
+) -> Tuple[Dict[str, Any], int]:
+    if pos + _VERDICT6_FIXED.size > len(payload):
+        raise WireError("truncated batch reply record", recoverable=True)
+    (
+        _kind, raw_ip, day, flags, action_code, reuse_code,
+        users, asn, epoch, seq, n_lists,
+    ) = _VERDICT6_FIXED.unpack_from(payload, pos)
+    pos += _VERDICT6_FIXED.size
+    lists: List[str] = []
+    size = len(payload)
+    for _ in range(n_lists):
+        if pos >= size:
+            raise WireError("truncated batch reply record", recoverable=True)
+        length = payload[pos]
+        pos += 1
+        if pos + length > size:
+            raise WireError("truncated batch reply record", recoverable=True)
+        try:
+            lists.append(payload[pos : pos + length].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise WireError(
+                f"undecodable list id: {exc}", recoverable=True
+            ) from None
+        pos += length
+    action = _CODE_TO_ACTION.get(action_code)
+    reuse_kind = _CODE_TO_REUSE.get(reuse_code)
+    if action is None or reuse_kind is None:
+        raise WireError(
+            f"bad verdict codes action={action_code} reuse={reuse_code}",
+            recoverable=True,
+        )
+    entry = {
+        "ip": _int_to_ip6_cached(int.from_bytes(raw_ip, "big")),
+        "day": day,
+        "listed": bool(flags & _FLAG_LISTED),
+        "lists": lists,
+        "nated": bool(flags & _FLAG_NATED),
+        "dynamic": bool(flags & _FLAG_DYNAMIC),
+        "unjust": bool(flags & _FLAG_UNJUST),
+        "reuse_kind": reuse_kind,
+        "users": users,
+        "asn": asn,
+        "action": action,
+        "epoch": epoch,
+        "seq": seq,
+    }
+    return entry, pos
+
+
+def _decode_degraded_record6(
+    payload: bytes, pos: int
+) -> Tuple[Dict[str, Any], int]:
+    if pos + _DEGRADED6_FIXED.size > len(payload):
+        raise WireError("truncated batch reply record", recoverable=True)
+    _kind, raw_ip, has_day, day, shard = _DEGRADED6_FIXED.unpack_from(
+        payload, pos
+    )
+    pos += _DEGRADED6_FIXED.size
+    size = len(payload)
+    if pos >= size:
+        raise WireError("truncated batch reply record", recoverable=True)
+    length = payload[pos]
+    pos += 1
+    if pos + length > size:
+        raise WireError("truncated batch reply record", recoverable=True)
+    try:
+        error = payload[pos : pos + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(
+            f"undecodable error text: {exc}", recoverable=True
+        ) from None
+    pos += length
+    entry = {
+        "ip": _int_to_ip6_cached(int.from_bytes(raw_ip, "big")),
+        "day": day if has_day else None,
+        "error": error,
+        "shard": shard,
+    }
+    return entry, pos
+
+
+def decode_record6(record: bytes) -> Dict[str, Any]:
+    """Decode one packed v6 record (a :func:`split_batch_reply6` slice)
+    into its wire dict."""
+    if not record:
+        raise WireError("empty batch record", recoverable=True)
+    kind = record[0]
+    if kind == REC_VERDICT:
+        entry, pos = _decode_verdict_record6(record, 0)
+    elif kind == REC_DEGRADED:
+        entry, pos = _decode_degraded_record6(record, 0)
+    else:
+        raise WireError(
+            f"unknown batch record kind {kind}", recoverable=True
+        )
+    if pos != len(record):
+        raise WireError(
+            f"{len(record) - pos} trailing bytes after batch record",
+            recoverable=True,
+        )
+    return entry
+
+
+def decode_batch_reply6(payload: bytes) -> List[Dict[str, Any]]:
+    """Decode an FT_BATCH_REP6 payload into the same wire dicts the
+    JSON codec produces for v6 queries."""
+    if len(payload) < 4:
+        raise WireError("truncated batch reply", recoverable=True)
+    (count,) = _U32.unpack_from(payload)
+    size = len(payload)
+    entries: List[Dict[str, Any]] = []
+    pos = 4
+    for _ in range(count):
+        if pos >= size:
+            raise WireError("truncated batch reply", recoverable=True)
+        kind = payload[pos]
+        if kind == REC_VERDICT:
+            entry, pos = _decode_verdict_record6(payload, pos)
+        elif kind == REC_DEGRADED:
+            entry, pos = _decode_degraded_record6(payload, pos)
         else:
             raise WireError(
                 f"unknown batch record kind {kind}", recoverable=True

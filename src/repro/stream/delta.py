@@ -95,8 +95,14 @@ class ListingDelta:
                 self.first_day, self.last_day]
 
     @classmethod
-    def from_wire(cls, row: Sequence) -> "ListingDelta":
-        """Parse a wire row; :class:`ValueError` on anything malformed."""
+    def from_wire(
+        cls, row: Sequence, *, max_ip: int = 0xFFFFFFFF
+    ) -> "ListingDelta":
+        """Parse a wire row; :class:`ValueError` on anything malformed.
+
+        ``max_ip`` is the address ceiling of the stream's declared
+        family (``AddressFamily.max_int``); the IPv4 default keeps
+        every pre-existing log's validation unchanged."""
         if not isinstance(row, (list, tuple)) or len(row) != 6:
             raise ValueError(f"delta row must have 6 fields: {row!r}")
         op, day, ip, list_id, first, last = row
@@ -105,7 +111,7 @@ class ListingDelta:
         for value in (day, ip, first, last):
             if isinstance(value, bool) or not isinstance(value, int):
                 raise ValueError(f"bad delta row types: {row!r}")
-        if ip < 0 or ip > 0xFFFFFFFF:
+        if ip < 0 or ip > max_ip:
             raise ValueError(f"delta ip out of range: {ip}")
         return cls(day, ip, list_id, op, first, last)
 

@@ -28,6 +28,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..net.family import family_named
 from .delta import DeltaBatch, ListingDelta
 
 __all__ = [
@@ -72,7 +73,22 @@ def _encode_record(batch: DeltaBatch) -> bytes:
     return gzip.compress(_canonical(body), compresslevel=6)
 
 
-def _decode_batch(doc: Any) -> DeltaBatch:
+def _header_max_ip(header: Dict[str, Any]) -> int:
+    """The delta-ip ceiling a log's header declares.
+
+    The family rides in ``meta.family`` (absent → IPv4, like every
+    other payload in the stack), so pre-existing v4 logs validate
+    exactly as before while an ``ipv6`` log admits 128-bit addresses.
+    """
+    meta = header.get("meta")
+    name = meta.get("family") if isinstance(meta, dict) else None
+    try:
+        return family_named(name).max_int
+    except ValueError as exc:
+        raise UpdateLogError(str(exc)) from None
+
+
+def _decode_batch(doc: Any, max_ip: int = 0xFFFFFFFF) -> DeltaBatch:
     if not isinstance(doc, dict):
         raise UpdateLogError(f"record is not an object: {doc!r}")
     try:
@@ -92,7 +108,9 @@ def _decode_batch(doc: Any) -> DeltaBatch:
             f"(stored {crc!r}, computed {expected})"
         )
     try:
-        deltas = tuple(ListingDelta.from_wire(row) for row in rows)
+        deltas = tuple(
+            ListingDelta.from_wire(row, max_ip=max_ip) for row in rows
+        )
     except (TypeError, ValueError) as exc:
         raise UpdateLogError(f"record seq={seq}: {exc}") from None
     try:
@@ -242,10 +260,11 @@ def _load(path: Path) -> Tuple[Dict[str, Any], List[DeltaBatch], int]:
     if not documents:
         raise UpdateLogError(f"{path} holds no complete records")
     header = _check_header(documents[0], path)
+    max_ip = _header_max_ip(header)
     batches: List[DeltaBatch] = []
     expected = 1
     for doc in documents[1:]:
-        batch = _decode_batch(doc)
+        batch = _decode_batch(doc, max_ip)
         if batch.seq != expected:
             raise UpdateLogError(
                 f"sequence gap: expected {expected}, found {batch.seq}"
@@ -290,6 +309,7 @@ class UpdateLogReader:
         self._offset = 0
         self._next_seq = 1
         self._header: Optional[Dict[str, Any]] = None
+        self._max_ip = 0xFFFFFFFF
 
     @property
     def header(self) -> Dict[str, Any]:
@@ -322,9 +342,10 @@ class UpdateLogReader:
                 self._header = _check_header(
                     documents.pop(0), self._path
                 )
+                self._max_ip = _header_max_ip(self._header)
             batches: List[DeltaBatch] = []
             for doc in documents:
-                batch = _decode_batch(doc)
+                batch = _decode_batch(doc, self._max_ip)
                 if batch.seq != self._next_seq:
                     raise UpdateLogError(
                         f"sequence gap: expected {self._next_seq}, "

@@ -1,0 +1,41 @@
+"""IPv6 reputation serving: /64 reuse pools behind the 128-bit index.
+
+The measurement paper names IPv6 as the stated path for extending
+reuse-aware blocklisting; this package supplies the serving-side
+pieces that path needs on top of the family-generic index layer:
+
+* :mod:`repro.v6serve.pools` — cluster an observed-address corpus into
+  /64 pools and judge each pool's reuse behaviour with the Entropy/IP
+  classifier (:func:`repro.ipv6.entropyip.classify_reuse_risk`):
+  rotating (privacy-addressed) pools are the IPv6 analogue of the
+  paper's dynamic /24s;
+* :mod:`repro.v6serve.aliases` — Rye-style aliased-prefix detection:
+  a prefix where *every* probed address answers is one responder
+  wearing 2^64 addresses, and must be collapsed before it pollutes
+  reputation as a giant fake rotating pool;
+* :mod:`repro.v6serve.build` — fold both into the dynamic-prefix and
+  reuse facts a family-generic
+  :class:`~repro.service.index.ReputationIndex` consumes exactly like
+  v4 facts;
+* :mod:`repro.v6serve.hitlist` — the seeded ``hitlist-v6`` adversary
+  scenario: a generated active-address corpus, an Entropy/IP crawler
+  discovering targets in the sparse space, listings, and scored
+  verdicts, registered with the adversary lab
+  (``repro scenarios run --scenario hitlist-v6``).
+"""
+
+from .aliases import find_aliased_prefixes, prune_aliased
+from .build import V6ReuseFacts, v6_reuse_facts
+from .hitlist import HitlistV6Model
+from .pools import Pool, cluster_pools, rotating_prefixes
+
+__all__ = [
+    "HitlistV6Model",
+    "Pool",
+    "V6ReuseFacts",
+    "cluster_pools",
+    "find_aliased_prefixes",
+    "prune_aliased",
+    "rotating_prefixes",
+    "v6_reuse_facts",
+]

@@ -1,0 +1,73 @@
+"""Rye-style aliased-prefix detection for IPv6 hitlists.
+
+An *aliased* prefix is one machine configured to answer for an entire
+block (CDN edge, honeypot, middlebox): probe any of its 2^64
+addresses and something replies. To a hitlist crawler it looks like a
+bottomless pool of responsive targets; to the reuse classifier its
+random probe responses look exactly like a giant rotating privacy
+pool. Left alone it would (a) swamp the hitlist with fake targets and
+(b) enter the reputation index as a dynamic prefix whose listings and
+reuse facts describe one responder, not a population — Rye's "IPv6
+Hitlists at Scale" pitfall. Detection follows the standard recipe
+(Gasser et al.): probe a handful of pseudo-random addresses inside
+the prefix; a prefix where *every* probe answers is aliased, because
+genuinely populated /64s are vanishingly sparse.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, FrozenSet, Iterable, List, Sequence
+
+from ..ipv6.addr6 import Prefix6
+
+__all__ = ["DEFAULT_PROBES", "find_aliased_prefixes", "prune_aliased"]
+
+#: Random probes per prefix. In a real /64 the chance a random
+#: address is populated is ~0, so even a few all-responding probes
+#: are conclusive; 16 matches the published methodology.
+DEFAULT_PROBES = 16
+
+
+def find_aliased_prefixes(
+    prefixes: Iterable[Prefix6],
+    responder: Callable[[int], bool],
+    rng: random.Random,
+    *,
+    probes: int = DEFAULT_PROBES,
+) -> FrozenSet[Prefix6]:
+    """The subset of ``prefixes`` that answer for their whole block.
+
+    ``responder(ip) -> bool`` is the probe primitive (a scenario's
+    ground-truth world, or a real prober behind the same signature).
+    Every candidate is probed at ``probes`` pseudo-random non-network
+    addresses; only a clean sweep of responses marks it aliased — a
+    single silent address proves the prefix has holes and therefore a
+    real (sparse) population.
+    """
+    if probes <= 0:
+        raise ValueError("need a positive probe count")
+    aliased = []
+    for prefix in sorted(set(prefixes)):
+        host_bits = 128 - prefix.length
+        if host_bits == 0:
+            continue  # a /128 is an address, not a block to collapse
+        if all(
+            responder(prefix.network | (rng.getrandbits(host_bits) or 1))
+            for _ in range(probes)
+        ):
+            aliased.append(prefix)
+    return frozenset(aliased)
+
+
+def prune_aliased(
+    corpus: Sequence[int], aliased: Iterable[Prefix6]
+) -> List[int]:
+    """Drop every corpus address inside an aliased prefix, keeping
+    order — the de-aliased hitlist downstream stages consume."""
+    blocks = tuple(aliased)
+    return [
+        address
+        for address in corpus
+        if not any(block.contains(address) for block in blocks)
+    ]

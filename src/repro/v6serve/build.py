@@ -1,0 +1,67 @@
+"""Fold a v6 hitlist into the reuse facts the index consumes.
+
+``v6_reuse_facts`` is the package's one-call pipeline: alias-collapse
+the observed corpus (:mod:`repro.v6serve.aliases`), cluster the
+survivors into /64 pools (:mod:`repro.v6serve.pools`), and emit the
+dynamic-prefix facts a family-generic
+:class:`~repro.service.index.ReputationIndex` takes exactly where the
+v4 pipeline hands it dynamic /24s. The QueryEngine then serves
+``dynamic``/``unjust``/greylist verdicts for v6 addresses with no
+v6-specific code of its own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Sequence, Tuple
+
+from ..ipv6.addr6 import Prefix6
+from .aliases import DEFAULT_PROBES, find_aliased_prefixes, prune_aliased
+from .pools import Pool, cluster_pools, rotating_prefixes
+
+__all__ = ["V6ReuseFacts", "v6_reuse_facts"]
+
+
+@dataclass(frozen=True)
+class V6ReuseFacts:
+    """What the serving plane learns from one observed corpus."""
+
+    #: Rotating /64 pools — the index's dynamic prefixes.
+    dynamic_prefixes: Tuple[Prefix6, ...]
+    #: Every observed /64 with its population and reuse judgement
+    #: (aliased blocks already removed).
+    pools: Tuple[Pool, ...]
+    #: Prefixes collapsed as aliased; excluded from every fact above.
+    aliased: FrozenSet[Prefix6]
+    #: The corpus with aliased-prefix addresses removed.
+    hitlist: Tuple[int, ...]
+
+
+def v6_reuse_facts(
+    corpus: Sequence[int],
+    *,
+    responder: Callable[[int], bool] = lambda _ip: False,
+    rng: "random.Random | None" = None,
+    probes: int = DEFAULT_PROBES,
+) -> V6ReuseFacts:
+    """Observed addresses → alias-clean /64 reuse facts.
+
+    ``responder`` is the probe primitive alias detection uses; the
+    silent default skips collapsing (nothing can sweep 16 probes), for
+    callers that only want pool clustering. ``rng`` drives the probe
+    addresses — pass a seeded one for deterministic artefacts.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    candidates = {Prefix6(a & ~((1 << 64) - 1), 64) for a in corpus}
+    aliased = find_aliased_prefixes(
+        candidates, responder, rng, probes=probes
+    )
+    hitlist = prune_aliased(corpus, aliased)
+    pools: List[Pool] = cluster_pools(hitlist) if hitlist else []
+    return V6ReuseFacts(
+        dynamic_prefixes=rotating_prefixes(pools),
+        pools=tuple(pools),
+        aliased=aliased,
+        hitlist=tuple(hitlist),
+    )

@@ -1,0 +1,342 @@
+"""The seeded ``hitlist-v6`` adversary scenario.
+
+The IPv6 space is too sparse to scan, so serving reputation for it
+starts from a *hitlist*: a corpus of known-active addresses, expanded
+by an Entropy/IP crawler that learns the corpus structure and probes
+generated candidates (Gasser et al., "Clusters in the Expanse"). This
+scenario plays that pipeline end to end inside the adversary lab:
+
+1. **World** — :func:`repro.ipv6.generator.generate_corpus` builds an
+   active-address world of privacy-addressed /64s (rotating), EUI-64
+   and sequential /64s (stable), plus one *aliased* /64 where a
+   single responder answers every probe;
+2. **Crawl** — :func:`repro.ipv6.entropyip.analyze` learns the corpus
+   structure and generates candidate targets; candidates something
+   responds to join the hitlist — the aliased block "discovers"
+   endlessly, which is exactly Rye's trap;
+3. **Facts** — :func:`repro.v6serve.build.v6_reuse_facts` collapses
+   the aliased prefix and classifies the surviving /64 pools; the
+   rotating pools become the ledger's dynamic prefixes, so aliased
+   space never enters reputation;
+4. **Abuse** — rotating attackers burn a fresh privacy address per
+   day, stable attackers sit on EUI-64 addresses, and a phantom
+   attacker emits from random aliased-block addresses; listings and
+   scoring then run through the standard lab machinery over the
+   128-bit index.
+
+Registered with the adversary registry on import, so
+``repro scenarios run --scenario hitlist-v6`` and the stream-fidelity
+check work like any v4 scenario — just over a v6 index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..adversary.models import (
+    HORIZON_DAYS,
+    AbuseScenario,
+    AbuseStint,
+    AdversaryModel,
+    GroundTruthLedger,
+    IpDay,
+    register_adversary,
+    scenario_rng,
+)
+from ..internet.abuse import AbuseCategory, AbuseEvent
+from ..ipv6.addr6 import Prefix6, ip6_to_int, subnet_of
+from ..ipv6.entropyip import AddressStructure, analyze
+from ..ipv6.generator import Strategy, SubnetPlan, generate_corpus
+from .build import V6ReuseFacts, v6_reuse_facts
+
+__all__ = ["HitlistSurvey", "HitlistV6Model"]
+
+
+def _p6(text: str) -> Prefix6:
+    return Prefix6(ip6_to_int(text), 64)
+
+
+@dataclass(frozen=True)
+class HitlistSurvey:
+    """The discovery half of the scenario — deterministic per seed.
+
+    Tests and the experiment writeup read the crawl/alias metrics
+    from here; :meth:`HitlistV6Model.build` layers abuse on top."""
+
+    plans: Tuple[SubnetPlan, ...]
+    aliased_prefix: Prefix6
+    #: The generated active world (no aliased-block addresses).
+    corpus: Tuple[int, ...]
+    #: The crawler's starting knowledge: a sample of the corpus plus
+    #: a few leaked aliased-block addresses.
+    seeds: Tuple[int, ...]
+    structure: AddressStructure
+    #: Responding crawler candidates that were *not* already seeds.
+    discovered: Tuple[int, ...]
+    facts: V6ReuseFacts
+
+    def metrics(self) -> Dict[str, int]:
+        """The headline numbers the EXPERIMENTS entry reports."""
+        discovered_aliased = sum(
+            1
+            for address in self.discovered
+            if self.aliased_prefix.contains(address)
+        )
+        return {
+            "corpus": len(self.corpus),
+            "seeds": len(self.seeds),
+            "discovered": len(self.discovered),
+            "discovered_aliased": discovered_aliased,
+            "discovered_real": len(self.discovered) - discovered_aliased,
+            "hitlist": len(self.facts.hitlist),
+            "pools": len(self.facts.pools),
+            "rotating_pools": len(self.facts.dynamic_prefixes),
+            "aliased_prefixes": len(self.facts.aliased),
+        }
+
+
+class HitlistV6Model(AdversaryModel):
+    """Hitlist-driven IPv6 world with rotating, stable and aliased
+    abuse — the 128-bit index's acceptance scenario."""
+
+    name = "hitlist-v6"
+    description = (
+        "entropy-crawled IPv6 hitlist: privacy pools rotate daily, "
+        "an aliased /64 is collapsed before it pollutes reputation"
+    )
+
+    #: Privacy (rotating) /64s — the v6 dynamic space.
+    PRIVACY_SUBNETS = 3
+    #: Stable /64s: EUI-64 LANs plus one sequential server subnet.
+    EUI64_SUBNETS = 2
+    #: Fraction of the active world the crawler starts from.
+    SEED_SHARE = 0.65
+    #: Candidates generated per /64 seed group (Entropy/IP models are
+    #: learned per prefix, as in the published hitlist pipelines).
+    GROUP_CANDIDATES = 48
+    #: Seed groups smaller than this carry no learnable structure.
+    MIN_GROUP = 8
+    ROTATING_ATTACKERS = 4
+    STABLE_ATTACKERS = 2
+    INNOCENTS_PER_POOL = 12
+    STABLE_INNOCENTS = 10
+    ACTIVE = (4, 52)
+
+    def _plans(self) -> Tuple[SubnetPlan, ...]:
+        plans = [
+            SubnetPlan(
+                _p6(f"2001:db8:a:{index:x}::"),
+                Strategy.PRIVACY,
+                hosts=48,
+            )
+            for index in range(self.PRIVACY_SUBNETS)
+        ]
+        plans += [
+            SubnetPlan(
+                _p6(f"2001:db8:b:{index:x}::"),
+                Strategy.EUI64,
+                hosts=32,
+            )
+            for index in range(self.EUI64_SUBNETS)
+        ]
+        plans.append(
+            SubnetPlan(_p6("2001:db8:c:1::"), Strategy.SEQUENTIAL, hosts=16)
+        )
+        return tuple(plans)
+
+    def survey(self, seed: int) -> HitlistSurvey:
+        """Generate the world, crawl it, and compile reuse facts."""
+        rng = scenario_rng(self.name, seed, "world")
+        plans = self._plans()
+        aliased_prefix = _p6("2001:db8:ffff:aaaa::")
+        corpus = tuple(generate_corpus(plans, rng))
+        corpus_set = set(corpus)
+
+        def responder(address: int) -> bool:
+            # The ground-truth probe answer: real hosts answer for
+            # themselves; the aliased block answers for everything.
+            return address in corpus_set or aliased_prefix.contains(
+                address
+            )
+
+        # The crawler starts from a partial seed hitlist: a sample of
+        # the real world plus a few leaked aliased-block addresses (as
+        # a real public seed list would carry).
+        crawl_rng = scenario_rng(self.name, seed, "crawl")
+        seeds = set(
+            crawl_rng.sample(
+                sorted(corpus_set),
+                int(len(corpus_set) * self.SEED_SHARE),
+            )
+        )
+        seeds.update(
+            aliased_prefix.network | crawl_rng.getrandbits(64)
+            for _ in range(24)
+        )
+        structure = analyze(sorted(seeds))
+
+        # Entropy/IP target generation runs per /64 seed group (the
+        # structure model is learned per prefix): structured pools
+        # yield genuinely new hosts, the privacy pools yield nothing
+        # (2^64 is too sparse to guess into), and the aliased block
+        # "answers" for every generated candidate.
+        groups: Dict[Prefix6, List[int]] = {}
+        for address in sorted(seeds):
+            groups.setdefault(subnet_of(address), []).append(address)
+        discovered: List[int] = []
+        for _prefix, members in sorted(groups.items()):
+            if len(members) < self.MIN_GROUP:
+                continue
+            model = analyze(members)
+            discovered.extend(
+                candidate
+                for candidate in model.generate_candidates(
+                    crawl_rng, self.GROUP_CANDIDATES
+                )
+                if candidate not in seeds and responder(candidate)
+            )
+
+        hitlist_raw = sorted(seeds | set(discovered))
+        facts = v6_reuse_facts(
+            hitlist_raw,
+            responder=responder,
+            rng=scenario_rng(self.name, seed, "alias"),
+        )
+        return HitlistSurvey(
+            plans=plans,
+            aliased_prefix=aliased_prefix,
+            corpus=corpus,
+            seeds=tuple(sorted(seeds)),
+            structure=structure,
+            discovered=tuple(sorted(discovered)),
+            facts=facts,
+        )
+
+    def build(self, seed: int) -> AbuseScenario:
+        survey = self.survey(seed)
+        rng = scenario_rng(self.name, seed, "abuse")
+        privacy = [plan.subnet for plan in survey.plans[: self.PRIVACY_SUBNETS]]
+        eui64_addresses = sorted(
+            address
+            for address in survey.corpus
+            if any(
+                plan.subnet.contains(address)
+                for plan in survey.plans
+                if plan.strategy == Strategy.EUI64
+            )
+        )
+
+        events: List[AbuseEvent] = []
+        malicious: Set[IpDay] = set()
+        innocent: Dict[IpDay, int] = {}
+        stints: List[AbuseStint] = []
+        first_active, last_active = self.ACTIVE
+
+        # Rotating attackers: a fresh privacy address every active day
+        # — in 2^64 of IID space a listed address is *never* re-drawn,
+        # so only the /64-granular dynamic fact can describe the pool.
+        for index in range(self.ROTATING_ATTACKERS):
+            attacker = f"v6-flux-{index}"
+            pool = privacy[index % len(privacy)]
+            for day in range(first_active, last_active + 1):
+                ip = pool.network | rng.getrandbits(64)
+                malicious.add((ip, day))
+                stints.append(AbuseStint(attacker, ip, day, day))
+                for _ in range(2):
+                    events.append(
+                        AbuseEvent(
+                            day=day,
+                            ip=ip,
+                            user_key=attacker,
+                            category=AbuseCategory.SPAM,
+                        )
+                    )
+
+        # Stable attackers: parked on EUI-64 addresses, emitting most
+        # days — the population listings keep describing correctly.
+        for index in range(self.STABLE_ATTACKERS):
+            attacker = f"v6-static-{index}"
+            ip = eui64_addresses[index]
+            active_days = [
+                day
+                for day in range(first_active, last_active + 1)
+                if rng.random() < 0.8
+            ]
+            for day in active_days:
+                malicious.add((ip, day))
+                events.append(
+                    AbuseEvent(
+                        day=day,
+                        ip=ip,
+                        user_key=attacker,
+                        category=AbuseCategory.BRUTEFORCE,
+                    )
+                )
+            if active_days:
+                stints.append(
+                    AbuseStint(
+                        attacker, ip, active_days[0], active_days[-1]
+                    )
+                )
+
+        # Phantom attacker inside the aliased block: its listings are
+        # real, but the block must never surface as reuse facts.
+        for day in range(first_active, last_active + 1, 3):
+            ip = survey.aliased_prefix.network | rng.getrandbits(64)
+            malicious.add((ip, day))
+            stints.append(AbuseStint("v6-phantom", ip, day, day))
+            events.append(
+                AbuseEvent(
+                    day=day,
+                    ip=ip,
+                    user_key="v6-phantom",
+                    category=AbuseCategory.SCAN,
+                )
+            )
+
+        # Innocents: privacy-pool users rotate like their attackers do
+        # (one user per drawn address-day); stable EUI-64 hosts keep
+        # one address for the whole horizon.
+        for pool_index, pool in enumerate(privacy):
+            for user in range(self.INNOCENTS_PER_POOL):
+                for day in range(HORIZON_DAYS):
+                    key = (pool.network | rng.getrandbits(64), day)
+                    innocent[key] = innocent.get(key, 0) + 1
+        for address in eui64_addresses[
+            self.STABLE_ATTACKERS : self.STABLE_ATTACKERS
+            + self.STABLE_INNOCENTS
+        ]:
+            for day in range(HORIZON_DAYS):
+                innocent[(address, day)] = 1
+
+        asn_by_ip = {
+            ip: 64800 + ((ip >> 64) & 0xFFFF) % 7
+            for (ip, _) in set(innocent) | malicious
+        }
+        ledger = GroundTruthLedger(
+            malicious_ip_days=frozenset(malicious),
+            innocent_user_days=innocent,
+            stints=tuple(
+                sorted(
+                    stints,
+                    key=lambda s: (s.attacker, s.first_day, s.ip),
+                )
+            ),
+            dynamic_prefixes=survey.facts.dynamic_prefixes,
+            asn_by_ip=asn_by_ip,
+        )
+        return AbuseScenario(
+            name=self.name,
+            seed=seed,
+            horizon_days=HORIZON_DAYS,
+            windows=((0, HORIZON_DAYS - 1),),
+            events=tuple(
+                sorted(events, key=lambda e: (e.day, e.ip, e.category))
+            ),
+            ledger=ledger,
+            family="ipv6",
+        )
+
+
+register_adversary(HitlistV6Model())

@@ -1,0 +1,62 @@
+"""Cluster observed IPv6 addresses into /64 reuse pools.
+
+A /64 is the assignment atom of the IPv6 serving plane (one subnet,
+one household/LAN — the analogue of the paper's dynamically-reassigned
+/24s), so reuse facts are modelled per /64: the Entropy/IP
+interface-identifier classifier decides whether a pool's addresses
+*rotate* (RFC 4941 privacy addressing — listings on /128s go stale
+and mis-target almost immediately) or stay *stable* (EUI-64,
+sequential or service addressing — a listing keeps meaning the same
+host). Rotating pools become the index's dynamic prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..ipv6.addr6 import Prefix6, subnet_of
+from ..ipv6.entropyip import REUSE_ROTATING, classify_reuse_risk
+
+__all__ = ["Pool", "cluster_pools", "rotating_prefixes"]
+
+
+@dataclass(frozen=True)
+class Pool:
+    """One observed /64: its prefix, population, and reuse judgement."""
+
+    prefix: Prefix6
+    addresses: int
+    risk: str  # REUSE_ROTATING or REUSE_STABLE
+
+    @property
+    def rotating(self) -> bool:
+        return self.risk == REUSE_ROTATING
+
+
+def cluster_pools(corpus: Sequence[int]) -> List[Pool]:
+    """Group ``corpus`` into /64 pools with per-pool reuse judgements.
+
+    Pools come back sorted by prefix so downstream fact tables are
+    deterministic for a deterministic corpus.
+    """
+    counts: Dict[Prefix6, int] = {}
+    for address in corpus:
+        prefix = subnet_of(address)
+        counts[prefix] = counts.get(prefix, 0) + 1
+    risk_by_subnet = classify_reuse_risk(corpus)
+    return [
+        Pool(
+            prefix=prefix,
+            addresses=count,
+            risk=risk_by_subnet[str(prefix)],
+        )
+        for prefix, count in sorted(counts.items())
+    ]
+
+
+def rotating_prefixes(pools: Sequence[Pool]) -> Tuple[Prefix6, ...]:
+    """The dynamic-prefix facts: every rotating /64, prefix-sorted."""
+    return tuple(
+        sorted(pool.prefix for pool in pools if pool.rotating)
+    )

@@ -48,6 +48,7 @@ class TestRegistry:
             "cgn-shelter",
             "campaign-hop",
             "slow-drip",
+            "hitlist-v6",
         )
 
     def test_models_self_describe(self):

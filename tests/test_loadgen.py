@@ -23,6 +23,7 @@ from repro.loadgen import (
     mix_names,
     percentile,
     population_from_analysis,
+    population_from_hitlist,
     render_report,
     summarize,
     window_day_workload,
@@ -138,9 +139,13 @@ class TestGenerator:
         assert one != two
 
     def test_schedule_carries_exact_query_count(self, analysis):
+        hitlist = [(0x20010DB8 << 96) | (n << 64) | n for n in range(64)]
         for name in mix_names():
             mix = get_mix(name)
-            ips, days = population_from_analysis(mix, analysis)
+            if mix.family == "ipv6":
+                ips, days = population_from_hitlist(mix, hitlist)
+            else:
+                ips, days = population_from_analysis(mix, analysis)
             events = TrafficGenerator(mix, ips, days).schedule(
                 1000, 10_000.0
             )

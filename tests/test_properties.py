@@ -188,3 +188,114 @@ class TestDetectionDeterminism:
         second = detect_nated(log)
         assert first.nated_ips() == second.nated_ips()
         assert first.user_counts() == second.user_counts()
+
+
+class TestAddr6Properties:
+    """Hypothesis coverage for the 128-bit address codec the whole v6
+    serving path leans on."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_text_roundtrip(self, value):
+        from repro.ipv6.addr6 import int_to_ip6, ip6_to_int
+
+        assert ip6_to_int(int_to_ip6(value)) == value
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_subnet_of_is_covering_aligned_slash64(self, value):
+        from repro.ipv6.addr6 import subnet_of
+
+        subnet = subnet_of(value)
+        assert subnet.length == 64
+        assert subnet.contains(value)
+        assert subnet.network & ((1 << 64) - 1) == 0
+        assert subnet.first() <= value <= subnet.last()
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_nibbles_recompose(self, value):
+        from repro.ipv6.addr6 import nibbles
+
+        parts = nibbles(value)
+        assert len(parts) == 32
+        recomposed = 0
+        for nibble in parts:
+            recomposed = (recomposed << 4) | nibble
+        assert recomposed == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+    )
+    def test_family_of_literal(self, a, b):
+        from repro.ipv6.addr6 import int_to_ip6
+        from repro.net.family import V4, V6, family_of_ip
+        from repro.net.ipv4 import int_to_ip
+
+        assert family_of_ip(int_to_ip6(a)) is V6
+        assert family_of_ip(int_to_ip(b & 0xFFFFFFFF)) is V4
+
+
+class TestV6ShardCutProperties:
+    """Family-generic partition/trie behaviour at /64 shard cuts: a
+    /64 atom never straddles shards, and a trie entry at a cut answers
+    for exactly its own side."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=64))
+    def test_v6_partition_tiles_on_slash64_atoms(self, shards):
+        from repro.cluster import PartitionMap
+        from repro.net.family import V6
+
+        partition = PartitionMap(shards, family=V6)
+        ranges = partition.ranges
+        assert ranges[0].lo == 0
+        assert ranges[-1].hi == (1 << 128) - 1
+        atom = (1 << 64) - 1
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert cur.lo == prev.hi + 1
+        for shard_range in ranges:
+            assert shard_range.lo & atom == 0
+            assert shard_range.hi & atom == atom
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_trie_entry_at_cut_stays_inside_its_shard(
+        self, shards, offset
+    ):
+        from repro.cluster import PartitionMap
+        from repro.ipv6.addr6 import Prefix6, subnet_of
+        from repro.net.family import V6
+        from repro.net.prefixtrie import PrefixTrie
+
+        partition = PartitionMap(shards, family=V6)
+        cut = partition.ranges[1].lo  # first shard boundary
+        block = Prefix6(cut, 64)
+        trie = PrefixTrie(V6)
+        trie.insert(block, "boundary")
+        inside = cut | offset
+        assert trie.lookup_value(inside) == "boundary"
+        assert trie.lookup_value(cut - 1) is None
+        # The /64 covering either side of the cut lands wholly in one
+        # shard: the atom alignment the family guarantees.
+        assert partition.shard_of(inside) == partition.shard_of(cut)
+        below = subnet_of(cut - 1)
+        assert partition.shard_of(below.first()) == partition.shard_of(
+            below.last()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=16))
+    def test_v6_partition_wire_round_trip(self, shards):
+        from repro.cluster import PartitionMap
+        from repro.net.family import V6
+
+        partition = PartitionMap(shards, family=V6)
+        restored = PartitionMap.from_wire(partition.to_wire())
+        assert restored == partition
+        assert restored.family is V6
