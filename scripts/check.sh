@@ -7,7 +7,9 @@
 #
 # Steps:
 #   1. tier-1 pytest suite
-#   2. reprolint baseline gate (scripts/lint_gate.py)
+#   2. reprolint baseline gate (scripts/lint_gate.py): per-module
+#      rules plus the whole-program flow pass, stale-waiver check,
+#      and a 10 s wall-clock budget on the full sweep
 #   3. mypy --strict over the tracked module list in pyproject.toml
 #      (skipped with a notice when mypy isn't installed — it is a
 #      dev-only extra: pip install -e '.[dev]')
@@ -26,7 +28,9 @@ echo "== [1/6] tier-1 tests =="
 python -m pytest -x -q
 
 echo "== [2/6] reprolint baseline gate =="
-python scripts/lint_gate.py
+# The budget keeps the flow pass honest: whole-program analysis over
+# src/repro must stay interactive (< 10 s) or it gets skipped locally.
+python scripts/lint_gate.py --budget 10
 
 echo "== [3/6] mypy --strict (tracked modules) =="
 if python -c "import mypy" >/dev/null 2>&1; then

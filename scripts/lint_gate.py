@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
 """Static-analysis regression gate (the lint twin of perf_regress.py).
 
-Runs ``reprolint`` (:mod:`repro.devtools`) over the source tree and
-fails when the working tree has a violation the committed
-``LINT_baseline.json`` does not cover. Waived findings (inline
-``# reprolint: disable=RULE`` with a justifying comment) never reach
-the gate; baseline entries exist so the bar can be adopted while a
-legacy finding is still being burned down.
+Runs ``reprolint`` (:mod:`repro.devtools`) over the source tree — the
+per-module rules plus the whole-program flow pass — and fails when the
+working tree has a violation the committed ``LINT_baseline.json`` does
+not cover, or a stale waiver (a ``# reprolint: disable=`` comment
+naming an unknown rule or matching no finding). Waived findings never
+reach the gate; baseline entries exist so the bar can be adopted while
+a legacy finding is still being burned down.
 
 Workflow::
 
     python scripts/lint_gate.py              # gate: fail on new findings
+    python scripts/lint_gate.py --changed    # fast path: git-changed files
+    python scripts/lint_gate.py --budget 10  # also assert wall-clock
     python scripts/lint_gate.py --update     # re-freeze the baseline
+
+``--changed`` lints only the ``.py`` files under ``src/repro`` that
+git reports as modified against HEAD, running the per-module rules
+only — the flow pass needs the whole program (a partial module set
+would miss call edges and report nonsense), so interprocedural
+findings still require the full run that CI performs.
 
 Refreshing the baseline after deliberately accepting a finding is a
 reviewed change — the baseline file is committed, so the acceptance
@@ -21,6 +30,7 @@ shows up in the diff just like a waiver does.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -30,6 +40,36 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import devtools  # noqa: E402  (path bootstrap above)
 
 DEFAULT_BASELINE = REPO_ROOT / "LINT_baseline.json"
+
+
+def _changed_files(root: Path) -> "list[Path]":
+    """``.py`` files under ``src/repro`` modified against HEAD
+    (staged, unstaged, and untracked)."""
+    out = subprocess.run(
+        [
+            "git",
+            "-C",
+            str(root),
+            "status",
+            "--porcelain",
+            "--untracked-files=all",
+            "--no-renames",
+            "--",
+            "src/repro",
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    changed = []
+    for line in out.splitlines():
+        status, _, relpath = line[:2], line[2], line[3:]
+        if "D" in status:
+            continue
+        path = root / relpath
+        if path.suffix == ".py" and path.is_file():
+            changed.append(path)
+    return changed
 
 
 def main(argv=None) -> int:
@@ -57,10 +97,48 @@ def main(argv=None) -> int:
         action="store_true",
         help="freeze the current findings as the new baseline and exit",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only git-modified files under src/repro (module "
+            "rules only — the flow pass needs the whole program)"
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        metavar="SECONDS",
+        help="fail if the lint pass takes longer than this wall-clock",
+    )
     args = parser.parse_args(argv)
 
-    targets = args.paths or [args.root / "src" / "repro"]
-    violations = devtools.lint_paths(targets, args.root)
+    rules = devtools.all_rules()
+    if args.changed:
+        if args.paths:
+            parser.error("--changed and explicit paths are exclusive")
+        targets = _changed_files(args.root)
+        if not targets:
+            print("OK: no changed files under src/repro")
+            return 0
+        rules = tuple(r for r in rules if r.scope == "module")
+    else:
+        targets = args.paths or [args.root / "src" / "repro"]
+    report = devtools.lint_report(targets, args.root, rules=rules)
+    violations = report.violations
+    timings = report.timings
+    print(
+        "lint timings: "
+        f"parse={timings['parse']:.2f}s "
+        f"module_rules={timings['module_rules']:.2f}s "
+        f"flow={timings['flow']:.2f}s "
+        f"total={timings['total']:.2f}s"
+        + (
+            f" (budget {args.budget:.0f}s)"
+            if args.budget is not None
+            else ""
+        )
+    )
 
     if args.update:
         devtools.save_baseline(args.baseline, violations)
@@ -69,6 +147,31 @@ def main(argv=None) -> int:
             f"({len(violations)} accepted violation(s))"
         )
         return 0
+
+    failed = False
+    if args.budget is not None and timings["total"] > args.budget:
+        print(
+            f"FAIL: lint pass took {timings['total']:.2f}s, over the "
+            f"{args.budget:.0f}s budget",
+            file=sys.stderr,
+        )
+        failed = True
+
+    for issue in report.waiver_issues:
+        print(
+            f"{issue.path}:{issue.line}: stale waiver for "
+            f"{issue.code} ({issue.reason})",
+            file=sys.stderr,
+        )
+    if report.waiver_issues:
+        print(
+            f"FAIL: {len(report.waiver_issues)} stale waiver(s) — a "
+            f"disable comment that suppresses nothing hides the next "
+            f"real finding; delete it (keep the prose if the design "
+            f"note still helps)",
+            file=sys.stderr,
+        )
+        failed = True
 
     try:
         accepted = devtools.load_baseline(args.baseline)
@@ -86,6 +189,8 @@ def main(argv=None) -> int:
             f"justified '# reprolint: disable=RULE', or (for an "
             f"accepted legacy finding) --update the baseline"
         )
+        return 1
+    if failed:
         return 1
     covered = len(violations) - len(new)
     print(

@@ -42,6 +42,7 @@ traceback.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from pathlib import Path
@@ -552,6 +553,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rules",
         action="store_true",
         help="print the rule table and exit",
+    )
+    lint_p.add_argument(
+        "--explain",
+        metavar="CODE",
+        help=(
+            "print one rule's full description, an example finding, "
+            "and the waiver syntax, then exit"
+        ),
+    )
+    lint_p.add_argument(
+        "--no-flow",
+        action="store_true",
+        help=(
+            "run per-module rules only, skipping the whole-program "
+            "flow pass (FLOW-*) — faster, for partial file sets"
+        ),
+    )
+    lint_p.add_argument(
+        "--strict-waivers",
+        action="store_true",
+        help=(
+            "fail (exit 1) when a waiver names an unknown rule code "
+            "or matches no violation, instead of just warning"
+        ),
     )
 
     query_p = sub.add_parser(
@@ -1242,10 +1267,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.rules:
         for lint_rule in devtools.all_rules():
             print(
-                f"{lint_rule.code:6} [{lint_rule.severity}] "
-                f"{lint_rule.summary}"
+                f"{lint_rule.code:10} [{lint_rule.severity}/"
+                f"{lint_rule.scope}] {lint_rule.summary}"
             )
         return 0
+    if args.explain:
+        wanted = args.explain.upper()
+        for lint_rule in devtools.all_rules():
+            if lint_rule.code == wanted:
+                print(f"{lint_rule.code} [{lint_rule.severity}]")
+                print(f"scope: {lint_rule.scope}")
+                print(f"summary: {lint_rule.summary}")
+                if lint_rule.check.__doc__:
+                    print()
+                    print(inspect.cleandoc(lint_rule.check.__doc__))
+                if lint_rule.example:
+                    print()
+                    print("example finding:")
+                    print(f"  {lint_rule.example}")
+                print()
+                print(
+                    f"waive one line:  # reprolint: "
+                    f"disable={lint_rule.code} — <why>"
+                )
+                print(
+                    f"waive a file:    # reprolint: "
+                    f"disable-file={lint_rule.code} — <why> "
+                    f"(within the first {devtools.FILE_WAIVER_WINDOW} "
+                    f"lines)"
+                )
+                return 0
+        known = ", ".join(r.code for r in devtools.all_rules())
+        raise CliError(
+            f"no such rule: {args.explain} (known: {known})"
+        )
     root = _lint_root(args)
     if args.paths:
         targets = [Path(p) for p in args.paths]
@@ -1264,7 +1319,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if args.baseline_file
         else root / "LINT_baseline.json"
     )
-    violations = devtools.lint_paths(targets, root)
+    active_rules = devtools.all_rules()
+    if args.no_flow:
+        active_rules = tuple(
+            r for r in active_rules if r.scope == "module"
+        )
+    report = devtools.lint_report(targets, root, rules=active_rules)
+    violations = report.violations
+    for issue in report.waiver_issues:
+        print(
+            f"warning: {issue.path}:{issue.line}: stale waiver for "
+            f"{issue.code} ({issue.reason})",
+            file=sys.stderr,
+        )
     if args.update_baseline:
         devtools.save_baseline(baseline_file, violations)
         print(
@@ -1295,6 +1362,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
     elif not failures and not args.json:
         print("lint: clean")
+    if args.strict_waivers and report.waiver_issues:
+        return 1
     return 1 if failures else 0
 
 

@@ -194,7 +194,6 @@ class AutoSplitter:
                 continue
             # A controller crash must not kill the serving plane; the
             # event log carries the failure to the operator/test.
-            # reprolint: disable=EXC
             except Exception as exc:
                 self.events.append(
                     {

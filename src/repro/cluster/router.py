@@ -559,7 +559,6 @@ class Router:
             self.partition = partition
             # swap() runs via run_sync as one callback on the loop
             # thread — the only writer of this counter.
-            # reprolint: disable=CONC
             self._partition_epoch += 1
 
         self._reactor.run_sync(swap, timeout)
@@ -1210,7 +1209,6 @@ class Router:
                 self._backend_readable(backend)
         # Containment: a router bug on one upstream must not take the
         # loop (and the whole cluster's front door) down.
-        # reprolint: disable=EXC
         except Exception as exc:
             self._backend_lost(backend, f"internal router error: {exc}")
 

@@ -228,7 +228,6 @@ class ShardProcess:
         parent_pipe, child_pipe = context.Pipe(duplex=False)
         # Single-controller lifecycle: start/kill/restart are driven
         # by one thread (LocalCluster / the CLI), never concurrently.
-        # reprolint: disable=CONC
         self._process = context.Process(
             target=_shard_process_main,
             args=(
@@ -265,7 +264,6 @@ class ShardProcess:
         if self._process is not None:
             self._process.terminate()
             self._process.join(timeout=10.0)
-            # reprolint: disable=CONC — single-controller lifecycle
             self._process = None
 
     def restart(self, timeout: float = 30.0) -> Tuple[str, int]:

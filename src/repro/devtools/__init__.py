@@ -1,11 +1,18 @@
 """Developer tooling: the ``reprolint`` static-analysis gate.
 
-``repro lint`` (and ``scripts/lint_gate.py``) run the AST-based
-invariant checks in :mod:`repro.devtools.rules` over the source tree:
-determinism in simulation paths, bounded reads on the wire path,
-lock discipline in threaded serving code, scoped resources, and no
-silently-swallowed exceptions. See :mod:`repro.devtools.lint` for the
-framework (rule registry, waivers, baseline).
+``repro lint`` (and ``scripts/lint_gate.py``) run two layers of
+checks over the source tree:
+
+* the per-module AST rules in :mod:`repro.devtools.rules` —
+  determinism in simulation/load paths, bounded reads on the wire
+  path, scoped resources, no silently-swallowed exceptions;
+* the whole-program flow pass in :mod:`repro.devtools.flow` —
+  interprocedural lock discipline (FLOW-LOCK), blocking calls
+  reachable from reactor callbacks (FLOW-BLOCK), and binary
+  wire-codec conformance (FLOW-WIRE).
+
+See :mod:`repro.devtools.lint` for the framework (rule registry,
+waivers + stale-waiver hygiene, baseline, phase timings).
 """
 
 from .baseline import (
@@ -16,13 +23,18 @@ from .baseline import (
     stale_entries,
 )
 from .lint import (
+    FILE_WAIVER_WINDOW,
     LintModule,
+    LintReport,
+    ProgramContext,
     Rule,
     Violation,
+    WaiverIssue,
     all_rules,
     get_rule,
     lint_file,
     lint_paths,
+    lint_report,
     render_json,
     render_text,
     rule,
@@ -30,14 +42,19 @@ from .lint import (
 
 __all__ = [
     "BaselineError",
+    "FILE_WAIVER_WINDOW",
     "LintModule",
+    "LintReport",
+    "ProgramContext",
     "Rule",
     "Violation",
+    "WaiverIssue",
     "all_rules",
     "compare",
     "get_rule",
     "lint_file",
     "lint_paths",
+    "lint_report",
     "load_baseline",
     "render_json",
     "render_text",

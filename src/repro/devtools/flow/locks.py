@@ -1,0 +1,275 @@
+"""FLOW-LOCK: interprocedural lock-discipline inference.
+
+The retired single-function CONC heuristic could only see a write and
+a ``with self._lock:`` in the *same* method; the bugs PRs 5–9 actually
+hit were a call deep — a public method delegating to a private helper
+that mutates shared state the rest of the class guards.  This pass:
+
+1. infers the **guard set** per attribute: an attribute is guarded by
+   ``self.L`` when at least one non-``__init__`` write to it happens
+   inside ``with self.L:``;
+2. walks the intra-class call graph from every **entry point** (public
+   methods, plus any method the class hands out as a callback or
+   thread target — those run later, lock-free) tracking the set of
+   locks held across ``self.m()`` edges;
+3. flags every write to a guarded attribute reached with no inferred
+   guard held.
+
+A class that guards nothing (loop-owned state, e.g. ``Reactor``) infers
+no guards and stays silent — the pass only enforces the discipline a
+class itself demonstrates.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Deque, Dict, FrozenSet, Iterator, List, Optional
+from typing import Set, Tuple
+
+from ..lint import LintModule, ProgramContext, Violation, rule
+from ..rules import SERVING_DIRS
+from .symtab import ClassInfo, get_program
+
+__all__ = ["check_lock_flow"]
+
+#: Constructors whose result is a guard (``with self.X:``-able).
+_LOCK_CTORS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs(cls: ClassInfo) -> Set[str]:
+    """Attributes that are locks: built by a threading constructor, or
+    used as a ``with self.X:`` context anywhere in the class."""
+    attrs: Set[str] = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                dotted = cls.module.resolve_call(node.value)
+                if dotted in _LOCK_CTORS:
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            attrs.add(attr)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and "lock" in attr.lower():
+                        attrs.add(attr)
+    return attrs
+
+
+def _locks_at(
+    module: LintModule,
+    node: ast.AST,
+    method_node: ast.AST,
+    lock_attrs: Set[str],
+) -> FrozenSet[str]:
+    """Locks lexically held at ``node`` within its method."""
+    held: Set[str] = set()
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                attr = _self_attr(item.context_expr)
+                if attr in lock_attrs:
+                    held.add(attr)  # type: ignore[arg-type]
+        if ancestor is method_node:
+            break
+    return frozenset(held)
+
+
+class _MethodEvents:
+    """What one method does that the lock analysis cares about."""
+
+    def __init__(self) -> None:
+        #: (attr, write node, locks lexically held at the write)
+        self.writes: List[Tuple[str, ast.stmt, FrozenSet[str]]] = []
+        #: (callee method name, locks lexically held at the call)
+        self.calls: List[Tuple[str, FrozenSet[str]]] = []
+        #: methods referenced as values (callbacks, thread targets)
+        self.refs: Set[str] = set()
+
+
+def _collect_events(
+    module: LintModule, cls: ClassInfo, lock_attrs: Set[str]
+) -> Dict[str, _MethodEvents]:
+    events: Dict[str, _MethodEvents] = {}
+    for name, method in cls.methods.items():
+        ev = _MethodEvents()
+        events[name] = ev
+        for node in ast.walk(method.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None or attr in lock_attrs:
+                        continue
+                    ev.writes.append(
+                        (
+                            attr,
+                            node,
+                            _locks_at(
+                                module, node, method.node, lock_attrs
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Attribute):
+                attr = _self_attr(node)
+                if attr is None or attr not in cls.methods:
+                    continue
+                parent = module.parent(node)
+                if isinstance(parent, ast.Call) and parent.func is node:
+                    ev.calls.append(
+                        (
+                            attr,
+                            _locks_at(
+                                module, node, method.node, lock_attrs
+                            ),
+                        )
+                    )
+                else:
+                    # self.m handed out as a value: it will be invoked
+                    # later (callback, Thread target) with no lock held.
+                    ev.refs.add(attr)
+    return events
+
+
+def _check_class(
+    module: LintModule, cls: ClassInfo
+) -> Iterator[Violation]:
+    lock_attrs = _lock_attrs(cls)
+    if not lock_attrs:
+        return
+    events = _collect_events(module, cls, lock_attrs)
+
+    # Guard inference: one locked non-__init__ write = the class says
+    # this attribute is lock-protected.
+    guards: Dict[str, Set[str]] = {}
+    for name, ev in events.items():
+        if name == "__init__":
+            continue
+        for attr, _node, held in ev.writes:
+            if held:
+                guards.setdefault(attr, set()).update(held)
+    if not guards:
+        return
+
+    entries: Set[str] = {
+        name
+        for name in cls.methods
+        if not name.startswith("_") and name != "__init__"
+    }
+    for ev in events.values():
+        entries.update(ev.refs)
+    entries.discard("__init__")
+
+    # BFS over (method, locks held on entry) with path tracking.
+    flagged: Dict[int, Tuple[str, ast.stmt, str, Tuple[str, ...]]] = {}
+    queue: Deque[Tuple[str, FrozenSet[str], Tuple[str, ...]]] = deque()
+    seen: Set[Tuple[str, FrozenSet[str]]] = set()
+    for entry in sorted(entries):
+        if entry not in events:
+            continue
+        state = (entry, frozenset())
+        if state not in seen:
+            seen.add(state)
+            queue.append((entry, frozenset(), (entry,)))
+    while queue:
+        method, held, path = queue.popleft()
+        ev = events[method]
+        if method != "__init__":
+            for attr, node, site_locks in ev.writes:
+                effective = held | site_locks
+                guard = guards.get(attr)
+                if guard and not (guard & effective):
+                    flagged.setdefault(
+                        id(node), (attr, node, method, path)
+                    )
+        for callee, site_locks in ev.calls:
+            if callee == "__init__" or callee not in events:
+                continue
+            state = (callee, held | site_locks)
+            if state not in seen:
+                seen.add(state)
+                queue.append(
+                    (callee, held | site_locks, path + (callee,))
+                )
+
+    for attr, node, method, path in sorted(
+        flagged.values(), key=lambda item: item[1].lineno
+    ):
+        guard_names = ", ".join(
+            f"self.{name}" for name in sorted(guards[attr])
+        )
+        route = " -> ".join(path)
+        yield module.violation(
+            "FLOW-LOCK",
+            node,
+            f"unlocked write to self.{attr} in {cls.name}.{method} — "
+            f"other writes hold {guard_names}, but this one is "
+            f"reachable lock-free via {cls.name}.{route}",
+        )
+
+
+@rule(
+    "FLOW-LOCK",
+    severity="error",
+    scope="program",
+    summary=(
+        "attributes a threaded class guards with self.*lock* must not "
+        "be written on any lock-free path from a public entry point "
+        "(interprocedural)"
+    ),
+    example=(
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.hits = 0\n"
+        "    def record(self):        # public entry\n"
+        "        self._bump()\n"
+        "    def _bump(self):\n"
+        "        self.hits += 1       # FLOW-LOCK: lock-free path\n"
+        "    def reset(self):\n"
+        "        with self._lock:\n"
+        "            self.hits = 0    # ...but guarded here\n"
+    ),
+)
+def check_lock_flow(context: ProgramContext) -> Iterator[Violation]:
+    """For every ``threading``-importing class in a serving module,
+    infer the guard set per attribute (an attribute is guarded when at
+    least one non-``__init__`` write sits under ``with self.*lock*``),
+    then walk every path from a public entry point through the
+    class-local call graph tracking the set of locks held. A write to
+    a guarded attribute on a path where its guard is not held is
+    flagged once per write site, with the lock-free route in the
+    message. Classes with no lock attribute at all are skipped — a
+    deliberately lock-free design is not a discipline violation."""
+    program = get_program(context)
+    for cls in program.all_classes():
+        module = cls.module
+        if not module.in_dirs(*SERVING_DIRS):
+            continue
+        if not module.imports("threading"):
+            continue
+        yield from _check_class(module, cls)

@@ -1,0 +1,447 @@
+"""FLOW-WIRE: static conformance of the binary wire codec.
+
+The codec in :mod:`repro.service.wire` is a set of hand-maintained
+inverses: every ``Struct.pack`` has an ``unpack`` twin, every v4
+record format has a v6 twin one ``I``-to-``16s`` substitution away,
+every ``FT_*`` frame tag an encoder emits needs a decoder branch, and
+the hand-written ``_need``/``pos +=`` cursor arithmetic must agree
+with ``Struct.size`` byte for byte.  One-byte drift produces torn
+frames that only fail under load — so this pass checks the pairings
+statically, across modules:
+
+* module-level ``NAME = struct.Struct("fmt")`` formats must compile;
+* ``NAME.pack(...)`` argument counts and ``a, b, c = NAME.unpack…``
+  target counts must equal the format's field count;
+* literal ``_need(buf, pos, N)`` guards and ``pos += N`` advances
+  adjacent to ``NAME.unpack_from(buf, pos)`` must equal ``NAME.size``;
+* a ``NAME6`` twin of ``NAME`` must be the same format with exactly
+  one ``I`` widened to ``16s`` (the 128-bit address field);
+* every ``FT_*`` tag passed to an encoder must appear in a decoder
+  comparison somewhere in the serving modules.
+
+Scope: serving dirs only (``service/``, ``cluster/``, ``stream/``) —
+the modules that speak the wire protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import struct
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint import LintModule, ProgramContext, Violation, rule
+from ..rules import SERVING_DIRS
+
+__all__ = ["check_wire_conformance"]
+
+
+@dataclasses.dataclass
+class _StructConst:
+    """One module-level ``NAME = struct.Struct("fmt")`` constant."""
+
+    name: str
+    fmt: str
+    node: ast.AST
+    module: LintModule
+    size: int
+    fields: int
+
+
+def _literal_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _fmt_shape(fmt: str) -> Optional[Tuple[int, int]]:
+    """(size, field count) for a format string, None when invalid."""
+    try:
+        size = struct.calcsize(fmt)
+        fields = len(struct.unpack(fmt, b"\x00" * size))
+    except struct.error:
+        return None
+    return size, fields
+
+
+def _collect_consts(
+    module: LintModule,
+) -> Tuple[Dict[str, _StructConst], List[Violation]]:
+    consts: Dict[str, _StructConst] = {}
+    bad: List[Violation] = []
+    for item in module.tree.body:
+        if not isinstance(item, ast.Assign):
+            continue
+        if not isinstance(item.value, ast.Call):
+            continue
+        if module.resolve_call(item.value) != "struct.Struct":
+            continue
+        if not item.value.args:
+            continue
+        fmt = _literal_str(item.value.args[0])
+        if fmt is None:
+            continue
+        for target in item.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            shape = _fmt_shape(fmt)
+            if shape is None:
+                bad.append(
+                    module.violation(
+                        "FLOW-WIRE",
+                        item,
+                        f"{target.id} = struct.Struct({fmt!r}) does "
+                        f"not compile — invalid format string",
+                    )
+                )
+                continue
+            consts[target.id] = _StructConst(
+                target.id, fmt, item, module, shape[0], shape[1]
+            )
+    return consts, bad
+
+
+def _paired_struct_issues(
+    consts: Dict[str, _StructConst]
+) -> Iterator[Violation]:
+    """A ``NAME6`` twin must be ``NAME`` with one ``I`` -> ``16s``."""
+    for name6, const6 in consts.items():
+        if "6" not in name6:
+            continue
+        for position, char in enumerate(name6):
+            if char != "6":
+                continue
+            base_name = name6[:position] + name6[position + 1 :]
+            base = consts.get(base_name)
+            if base is None:
+                continue
+            widened = [
+                base.fmt[:i] + "16s" + base.fmt[i + 1 :]
+                for i, c in enumerate(base.fmt)
+                if c == "I"
+            ]
+            if const6.fmt not in widened:
+                yield const6.module.violation(
+                    "FLOW-WIRE",
+                    const6.node,
+                    f"{name6} ({const6.fmt!r}) is not {base_name} "
+                    f"({base.fmt!r}) with one 'I' widened to '16s' — "
+                    f"the v4/v6 record layouts have drifted",
+                )
+            break
+
+
+def _receiver_const(
+    func: ast.Attribute,
+    local: Dict[str, _StructConst],
+    global_by_name: Dict[str, List[_StructConst]],
+) -> Optional[_StructConst]:
+    if isinstance(func.value, ast.Name):
+        name = func.value.id
+    elif isinstance(func.value, ast.Attribute):
+        name = func.value.attr
+    else:
+        return None
+    const = local.get(name)
+    if const is not None:
+        return const
+    candidates = global_by_name.get(name, [])
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _tuple_target_count(
+    module: LintModule, call: ast.Call
+) -> Optional[int]:
+    """How many names the unpack result is destructured into, when
+    that is statically clear (single tuple target, no starred)."""
+    parent = module.parent(call)
+    target: Optional[ast.expr] = None
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        target = parent.targets[0]
+    elif isinstance(parent, ast.For) and parent.iter is call:
+        target = parent.target
+    if isinstance(target, ast.Tuple) and not any(
+        isinstance(elt, ast.Starred) for elt in target.elts
+    ):
+        return len(target.elts)
+    return None
+
+
+def _offset_name(call: ast.Call) -> Optional[str]:
+    """The cursor variable of ``X.unpack_from(buf, pos)``."""
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Name):
+        return call.args[1].id
+    return None
+
+
+def _int_literal(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _cursor_issues(
+    module: LintModule,
+    block: List[ast.stmt],
+    index: int,
+    call: ast.Call,
+    const: _StructConst,
+) -> Iterator[Violation]:
+    """Literal ``_need``/``pos +=`` arithmetic around one
+    ``unpack_from`` must match the struct's size."""
+    offset = _offset_name(call)
+    if offset is None:
+        return
+    # pos += N after the unpack
+    for stmt in block[index + 1 : index + 3]:
+        if (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.op, ast.Add)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == offset
+        ):
+            advance = _int_literal(stmt.value)
+            if advance is not None and advance != const.size:
+                yield module.violation(
+                    "FLOW-WIRE",
+                    stmt,
+                    f"cursor advances {advance} byte(s) after "
+                    f"{const.name}.unpack_from but {const.name}.size "
+                    f"is {const.size} — the decoder walks off the "
+                    f"record boundary",
+                )
+            break
+    # _need(buf, pos, N) before the unpack
+    for stmt in block[max(0, index - 2) : index]:
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            continue
+        guard = stmt.value
+        name = module.dotted_name(guard.func) or ""
+        if name.split(".")[-1] != "_need" or len(guard.args) < 3:
+            continue
+        if not (
+            isinstance(guard.args[1], ast.Name)
+            and guard.args[1].id == offset
+        ):
+            continue
+        needed = _int_literal(guard.args[2])
+        if needed is not None and needed != const.size:
+            yield module.violation(
+                "FLOW-WIRE",
+                stmt,
+                f"_need() guards {needed} byte(s) before "
+                f"{const.name}.unpack_from but {const.name}.size is "
+                f"{const.size} — a short frame passes the guard and "
+                f"tears the decode",
+            )
+
+
+def _iter_blocks(tree: ast.AST) -> Iterator[List[ast.stmt]]:
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block:
+                yield block
+
+
+def _ft_operands(node: ast.expr) -> Iterator[str]:
+    candidates = (
+        node.elts if isinstance(node, (ast.Tuple, ast.List)) else [node]
+    )
+    for candidate in candidates:
+        name: Optional[str] = None
+        if isinstance(candidate, ast.Name):
+            name = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            name = candidate.attr
+        if name is not None and name.startswith("FT_"):
+            yield name
+
+
+@rule(
+    "FLOW-WIRE",
+    severity="error",
+    scope="program",
+    summary=(
+        "struct pack/unpack field counts, _need/pos cursor widths, "
+        "v4/v6 format twins, and FT_* encoder/decoder coverage must "
+        "agree across the wire modules"
+    ),
+    example=(
+        "REC = struct.Struct('>IBi')     # size 9\n"
+        "_need(payload, pos, 9)\n"
+        "ip, has_day, day = REC.unpack_from(payload, pos)\n"
+        "pos += 8   # FLOW-WIRE: advances 8 bytes over a 9-byte record\n"
+    ),
+)
+def check_wire_conformance(
+    context: ProgramContext,
+) -> Iterator[Violation]:
+    """Cross-check the binary codec against itself across all wire
+    modules: every module-level ``struct.Struct`` constant's field
+    count must match its ``pack`` argument lists and ``unpack`` tuple
+    destructurings; literal ``_need(buf, pos, N)`` guards and
+    ``pos += N`` cursor advances adjacent to an ``unpack_from`` must
+    equal the struct's ``.size``; a ``NAME6`` constant must be
+    ``NAME`` with exactly one ``I`` widened to ``16s`` (the v4/v6
+    twin convention); and every ``FT_*`` tag passed to an encoder
+    must be compared against by some decoder."""
+    wire_modules = [
+        module
+        for module in context.modules
+        if module.in_dirs(*SERVING_DIRS)
+    ]
+    consts_by_module: Dict[str, Dict[str, _StructConst]] = {}
+    global_by_name: Dict[str, List[_StructConst]] = {}
+    for module in wire_modules:
+        consts, bad = _collect_consts(module)
+        consts_by_module[module.relpath] = consts
+        yield from bad
+        yield from _paired_struct_issues(consts)
+        for const in consts.values():
+            global_by_name.setdefault(const.name, []).append(const)
+
+    encoded: Dict[str, Tuple[LintModule, ast.Call]] = {}
+    compared: Set[str] = set()
+
+    for module in wire_modules:
+        local = consts_by_module[module.relpath]
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                for operand in [node.left] + list(node.comparators):
+                    compared.update(_ft_operands(operand))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # FT_* tags handed to an encoder
+            callee = (module.dotted_name(func) or "").split(".")[-1]
+            if "encode" in callee:
+                for arg in node.args:
+                    for tag in _ft_operands(arg):
+                        encoded.setdefault(tag, (module, node))
+            if not isinstance(func, ast.Attribute):
+                # struct.pack('fmt', ...) / struct.unpack('fmt', ...)
+                continue
+            if func.attr == "pack" or (
+                func.attr in ("unpack", "unpack_from", "iter_unpack")
+            ):
+                dotted = module.resolve_call(node) or ""
+                if dotted in (
+                    "struct.pack",
+                    "struct.unpack",
+                    "struct.unpack_from",
+                ):
+                    yield from _inline_struct_issues(module, node)
+                    continue
+                const = _receiver_const(func, local, global_by_name)
+                if const is None:
+                    continue
+                yield from _const_call_issues(module, node, func, const)
+
+    # Cursor arithmetic needs statement adjacency, not just call sites.
+    for module in wire_modules:
+        local = consts_by_module[module.relpath]
+        for block in _iter_blocks(module.tree):
+            for index, stmt in enumerate(block):
+                for sub in ast.walk(stmt):
+                    if not (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "unpack_from"
+                    ):
+                        continue
+                    const = _receiver_const(
+                        sub.func, local, global_by_name
+                    )
+                    if const is not None:
+                        yield from _cursor_issues(
+                            module, block, index, sub, const
+                        )
+
+    for tag, (module, site) in sorted(encoded.items()):
+        if tag not in compared:
+            yield module.violation(
+                "FLOW-WIRE",
+                site,
+                f"{tag} is encoded here but no decoder in the serving "
+                f"modules compares a frame type against {tag} — the "
+                f"frame would be unparseable on arrival",
+            )
+
+
+def _const_call_issues(
+    module: LintModule,
+    node: ast.Call,
+    func: ast.Attribute,
+    const: _StructConst,
+) -> Iterator[Violation]:
+    if func.attr == "pack":
+        if any(isinstance(arg, ast.Starred) for arg in node.args):
+            return
+        if node.keywords:
+            return
+        if len(node.args) != const.fields:
+            yield module.violation(
+                "FLOW-WIRE",
+                node,
+                f"{const.name}.pack() called with {len(node.args)} "
+                f"value(s) but format {const.fmt!r} has "
+                f"{const.fields} field(s)",
+            )
+        return
+    count = _tuple_target_count(module, node)
+    if count is not None and count != const.fields:
+        yield module.violation(
+            "FLOW-WIRE",
+            node,
+            f"{const.name}.{func.attr}() result is destructured into "
+            f"{count} name(s) but format {const.fmt!r} has "
+            f"{const.fields} field(s)",
+        )
+
+
+def _inline_struct_issues(
+    module: LintModule, node: ast.Call
+) -> Iterator[Violation]:
+    if not node.args:
+        return
+    fmt = _literal_str(node.args[0])
+    if fmt is None:
+        return
+    shape = _fmt_shape(fmt)
+    if shape is None:
+        yield module.violation(
+            "FLOW-WIRE",
+            node,
+            f"struct format {fmt!r} does not compile — invalid "
+            f"format string",
+        )
+        return
+    func = node.func
+    attr = func.attr if isinstance(func, ast.Attribute) else ""
+    if attr == "pack":
+        values = node.args[1:]
+        if any(isinstance(arg, ast.Starred) for arg in values):
+            return
+        if len(values) != shape[1]:
+            yield module.violation(
+                "FLOW-WIRE",
+                node,
+                f"struct.pack({fmt!r}, ...) called with "
+                f"{len(values)} value(s) but the format has "
+                f"{shape[1]} field(s)",
+            )
+    else:
+        count = _tuple_target_count(module, node)
+        if count is not None and count != shape[1]:
+            yield module.violation(
+                "FLOW-WIRE",
+                node,
+                f"struct.{attr}({fmt!r}, ...) result is destructured "
+                f"into {count} name(s) but the format has {shape[1]} "
+                f"field(s)",
+            )

@@ -17,12 +17,6 @@ Each rule guards an invariant a shipped guarantee rests on:
     that shows no size bound (a ``len()`` comparison or a
     ``MAX_*``/``*limit*`` constant).
 
-``CONC``
-    In threaded serving modules, shared instance state must be
-    mutated under ``self.*lock*``: read-modify-write (``+=``) outside
-    a lock is always flagged; a plain attribute written from several
-    methods is flagged at each unguarded write site.
-
 ``RES``
     Sockets and file handles must be scoped: opened in a ``with``,
     owned by ``self`` (a close-managed object), created under a
@@ -34,6 +28,12 @@ Each rule guards an invariant a shipped guarantee rests on:
     or ``continue`` hides the pipeline defects blocklist
     false-positive studies trace outages to.
 
+Lock discipline moved out of this module in PR 10: the old
+single-function CONC heuristic is replaced by the interprocedural
+``FLOW-LOCK`` pass in :mod:`repro.devtools.flow.locks`, which also
+brought ``FLOW-BLOCK`` (reactor blocking calls) and ``FLOW-WIRE``
+(codec conformance) — see :mod:`repro.devtools.flow`.
+
 False positives are expected occasionally — that is what inline
 ``# reprolint: disable=CODE`` waivers (with a justifying comment) are
 for; the waiver shows up in review, silent drift does not.
@@ -42,7 +42,7 @@ for; the waiver shows up in review, silent drift does not.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, Optional
 
 from .lint import LintModule, Violation, rule
 
@@ -56,9 +56,10 @@ DETERMINISM_DIRS = (
     "experiments",
     "adversary",
     "v6serve",
+    "loadgen",
 )
 
-#: Directories on the serving/wire path (WIRE / CONC / EXC scope).
+#: Directories on the serving/wire path (WIRE / EXC / FLOW-* scope).
 SERVING_DIRS = ("service", "cluster", "stream")
 
 # -- DET ---------------------------------------------------------------
@@ -97,6 +98,10 @@ _DET_RANDOM_FUNCS = {
     summary=(
         "no wall-clock or unseeded randomness in simulation paths "
         "(inject sim.rng streams / sim.clock)"
+    ),
+    example=(
+        "def tick():\n"
+        "    return time.time()   # DET: wall-clock read in sim/\n"
     ),
 )
 def check_determinism(module: LintModule) -> Iterator[Violation]:
@@ -178,6 +183,10 @@ def _catches_struct_error(scope: ast.AST) -> bool:
         "bounded reads and guarded decodes on the wire path "
         "(no naked recv()/read()/json.loads/struct.unpack)"
     ),
+    example=(
+        "def pump(sock):\n"
+        "    return sock.recv()   # WIRE: no byte limit\n"
+    ),
 )
 def check_wire(module: LintModule) -> Iterator[Violation]:
     if not module.in_dirs(*SERVING_DIRS):
@@ -242,33 +251,7 @@ def check_wire(module: LintModule) -> Iterator[Violation]:
             )
 
 
-# -- CONC --------------------------------------------------------------
-
-
-def _is_lockish(node: ast.expr) -> bool:
-    """``self._lock`` / ``self._write_lock`` / anything named *lock*."""
-    return (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-        and "lock" in node.attr.lower()
-    )
-
-
-def _under_lock(module: LintModule, node: ast.AST) -> bool:
-    for ancestor in module.ancestors(node):
-        if isinstance(ancestor, ast.With) and any(
-            _is_lockish(item.context_expr)
-            or (
-                isinstance(item.context_expr, ast.Call)
-                and any(
-                    _is_lockish(arg) for arg in item.context_expr.args
-                )
-            )
-            for item in ancestor.items
-        ):
-            return True
-    return False
+# -- RES ---------------------------------------------------------------
 
 
 def _self_attr_target(node: ast.AST) -> Optional[str]:
@@ -279,91 +262,6 @@ def _self_attr_target(node: ast.AST) -> Optional[str]:
     ):
         return node.attr
     return None
-
-
-def _method_mutations(
-    method: ast.FunctionDef,
-) -> Iterator[Tuple[str, ast.stmt, bool]]:
-    """Yields ``(attr, node, is_augmented)`` for self-attribute writes."""
-    for node in ast.walk(method):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                attr = _self_attr_target(target)
-                if attr is not None:
-                    yield attr, node, False
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            attr = _self_attr_target(node.target)
-            if attr is not None:
-                yield attr, node, False
-        elif isinstance(node, ast.AugAssign):
-            attr = _self_attr_target(node.target)
-            if attr is not None:
-                yield attr, node, True
-
-
-@rule(
-    "CONC",
-    severity="error",
-    summary=(
-        "shared instance state in threaded serving code must be "
-        "mutated under self.*lock*"
-    ),
-)
-def check_concurrency(module: LintModule) -> Iterator[Violation]:
-    if not module.in_dirs(*SERVING_DIRS):
-        return
-    if not module.imports("threading"):
-        return
-    for node in ast.walk(module.tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
-        methods = [
-            item
-            for item in node.body
-            if isinstance(item, ast.FunctionDef)
-        ]
-        # attr -> {method name -> [(node, augmented, guarded)]}
-        writes: Dict[str, Dict[str, List[Tuple[ast.stmt, bool, bool]]]]
-        writes = {}
-        for method in methods:
-            for attr, site, augmented in _method_mutations(method):
-                writes.setdefault(attr, {}).setdefault(
-                    method.name, []
-                ).append((site, augmented, _under_lock(module, site)))
-        for attr, by_method in writes.items():
-            for method_name, sites in by_method.items():
-                if method_name == "__init__":
-                    continue
-                for site, augmented, guarded in sites:
-                    if guarded:
-                        continue
-                    if augmented:
-                        yield module.violation(
-                            "CONC",
-                            site,
-                            f"read-modify-write of self.{attr} in "
-                            f"{node.name}.{method_name} without "
-                            f"holding self._lock",
-                        )
-                        continue
-                    mutators = sorted(
-                        name
-                        for name in by_method
-                        if name != "__init__"
-                    )
-                    if len(mutators) > 1:
-                        yield module.violation(
-                            "CONC",
-                            site,
-                            f"self.{attr} is written by multiple "
-                            f"{node.name} methods "
-                            f"({', '.join(mutators)}) but this write "
-                            f"in {method_name} does not hold "
-                            f"self._lock",
-                        )
-
-
-# -- RES ---------------------------------------------------------------
 
 #: Canonical calls that hand back a resource needing a close().
 _RES_OPENERS = {
@@ -444,6 +342,11 @@ def _is_returned(module: LintModule, node: ast.AST) -> bool:
         "files/sockets must be scoped: with-block, self-owned, "
         "try/finally, or returned to the caller"
     ),
+    example=(
+        "def load(path):\n"
+        "    handle = open(path)   # RES: leaks on first exception\n"
+        "    return handle.read(100)\n"
+    ),
 )
 def check_resources(module: LintModule) -> Iterator[Violation]:
     for node in ast.walk(module.tree):
@@ -493,6 +396,12 @@ def _broad_handler(node: ast.ExceptHandler) -> bool:
     summary=(
         "serving paths must not silently swallow Exception "
         "(count it, log it, or narrow the except)"
+    ),
+    example=(
+        "try:\n"
+        "    step()\n"
+        "except Exception:\n"
+        "    pass   # EXC: failure vanishes silently\n"
     ),
 )
 def check_silent_except(module: LintModule) -> Iterator[Violation]:

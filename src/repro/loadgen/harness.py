@@ -1,3 +1,7 @@
+# reprolint: disable-file=DET — the harness is the wall-clock
+# boundary by design: it replays a (seeded, deterministic) schedule
+# open-loop against real time, so time.monotonic/time.sleep are its
+# job, exactly like sim/realtime.py on the simulation side.
 """Replay a schedule against a live server and measure the SLO.
 
 :class:`LoadHarness` drives a pre-computed schedule (see

@@ -597,7 +597,6 @@ class WireServer:
                 self._on_readable(conn)
         # Containment of last resort: a bug on one connection must
         # not kill the loop serving every other connection.
-        # reprolint: disable=EXC
         except Exception:
             self._close_conn(conn)
 
@@ -718,7 +717,6 @@ class WireServer:
         # Never let a handler bug kill the loop; the peer gets an
         # in-band error reply instead (same contract as the threaded
         # server's worker).
-        # reprolint: disable=EXC
         except Exception as exc:
             slot.fail(f"internal error: {exc}")
 

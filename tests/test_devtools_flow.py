@@ -1,0 +1,857 @@
+"""Tests for the whole-program flow pass (src/repro/devtools/flow):
+symbol table, call-graph resolution, the three FLOW-* rules, the
+stale-waiver check, and the CLI/gate plumbing around them.
+
+Each rule gets the seeded fixture the issue demands — an unlocked
+write three calls below the public entry (FLOW-LOCK), a ``time.sleep``
+behind a reactor timer (FLOW-BLOCK), one-byte cursor drift in a codec
+(FLOW-WIRE) — plus the negatives that prove the pass stays silent on
+the idioms the real serving plane uses.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import devtools
+from repro.cli import main
+from repro.devtools.flow import get_program
+from repro.devtools.lint import LintModule, ProgramContext
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_tree(tmp_path, files):
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def report_tree(tmp_path, files):
+    write_tree(tmp_path, files)
+    return devtools.lint_report([tmp_path], tmp_path)
+
+
+def findings(tmp_path, files, code):
+    report = report_tree(tmp_path, files)
+    return [v for v in report.violations if v.rule == code]
+
+
+def make_program(files):
+    modules = [
+        LintModule(Path(rel), rel, textwrap.dedent(src))
+        for rel, src in files.items()
+    ]
+    return get_program(ProgramContext(modules))
+
+
+class TestSymtab:
+    def test_resolve_dotted_respects_path_boundaries(self):
+        program = make_program(
+            {
+                "service/wire.py": "def encode():\n    return 1\n",
+                "service/hardwire.py": "def encode():\n    return 2\n",
+            }
+        )
+        info = program.resolve_dotted("service.wire.encode")
+        assert info is not None
+        assert info.qualname == "service/wire.py::encode"
+        # "wire.encode" must not match hardwire.py by string suffix.
+        info = program.resolve_dotted("wire.encode")
+        assert info is not None
+        assert info.module.relpath == "service/wire.py"
+
+    def test_ambiguous_names_resolve_to_nothing(self):
+        program = make_program(
+            {
+                "service/a.py": "class Foo:\n    pass\n",
+                "cluster/b.py": "class Foo:\n    pass\n",
+            }
+        )
+        assert program.unique_class("Foo") is None
+
+    def test_same_module_symbol_shadows_project(self):
+        files = {
+            "service/local.py": (
+                "def helper():\n    return 'local'\n"
+            ),
+            "cluster/other.py": (
+                "def helper():\n    return 'other'\n"
+            ),
+        }
+        program = make_program(files)
+        module = program.modules[0]
+        assert module.relpath == "service/local.py"
+        info = program.resolve_name(module, "helper")
+        assert info is not None
+        assert info.module.relpath == "service/local.py"
+
+    def test_attr_ctors_recorded(self):
+        program = make_program(
+            {
+                "service/app.py": """
+                class Router:
+                    def route(self):
+                        return 1
+
+
+                class App:
+                    def __init__(self):
+                        self.router = Router()
+                """,
+            }
+        )
+        app = program.unique_class("App")
+        assert app is not None
+        assert app.attr_ctors == {"router": "Router"}
+
+    def test_program_cached_on_context(self):
+        modules = [
+            LintModule(Path("service/x.py"), "service/x.py", "x = 1\n")
+        ]
+        context = ProgramContext(modules)
+        assert get_program(context) is get_program(context)
+
+
+LOCK_THREE_DEEP = """
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        self._step_a()
+
+    def _step_a(self):
+        self._step_b()
+
+    def _step_b(self):
+        self.hits += 1
+
+    def reset(self):
+        with self._lock:
+            self.hits = 0
+"""
+
+
+class TestFlowLock:
+    def test_unlocked_write_three_calls_deep(self, tmp_path):
+        found = findings(
+            tmp_path, {"service/eng.py": LOCK_THREE_DEEP}, "FLOW-LOCK"
+        )
+        assert len(found) == 1
+        assert "self.hits" in found[0].message
+        assert "record -> _step_a -> _step_b" in found[0].message
+
+    def test_lock_held_in_caller_covers_callee(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/eng.py": """
+                import threading
+
+
+                class Engine:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.hits = 0
+
+                    def record(self):
+                        with self._lock:
+                            self._bump()
+
+                    def _bump(self):
+                        self.hits += 1
+                """,
+            },
+            "FLOW-LOCK",
+        )
+        assert found == []
+
+    def test_lock_free_class_is_silent(self, tmp_path):
+        # No lock attribute at all (Reactor-style loop-owned state):
+        # the class demonstrates no discipline, so none is enforced.
+        found = findings(
+            tmp_path,
+            {
+                "service/loop.py": """
+                import threading
+
+
+                class Reactor:
+                    def __init__(self):
+                        self.pending = 0
+
+                    def tick(self):
+                        self.pending += 1
+                """,
+            },
+            "FLOW-LOCK",
+        )
+        assert found == []
+
+    def test_thread_target_counts_as_entry(self, tmp_path):
+        # _worker is private, but handing it to Thread(target=...)
+        # makes it run lock-free later — it is an entry point.
+        found = findings(
+            tmp_path,
+            {
+                "service/bg.py": """
+                import threading
+
+
+                class Pump:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.moved = 0
+
+                    def start(self):
+                        thread = threading.Thread(target=self._worker)
+                        thread.start()
+
+                    def _worker(self):
+                        self.moved += 1
+
+                    def drain(self):
+                        with self._lock:
+                            self.moved = 0
+                """,
+            },
+            "FLOW-LOCK",
+        )
+        assert len(found) == 1
+        assert "_worker" in found[0].message
+
+    def test_unguarded_attr_not_flagged(self, tmp_path):
+        # self.name is never written under the lock anywhere, so the
+        # class claims no discipline for it — only self.hits counts.
+        found = findings(
+            tmp_path,
+            {
+                "service/eng.py": """
+                import threading
+
+
+                class Engine:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.hits = 0
+                        self.name = ""
+
+                    def rename(self, name):
+                        self.name = name
+
+                    def reset(self):
+                        with self._lock:
+                            self.hits = 0
+                """,
+            },
+            "FLOW-LOCK",
+        )
+        assert found == []
+
+    def test_waiver_suppresses(self, tmp_path):
+        waived = LOCK_THREE_DEEP.replace(
+            "self.hits += 1",
+            "self.hits += 1  # reprolint: disable=FLOW-LOCK",
+        )
+        found = findings(
+            tmp_path, {"service/eng.py": waived}, "FLOW-LOCK"
+        )
+        assert found == []
+
+
+BLOCK_TIMER_SLEEP = """
+import time
+
+
+class Sweeper:
+    def __init__(self, reactor):
+        self.reactor = reactor
+
+    def start(self):
+        self.reactor.call_later(5.0, self._sweep)
+
+    def _sweep(self):
+        self._flush()
+
+    def _flush(self):
+        time.sleep(0.1)
+"""
+
+
+class TestFlowBlock:
+    def test_sleep_behind_timer_flagged(self, tmp_path):
+        found = findings(
+            tmp_path, {"service/sweep.py": BLOCK_TIMER_SLEEP}, "FLOW-BLOCK"
+        )
+        assert len(found) == 1
+        assert "time.sleep" in found[0].message
+        assert "call_later" in found[0].message
+        assert "_sweep -> _flush" in found[0].message
+
+    def test_unregistered_sleep_not_flagged(self, tmp_path):
+        # The same blocking call with no reactor registration is
+        # off-loop work (heartbeat threads, drain helpers).
+        found = findings(
+            tmp_path,
+            {
+                "service/drain.py": """
+                import time
+
+
+                class Drainer:
+                    def drain(self):
+                        time.sleep(0.1)
+                """,
+            },
+            "FLOW-BLOCK",
+        )
+        assert found == []
+
+    def test_lambda_callback_resolved(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/lam.py": """
+                import time
+
+
+                class App:
+                    def __init__(self, reactor):
+                        self.reactor = reactor
+
+                    def go(self):
+                        self.reactor.call_soon(lambda: time.sleep(1))
+                """,
+            },
+            "FLOW-BLOCK",
+        )
+        assert len(found) == 1
+
+    def test_partial_callback_resolved(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/part.py": """
+                import functools
+                import subprocess
+
+
+                class App:
+                    def __init__(self, reactor):
+                        self.reactor = reactor
+
+                    def go(self):
+                        self.reactor.call_soon(
+                            functools.partial(self._spawn, "ls")
+                        )
+
+                    def _spawn(self, cmd):
+                        subprocess.run(cmd)
+                """,
+            },
+            "FLOW-BLOCK",
+        )
+        assert len(found) == 1
+        assert "subprocess" in found[0].message
+
+    def test_setblocking_false_exempts_connect(self, tmp_path):
+        source = """
+        class Conn:
+            def __init__(self, reactor, sock, addr):
+                self._sock = sock
+                self._addr = addr
+                reactor.call_soon(self._kick)
+
+            def _kick(self):
+                self._sock.connect(self._addr)
+        """
+        found = findings(
+            tmp_path, {"service/conn.py": source}, "FLOW-BLOCK"
+        )
+        assert len(found) == 1
+        assert "connect" in found[0].message
+        # The module-wide non-blocking setup is the sanctioned idiom.
+        exempt = source + (
+            "\n"
+            "    def setup(self):\n"
+            "        self._sock.setblocking(False)\n"
+        )
+        found = findings(
+            tmp_path, {"service/conn.py": exempt}, "FLOW-BLOCK"
+        )
+        assert found == []
+
+    def test_callback_assignment_is_a_root(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/sel.py": """
+                from pathlib import Path
+
+
+                class Conn:
+                    def __init__(self, state):
+                        self.state = state
+
+                    def wire(self, conn):
+                        conn.callback = self._on_ready
+
+                    def _on_ready(self):
+                        return Path("spool").read_text()
+                """,
+            },
+            "FLOW-BLOCK",
+        )
+        assert len(found) == 1
+        assert "read_text" in found[0].message
+
+
+WIRE_CURSOR_DRIFT = """
+import struct
+
+REC = struct.Struct(">IBi")
+
+
+def decode(payload, pos):
+    _need(payload, pos, 9)
+    ip, has_day, day = REC.unpack_from(payload, pos)
+    pos += 8
+    return ip, has_day, day, pos
+
+
+def _need(payload, pos, count):
+    if len(payload) - pos < count:
+        raise ValueError("short")
+"""
+
+
+class TestFlowWire:
+    def test_one_byte_cursor_drift_flagged(self, tmp_path):
+        found = findings(
+            tmp_path, {"service/codec.py": WIRE_CURSOR_DRIFT}, "FLOW-WIRE"
+        )
+        assert len(found) == 1
+        assert "8 byte(s)" in found[0].message
+        assert "REC.size is 9" in found[0].message
+
+    def test_short_need_guard_flagged(self, tmp_path):
+        drifted = WIRE_CURSOR_DRIFT.replace(
+            "_need(payload, pos, 9)", "_need(payload, pos, 8)"
+        ).replace("pos += 8", "pos += 9")
+        found = findings(
+            tmp_path, {"service/codec.py": drifted}, "FLOW-WIRE"
+        )
+        assert len(found) == 1
+        assert "_need() guards 8 byte(s)" in found[0].message
+
+    def test_conformant_decoder_clean(self, tmp_path):
+        fixed = WIRE_CURSOR_DRIFT.replace("pos += 8", "pos += 9")
+        found = findings(
+            tmp_path, {"service/codec.py": fixed}, "FLOW-WIRE"
+        )
+        assert found == []
+
+    def test_pack_arity_mismatch_flagged(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/codec.py": """
+                import struct
+
+                HDR = struct.Struct(">BBII")
+
+
+                def encode(ftype, payload):
+                    return HDR.pack(1, ftype, len(payload))
+                """,
+            },
+            "FLOW-WIRE",
+        )
+        assert len(found) == 1
+        assert "3 value(s)" in found[0].message
+        assert "4 field(s)" in found[0].message
+
+    def test_unpack_destructure_mismatch_flagged(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/codec.py": """
+                import struct
+
+                HDR = struct.Struct(">BBII")
+
+
+                def decode(blob):
+                    version, ftype, seq = HDR.unpack(blob)
+                    return version, ftype, seq
+                """,
+            },
+            "FLOW-WIRE",
+        )
+        assert len(found) == 1
+        assert "destructured into 3 name(s)" in found[0].message
+
+    def test_v6_twin_drift_flagged(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/codec.py": """
+                import struct
+
+                REC = struct.Struct(">IBi")
+                REC6 = struct.Struct(">16sBBi")
+                """,
+            },
+            "FLOW-WIRE",
+        )
+        assert len(found) == 1
+        assert "drifted" in found[0].message
+
+    def test_v6_twin_conformant_clean(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/codec.py": """
+                import struct
+
+                REC = struct.Struct(">IBi")
+                REC6 = struct.Struct(">16sBi")
+                """,
+            },
+            "FLOW-WIRE",
+        )
+        assert found == []
+
+    def test_encoded_ft_without_decoder_flagged(self, tmp_path):
+        files = {
+            "service/enc.py": """
+            FT_PING = 7
+
+
+            def encode_frame(ftype, payload):
+                return bytes([ftype]) + payload
+
+
+            def send(payload):
+                return encode_frame(FT_PING, payload)
+            """,
+        }
+        found = findings(tmp_path, dict(files), "FLOW-WIRE")
+        assert len(found) == 1
+        assert "FT_PING" in found[0].message
+        # A decoder branch in another serving module satisfies it.
+        files["cluster/dec.py"] = """
+        from ..service.enc import FT_PING
+
+
+        def dispatch(ftype, payload):
+            if ftype == FT_PING:
+                return payload
+            return None
+        """
+        found = findings(tmp_path, files, "FLOW-WIRE")
+        assert found == []
+
+    def test_invalid_format_string_flagged(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/codec.py": (
+                    "import struct\n\nBAD = struct.Struct('>Bq!')\n"
+                ),
+            },
+            "FLOW-WIRE",
+        )
+        assert len(found) == 1
+        assert "does not compile" in found[0].message
+
+    def test_inline_struct_pack_checked(self, tmp_path):
+        found = findings(
+            tmp_path,
+            {
+                "service/codec.py": """
+                import struct
+
+
+                def encode(a, b):
+                    return struct.pack(">BB", a, b, 0)
+                """,
+            },
+            "FLOW-WIRE",
+        )
+        assert len(found) == 1
+
+    def test_repo_codec_is_conformant(self):
+        # The real wire modules pass their own conformance bar.
+        report = devtools.lint_report(
+            [REPO_ROOT / "src" / "repro" / "service"], REPO_ROOT
+        )
+        assert [
+            v for v in report.violations if v.rule == "FLOW-WIRE"
+        ] == []
+
+
+class TestStaleWaivers:
+    def test_unknown_code_reported(self, tmp_path):
+        report = report_tree(
+            tmp_path,
+            {
+                "sim/odd.py": (
+                    "x = 1  # reprolint: disable=NOPE\n"
+                ),
+            },
+        )
+        assert len(report.waiver_issues) == 1
+        issue = report.waiver_issues[0]
+        assert issue.code == "NOPE"
+        assert issue.reason == "unknown rule code"
+
+    def test_unused_waiver_reported(self, tmp_path):
+        report = report_tree(
+            tmp_path,
+            {
+                "sim/clean.py": (
+                    "x = 1  # reprolint: disable=DET\n"
+                ),
+            },
+        )
+        assert len(report.waiver_issues) == 1
+        assert report.waiver_issues[0].code == "DET"
+        assert report.waiver_issues[0].reason == "matched no violation"
+
+    def test_used_waiver_not_reported(self, tmp_path):
+        report = report_tree(
+            tmp_path,
+            {
+                "sim/waived.py": """
+                import time
+
+
+                def tick():
+                    return time.time()  # reprolint: disable=DET
+                """,
+            },
+        )
+        assert report.waiver_issues == []
+        assert report.violations == []
+
+    def test_file_waiver_tracked(self, tmp_path):
+        report = report_tree(
+            tmp_path,
+            {
+                "sim/noop.py": (
+                    "# reprolint: disable-file=DET\nx = 1\n"
+                ),
+            },
+        )
+        assert len(report.waiver_issues) == 1
+        assert report.waiver_issues[0].reason == "matched no violation"
+
+    def test_flow_waiver_not_stale_when_flow_skipped(self, tmp_path):
+        # Module-rules-only runs (repro lint --no-flow, lint_gate
+        # --changed) must not flag FLOW waivers the skipped pass
+        # would have used.
+        waived = LOCK_THREE_DEEP.replace(
+            "self.hits += 1",
+            "self.hits += 1  # reprolint: disable=FLOW-LOCK",
+        )
+        write_tree(tmp_path, {"service/eng.py": waived})
+        module_rules = [
+            r for r in devtools.all_rules() if r.scope == "module"
+        ]
+        report = devtools.lint_report(
+            [tmp_path], tmp_path, rules=module_rules
+        )
+        assert report.waiver_issues == []
+
+    def test_docstring_prose_is_not_a_waiver(self, tmp_path):
+        report = report_tree(
+            tmp_path,
+            {
+                "sim/doc.py": (
+                    '"""Explains the syntax:\n\n'
+                    "    # reprolint: disable=DET\n"
+                    '"""\nx = 1\n'
+                ),
+            },
+        )
+        assert report.waiver_issues == []
+
+    def test_timings_populated(self, tmp_path):
+        report = report_tree(tmp_path, {"sim/x.py": "x = 1\n"})
+        assert set(report.timings) == {
+            "parse",
+            "module_rules",
+            "flow",
+            "total",
+        }
+        assert report.timings["total"] >= 0
+
+
+class TestCliFlow:
+    def test_explain_prints_rule_card(self, capsys):
+        assert main(["lint", "--explain", "FLOW-BLOCK"]) == 0
+        out = capsys.readouterr().out
+        assert "scope: program" in out
+        assert "example finding:" in out
+        assert "disable=FLOW-BLOCK" in out
+
+    def test_explain_unknown_rule_fails(self, capsys):
+        assert main(["lint", "--explain", "NOPE"]) != 0
+        assert "no such rule" in capsys.readouterr().err
+
+    def test_no_flow_skips_program_rules(self, tmp_path, capsys):
+        write_tree(tmp_path, {"service/eng.py": LOCK_THREE_DEEP})
+        argv = ["lint", "--root", str(tmp_path), str(tmp_path)]
+        assert main(argv) == 1
+        assert "FLOW-LOCK" in capsys.readouterr().out
+        assert main(argv + ["--no-flow"]) == 0
+
+    def test_strict_waivers_fails_on_stale(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {"sim/clean.py": "x = 1  # reprolint: disable=DET\n"},
+        )
+        argv = ["lint", "--root", str(tmp_path), str(tmp_path)]
+        # Advisory by default: warn on stderr, exit clean.
+        assert main(argv) == 0
+        assert "stale waiver" in capsys.readouterr().err
+        assert main(argv + ["--strict-waivers"]) == 1
+
+
+class TestLintGateFlow:
+    GATE = REPO_ROOT / "scripts" / "lint_gate.py"
+
+    def _run(self, *argv, cwd=None):
+        return subprocess.run(
+            [sys.executable, str(self.GATE), *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def _empty_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        devtools.save_baseline(baseline, [])
+        return baseline
+
+    def test_flow_violation_fails_gate(self, tmp_path):
+        write_tree(tmp_path, {"service/eng.py": LOCK_THREE_DEEP})
+        result = self._run(
+            "--baseline",
+            str(self._empty_baseline(tmp_path)),
+            "--root",
+            str(tmp_path),
+            str(tmp_path / "service"),
+        )
+        assert result.returncode == 1
+        assert "FLOW-LOCK" in result.stdout
+
+    def test_stale_waiver_fails_gate(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"sim/clean.py": "x = 1  # reprolint: disable=DET\n"},
+        )
+        result = self._run(
+            "--baseline",
+            str(self._empty_baseline(tmp_path)),
+            "--root",
+            str(tmp_path),
+            str(tmp_path),
+        )
+        assert result.returncode == 1
+        assert "stale waiver" in result.stderr
+
+    def test_budget_overrun_fails(self, tmp_path):
+        write_tree(tmp_path, {"sim/x.py": "x = 1\n"})
+        result = self._run(
+            "--baseline",
+            str(self._empty_baseline(tmp_path)),
+            "--root",
+            str(tmp_path),
+            "--budget",
+            "0",
+            str(tmp_path),
+        )
+        assert result.returncode == 1
+        assert "over the" in result.stderr
+
+    def test_timings_line_printed(self, tmp_path):
+        write_tree(tmp_path, {"sim/x.py": "x = 1\n"})
+        result = self._run(
+            "--baseline",
+            str(self._empty_baseline(tmp_path)),
+            "--root",
+            str(tmp_path),
+            str(tmp_path),
+        )
+        assert result.returncode == 0
+        assert "lint timings:" in result.stdout
+        assert "flow=" in result.stdout
+
+    def _git(self, cwd, *argv):
+        subprocess.run(
+            ["git", *argv], cwd=cwd, check=True, capture_output=True
+        )
+
+    def test_changed_lints_only_git_modified(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        baseline = self._empty_baseline(tmp_path)
+        # Nothing under src/repro yet: the fast path is a no-op.
+        result = self._run(
+            "--changed",
+            "--baseline",
+            str(baseline),
+            "--root",
+            str(tmp_path),
+        )
+        assert result.returncode == 0
+        assert "no changed files" in result.stdout
+        # An uncommitted bad file under src/repro fails the fast path.
+        write_tree(
+            tmp_path,
+            {
+                "src/repro/sim/bad.py": (
+                    "import time\n\ndef t():\n    return time.time()\n"
+                ),
+            },
+        )
+        result = self._run(
+            "--changed",
+            "--baseline",
+            str(baseline),
+            "--root",
+            str(tmp_path),
+        )
+        assert result.returncode == 1
+        assert "DET" in result.stdout
+
+    def test_changed_rejects_explicit_paths(self, tmp_path):
+        result = self._run("--changed", str(tmp_path))
+        assert result.returncode == 2
+        assert "exclusive" in result.stderr
+
+
+class TestRepoFlowClean:
+    def test_full_repo_report_is_clean(self):
+        report = devtools.lint_report(
+            [REPO_ROOT / "src" / "repro"], REPO_ROOT
+        )
+        assert report.violations == []
+        assert report.waiver_issues == []
+
+    def test_committed_baseline_is_empty(self):
+        doc = json.loads(
+            (REPO_ROOT / "LINT_baseline.json").read_text()
+        )
+        assert doc["violations"] == []
